@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: software encode/decode throughput of every
+//! scheme, plus gate-level codec measurement (synthesis + STA + power)
+//! costs. These quantify the *simulator's* performance, complementing the
+//! paper-reproduction binaries that quantify the modeled hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socbus_codes::Scheme;
+use socbus_model::Word;
+
+fn encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_roundtrip_32bit");
+    let mut rng = StdRng::seed_from_u64(1);
+    let words: Vec<Word> = (0..256)
+        .map(|_| Word::from_bits(rng.gen::<u128>(), 32))
+        .collect();
+    group.throughput(Throughput::Elements(words.len() as u64));
+    for scheme in Scheme::table3() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| {
+                let mut enc = s.build(32);
+                let mut dec = s.build(32);
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for &w in &words {
+                        let cw = enc.encode(w);
+                        acc ^= dec.decode(cw).count_ones();
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn netlist_costing(c: &mut Criterion) {
+    let lib = socbus_netlist::cell::CellLibrary::cmos_130nm();
+    let mut group = c.benchmark_group("netlist_codec_cost");
+    group.sample_size(10);
+    for scheme in [Scheme::Hamming, Scheme::Dap, Scheme::Bih] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| socbus_netlist::cost::codec_cost(s, 32, &lib, 200, 7));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_decode, netlist_costing);
+criterion_main!(benches);

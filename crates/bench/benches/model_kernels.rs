@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the analysis kernels: energy
+//! enumeration, Monte-Carlo word-error measurement, and the coupled-RC
+//! transient solver step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socbus_codes::{analysis, Scheme};
+use socbus_model::{BusGeometry, Technology, TransitionVector, Word};
+use socbus_rcsim::{CoupledBus, Transient};
+
+fn energy_analysis(c: &mut Criterion) {
+    c.bench_function("exact_energy_dap4", |b| {
+        b.iter(|| {
+            let mut code = Scheme::Dap.build(4);
+            analysis::average_energy(code.as_mut(), 0)
+        });
+    });
+    c.bench_function("sampled_energy_dap32_10k", |b| {
+        b.iter(|| {
+            let mut code = Scheme::Dap.build(32);
+            analysis::average_energy(code.as_mut(), 10_000)
+        });
+    });
+}
+
+fn monte_carlo(c: &mut Criterion) {
+    c.bench_function("word_error_dap8_10k", |b| {
+        b.iter(|| socbus_channel::word_error_rate(Scheme::Dap, 8, 1e-2, 10_000, 3));
+    });
+}
+
+fn rc_transient(c: &mut Criterion) {
+    let tech = Technology::cmos_130nm();
+    let geom = BusGeometry::new(10.0, 2.8);
+    let bus = CoupledBus::new(&tech, &geom, 3, 16);
+    let before = Word::from_bits(0b101, 3);
+    let after = Word::from_bits(0b010, 3);
+    let tv = TransitionVector::between(before, after);
+    let init: Vec<bool> = (0..3).map(|i| before.bit(i)).collect();
+    c.bench_function("rc_transient_500_steps", |b| {
+        b.iter(|| {
+            let mut sim = Transient::new(&bus, &tv, &init, 10e-12);
+            for _ in 0..500 {
+                sim.step();
+            }
+            sim.far_end(1)
+        });
+    });
+}
+
+criterion_group!(benches, energy_analysis, monte_carlo, rc_transient);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Reproduces **Fig. 10**: energy savings over Hamming for a 4-bit
+//! reliable bus, (a) vs λ at L = 10 mm and (b) vs L at λ = 2.8.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig10`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions::default();
+    let schemes = [
+        Scheme::HammingX,
+        Scheme::Bsc,
+        Scheme::Dap,
+        Scheme::Dapx,
+        Scheme::Dapbi,
+    ];
+
+    let a = sweep_lambda(
+        &schemes,
+        Scheme::Hamming,
+        4,
+        10.0,
+        Metric::EnergySavings,
+        &opts,
+        None,
+    );
+    print_series(
+        "Fig. 10(a): energy savings over Hamming, 4-bit bus, L = 10 mm",
+        "lambda",
+        &a,
+    );
+
+    let b = sweep_length(&schemes, Scheme::Hamming, 4, 2.8, Metric::EnergySavings, &opts);
+    print_series(
+        "Fig. 10(b): energy savings over Hamming, 4-bit bus, lambda = 2.8",
+        "L (mm)",
+        &b,
+    );
+}

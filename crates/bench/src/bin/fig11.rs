@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 11**: comparison across bus widths at L = 10 mm and
+//! λ = 2.8 — (a) speed-up and (b) energy savings over Hamming at the same
+//! width.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig11`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_width, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions::default();
+    let schemes = [Scheme::HammingX, Scheme::Bsc, Scheme::Dap, Scheme::Dapx];
+    let widths = [4usize, 8, 16, 32, 64];
+
+    let a = sweep_width(
+        &schemes,
+        Scheme::Hamming,
+        &widths,
+        10.0,
+        2.8,
+        Metric::Speedup,
+        &opts,
+    );
+    print_series(
+        "Fig. 11(a): speed-up over Hamming vs bus width (L = 10 mm, lambda = 2.8)",
+        "k (bits)",
+        &a,
+    );
+
+    let b = sweep_width(
+        &schemes,
+        Scheme::Hamming,
+        &widths,
+        10.0,
+        2.8,
+        Metric::EnergySavings,
+        &opts,
+    );
+    print_series(
+        "Fig. 11(b): energy savings over Hamming vs bus width",
+        "k (bits)",
+        &b,
+    );
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Fig. 12**: joint repeater insertion and coding — speed-up
+//! and energy savings of repeater-inserted coded buses over the
+//! *repeater-less Hamming* reference (4-bit, 10 mm, repeaters every 2 mm,
+//! sized for minimum delay).
+//!
+//! The paper's punchline: repeaters alone buy ~3× speed at a large energy
+//! cost, while CAC coding buys speed *and* energy; combining both
+//! compounds the speed-up.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig12`.
+
+use socbus_bench::designs::{design_point, DesignOptions};
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{lambda_grid, optimal_repeater_size};
+use socbus_codes::Scheme;
+use socbus_model::{energy_savings, speedup, BusGeometry, Environment, RepeaterConfig};
+use socbus_netlist::cell::CellLibrary;
+
+fn main() {
+    let lib = CellLibrary::cmos_130nm();
+    let opts = DesignOptions::default();
+    let schemes = [Scheme::Hamming, Scheme::HammingX, Scheme::Dap, Scheme::Dapx];
+
+    let reference = design_point(Scheme::Hamming, 4, &lib, &opts);
+    let rep_size = optimal_repeater_size(10.0, 2.8, 2.0);
+    println!("# repeaters every 2 mm at {rep_size:.0}x minimum size\n");
+
+    let mut speed = Vec::new();
+    let mut energy = Vec::new();
+    for &s in &schemes {
+        let d = design_point(s, 4, &lib, &opts);
+        let mut sp = Vec::new();
+        let mut en = Vec::new();
+        for lambda in lambda_grid() {
+            let plain = Environment::new(BusGeometry::new(10.0, lambda));
+            let repeated = Environment::new(BusGeometry::new(10.0, lambda))
+                .with_repeaters(RepeaterConfig::new(2.0, rep_size));
+            // Reference evaluated repeater-less; candidate with repeaters.
+            let ref_delay = reference.total_delay(&plain);
+            let cand_delay = d.total_delay(&repeated);
+            sp.push((lambda, ref_delay / cand_delay));
+            let ref_e = reference.total_energy(&plain);
+            let cand_e = d.total_energy(&repeated);
+            en.push((lambda, 1.0 - cand_e / ref_e));
+        }
+        speed.push((format!("{}+rep", s.name()), sp));
+        energy.push((format!("{}+rep", s.name()), en));
+    }
+    print_series(
+        "Fig. 12(a): speed-up of repeater-inserted coded buses over repeater-less Hamming (4-bit, 10 mm)",
+        "lambda",
+        &speed,
+    );
+    print_series(
+        "Fig. 12(b): energy savings of repeater-inserted coded buses over repeater-less Hamming",
+        "lambda",
+        &energy,
+    );
+
+    // The coding-vs-repeaters headline at lambda = 2.8.
+    let env_plain = Environment::new(BusGeometry::new(10.0, 2.8));
+    let env_rep = Environment::new(BusGeometry::new(10.0, 2.8))
+        .with_repeaters(RepeaterConfig::new(2.0, rep_size));
+    let ham_rep = design_point(Scheme::Hamming, 4, &lib, &opts);
+    let dapx = design_point(Scheme::Dapx, 4, &lib, &opts);
+    println!("# headline (lambda = 2.8):");
+    println!(
+        "#  repeaters alone:  {:.2}x speed-up, {:+.0}% energy",
+        reference.total_delay(&env_plain) / ham_rep.total_delay(&env_rep),
+        -100.0 * (1.0 - ham_rep.total_energy(&env_rep) / reference.total_energy(&env_plain)),
+    );
+    println!(
+        "#  DAPX coding alone: {:.2}x speed-up, {:+.0}% energy",
+        speedup(&reference, &dapx, &env_plain),
+        -100.0 * energy_savings(&reference, &dapx, &env_plain),
+    );
+    println!(
+        "#  DAPX + repeaters: {:.2}x speed-up",
+        reference.total_delay(&env_plain) / dapx.total_delay(&env_rep),
+    );
+}

@@ -1,0 +1,40 @@
+//! Reproduces **Fig. 13**: speed-up over the 32-bit uncoded bus with the
+//! reliability↔energy tradeoff active (ECC designs at scaled swing),
+//! (a) vs λ at L = 10 mm and (b) vs L at λ = 2.8.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig13`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions {
+        scale_to: Some(1e-20),
+        ..DesignOptions::default()
+    };
+    let schemes = [
+        Scheme::BusInvert(8),
+        Scheme::Shielding,
+        Scheme::Ftc,
+        Scheme::Hamming,
+        Scheme::HammingX,
+        Scheme::Dap,
+        Scheme::Dapx,
+    ];
+
+    let a = sweep_lambda(&schemes, Scheme::Uncoded, 32, 10.0, Metric::Speedup, &opts, None);
+    print_series(
+        "Fig. 13(a): speed-up over uncoded 32-bit bus, L = 10 mm",
+        "lambda",
+        &a,
+    );
+
+    let b = sweep_length(&schemes, Scheme::Uncoded, 32, 2.8, Metric::Speedup, &opts);
+    print_series(
+        "Fig. 13(b): speed-up over uncoded 32-bit bus, lambda = 2.8",
+        "L (mm)",
+        &b,
+    );
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Fig. 14**: energy savings over the 32-bit uncoded bus
+//! with voltage-scaled ECC designs, (a) vs λ at L = 10 mm and (b) vs L at
+//! λ = 2.8.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig14`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions {
+        scale_to: Some(1e-20),
+        ..DesignOptions::default()
+    };
+    let schemes = [
+        Scheme::BusInvert(1),
+        Scheme::BusInvert(8),
+        Scheme::Ftc,
+        Scheme::Hamming,
+        Scheme::Dap,
+        Scheme::Dapx,
+        Scheme::Dapbi,
+    ];
+
+    let a = sweep_lambda(
+        &schemes,
+        Scheme::Uncoded,
+        32,
+        10.0,
+        Metric::EnergySavings,
+        &opts,
+        None,
+    );
+    print_series(
+        "Fig. 14(a): energy savings over uncoded 32-bit bus, L = 10 mm",
+        "lambda",
+        &a,
+    );
+
+    let b = sweep_length(
+        &schemes,
+        Scheme::Uncoded,
+        32,
+        2.8,
+        Metric::EnergySavings,
+        &opts,
+    );
+    print_series(
+        "Fig. 14(b): energy savings over uncoded 32-bit bus, lambda = 2.8",
+        "L (mm)",
+        &b,
+    );
+}

@@ -1,0 +1,54 @@
+//! Reproduces **Fig. 15**: comparison across bus widths at L = 10 mm and
+//! λ = 2.8 under the reliability↔energy tradeoff — (a) speed-up and
+//! (b) energy savings over the uncoded bus of the same width.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig15`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_width, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions {
+        scale_to: Some(1e-20),
+        ..DesignOptions::default()
+    };
+    let schemes = [
+        Scheme::BusInvert(8),
+        Scheme::Hamming,
+        Scheme::Dap,
+        Scheme::Dapx,
+    ];
+    let widths = [8usize, 16, 32, 64];
+
+    let a = sweep_width(
+        &schemes,
+        Scheme::Uncoded,
+        &widths,
+        10.0,
+        2.8,
+        Metric::Speedup,
+        &opts,
+    );
+    print_series(
+        "Fig. 15(a): speed-up over uncoded bus vs width (scaled ECC designs)",
+        "k (bits)",
+        &a,
+    );
+
+    let b = sweep_width(
+        &schemes,
+        Scheme::Uncoded,
+        &widths,
+        10.0,
+        2.8,
+        Metric::EnergySavings,
+        &opts,
+    );
+    print_series(
+        "Fig. 15(b): energy savings over uncoded bus vs width",
+        "k (bits)",
+        &b,
+    );
+}

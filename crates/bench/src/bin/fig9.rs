@@ -1,0 +1,29 @@
+//! Reproduces **Fig. 9**: speed-up over Hamming for a 4-bit reliable bus,
+//! (a) as a function of λ at L = 10 mm and (b) as a function of L at
+//! λ = 2.8.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin fig9`.
+
+use socbus_bench::designs::DesignOptions;
+use socbus_bench::fmt::print_series;
+use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
+use socbus_codes::Scheme;
+
+fn main() {
+    let opts = DesignOptions::default();
+    let schemes = [Scheme::HammingX, Scheme::Bsc, Scheme::Dap, Scheme::Dapx];
+
+    let a = sweep_lambda(&schemes, Scheme::Hamming, 4, 10.0, Metric::Speedup, &opts, None);
+    print_series(
+        "Fig. 9(a): speed-up over Hamming, 4-bit bus, L = 10 mm",
+        "lambda",
+        &a,
+    );
+
+    let b = sweep_length(&schemes, Scheme::Hamming, 4, 2.8, Metric::Speedup, &opts);
+    print_series(
+        "Fig. 9(b): speed-up over Hamming, 4-bit bus, lambda = 2.8",
+        "L (mm)",
+        &b,
+    );
+}

@@ -1,0 +1,46 @@
+//! Reproduces **Table III**: code comparison for a 32-bit bus with the
+//! reliability ↔ energy tradeoff.
+//!
+//! ECC schemes scale their swing to hold the uncoded bus's word-error
+//! target of `P = 1e-20` (paper §IV-B); everything else stays at the
+//! nominal 1.2 V. Energy coefficients are sampled over long uniform
+//! random sequences (the paper's workload assumption).
+//!
+//! Run with `cargo run --release -p socbus-bench --bin table3`.
+
+use socbus_bench::designs::{design_point, DesignOptions};
+use socbus_bench::fmt;
+use socbus_codes::Scheme;
+use socbus_model::{BusGeometry, Environment};
+use socbus_netlist::cell::CellLibrary;
+
+fn main() {
+    let lib = CellLibrary::cmos_130nm();
+    let opts = DesignOptions {
+        scale_to: Some(1e-20),
+        ..DesignOptions::default()
+    };
+    let env = Environment::new(BusGeometry::new(10.0, 2.8));
+
+    println!("Table III: code comparison for a 32-bit bus (P_target = 1e-20)");
+    println!("(L = 10 mm, lambda = 2.8, low-swing ECC designs)\n");
+    fmt::print_design_header();
+
+    let reference = design_point(Scheme::Uncoded, 32, &lib, &opts);
+    for scheme in Scheme::table3() {
+        let d = design_point(scheme, 32, &lib, &opts);
+        fmt::print_design_row(&d, &env, Some(&reference));
+    }
+
+    println!("\nDerived metrics vs the uncoded bus (same environment):");
+    println!("{:<10} {:>9} {:>14}", "Scheme", "Speed-up", "EnergySavings");
+    for scheme in Scheme::table3() {
+        let d = design_point(scheme, 32, &lib, &opts);
+        println!(
+            "{:<10} {:>8.2}x {:>13.1}%",
+            d.name,
+            socbus_model::speedup(&reference, &d, &env),
+            100.0 * socbus_model::energy_savings(&reference, &d, &env),
+        );
+    }
+}

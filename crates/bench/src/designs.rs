@@ -1,0 +1,227 @@
+//! Design-point assembly: code structure × measured codec × bus model.
+//!
+//! For one (scheme, width) pair this module gathers everything the
+//! paper's comparisons need into a [`CodePerf`]:
+//!
+//! * wire count and worst-case delay class from the code itself;
+//! * average bus-energy coefficients from exhaustive enumeration (narrow
+//!   buses) or long random simulation (wide ones) — `socbus-codes`;
+//! * codec delay / area / energy from STA and toggle-count power on the
+//!   generated gate-level netlists — `socbus-netlist`;
+//! * timing paths encoding each scheme's encoder-delay masking structure
+//!   (HammingX's half-shielded parity, DAPX's duplicated parity);
+//! * optionally a scaled `V̂dd` from the reliability↔energy tradeoff —
+//!   `socbus-channel`.
+
+use socbus_channel::scaling::{scale_voltage, ResidualModel};
+use socbus_codes::cac::ftc_groups;
+use socbus_codes::ecc::hamming_parity_bits;
+use socbus_codes::{analysis, Scheme};
+use socbus_model::{CodePerf, DelayClass, TimingPath};
+use socbus_netlist::cell::CellLibrary;
+use socbus_netlist::cost::{codec_cost, CodecCost};
+
+/// Knobs for design-point assembly.
+#[derive(Clone, Copy, Debug)]
+pub struct DesignOptions {
+    /// Scale the swing of ECC schemes to this word-error target; `None`
+    /// keeps every scheme at nominal swing (the "reliable bus" design).
+    pub scale_to: Option<f64>,
+    /// Random transfers for sampled energy coefficients on wide buses.
+    pub energy_samples: usize,
+    /// Random transfers for codec power simulation.
+    pub power_samples: usize,
+    /// RNG seed for all sampling.
+    pub seed: u64,
+}
+
+impl Default for DesignOptions {
+    fn default() -> Self {
+        DesignOptions {
+            scale_to: None,
+            energy_samples: 120_000,
+            power_samples: 1_500,
+            seed: 0x50C,
+        }
+    }
+}
+
+/// The residual word-error model of a scheme (for voltage scaling), or
+/// `None` when the scheme has no error correction.
+#[must_use]
+pub fn residual_model_for(scheme: Scheme, k: usize) -> Option<ResidualModel> {
+    match scheme {
+        Scheme::Hamming | Scheme::HammingX => Some(ResidualModel::DoubleError {
+            wires: k + hamming_parity_bits(k),
+        }),
+        Scheme::Bih => Some(ResidualModel::DoubleError {
+            wires: k + 1 + hamming_parity_bits(k + 1),
+        }),
+        Scheme::FtcHc => {
+            let n_code: usize = ftc_groups(k).iter().map(|&(_, w)| w).sum();
+            Some(ResidualModel::DoubleError {
+                wires: n_code + hamming_parity_bits(n_code),
+            })
+        }
+        Scheme::ExtHamming => Some(ResidualModel::DoubleError {
+            wires: k + hamming_parity_bits(k),
+        }),
+        Scheme::BchDec => {
+            let code = socbus_codes::BchDec::new(k);
+            Some(ResidualModel::TripleError {
+                wires: k + code.parity_bits(),
+            })
+        }
+        Scheme::Dap | Scheme::Dapx | Scheme::Bsc => Some(ResidualModel::Dap { k }),
+        Scheme::Dapbi => Some(ResidualModel::Dap { k: k + 1 }),
+        Scheme::Uncoded
+        | Scheme::BusInvert(_)
+        | Scheme::Shielding
+        | Scheme::Duplication
+        | Scheme::Ftc
+        | Scheme::Parity => None,
+    }
+}
+
+/// The encoder→wire timing-path structure of each scheme: which wire
+/// groups are pass-through, which sit behind the encoder, and at what
+/// crosstalk class each flies. This is where §III-E's delay masking
+/// becomes mechanical.
+fn timing_paths(scheme: Scheme, cost: &CodecCost) -> Vec<TimingPath> {
+    let enc = cost.encoder_delay;
+    match scheme {
+        // Entire bus behind the encoder (data bits themselves are coded).
+        Scheme::BusInvert(_) => vec![TimingPath::encoded(enc, DelayClass::WORST)],
+        Scheme::Ftc | Scheme::FtcHc | Scheme::Bsc | Scheme::Dapbi => {
+            vec![TimingPath::encoded(enc, DelayClass::CAC)]
+        }
+        Scheme::Bih => vec![TimingPath::encoded(enc, DelayClass::WORST)],
+        // Systematic data wires pass through; parity rides behind the
+        // encoder at the scheme's parity class.
+        Scheme::Hamming | Scheme::ExtHamming | Scheme::BchDec => vec![
+            TimingPath::passthrough(DelayClass::WORST),
+            TimingPath::encoded(enc, DelayClass::WORST),
+        ],
+        Scheme::HammingX => vec![
+            TimingPath::passthrough(DelayClass::WORST),
+            TimingPath::encoded(enc, DelayClass::new(3)),
+        ],
+        Scheme::Dap => vec![
+            TimingPath::passthrough(DelayClass::CAC),
+            TimingPath::encoded(enc, DelayClass::CAC),
+        ],
+        Scheme::Dapx => vec![
+            TimingPath::passthrough(DelayClass::CAC),
+            TimingPath::encoded(enc, DelayClass::DUPLICATED_EDGE),
+        ],
+        Scheme::Parity => vec![
+            TimingPath::passthrough(DelayClass::WORST),
+            TimingPath::encoded(enc, DelayClass::WORST),
+        ],
+        // Pure wiring schemes.
+        Scheme::Uncoded => vec![TimingPath::passthrough(DelayClass::WORST)],
+        Scheme::Shielding | Scheme::Duplication => {
+            vec![TimingPath::passthrough(DelayClass::CAC)]
+        }
+    }
+}
+
+/// Assembles the complete design point for `scheme` at width `k`.
+///
+/// # Panics
+///
+/// Panics if the scheme rejects the width.
+#[must_use]
+pub fn design_point(scheme: Scheme, k: usize, lib: &CellLibrary, opts: &DesignOptions) -> CodePerf {
+    let mut code = scheme.build(k);
+    let wires = code.wires();
+    let bus_energy = analysis::average_energy(code.as_mut(), opts.energy_samples);
+    let cost = codec_cost(scheme, k, lib, opts.power_samples, opts.seed);
+    let vdd = match (opts.scale_to, residual_model_for(scheme, k)) {
+        (Some(p_target), Some(model)) => {
+            scale_voltage(model, k, p_target, lib.vdd).scaled_vdd
+        }
+        _ => lib.vdd,
+    };
+    CodePerf {
+        name: scheme.name(),
+        data_bits: k,
+        wires,
+        paths: timing_paths(scheme, &cost),
+        decoder_delay: cost.decoder_delay,
+        bus_energy,
+        codec_energy: cost.energy_per_transfer,
+        codec_area: cost.area,
+        vdd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::{BusGeometry, Environment};
+
+    fn opts() -> DesignOptions {
+        DesignOptions {
+            energy_samples: 20_000,
+            power_samples: 300,
+            ..DesignOptions::default()
+        }
+    }
+
+    #[test]
+    fn table2_style_point_is_consistent() {
+        let lib = CellLibrary::cmos_130nm();
+        let dap = design_point(Scheme::Dap, 4, &lib, &opts());
+        assert_eq!(dap.wires, 9);
+        assert!((dap.bus_energy.self_coeff - 2.25).abs() < 1e-9);
+        assert!((dap.bus_energy.coupling_coeff - 2.0).abs() < 1e-9);
+        assert!(dap.codec_area > 0.0);
+        assert_eq!(dap.vdd, 1.2);
+    }
+
+    #[test]
+    fn scaling_applies_only_to_ecc_schemes() {
+        let lib = CellLibrary::cmos_130nm();
+        let scaled = DesignOptions {
+            scale_to: Some(1e-20),
+            ..opts()
+        };
+        let ham = design_point(Scheme::Hamming, 32, &lib, &scaled);
+        let unc = design_point(Scheme::Uncoded, 32, &lib, &scaled);
+        let bi = design_point(Scheme::BusInvert(8), 32, &lib, &scaled);
+        assert!(ham.vdd < 1.0, "Hamming scales down, got {}", ham.vdd);
+        assert_eq!(unc.vdd, 1.2);
+        assert_eq!(bi.vdd, 1.2);
+    }
+
+    #[test]
+    fn dapx_beats_hamming_on_a_long_bus() {
+        // The headline Table II claim in miniature.
+        let lib = CellLibrary::cmos_130nm();
+        let env = Environment::new(BusGeometry::new(10.0, 2.8));
+        let ham = design_point(Scheme::Hamming, 4, &lib, &opts());
+        let dapx = design_point(Scheme::Dapx, 4, &lib, &opts());
+        let s = socbus_model::speedup(&ham, &dapx, &env);
+        assert!(s > 1.4, "DAPX speed-up over Hamming {s}");
+        let e = socbus_model::energy_savings(&ham, &dapx, &env);
+        assert!(e > 0.1, "DAPX energy savings over Hamming {e}");
+    }
+
+    #[test]
+    fn residual_models_match_paper_wire_counts() {
+        assert_eq!(
+            residual_model_for(Scheme::Hamming, 32),
+            Some(ResidualModel::DoubleError { wires: 38 })
+        );
+        assert_eq!(
+            residual_model_for(Scheme::Bih, 32),
+            Some(ResidualModel::DoubleError { wires: 39 })
+        );
+        assert_eq!(
+            residual_model_for(Scheme::Dap, 32),
+            Some(ResidualModel::Dap { k: 32 })
+        );
+        assert_eq!(residual_model_for(Scheme::Shielding, 32), None);
+    }
+}

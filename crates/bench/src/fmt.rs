@@ -1,0 +1,99 @@
+//! Plain-text table and series formatting for the experiment binaries.
+
+use socbus_model::{CodePerf, DelayClass, Environment};
+
+/// Formats seconds as picoseconds with no decimals.
+#[must_use]
+pub fn ps(t: f64) -> String {
+    format!("{:.0}", t * 1e12)
+}
+
+/// Formats joules as picojoules with two decimals.
+#[must_use]
+pub fn pj(e: f64) -> String {
+    format!("{:.2}", e * 1e12)
+}
+
+/// Formats square meters as square micrometers with no decimals.
+#[must_use]
+pub fn um2(a: f64) -> String {
+    format!("{:.0}", a * 1e12)
+}
+
+/// Formats an energy coefficient as the paper's `a + bλ` form.
+#[must_use]
+pub fn coeff(e: socbus_model::EnergyCoeff) -> String {
+    format!("{:.2} + {:.2}L", e.self_coeff, e.coupling_coeff)
+}
+
+/// Formats a delay class as the paper's `1 + cλ` form.
+#[must_use]
+pub fn class(c: DelayClass) -> String {
+    match c.multiplier() {
+        0 => "1".into(),
+        1 => "1+L".into(),
+        m => format!("1+{m}L"),
+    }
+}
+
+/// The dominant (worst) wire class of a design, for the table column.
+#[must_use]
+pub fn bus_class(d: &CodePerf) -> DelayClass {
+    d.paths
+        .iter()
+        .map(|p| p.class)
+        .max()
+        .unwrap_or(DelayClass::WORST)
+}
+
+/// Prints a labeled sweep series `(x, y)` in a gnuplot-friendly layout.
+pub fn print_series(title: &str, xlabel: &str, series: &[(String, Vec<(f64, f64)>)]) {
+    println!("# {title}");
+    print!("# {xlabel:>10}");
+    for (name, _) in series {
+        print!(" {name:>12}");
+    }
+    println!();
+    if let Some((_, first)) = series.first() {
+        for (i, &(x, _)) in first.iter().enumerate() {
+            print!("{x:>12.3}");
+            for (_, pts) in series {
+                print!(" {:>12.4}", pts[i].1);
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// One row of a Table II / Table III style comparison.
+pub fn print_design_row(d: &CodePerf, env: &Environment, reference: Option<&CodePerf>) {
+    let area_oh = reference
+        .map(|r| format!("{:>7.1}%", 100.0 * socbus_model::area_overhead(r, d, env)))
+        .unwrap_or_else(|| "      -".into());
+    println!(
+        "{:<10} {:>5} {:>7} {:>15} {:>7} {:>9} {:>9} {:>9} {:>9} {}",
+        d.name,
+        d.wires,
+        class(bus_class(d)),
+        coeff(d.bus_energy),
+        format!("{:.3}", d.vdd),
+        um2(d.codec_area),
+        ps(d.paths
+            .iter()
+            .map(|p| p.encoder_delay)
+            .fold(0.0, f64::max)
+            + d.decoder_delay),
+        pj(d.codec_energy),
+        pj(d.total_energy(env)),
+        area_oh,
+    );
+}
+
+/// Header matching [`print_design_row`].
+pub fn print_design_header() {
+    println!(
+        "{:<10} {:>5} {:>7} {:>15} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "Scheme", "Wires", "Delay", "Energy (xCV^2)", "Vdd", "A(um2)", "Tc(ps)", "Ec(pJ)", "Etot(pJ)", "AreaOH"
+    );
+}

@@ -1,0 +1,198 @@
+//! Shared sweep machinery for the figure binaries.
+//!
+//! Design points are λ- and L-independent (code structure, codec netlist,
+//! scaled swing), so each sweep assembles its design points once and
+//! re-evaluates them across environments.
+
+use crate::designs::{design_point, DesignOptions};
+use socbus_codes::Scheme;
+use socbus_model::{
+    energy_savings, speedup, BusGeometry, CodePerf, Environment, RepeaterConfig,
+};
+use socbus_netlist::cell::CellLibrary;
+
+/// Which derived metric a sweep reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Speed-up over the reference (eq. (10)).
+    Speedup,
+    /// Fractional energy savings over the reference.
+    EnergySavings,
+}
+
+/// Evaluates `metric` for `candidate` vs `reference` in `env`.
+#[must_use]
+pub fn evaluate(metric: Metric, reference: &CodePerf, candidate: &CodePerf, env: &Environment) -> f64 {
+    match metric {
+        Metric::Speedup => speedup(reference, candidate, env),
+        Metric::EnergySavings => energy_savings(reference, candidate, env),
+    }
+}
+
+/// The λ grid the paper sweeps (full metal coverage → substrate-only).
+#[must_use]
+pub fn lambda_grid() -> Vec<f64> {
+    vec![0.95, 1.5, 2.0, 2.4, 2.8, 3.4, 4.0, 4.6]
+}
+
+/// The bus-length grid (mm) of the `L` sweeps.
+#[must_use]
+pub fn length_grid_mm() -> Vec<f64> {
+    vec![6.0, 8.0, 10.0, 12.0, 14.0]
+}
+
+/// Sweeps `metric` of each scheme against `reference` over λ at fixed
+/// length. Returns `(scheme name, (λ, value) series)` per scheme.
+#[must_use]
+pub fn sweep_lambda(
+    schemes: &[Scheme],
+    reference: Scheme,
+    k: usize,
+    length_mm: f64,
+    metric: Metric,
+    opts: &DesignOptions,
+    repeaters: Option<RepeaterConfig>,
+) -> Vec<(String, Vec<(f64, f64)>)> {
+    let lib = CellLibrary::cmos_130nm();
+    let reference_point = design_point(reference, k, &lib, opts);
+    schemes
+        .iter()
+        .map(|&s| {
+            let d = design_point(s, k, &lib, opts);
+            let series = lambda_grid()
+                .into_iter()
+                .map(|lambda| {
+                    let mut env = Environment::new(BusGeometry::new(length_mm, lambda));
+                    env.repeaters = repeaters;
+                    (lambda, evaluate(metric, &reference_point, &d, &env))
+                })
+                .collect();
+            (s.name(), series)
+        })
+        .collect()
+}
+
+/// Sweeps `metric` over bus length at fixed λ.
+#[must_use]
+pub fn sweep_length(
+    schemes: &[Scheme],
+    reference: Scheme,
+    k: usize,
+    lambda: f64,
+    metric: Metric,
+    opts: &DesignOptions,
+) -> Vec<(String, Vec<(f64, f64)>)> {
+    let lib = CellLibrary::cmos_130nm();
+    let reference_point = design_point(reference, k, &lib, opts);
+    schemes
+        .iter()
+        .map(|&s| {
+            let d = design_point(s, k, &lib, opts);
+            let series = length_grid_mm()
+                .into_iter()
+                .map(|mm| {
+                    let env = Environment::new(BusGeometry::new(mm, lambda));
+                    (mm, evaluate(metric, &reference_point, &d, &env))
+                })
+                .collect();
+            (s.name(), series)
+        })
+        .collect()
+}
+
+/// Sweeps `metric` over bus width `k` at fixed geometry; the reference is
+/// re-instantiated at each width.
+#[must_use]
+pub fn sweep_width(
+    schemes: &[Scheme],
+    reference: Scheme,
+    widths: &[usize],
+    length_mm: f64,
+    lambda: f64,
+    metric: Metric,
+    opts: &DesignOptions,
+) -> Vec<(String, Vec<(f64, f64)>)> {
+    let lib = CellLibrary::cmos_130nm();
+    let env = Environment::new(BusGeometry::new(length_mm, lambda));
+    schemes
+        .iter()
+        .map(|&s| {
+            let series = widths
+                .iter()
+                .map(|&k| {
+                    let r = design_point(reference, k, &lib, opts);
+                    let d = design_point(s, k, &lib, opts);
+                    (k as f64, evaluate(metric, &r, &d, &env))
+                })
+                .collect();
+            (s.name(), series)
+        })
+        .collect()
+}
+
+/// Finds the repeater size minimizing worst-class wire delay for the
+/// geometry (the paper sizes repeaters to optimize bus delay).
+#[must_use]
+pub fn optimal_repeater_size(length_mm: f64, lambda: f64, spacing_mm: f64) -> f64 {
+    let mut best = (f64::INFINITY, 20.0);
+    for size in (1..=30).map(|i| i as f64 * 5.0) {
+        let env = Environment::new(BusGeometry::new(length_mm, lambda))
+            .with_repeaters(RepeaterConfig::new(spacing_mm, size));
+        let d = env.wire_delay(socbus_model::DelayClass::WORST);
+        if d < best.0 {
+            best = (d, size);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> DesignOptions {
+        DesignOptions {
+            energy_samples: 5_000,
+            power_samples: 150,
+            ..DesignOptions::default()
+        }
+    }
+
+    #[test]
+    fn dapx_speedup_grows_with_lambda() {
+        // Fig. 9(a)'s monotone trend.
+        let series = sweep_lambda(
+            &[Scheme::Dapx],
+            Scheme::Hamming,
+            4,
+            10.0,
+            Metric::Speedup,
+            &fast_opts(),
+            None,
+        );
+        let pts = &series[0].1;
+        assert!(pts.first().unwrap().1 < pts.last().unwrap().1);
+        assert!(pts.iter().all(|&(_, s)| s > 1.2));
+    }
+
+    #[test]
+    fn speedup_grows_with_length_for_cac_codes() {
+        // Fig. 9(b): codec delay amortizes over longer flights.
+        let series = sweep_length(
+            &[Scheme::Dap],
+            Scheme::Hamming,
+            4,
+            2.8,
+            Metric::Speedup,
+            &fast_opts(),
+        );
+        let pts = &series[0].1;
+        assert!(pts.first().unwrap().1 < pts.last().unwrap().1);
+    }
+
+    #[test]
+    fn repeater_sizing_finds_interior_optimum() {
+        let s = optimal_repeater_size(10.0, 2.8, 2.0);
+        assert!(s > 5.0 && s < 150.0, "size {s}");
+    }
+}

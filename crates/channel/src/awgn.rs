@@ -1,0 +1,155 @@
+//! The additive-Gaussian-noise bus channel (paper §II-A.3).
+//!
+//! Every wire of the received word sees the driven rail voltage plus a
+//! zero-mean Gaussian noise sample of standard deviation σ_N; the
+//! receiver slices at half swing. The resulting bit-error probability is
+//! `ε = Q(swing / 2σ_N)` — eq. (5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socbus_model::{bit_error_probability, Word};
+
+/// A noisy bus channel.
+#[derive(Clone, Debug)]
+pub struct GaussianChannel {
+    /// Signal swing on the wires (V); the scaled `V̂dd` when low-swing
+    /// signaling is used.
+    pub swing: f64,
+    /// Noise standard deviation σ_N (V).
+    pub sigma: f64,
+    rng: StdRng,
+}
+
+impl GaussianChannel {
+    /// A channel with the given swing and noise level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive.
+    #[must_use]
+    pub fn new(swing: f64, sigma: f64, seed: u64) -> Self {
+        assert!(swing > 0.0 && sigma > 0.0, "parameters must be positive");
+        GaussianChannel {
+            swing,
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The per-wire bit-error probability `Q(swing/2σ)`.
+    #[must_use]
+    pub fn bit_error_probability(&self) -> f64 {
+        bit_error_probability(self.swing, self.sigma)
+    }
+
+    /// One standard Gaussian sample (Box–Muller).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Transmits a word: drives each wire to its rail, adds noise, and
+    /// slices at half swing.
+    #[must_use]
+    pub fn transmit(&mut self, word: Word) -> Word {
+        let half = self.swing / 2.0;
+        let mut out = Word::zero(word.width());
+        for i in 0..word.width() {
+            let v = if word.bit(i) { self.swing } else { 0.0 };
+            let noisy = v + self.sigma * self.gauss();
+            out.set_bit(i, noisy > half);
+        }
+        out
+    }
+}
+
+/// A simpler abstraction for validation: flips each wire independently
+/// with probability ε (the regime the analytic formulas assume).
+#[derive(Clone, Debug)]
+pub struct BitFlipChannel {
+    /// Per-wire flip probability.
+    pub eps: f64,
+    rng: StdRng,
+}
+
+impl BitFlipChannel {
+    /// A channel flipping wires i.i.d. with probability `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= eps <= 1`.
+    #[must_use]
+    pub fn new(eps: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "eps out of range");
+        BitFlipChannel {
+            eps,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Transmits a word through the flip channel.
+    #[must_use]
+    pub fn transmit(&mut self, word: Word) -> Word {
+        let mut out = word;
+        for i in 0..word.width() {
+            if self.rng.gen::<f64>() < self.eps {
+                out.set_bit(i, !out.bit(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_channel_is_transparent() {
+        let mut ch = GaussianChannel::new(1.2, 1e-6, 1);
+        let w = Word::from_bits(0b1011, 4);
+        for _ in 0..100 {
+            assert_eq!(ch.transmit(w), w);
+        }
+    }
+
+    #[test]
+    fn measured_ber_matches_q_function() {
+        // σ chosen for ε ≈ 2.3% — measurable in few trials.
+        let swing = 1.2;
+        let sigma = 0.3;
+        let mut ch = GaussianChannel::new(swing, sigma, 7);
+        let expect = ch.bit_error_probability();
+        let w = Word::from_bits(0, 64);
+        let mut flips = 0u64;
+        let trials = 4000;
+        for _ in 0..trials {
+            flips += u64::from(ch.transmit(w).count_ones());
+        }
+        let measured = flips as f64 / (64.0 * f64::from(trials));
+        assert!(
+            (measured - expect).abs() / expect < 0.1,
+            "measured {measured} vs Q {expect}"
+        );
+    }
+
+    #[test]
+    fn lower_swing_raises_error_rate() {
+        let hi = GaussianChannel::new(1.2, 0.1, 1).bit_error_probability();
+        let lo = GaussianChannel::new(0.8, 0.1, 1).bit_error_probability();
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn flip_channel_rate_is_calibrated() {
+        let mut ch = BitFlipChannel::new(0.05, 3);
+        let w = Word::zero(100);
+        let mut flips = 0u64;
+        for _ in 0..2000 {
+            flips += u64::from(ch.transmit(w).count_ones());
+        }
+        let rate = flips as f64 / 200_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+}

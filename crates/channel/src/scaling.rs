@@ -1,0 +1,227 @@
+//! The reliability ↔ energy tradeoff: voltage scaling under ECC
+//! (paper §IV-B, eq. (11)).
+//!
+//! The design rule: an uncoded bus at nominal swing `Vdd` meets a target
+//! word-error probability `P_target` against Gaussian noise σ_N. An
+//! ECC-protected bus may lower its swing to `V̂dd` as long as its
+//! *residual* word error at the new (higher) bit-error rate still meets
+//! `P_target`:
+//!
+//! ```text
+//! V̂dd = Vdd · Q⁻¹(ε̂) / Q⁻¹(ε)
+//! ```
+//!
+//! where `ε` solves `P_unc(ε) = P_target` and `ε̂` solves
+//! `P_ecc(ε̂) = P_target`. Since bus energy scales with `V̂dd²`, the
+//! redundancy buys quadratic energy savings.
+
+use socbus_model::noise::{self, binomial};
+use socbus_model::q_inv;
+
+/// Residual word-error model of a coding scheme, used to solve for the
+/// scaled swing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResidualModel {
+    /// No protection over `wires` wires: `P = 1 − (1−ε)^wires`.
+    Uncoded {
+        /// Wires whose errors corrupt the word.
+        wires: usize,
+    },
+    /// Any distance-3 code failing on ≥2 errors among `wires` wires:
+    /// `P ≈ C(wires, 2)·ε²` (eq. (8) with `wires = k + m`).
+    DoubleError {
+        /// Total protected wires (data + parity).
+        wires: usize,
+    },
+    /// The DAP family (eq. (9)): `P ≈ 3k(k+1)/2·ε²` over `k` protected
+    /// payload bits.
+    Dap {
+        /// Payload bits protected by duplication + parity.
+        k: usize,
+    },
+    /// A distance-5 double-error-correcting code failing on ≥3 errors:
+    /// `P ≈ C(wires, 3)·ε³` — the BCH extension of the paper's §V.
+    TripleError {
+        /// Total protected wires (data + parity).
+        wires: usize,
+    },
+}
+
+impl ResidualModel {
+    /// Residual word-error probability at per-wire error rate `eps`.
+    #[must_use]
+    pub fn residual(&self, eps: f64) -> f64 {
+        match *self {
+            // 1 - (1-eps)^w via ln_1p/exp_m1 to stay accurate at 1e-20.
+            ResidualModel::Uncoded { wires } => -(wires as f64 * (-eps).ln_1p()).exp_m1(),
+            ResidualModel::DoubleError { wires } => binomial(wires, 2) * eps * eps,
+            ResidualModel::Dap { k } => noise::word_error_dap(k, eps),
+            ResidualModel::TripleError { wires } => binomial(wires, 3) * eps * eps * eps,
+        }
+    }
+
+    /// Solves `residual(ε) = p_target` for ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_target < 1`.
+    #[must_use]
+    pub fn solve_eps(&self, p_target: f64) -> f64 {
+        assert!(p_target > 0.0 && p_target < 1.0, "target out of range");
+        match *self {
+            ResidualModel::Uncoded { wires } => {
+                // 1 - (1-eps)^w = p  =>  eps = 1 - (1-p)^(1/w), computed
+                // via ln_1p/exp_m1 so tiny targets (1e-20) survive f64.
+                -((-p_target).ln_1p() / wires as f64).exp_m1()
+            }
+            ResidualModel::DoubleError { wires } => (p_target / binomial(wires, 2)).sqrt(),
+            ResidualModel::Dap { k } => {
+                let kf = k as f64;
+                (p_target / (1.5 * kf * (kf + 1.0))).sqrt()
+            }
+            ResidualModel::TripleError { wires } => (p_target / binomial(wires, 3)).cbrt(),
+        }
+    }
+}
+
+/// A voltage-scaling design point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaledDesign {
+    /// Nominal swing (V).
+    pub nominal_vdd: f64,
+    /// Scaled swing meeting the same reliability (V).
+    pub scaled_vdd: f64,
+    /// Bit-error rate at the scaled swing.
+    pub eps_scaled: f64,
+    /// Noise σ_N implied by the calibration (V).
+    pub sigma: f64,
+}
+
+impl ScaledDesign {
+    /// Energy scale factor `(V̂/V)²` applied to the bus energy.
+    #[must_use]
+    pub fn energy_scale(&self) -> f64 {
+        (self.scaled_vdd / self.nominal_vdd).powi(2)
+    }
+}
+
+/// Calibrates the noise from the uncoded reference (uncoded `k_ref`-wire
+/// bus at `nominal_vdd` meets `p_target`), then scales the swing for a
+/// coded bus with residual model `model` to meet the same target
+/// (eq. (11)). Codes whose residual at nominal swing is already above
+/// target keep the nominal swing.
+#[must_use]
+pub fn scale_voltage(
+    model: ResidualModel,
+    k_ref: usize,
+    p_target: f64,
+    nominal_vdd: f64,
+) -> ScaledDesign {
+    let eps_ref = ResidualModel::Uncoded { wires: k_ref }.solve_eps(p_target);
+    let x_ref = q_inv(eps_ref);
+    let sigma = nominal_vdd / (2.0 * x_ref);
+    let eps_scaled = model.solve_eps(p_target);
+    let x_scaled = q_inv(eps_scaled);
+    let scaled = (nominal_vdd * x_scaled / x_ref).min(nominal_vdd);
+    ScaledDesign {
+        nominal_vdd,
+        scaled_vdd: scaled,
+        eps_scaled,
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: f64 = 1e-20;
+
+    #[test]
+    fn hamming_32_scales_near_paper_value() {
+        // Table III reports 0.884 V for the 38-wire Hamming bus; the
+        // eq. (8)/(11) math lands within a few percent.
+        let d = scale_voltage(ResidualModel::DoubleError { wires: 38 }, 32, P, 1.2);
+        assert!(
+            (0.82..0.92).contains(&d.scaled_vdd),
+            "scaled {}",
+            d.scaled_vdd
+        );
+    }
+
+    #[test]
+    fn dap_32_scales_near_paper_value() {
+        // Table III reports 0.860 V for DAP.
+        let d = scale_voltage(ResidualModel::Dap { k: 32 }, 32, P, 1.2);
+        assert!(
+            (0.82..0.92).contains(&d.scaled_vdd),
+            "scaled {}",
+            d.scaled_vdd
+        );
+    }
+
+    #[test]
+    fn scaled_swing_never_exceeds_nominal() {
+        let d = scale_voltage(ResidualModel::Uncoded { wires: 32 }, 32, P, 1.2);
+        assert!((d.scaled_vdd - 1.2).abs() < 1e-12);
+        let d = scale_voltage(ResidualModel::Uncoded { wires: 64 }, 32, P, 1.2);
+        assert!(d.scaled_vdd <= 1.2);
+    }
+
+    #[test]
+    fn residual_solver_roundtrips() {
+        for model in [
+            ResidualModel::Uncoded { wires: 32 },
+            ResidualModel::DoubleError { wires: 38 },
+            ResidualModel::Dap { k: 32 },
+        ] {
+            for &p in &[1e-6, 1e-12, 1e-20] {
+                let eps = model.solve_eps(p);
+                let back = model.residual(eps);
+                assert!(
+                    (back - p).abs() / p < 1e-6,
+                    "{model:?} p={p}: back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_codes_scale_lower() {
+        // More redundancy (relative to exposure) => lower achievable swing.
+        let ham4 = scale_voltage(ResidualModel::DoubleError { wires: 7 }, 4, P, 1.2);
+        let unc = scale_voltage(ResidualModel::Uncoded { wires: 4 }, 4, P, 1.2);
+        assert!(ham4.scaled_vdd < unc.scaled_vdd);
+    }
+
+    #[test]
+    fn bch_triple_error_model_scales_below_hamming() {
+        // A DEC code tolerates a much higher eps at the same target, so it
+        // scales the swing further down than SEC codes.
+        let ham = scale_voltage(ResidualModel::DoubleError { wires: 38 }, 32, P, 1.2);
+        let bch = scale_voltage(ResidualModel::TripleError { wires: 44 }, 32, P, 1.2);
+        assert!(bch.scaled_vdd < ham.scaled_vdd, "bch {} ham {}", bch.scaled_vdd, ham.scaled_vdd);
+        assert!(bch.scaled_vdd > 0.5, "sane swing {}", bch.scaled_vdd);
+        // Roundtrip of the cubic solver.
+        let eps = ResidualModel::TripleError { wires: 44 }.solve_eps(P);
+        let back = ResidualModel::TripleError { wires: 44 }.residual(eps);
+        assert!((back - P).abs() / P < 1e-6);
+    }
+
+    #[test]
+    fn energy_scale_is_quadratic() {
+        let d = scale_voltage(ResidualModel::DoubleError { wires: 38 }, 32, P, 1.2);
+        let expect = (d.scaled_vdd / 1.2).powi(2);
+        assert!((d.energy_scale() - expect).abs() < 1e-12);
+        assert!(d.energy_scale() < 0.6, "ECC should buy >40% bus energy");
+    }
+
+    #[test]
+    fn sigma_calibration_matches_eq5() {
+        let d = scale_voltage(ResidualModel::Uncoded { wires: 32 }, 32, P, 1.2);
+        // ε at nominal = Q(Vdd/2σ) must equal the calibration target.
+        let eps = socbus_model::bit_error_probability(1.2, d.sigma);
+        let expect = ResidualModel::Uncoded { wires: 32 }.solve_eps(P);
+        assert!((eps - expect).abs() / expect < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Half-shielding: a shield after every *pair* of wires.
+
+use crate::traits::BusCode;
+use socbus_model::{DelayClass, Word};
+
+/// Half-shielding: data wires in pairs with a grounded shield between
+/// consecutive pairs — `k` bits on `k + ceil(k/2) − 1` wires.
+///
+/// Each data wire has at most one switching neighbor, so the worst-case
+/// delay is `(1 + 3λ)τ0` — between uncoded `(1+4λ)` and full shielding
+/// `(1+2λ)`. The paper's HammingX uses this layout on the Hamming parity
+/// group: the `λτ0` of slack masks the Hamming encoder delay (§III-E) at
+/// roughly half the wire cost of full shielding.
+///
+/// Wire layout for k = 5: `[d0, d1, S, d2, d3, S, d4]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HalfShielding {
+    k: usize,
+}
+
+impl HalfShielding {
+    /// Half-shielded `k`-bit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the coded bus exceeds the word limit.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one data bit");
+        let wires = k + k.div_ceil(2) - 1;
+        assert!(wires <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        HalfShielding { k }
+    }
+
+    /// Bus wire index of data bit `i`: pairs of data wires separated by one
+    /// shield.
+    fn wire_of(i: usize) -> usize {
+        // Pair p = i/2 starts at wire 3p; members at 3p and 3p+1.
+        3 * (i / 2) + (i % 2)
+    }
+}
+
+impl BusCode for HalfShielding {
+    fn name(&self) -> String {
+        "Half-shielding".into()
+    }
+
+    fn data_bits(&self) -> usize {
+        self.k
+    }
+
+    fn wires(&self) -> usize {
+        self.k + self.k.div_ceil(2) - 1
+    }
+
+    fn encode(&mut self, data: Word) -> Word {
+        assert_eq!(data.width(), self.k, "data width mismatch");
+        let mut out = Word::zero(self.wires());
+        for i in 0..self.k {
+            out.set_bit(Self::wire_of(i), data.bit(i));
+        }
+        out
+    }
+
+    fn decode(&mut self, bus: Word) -> Word {
+        assert_eq!(bus.width(), self.wires(), "bus width mismatch");
+        let mut out = Word::zero(self.k);
+        for i in 0..self.k {
+            out.set_bit(i, bus.bit(Self::wire_of(i)));
+        }
+        out
+    }
+
+    fn guaranteed_delay_class(&self) -> DelayClass {
+        DelayClass::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::{bus_delay_factor, TransitionVector};
+
+    #[test]
+    fn roundtrip() {
+        for k in 1..=6 {
+            let mut c = HalfShielding::new(k);
+            for w in Word::enumerate_all(k) {
+                assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_counts_match_paper() {
+        // HammingX 4-bit: 3 parity bits half-shielded -> 4 wires (8 total).
+        assert_eq!(HalfShielding::new(3).wires(), 4);
+        // HammingX 32-bit: 6 parity bits -> 8 wires (41 total).
+        assert_eq!(HalfShielding::new(6).wires(), 8);
+    }
+
+    #[test]
+    fn layout_for_five_bits() {
+        let mut c = HalfShielding::new(5);
+        let coded = c.encode(Word::from_bits(0b11111, 5));
+        // MSB-first string of [d0,d1,S,d2,d3,S,d4] with all-ones data.
+        assert_eq!(coded.to_string(), "1011011");
+    }
+
+    #[test]
+    fn worst_case_delay_is_1_plus_3_lambda() {
+        let lambda = 2.2;
+        let mut c = HalfShielding::new(4);
+        let mut worst: f64 = 0.0;
+        for b in Word::enumerate_all(4) {
+            for a in Word::enumerate_all(4) {
+                let tv = TransitionVector::between(c.encode(b), c.encode(a));
+                worst = worst.max(bus_delay_factor(&tv, lambda));
+            }
+        }
+        assert!(
+            (worst - DelayClass::new(3).factor(lambda)).abs() < 1e-12,
+            "worst factor {worst}"
+        );
+    }
+}

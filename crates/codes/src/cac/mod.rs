@@ -1,0 +1,31 @@
+//! Crosstalk-avoidance codes (CAC).
+//!
+//! The delay of a wire depends on its own and its neighbors' transitions
+//! (model eq. (1)); the worst case `(1+4λ)τ0` occurs when both neighbors
+//! switch against the victim. CACs restrict codeword transitions so the
+//! worst case is `(1+2λ)τ0`, via one of two conditions:
+//!
+//! * **Forbidden transition (FT)**: no transition may drive adjacent wires
+//!   in opposite directions. Satisfied trivially by [`Shielding`]; with
+//!   fewer wires by the Fibonacci-codebook [`ForbiddenTransitionCode`].
+//! * **Forbidden pattern (FP)**: no codeword contains `010` or `101`.
+//!   Satisfied trivially by [`Duplication`]; general FP codebooks are
+//!   provided by [`ForbiddenPatternCode`].
+//!
+//! [`HalfShielding`] is the weaker layout used by the paper's HammingX to
+//! cap parity-wire delay at `(1+3λ)τ0`.
+//!
+//! Appendix I of the paper proves no *linear* code beats shielding (FT) or
+//! duplication (FP); see [`crate::theory`] for the executable check.
+
+mod duplication;
+mod fpc;
+mod ftc;
+mod half_shielding;
+mod shielding;
+
+pub use duplication::Duplication;
+pub use fpc::{fp_condition, fpc_codebook, fpc_wires_for_bits, ForbiddenPatternCode};
+pub use ftc::{ft_compatible, ftc_codebook, ftc_groups, ftc_wires_for_bits, ForbiddenTransitionCode};
+pub use half_shielding::HalfShielding;
+pub use shielding::Shielding;

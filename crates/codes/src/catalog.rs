@@ -1,0 +1,226 @@
+//! A catalog of every scheme in the paper's evaluation (Tables II & III),
+//! constructible by name — the entry point used by the benches, the NoC
+//! simulator, and the examples.
+
+use crate::cac::{Duplication, ForbiddenTransitionCode, Shielding};
+use crate::ecc::{BchDec, ExtendedHamming, Hamming, ParityBit};
+use crate::joint::{Bih, Bsc, Dap, Dapbi, Dapx, FtcHc, HammingX};
+use crate::lpc::BusInvert;
+use crate::traits::{BusCode, Uncoded};
+
+/// Every coding scheme the paper evaluates, plus the extension codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No coding (Table III baseline).
+    Uncoded,
+    /// Bus-invert with `i` sub-buses.
+    BusInvert(usize),
+    /// Full shielding.
+    Shielding,
+    /// Wire duplication (building block; also a detect-1 code).
+    Duplication,
+    /// Forbidden-transition code.
+    Ftc,
+    /// Single parity bit (detect-1 ECC).
+    Parity,
+    /// Systematic Hamming.
+    Hamming,
+    /// Hamming with half-shielded parity (encoder-delay masking).
+    HammingX,
+    /// Bus-invert + Hamming with parallel parity.
+    Bih,
+    /// FTC concatenated with Hamming, shielded parity.
+    FtcHc,
+    /// Boundary shift code (Patel & Markov baseline).
+    Bsc,
+    /// Duplicate-add-parity.
+    Dap,
+    /// DAP with duplicated (masked) parity.
+    Dapx,
+    /// DAP + bus-invert + duplicated invert bit.
+    Dapbi,
+    /// Extended Hamming SEC-DED (paper §V extension).
+    ExtHamming,
+    /// Double-error-correcting BCH (paper §V extension).
+    BchDec,
+}
+
+impl Scheme {
+    /// Builds the codec for `k` data bits.
+    #[must_use]
+    pub fn build(self, k: usize) -> Box<dyn BusCode> {
+        match self {
+            Scheme::Uncoded => Box::new(Uncoded::new(k)),
+            Scheme::BusInvert(i) => Box::new(BusInvert::new(k, i)),
+            Scheme::Shielding => Box::new(Shielding::new(k)),
+            Scheme::Duplication => Box::new(Duplication::new(k)),
+            Scheme::Ftc => Box::new(ForbiddenTransitionCode::new(k)),
+            Scheme::Parity => Box::new(ParityBit::new(k)),
+            Scheme::Hamming => Box::new(Hamming::new(k)),
+            Scheme::HammingX => Box::new(HammingX::new(k)),
+            Scheme::Bih => Box::new(Bih::new(k)),
+            Scheme::FtcHc => Box::new(FtcHc::new(k)),
+            Scheme::Bsc => Box::new(Bsc::new(k)),
+            Scheme::Dap => Box::new(Dap::new(k)),
+            Scheme::Dapx => Box::new(Dapx::new(k)),
+            Scheme::Dapbi => Box::new(Dapbi::new(k)),
+            Scheme::ExtHamming => Box::new(ExtendedHamming::new(k)),
+            Scheme::BchDec => Box::new(BchDec::new(k)),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Scheme::BusInvert(i) => format!("BI({i})"),
+            other => other.build_name(),
+        }
+    }
+
+    fn build_name(self) -> String {
+        match self {
+            Scheme::Uncoded => "Uncoded".into(),
+            Scheme::BusInvert(_) => unreachable!("handled by name()"),
+            Scheme::Shielding => "Shielding".into(),
+            Scheme::Duplication => "Duplication".into(),
+            Scheme::Ftc => "FTC".into(),
+            Scheme::Parity => "Parity".into(),
+            Scheme::Hamming => "Hamming".into(),
+            Scheme::HammingX => "HammingX".into(),
+            Scheme::Bih => "BIH".into(),
+            Scheme::FtcHc => "FTC+HC".into(),
+            Scheme::Bsc => "BSC".into(),
+            Scheme::Dap => "DAP".into(),
+            Scheme::Dapx => "DAPX".into(),
+            Scheme::Dapbi => "DAPBI".into(),
+            Scheme::ExtHamming => "ExtHamming".into(),
+            Scheme::BchDec => "BCH-DEC".into(),
+        }
+    }
+
+    /// The reliable-bus comparison set of Table II (4-bit bus).
+    #[must_use]
+    pub fn table2() -> Vec<Scheme> {
+        vec![
+            Scheme::Hamming,
+            Scheme::HammingX,
+            Scheme::Bih,
+            Scheme::FtcHc,
+            Scheme::Bsc,
+            Scheme::Dap,
+            Scheme::Dapx,
+            Scheme::Dapbi,
+        ]
+    }
+
+    /// The 32-bit comparison set of Table III.
+    #[must_use]
+    pub fn table3() -> Vec<Scheme> {
+        vec![
+            Scheme::Uncoded,
+            Scheme::BusInvert(1),
+            Scheme::BusInvert(8),
+            Scheme::Shielding,
+            Scheme::Ftc,
+            Scheme::Hamming,
+            Scheme::HammingX,
+            Scheme::Bih,
+            Scheme::FtcHc,
+            Scheme::Bsc,
+            Scheme::Dap,
+            Scheme::Dapx,
+            Scheme::Dapbi,
+        ]
+    }
+
+    /// Whether the scheme can correct a single wire error.
+    #[must_use]
+    pub fn corrects_errors(self) -> bool {
+        matches!(
+            self,
+            Scheme::Hamming
+                | Scheme::HammingX
+                | Scheme::Bih
+                | Scheme::FtcHc
+                | Scheme::Bsc
+                | Scheme::Dap
+                | Scheme::Dapx
+                | Scheme::Dapbi
+                | Scheme::ExtHamming
+                | Scheme::BchDec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::Word;
+
+    #[test]
+    fn table2_wire_counts_match_paper() {
+        let expect = [
+            (Scheme::Hamming, 7),
+            (Scheme::HammingX, 8),
+            (Scheme::Bih, 9),
+            (Scheme::FtcHc, 14),
+            (Scheme::Bsc, 9),
+            (Scheme::Dap, 9),
+            (Scheme::Dapx, 10),
+            (Scheme::Dapbi, 11),
+        ];
+        for (s, wires) in expect {
+            assert_eq!(s.build(4).wires(), wires, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn table3_wire_counts_match_paper() {
+        let expect = [
+            (Scheme::Uncoded, 32),
+            (Scheme::BusInvert(1), 33),
+            (Scheme::BusInvert(8), 40),
+            (Scheme::Shielding, 63),
+            (Scheme::Ftc, 53),
+            (Scheme::Hamming, 38),
+            (Scheme::HammingX, 41),
+            (Scheme::Bih, 39),
+            (Scheme::FtcHc, 65),
+            (Scheme::Bsc, 65),
+            (Scheme::Dap, 65),
+            (Scheme::Dapx, 66),
+            (Scheme::Dapbi, 67),
+        ];
+        for (s, wires) in expect {
+            assert_eq!(s.build(32).wires(), wires, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn every_scheme_roundtrips() {
+        for s in Scheme::table3() {
+            let mut enc = s.build(8);
+            let mut dec = s.build(8);
+            for v in [0u128, 0xA5, 0xFF, 0x3C, 0x01] {
+                let d = Word::from_bits(v, 8);
+                assert_eq!(dec.decode(enc.encode(d)), d, "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(Scheme::BusInvert(8).name(), "BI(8)");
+        assert_eq!(Scheme::FtcHc.name(), "FTC+HC");
+        assert_eq!(Scheme::Dapx.name(), "DAPX");
+    }
+
+    #[test]
+    fn correction_capability() {
+        assert!(Scheme::Dap.corrects_errors());
+        assert!(Scheme::Hamming.corrects_errors());
+        assert!(!Scheme::Uncoded.corrects_errors());
+        assert!(!Scheme::Shielding.corrects_errors());
+    }
+}

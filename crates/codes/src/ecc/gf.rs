@@ -1,0 +1,253 @@
+//! GF(2^m) arithmetic for the BCH extension (paper §V).
+//!
+//! Log/antilog-table fields over the primitive polynomials commonly used
+//! for BCH codes, sized for the bus widths this crate handles
+//! (m = 4 … 8 → code lengths 15 … 255).
+
+/// A binary extension field GF(2^m), 3 ≤ m ≤ 8.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    m: u32,
+    /// `exp[i] = α^i`, doubled to avoid modulo in multiplication.
+    exp: Vec<u16>,
+    /// `log[x]` for x ≥ 1.
+    log: Vec<u16>,
+}
+
+/// Primitive polynomial (as bitmask incl. the leading term) for each m.
+fn primitive_poly(m: u32) -> u32 {
+    match m {
+        3 => 0b1011,
+        4 => 0b1_0011,
+        5 => 0b10_0101,
+        6 => 0b100_0011,
+        7 => 0b1000_1001,
+        8 => 0b1_0001_1101,
+        _ => panic!("unsupported field size m = {m}"),
+    }
+}
+
+impl Field {
+    /// Constructs GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 <= m <= 8`.
+    #[must_use]
+    pub fn new(m: u32) -> Self {
+        let poly = primitive_poly(m);
+        let order = (1usize << m) - 1;
+        let mut exp = vec![0u16; 2 * order];
+        let mut log = vec![0u16; 1 << m];
+        let mut x: u32 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(order) {
+            *slot = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        for i in order..2 * order {
+            exp[i] = exp[i - order];
+        }
+        Field { m, exp, log }
+    }
+
+    /// Field extension degree m.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative order `2^m − 1` (the natural BCH code length).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        (1 << self.m) - 1
+    }
+
+    /// `α^i` (any non-negative exponent).
+    #[must_use]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order()]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn log(&self, x: u16) -> usize {
+        assert!(x != 0, "log of zero");
+        usize::from(self.log[usize::from(x)])
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log(a) + self.log(b)]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[self.order() - self.log(a)]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// The minimal polynomial of `α^i` over GF(2), as a bitmask with the
+    /// leading coefficient included (e.g. `x^4 + x + 1` → `0b10011`).
+    #[must_use]
+    pub fn minimal_polynomial(&self, i: usize) -> u64 {
+        // Conjugate set {i, 2i, 4i, ...} mod (2^m − 1).
+        let order = self.order();
+        let mut conj = Vec::new();
+        let mut e = i % order;
+        loop {
+            conj.push(e);
+            e = (2 * e) % order;
+            if e == i % order {
+                break;
+            }
+        }
+        // Product of (x − α^e): coefficients in GF(2^m), which must end up
+        // in GF(2).
+        let mut coeffs: Vec<u16> = vec![1]; // degree-0 poly "1"
+        for &e in &conj {
+            let root = self.alpha_pow(e);
+            let mut next = vec![0u16; coeffs.len() + 1];
+            for (d, &c) in coeffs.iter().enumerate() {
+                next[d + 1] ^= c; // x * c
+                next[d] ^= self.mul(c, root); // root * c
+            }
+            coeffs = next;
+        }
+        let mut mask = 0u64;
+        for (d, &c) in coeffs.iter().enumerate() {
+            assert!(c <= 1, "minimal polynomial coefficient not binary");
+            if c == 1 {
+                mask |= 1 << d;
+            }
+        }
+        mask
+    }
+}
+
+/// GF(2) polynomial multiplication (bitmask representation).
+#[must_use]
+pub fn poly_mul(a: u64, b: u64) -> u64 {
+    let mut out = 0u64;
+    let mut a = a;
+    let mut shift = 0;
+    while a != 0 {
+        if a & 1 == 1 {
+            out ^= b << shift;
+        }
+        a >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+/// Remainder of GF(2) polynomial division `a mod b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[must_use]
+pub fn poly_rem(a: u64, b: u64) -> u64 {
+    assert!(b != 0, "division by zero polynomial");
+    let db = 63 - b.leading_zeros();
+    let mut r = a;
+    while r != 0 {
+        let dr = 63 - r.leading_zeros();
+        if dr < db {
+            break;
+        }
+        r ^= b << (dr - db);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_gf16() {
+        let f = Field::new(4);
+        for a in 1..16u16 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a={a}");
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+        }
+        // Associativity spot checks.
+        for a in 1..16u16 {
+            for b in 1..16u16 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                assert_eq!(f.div(f.mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_has_full_order() {
+        for m in 3..=8 {
+            let f = Field::new(m);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..f.order() {
+                assert!(seen.insert(f.alpha_pow(i)), "m={m} repeated at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_the_primitive() {
+        for m in 3..=8 {
+            let f = Field::new(m);
+            assert_eq!(f.minimal_polynomial(1), u64::from(primitive_poly(m)), "m={m}");
+        }
+    }
+
+    #[test]
+    fn minimal_polynomial_annihilates_its_conjugates() {
+        let f = Field::new(6);
+        let p = f.minimal_polynomial(3);
+        // Evaluate p at α^3 over GF(2^6): sum of α^(3·d) for set bits d.
+        let mut acc = 0u16;
+        for d in 0..64 {
+            if p >> d & 1 == 1 {
+                acc ^= f.alpha_pow(3 * d);
+            }
+        }
+        assert_eq!(acc, 0);
+    }
+
+    #[test]
+    fn poly_ops() {
+        // (x+1)(x+1) = x^2+1 over GF(2).
+        assert_eq!(poly_mul(0b11, 0b11), 0b101);
+        // x^3 mod (x^2+1) = x.
+        assert_eq!(poly_rem(0b1000, 0b101), 0b10);
+        assert_eq!(poly_rem(0b101, 0b101), 0);
+    }
+}

@@ -1,0 +1,762 @@
+//! The unified coding framework composer (paper §III, Fig. 4).
+//!
+//! A framework instance stacks up to three component codes around a
+//! `k`-bit data word:
+//!
+//! ```text
+//! data ──CAC──▶ n code bits ──LPC──▶ n code bits + p invert bits
+//!                                         │              │
+//!                                        ECC ◀───────────┤
+//!                                         │              │
+//!            bus = [ n code bits | LXC1(p invert) | LXC2(m parity) ]
+//! ```
+//!
+//! and enforces the paper's five composition conditions:
+//!
+//! 1. CAC is outermost (nonlinear, disruptive mapping) — by construction.
+//! 2. LPC must not destroy the CAC constraint — bus-invert composes with
+//!    FP-based CACs (complementing preserves the FP condition) but not
+//!    with FT-based ones; illegal pairs are rejected.
+//! 3. LPC invert bits go through a linear CAC (LXC1).
+//! 4. ECC is systematic — all ECCs here are.
+//! 5. ECC parity bits go through a linear CAC (LXC2).
+//!
+//! The composer yields a working [`ComposedCode`]; the paper's named joint
+//! codes in [`crate::joint`] are hand-optimized instances of the same
+//! structure (e.g. DAPBI fuses the duplication into the DAP decoder).
+
+use crate::cac::{Duplication, ForbiddenPatternCode, ForbiddenTransitionCode, Shielding};
+use crate::ecc::{ExtendedHamming, Hamming, ParityBit};
+use crate::lpc::BusInvert;
+use crate::traits::{BusCode, DecodeStatus};
+use socbus_model::{DelayClass, Word};
+use std::fmt;
+
+/// CAC component selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CacChoice {
+    /// No crosstalk avoidance on the data bits.
+    #[default]
+    None,
+    /// Grounded shield between data wires (FT, linear).
+    Shielding,
+    /// Every bit duplicated (FP, linear).
+    Duplication,
+    /// Fibonacci-codebook forbidden-transition code (FT, nonlinear).
+    Ftc,
+    /// Forbidden-pattern codebook (FP, nonlinear).
+    Fpc,
+}
+
+impl CacChoice {
+    /// Whether this CAC's guarantee survives complementing the code bits.
+    fn survives_inversion(self) -> bool {
+        matches!(self, CacChoice::None | CacChoice::Duplication | CacChoice::Fpc)
+    }
+}
+
+/// LPC component selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LpcChoice {
+    /// No low-power coding.
+    #[default]
+    None,
+    /// Bus-invert with the given number of sub-buses.
+    BusInvert(usize),
+}
+
+/// ECC component selection (all systematic, per condition 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EccChoice {
+    /// No error control.
+    #[default]
+    None,
+    /// Single even-parity bit (detect 1).
+    Parity,
+    /// Hamming (correct 1).
+    Hamming,
+    /// Extended Hamming (correct 1, detect 2).
+    ExtendedHamming,
+}
+
+/// Linear crosstalk-avoidance code for invert/parity side bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LxcChoice {
+    /// Each side bit flanked by a grounded shield: `b → 2b` wires, and the
+    /// leading shield isolates the region from its left neighbor.
+    Shielding,
+    /// Each side bit duplicated: `b → 2b` wires.
+    Duplication,
+}
+
+/// Errors rejected by the framework's composition rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompositionError {
+    /// Condition 2: the chosen LPC would destroy the CAC constraint
+    /// (e.g. bus-invert over an FT-based code).
+    LpcBreaksCac { cac: &'static str },
+    /// Condition 3: an LPC produces invert bits but no LXC1 was given
+    /// while the data bits carry a CAC guarantee.
+    MissingLxc1,
+    /// Condition 5: an ECC produces parity bits but no LXC2 was given
+    /// while the data bits carry a CAC guarantee.
+    MissingLxc2,
+    /// The assembled bus exceeds the word-width limit.
+    TooWide { wires: usize },
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionError::LpcBreaksCac { cac } => {
+                write!(f, "bus-invert destroys the {cac} crosstalk constraint")
+            }
+            CompositionError::MissingLxc1 => {
+                write!(f, "invert bits need a linear CAC (LXC1) to keep the delay guarantee")
+            }
+            CompositionError::MissingLxc2 => {
+                write!(f, "parity bits need a linear CAC (LXC2) to keep the delay guarantee")
+            }
+            CompositionError::TooWide { wires } => write!(f, "composed bus of {wires} wires is too wide"),
+        }
+    }
+}
+
+impl std::error::Error for CompositionError {}
+
+/// Builder for a framework instance.
+///
+/// # Examples
+///
+/// A "generic DAPBI": duplication CAC + BI(1) + parity, invert bit through
+/// LXC1 = duplication:
+///
+/// ```
+/// use socbus_codes::framework::{CacChoice, EccChoice, Framework, LpcChoice, LxcChoice};
+/// use socbus_codes::BusCode;
+/// use socbus_model::Word;
+///
+/// # fn main() -> Result<(), socbus_codes::framework::CompositionError> {
+/// let mut code = Framework::new(4)
+///     .cac(CacChoice::Duplication)
+///     .lpc(LpcChoice::BusInvert(1))
+///     .lxc1(LxcChoice::Duplication)
+///     .ecc(EccChoice::Parity)
+///     .lxc2(LxcChoice::Duplication)
+///     .build()?;
+/// let d = Word::from_bits(0b1010, 4);
+/// let coded = code.encode(d);
+/// assert_eq!(code.decode(coded), d);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Framework {
+    k: usize,
+    cac: CacChoice,
+    lpc: LpcChoice,
+    ecc: EccChoice,
+    lxc1: Option<LxcChoice>,
+    lxc2: Option<LxcChoice>,
+}
+
+impl Framework {
+    /// Starts a framework instance over `k` data bits.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Framework {
+            k,
+            ..Framework::default()
+        }
+    }
+
+    /// Selects the crosstalk-avoidance component.
+    #[must_use]
+    pub fn cac(mut self, c: CacChoice) -> Self {
+        self.cac = c;
+        self
+    }
+
+    /// Selects the low-power component.
+    #[must_use]
+    pub fn lpc(mut self, l: LpcChoice) -> Self {
+        self.lpc = l;
+        self
+    }
+
+    /// Selects the error-control component.
+    #[must_use]
+    pub fn ecc(mut self, e: EccChoice) -> Self {
+        self.ecc = e;
+        self
+    }
+
+    /// Selects the linear CAC protecting the invert bits.
+    #[must_use]
+    pub fn lxc1(mut self, l: LxcChoice) -> Self {
+        self.lxc1 = Some(l);
+        self
+    }
+
+    /// Selects the linear CAC protecting the parity bits.
+    #[must_use]
+    pub fn lxc2(mut self, l: LxcChoice) -> Self {
+        self.lxc2 = Some(l);
+        self
+    }
+
+    /// Validates the composition rules and assembles the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompositionError`] when the combination violates one of
+    /// the paper's conditions (see module docs).
+    pub fn build(self) -> Result<ComposedCode, CompositionError> {
+        let has_cac_guarantee = !matches!(self.cac, CacChoice::None);
+        if !matches!(self.lpc, LpcChoice::None) && !self.cac.survives_inversion() {
+            let name = match self.cac {
+                CacChoice::Shielding => "shielding",
+                CacChoice::Ftc => "FTC",
+                _ => unreachable!("inversion-safe CACs handled above"),
+            };
+            return Err(CompositionError::LpcBreaksCac { cac: name });
+        }
+        if has_cac_guarantee && !matches!(self.lpc, LpcChoice::None) && self.lxc1.is_none() {
+            return Err(CompositionError::MissingLxc1);
+        }
+        if has_cac_guarantee && !matches!(self.ecc, EccChoice::None) && self.lxc2.is_none() {
+            return Err(CompositionError::MissingLxc2);
+        }
+
+        let cac = match self.cac {
+            CacChoice::None => CacStage::None(self.k),
+            CacChoice::Shielding => CacStage::Shielding(Shielding::new(self.k)),
+            CacChoice::Duplication => CacStage::Duplication(Duplication::new(self.k)),
+            CacChoice::Ftc => CacStage::Ftc(ForbiddenTransitionCode::new(self.k)),
+            CacChoice::Fpc => CacStage::Fpc(ForbiddenPatternCode::new(self.k)),
+        };
+        let n = cac.wires();
+        let lpc = match self.lpc {
+            LpcChoice::None => None,
+            LpcChoice::BusInvert(i) => Some(BusInvert::new(n, i)),
+        };
+        let p = lpc.as_ref().map_or(0, BusInvert::sub_buses);
+        let protected = n + p;
+        let ecc = match self.ecc {
+            EccChoice::None => EccStage::None,
+            EccChoice::Parity => EccStage::Parity(ParityBit::new(protected)),
+            EccChoice::Hamming => EccStage::Hamming(Hamming::new(protected)),
+            EccChoice::ExtendedHamming => EccStage::Ext(ExtendedHamming::new(protected)),
+        };
+        let m = ecc.parity_bits();
+        let lxc1_wires = expanded_wires(self.lxc1, p);
+        let lxc2_wires = expanded_wires(self.lxc2, m);
+        let wires = n + lxc1_wires + lxc2_wires;
+        if wires > socbus_model::word::MAX_WIDTH {
+            return Err(CompositionError::TooWide { wires });
+        }
+        Ok(ComposedCode {
+            k: self.k,
+            n,
+            p,
+            m,
+            lxc1: self.lxc1,
+            lxc2: self.lxc2,
+            cac,
+            lpc,
+            ecc,
+            wires,
+        })
+    }
+}
+
+fn expanded_wires(lxc: Option<LxcChoice>, bits: usize) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        match lxc {
+            None => bits,
+            Some(LxcChoice::Shielding) | Some(LxcChoice::Duplication) => 2 * bits,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacStage {
+    None(usize),
+    Shielding(Shielding),
+    Duplication(Duplication),
+    Ftc(ForbiddenTransitionCode),
+    Fpc(ForbiddenPatternCode),
+}
+
+impl CacStage {
+    fn wires(&self) -> usize {
+        match self {
+            CacStage::None(k) => *k,
+            CacStage::Shielding(c) => c.wires(),
+            CacStage::Duplication(c) => c.wires(),
+            CacStage::Ftc(c) => c.wires(),
+            CacStage::Fpc(c) => c.wires(),
+        }
+    }
+
+    fn encode(&mut self, d: Word) -> Word {
+        match self {
+            CacStage::None(_) => d,
+            CacStage::Shielding(c) => c.encode(d),
+            CacStage::Duplication(c) => c.encode(d),
+            CacStage::Ftc(c) => c.encode(d),
+            CacStage::Fpc(c) => c.encode(d),
+        }
+    }
+
+    fn decode(&mut self, w: Word) -> Word {
+        match self {
+            CacStage::None(_) => w,
+            CacStage::Shielding(c) => c.decode(w),
+            CacStage::Duplication(c) => c.decode(w),
+            CacStage::Ftc(c) => c.decode(w),
+            CacStage::Fpc(c) => c.decode(w),
+        }
+    }
+
+    fn delay_class(&self) -> DelayClass {
+        match self {
+            CacStage::None(_) => DelayClass::WORST,
+            _ => DelayClass::CAC,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            CacStage::None(_) => "",
+            CacStage::Shielding(_) => "Shield",
+            CacStage::Duplication(_) => "Dup",
+            CacStage::Ftc(_) => "FTC",
+            CacStage::Fpc(_) => "FPC",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum EccStage {
+    None,
+    Parity(ParityBit),
+    Hamming(Hamming),
+    Ext(ExtendedHamming),
+}
+
+impl EccStage {
+    fn parity_bits(&self) -> usize {
+        match self {
+            EccStage::None => 0,
+            EccStage::Parity(_) => 1,
+            EccStage::Hamming(h) => h.parity_bits(),
+            EccStage::Ext(e) => e.parity_bits(),
+        }
+    }
+
+    fn encode(&mut self, payload: Word) -> Word {
+        match self {
+            EccStage::None => Word::zero(0),
+            EccStage::Parity(c) => {
+                let cw = c.encode(payload);
+                cw.slice(payload.width(), 1)
+            }
+            EccStage::Hamming(c) => {
+                let cw = c.encode(payload);
+                cw.slice(payload.width(), c.parity_bits())
+            }
+            EccStage::Ext(c) => {
+                let cw = c.encode(payload);
+                cw.slice(payload.width(), c.parity_bits())
+            }
+        }
+    }
+
+    fn decode(&mut self, payload: Word, parity: Word) -> (Word, DecodeStatus) {
+        match self {
+            EccStage::None => (payload, DecodeStatus::Unchecked),
+            EccStage::Parity(c) => c.decode_checked(payload.concat(parity)),
+            EccStage::Hamming(c) => c.decode_checked(payload.concat(parity)),
+            EccStage::Ext(c) => c.decode_checked(payload.concat(parity)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            EccStage::None => "",
+            EccStage::Parity(_) => "Parity",
+            EccStage::Hamming(_) => "Hamming",
+            EccStage::Ext(_) => "ExtHamming",
+        }
+    }
+}
+
+/// A code assembled by the [`Framework`] builder.
+///
+/// Bus layout: `[n CAC/LPC code wires | LXC1(invert bits) | LXC2(parity)]`.
+/// Decoding runs ECC → LPC → CAC, the order condition 1 mandates.
+#[derive(Clone, Debug)]
+pub struct ComposedCode {
+    k: usize,
+    n: usize,
+    p: usize,
+    m: usize,
+    lxc1: Option<LxcChoice>,
+    lxc2: Option<LxcChoice>,
+    cac: CacStage,
+    lpc: Option<BusInvert>,
+    ecc: EccStage,
+    wires: usize,
+}
+
+impl ComposedCode {
+    /// Number of LPC invert bits `p`.
+    #[must_use]
+    pub fn invert_bits(&self) -> usize {
+        self.p
+    }
+
+    /// Number of ECC parity bits `m`.
+    #[must_use]
+    pub fn ecc_parity_bits(&self) -> usize {
+        self.m
+    }
+
+    /// Lays side `bits` out through an LXC into `out` starting at `base`;
+    /// returns the wire count consumed.
+    fn place_side_bits(out: &mut Word, base: usize, bits: Word, lxc: Option<LxcChoice>) -> usize {
+        match lxc {
+            None => {
+                for i in 0..bits.width() {
+                    out.set_bit(base + i, bits.bit(i));
+                }
+                bits.width()
+            }
+            Some(LxcChoice::Shielding) => {
+                // [S, b0, S, b1, ...]
+                for i in 0..bits.width() {
+                    out.set_bit(base + 2 * i + 1, bits.bit(i));
+                }
+                2 * bits.width()
+            }
+            Some(LxcChoice::Duplication) => {
+                for i in 0..bits.width() {
+                    out.set_bit(base + 2 * i, bits.bit(i));
+                    out.set_bit(base + 2 * i + 1, bits.bit(i));
+                }
+                2 * bits.width()
+            }
+        }
+    }
+
+    /// Reads side bits back from the bus; returns (bits, wires consumed).
+    fn read_side_bits(bus: Word, base: usize, count: usize, lxc: Option<LxcChoice>) -> (Word, usize) {
+        let mut bits = Word::zero(count);
+        match lxc {
+            None => {
+                for i in 0..count {
+                    bits.set_bit(i, bus.bit(base + i));
+                }
+                (bits, count)
+            }
+            Some(LxcChoice::Shielding) => {
+                for i in 0..count {
+                    bits.set_bit(i, bus.bit(base + 2 * i + 1));
+                }
+                (bits, 2 * count)
+            }
+            Some(LxcChoice::Duplication) => {
+                // Use copy A; copy B only guards the wire flight.
+                for i in 0..count {
+                    bits.set_bit(i, bus.bit(base + 2 * i));
+                }
+                (bits, 2 * count)
+            }
+        }
+    }
+}
+
+impl BusCode for ComposedCode {
+    fn name(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.cac.name().is_empty() {
+            parts.push(self.cac.name().to_string());
+        }
+        if let Some(bi) = &self.lpc {
+            parts.push(bi.name());
+        }
+        if !self.ecc.name().is_empty() {
+            parts.push(self.ecc.name().to_string());
+        }
+        if parts.is_empty() {
+            "Uncoded".into()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    fn data_bits(&self) -> usize {
+        self.k
+    }
+
+    fn wires(&self) -> usize {
+        self.wires
+    }
+
+    fn encode(&mut self, data: Word) -> Word {
+        assert_eq!(data.width(), self.k, "data width mismatch");
+        let code = self.cac.encode(data);
+        let (code, inverts) = match &mut self.lpc {
+            None => (code, Word::zero(0)),
+            Some(bi) => {
+                let coded = bi.encode(code);
+                // BusInvert interleaves invert wires; extract them back out
+                // into (code', invert bits).
+                let mut c = Word::zero(self.n);
+                let mut inv = Word::zero(self.p);
+                split_bus_invert(bi, coded, &mut c, &mut inv);
+                (c, inv)
+            }
+        };
+        let payload = code.concat(inverts);
+        let parity = self.ecc.encode(payload);
+        let mut out = Word::zero(self.wires);
+        for i in 0..self.n {
+            out.set_bit(i, code.bit(i));
+        }
+        let mut base = self.n;
+        base += Self::place_side_bits(&mut out, base, inverts, self.lxc1);
+        let _ = Self::place_side_bits(&mut out, base, parity, self.lxc2);
+        out
+    }
+
+    fn decode(&mut self, bus: Word) -> Word {
+        self.decode_checked(bus).0
+    }
+
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        let code = bus.slice(0, self.n);
+        let mut base = self.n;
+        let (inverts, used) = Self::read_side_bits(bus, base, self.p, self.lxc1);
+        base += used;
+        let (parity, _) = Self::read_side_bits(bus, base, self.m, self.lxc2);
+        // ECC first (condition 1: correction precedes all other decoding).
+        let (payload, status) = self.ecc.decode(code.concat(inverts), parity);
+        let code = payload.slice(0, self.n);
+        let inverts = payload.slice(self.n, self.p);
+        let code = match &mut self.lpc {
+            None => code,
+            Some(bi) => {
+                let merged = merge_bus_invert(bi, code, inverts);
+                bi.decode(merged)
+            }
+        };
+        (self.cac.decode(code), status)
+    }
+
+    fn reset(&mut self) {
+        if let Some(bi) = &mut self.lpc {
+            bi.reset();
+        }
+    }
+
+    fn is_stateful(&self) -> bool {
+        self.lpc.is_some()
+    }
+
+    fn correctable_errors(&self) -> usize {
+        match self.ecc {
+            EccStage::Hamming(_) | EccStage::Ext(_) => 1,
+            _ => 0,
+        }
+    }
+
+    fn detectable_errors(&self) -> usize {
+        match self.ecc {
+            EccStage::None => 0,
+            EccStage::Parity(_) => 1,
+            EccStage::Hamming(_) => 1,
+            EccStage::Ext(_) => 2,
+        }
+    }
+
+    fn guaranteed_delay_class(&self) -> DelayClass {
+        self.cac.delay_class()
+    }
+}
+
+/// Splits a BusInvert bus word into (data lines, invert lines).
+fn split_bus_invert(bi: &BusInvert, coded: Word, code: &mut Word, inv: &mut Word) {
+    let k = bi.data_bits();
+    let i = bi.sub_buses();
+    let (base, extra) = (k / i, k % i);
+    let mut wire = 0;
+    let mut code_pos = 0;
+    for s in 0..i {
+        let len = base + usize::from(s < extra);
+        for b in 0..len {
+            code.set_bit(code_pos + b, coded.bit(wire + b));
+        }
+        inv.set_bit(s, coded.bit(wire + len));
+        wire += len + 1;
+        code_pos += len;
+    }
+}
+
+/// Rebuilds the interleaved BusInvert layout from (data lines, inverts).
+fn merge_bus_invert(bi: &BusInvert, code: Word, inv: Word) -> Word {
+    let k = bi.data_bits();
+    let i = bi.sub_buses();
+    let (base, extra) = (k / i, k % i);
+    let mut out = Word::zero(bi.wires());
+    let mut wire = 0;
+    let mut code_pos = 0;
+    for s in 0..i {
+        let len = base + usize::from(s < extra);
+        for b in 0..len {
+            out.set_bit(wire + b, code.bit(code_pos + b));
+        }
+        out.set_bit(wire + len, inv.bit(s));
+        wire += len + 1;
+        code_pos += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(code: &mut ComposedCode, k: usize, trials: usize, seed: u64) {
+        let mut dec = code.clone();
+        code.reset();
+        dec.reset();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..trials {
+            let d = Word::from_bits(rng.gen::<u128>(), k);
+            assert_eq!(dec.decode(code.encode(d)), d, "{}", code.name());
+        }
+    }
+
+    #[test]
+    fn plain_combinations_roundtrip() {
+        for cac in [CacChoice::None, CacChoice::Shielding, CacChoice::Duplication, CacChoice::Ftc] {
+            for ecc in [EccChoice::None, EccChoice::Parity, EccChoice::Hamming] {
+                let mut b = Framework::new(6).cac(cac).ecc(ecc);
+                if !matches!(cac, CacChoice::None) {
+                    b = b.lxc2(LxcChoice::Shielding);
+                }
+                let mut code = b.build().expect("legal composition");
+                roundtrip(&mut code, 6, 100, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_dapbi_roundtrips_and_corrects() {
+        let code = Framework::new(4)
+            .cac(CacChoice::Duplication)
+            .lpc(LpcChoice::BusInvert(1))
+            .lxc1(LxcChoice::Duplication)
+            .ecc(EccChoice::Hamming)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .expect("legal composition");
+        let mut enc = code.clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let d = Word::from_bits(rng.gen::<u128>(), 4);
+            let cw = enc.encode(d);
+            let wire = rng.gen_range(0..cw.width());
+            let mut dec = code.clone();
+            assert_eq!(dec.decode(cw.with_bit(wire, !cw.bit(wire))), d);
+        }
+    }
+
+    #[test]
+    fn bih_equivalent_composition() {
+        // LPC + ECC without CAC: no LXC needed (no delay guarantee to keep).
+        let mut code = Framework::new(8)
+            .lpc(LpcChoice::BusInvert(1))
+            .ecc(EccChoice::Hamming)
+            .build()
+            .expect("legal composition");
+        assert_eq!(code.wires(), 8 + 1 + 4);
+        roundtrip(&mut code, 8, 200, 13);
+    }
+
+    #[test]
+    fn condition2_rejects_bus_invert_over_ftc() {
+        let err = Framework::new(6)
+            .cac(CacChoice::Ftc)
+            .lpc(LpcChoice::BusInvert(1))
+            .lxc1(LxcChoice::Shielding)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CompositionError::LpcBreaksCac { .. }));
+    }
+
+    #[test]
+    fn condition3_requires_lxc1() {
+        let err = Framework::new(6)
+            .cac(CacChoice::Duplication)
+            .lpc(LpcChoice::BusInvert(1))
+            .ecc(EccChoice::Parity)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CompositionError::MissingLxc1);
+    }
+
+    #[test]
+    fn condition5_requires_lxc2() {
+        let err = Framework::new(6)
+            .cac(CacChoice::Shielding)
+            .ecc(EccChoice::Hamming)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CompositionError::MissingLxc2);
+    }
+
+    #[test]
+    fn composed_name_reflects_components() {
+        let code = Framework::new(4)
+            .cac(CacChoice::Duplication)
+            .ecc(EccChoice::Parity)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .unwrap();
+        assert_eq!(code.name(), "Dup+Parity");
+    }
+
+    #[test]
+    fn composed_dap_equivalent_has_dapx_wire_count() {
+        // Duplication + parity with LXC2=duplication is the generic DAPX:
+        // 2k data wires + 2 parity wires.
+        let code = Framework::new(4)
+            .cac(CacChoice::Duplication)
+            .ecc(EccChoice::Parity)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .unwrap();
+        assert_eq!(code.wires(), 10);
+    }
+
+    #[test]
+    fn extended_hamming_detects_doubles_through_framework() {
+        let code = Framework::new(6).ecc(EccChoice::ExtendedHamming).build().unwrap();
+        let mut enc = code.clone();
+        let d = Word::from_bits(0b101101, 6);
+        let cw = enc.encode(d);
+        let bad = cw.with_bit(0, !cw.bit(0)).with_bit(3, !cw.bit(3));
+        let mut dec = code.clone();
+        let (_, status) = dec.decode_checked(bad);
+        assert_eq!(status, DecodeStatus::Detected);
+    }
+}

@@ -1,0 +1,211 @@
+//! Boundary shift code (BSC) — Patel & Markov's FT-based joint CAC + ECC,
+//! the paper's comparison baseline for DAP.
+
+use crate::joint::Dap;
+use crate::traits::{BusCode, DecodeStatus};
+use socbus_model::{DelayClass, Word};
+
+/// BSC: duplicated data plus parity, with the parity wire's position
+/// alternating between the right edge (even cycles) and the left edge
+/// (odd cycles) — `2k + 1` wires, distance 3, single-error correction.
+///
+/// Shifting the codeword by one wire every cycle makes the code satisfy
+/// the **forbidden-transition** condition: in the transition between the
+/// two placements, every adjacent wire pair either *starts* from the same
+/// value (both carried the same duplicated bit) or *ends* at the same
+/// value — either way the pair cannot switch in opposite directions, so
+/// the worst-case delay is `(1 + 2λ)τ0`.
+///
+/// The cost relative to [`Dap`] is the shift machinery: a phase flip-flop
+/// and a 2:1 mux column in both encoder and decoder, which is why the
+/// paper's Table II shows BSC with ~1.2× the codec delay and ~1.7× the
+/// codec energy of DAP for identical bus-level behavior.
+///
+/// Wire layout (k = 2): even cycles `[d0, d0, d1, d1, p]`,
+/// odd cycles `[p, d0, d0, d1, d1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bsc {
+    k: usize,
+    /// `false` = parity right (even cycle), `true` = parity left.
+    phase: bool,
+}
+
+impl Bsc {
+    /// BSC over `k` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `2k + 1` exceeds the word limit.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one data bit");
+        assert!(2 * k + 1 <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        Bsc { k, phase: false }
+    }
+
+    /// Current phase: `false` when the next transfer puts parity on the
+    /// right edge.
+    #[must_use]
+    pub fn phase(&self) -> bool {
+        self.phase
+    }
+}
+
+impl BusCode for Bsc {
+    fn name(&self) -> String {
+        "BSC".into()
+    }
+
+    fn data_bits(&self) -> usize {
+        self.k
+    }
+
+    fn wires(&self) -> usize {
+        2 * self.k + 1
+    }
+
+    fn encode(&mut self, data: Word) -> Word {
+        assert_eq!(data.width(), self.k, "data width mismatch");
+        let offset = usize::from(self.phase);
+        let mut out = Word::zero(self.wires());
+        for i in 0..self.k {
+            out.set_bit(offset + 2 * i, data.bit(i));
+            out.set_bit(offset + 2 * i + 1, data.bit(i));
+        }
+        let p = data.count_ones() % 2 == 1;
+        let p_wire = if self.phase { 0 } else { 2 * self.k };
+        out.set_bit(p_wire, p);
+        self.phase = !self.phase;
+        out
+    }
+
+    fn decode(&mut self, bus: Word) -> Word {
+        self.decode_checked(bus).0
+    }
+
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        assert_eq!(bus.width(), self.wires(), "bus width mismatch");
+        let offset = usize::from(self.phase);
+        let p_wire = if self.phase { 0 } else { 2 * self.k };
+        self.phase = !self.phase;
+        let mut a = Word::zero(self.k);
+        let mut b = Word::zero(self.k);
+        for i in 0..self.k {
+            a.set_bit(i, bus.bit(offset + 2 * i));
+            b.set_bit(i, bus.bit(offset + 2 * i + 1));
+        }
+        Dap::select_set(a, b, bus.bit(p_wire))
+    }
+
+    fn reset(&mut self) {
+        self.phase = false;
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn correctable_errors(&self) -> usize {
+        1
+    }
+
+    fn guaranteed_delay_class(&self) -> DelayClass {
+        DelayClass::CAC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use socbus_model::{bus_delay_factor, TransitionVector};
+
+    #[test]
+    fn wire_counts_match_paper() {
+        assert_eq!(Bsc::new(4).wires(), 9); // Table II
+        assert_eq!(Bsc::new(32).wires(), 65); // Table III
+    }
+
+    #[test]
+    fn roundtrip_sequence() {
+        let mut enc = Bsc::new(5);
+        let mut dec = Bsc::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let d = Word::from_bits(rng.gen::<u128>(), 5);
+            assert_eq!(dec.decode(enc.encode(d)), d);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_error_in_both_phases() {
+        for start_odd in [false, true] {
+            for w in Word::enumerate_all(4) {
+                let mut enc = Bsc::new(4);
+                let mut dec = Bsc::new(4);
+                if start_odd {
+                    // Advance both codecs one cycle.
+                    let x = Word::zero(4);
+                    dec.decode(enc.encode(x));
+                }
+                let cw = enc.encode(w);
+                for i in 0..cw.width() {
+                    let mut dec_i = dec.clone();
+                    let bad = cw.with_bit(i, !cw.bit(i));
+                    assert_eq!(dec_i.decode(bad), w, "phase {start_odd} flip {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cross_phase_transition_satisfies_ft() {
+        // The boundary-shift property: exhaustive over all (prev, next)
+        // data pairs in both phase orders, the bus never leaves the CAC
+        // class.
+        let lambda = 2.8;
+        for first_phase in [false, true] {
+            for b in Word::enumerate_all(4) {
+                for a in Word::enumerate_all(4) {
+                    let mut enc = Bsc::new(4);
+                    enc.phase = first_phase;
+                    let w1 = enc.encode(b);
+                    let w2 = enc.encode(a);
+                    let tv = TransitionVector::between(w1, w2);
+                    let f = bus_delay_factor(&tv, lambda);
+                    assert!(
+                        f <= DelayClass::CAC.factor(lambda) + 1e-12,
+                        "factor {f} for {b}->{a} phase {first_phase}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_alternates_and_reset_restores() {
+        let mut c = Bsc::new(3);
+        assert!(!c.phase());
+        let _ = c.encode(Word::zero(3));
+        assert!(c.phase());
+        c.reset();
+        assert!(!c.phase());
+    }
+
+    #[test]
+    fn minimum_distance_within_phase_is_three() {
+        let mut min = u32::MAX;
+        for a in Word::enumerate_all(4) {
+            for b in Word::enumerate_all(4) {
+                if a == b {
+                    continue;
+                }
+                let mut c1 = Bsc::new(4);
+                let mut c2 = Bsc::new(4);
+                min = min.min(c1.encode(a).hamming_distance(c2.encode(b)));
+            }
+        }
+        assert_eq!(min, 3);
+    }
+}

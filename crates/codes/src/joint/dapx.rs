@@ -1,0 +1,163 @@
+//! DAPX: DAP with encoder-delay masking via a duplicated parity wire.
+
+use crate::joint::Dap;
+use crate::traits::{BusCode, DecodeStatus};
+use socbus_model::{DelayClass, Word};
+
+/// DAPX: DAP with the parity wire duplicated (LXC2 = duplication) —
+/// `2k + 2` wires.
+///
+/// The parity pair sits at the bus edge and always switches in common
+/// mode, so the outer parity wire flies at `(1 + λ)τ0` or better — `λτ0`
+/// faster than the `(1 + 2λ)τ0` data wires. On a long bus that slack
+/// exceeds the parity-tree encoder delay, making DAPX a *zero or negative
+/// latency* error-correcting code (paper §III-E): the encoder delay is
+/// completely hidden behind the wire flight of the data bits.
+///
+/// Wire layout: `[d0, d0, ..., d(k-1), d(k-1), p, p]`. The decoder uses
+/// the first parity copy; a single error on either copy or any data wire
+/// is corrected exactly as in [`Dap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dapx {
+    k: usize,
+}
+
+impl Dapx {
+    /// DAPX over `k` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `2k + 2` exceeds the word limit.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one data bit");
+        assert!(2 * k + 2 <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        Dapx { k }
+    }
+
+    /// The delay class of the duplicated-parity path — the masking slack
+    /// is `data_class.factor(λ) − parity_class.factor(λ)` in units of τ0.
+    #[must_use]
+    pub fn parity_delay_class(&self) -> DelayClass {
+        DelayClass::DUPLICATED_EDGE
+    }
+}
+
+impl BusCode for Dapx {
+    fn name(&self) -> String {
+        "DAPX".into()
+    }
+
+    fn data_bits(&self) -> usize {
+        self.k
+    }
+
+    fn wires(&self) -> usize {
+        2 * self.k + 2
+    }
+
+    fn encode(&mut self, data: Word) -> Word {
+        assert_eq!(data.width(), self.k, "data width mismatch");
+        let mut out = Word::zero(self.wires());
+        for i in 0..self.k {
+            out.set_bit(2 * i, data.bit(i));
+            out.set_bit(2 * i + 1, data.bit(i));
+        }
+        let p = data.count_ones() % 2 == 1;
+        out.set_bit(2 * self.k, p);
+        out.set_bit(2 * self.k + 1, p);
+        out
+    }
+
+    fn decode(&mut self, bus: Word) -> Word {
+        self.decode_checked(bus).0
+    }
+
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        assert_eq!(bus.width(), self.wires(), "bus width mismatch");
+        let mut a = Word::zero(self.k);
+        let mut b = Word::zero(self.k);
+        for i in 0..self.k {
+            a.set_bit(i, bus.bit(2 * i));
+            b.set_bit(i, bus.bit(2 * i + 1));
+        }
+        // Only the first parity copy participates in decoding; the second
+        // exists to mask the encoder delay on the wire.
+        Dap::select_set(a, b, bus.bit(2 * self.k))
+    }
+
+    fn correctable_errors(&self) -> usize {
+        1
+    }
+
+    fn guaranteed_delay_class(&self) -> DelayClass {
+        DelayClass::CAC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::{bus_delay_factor, wire_delay_factor, TransitionVector};
+
+    #[test]
+    fn wire_counts_match_paper() {
+        assert_eq!(Dapx::new(4).wires(), 10); // Table II
+        assert_eq!(Dapx::new(32).wires(), 66); // Table III
+    }
+
+    #[test]
+    fn corrects_every_single_error_exhaustive() {
+        let mut c = Dapx::new(4);
+        for w in Word::enumerate_all(4) {
+            let cw = c.encode(w);
+            for i in 0..cw.width() {
+                let bad = cw.with_bit(i, !cw.bit(i));
+                assert_eq!(c.decode(bad), w, "flip wire {i} of {cw}");
+            }
+        }
+    }
+
+    #[test]
+    fn outer_parity_wire_flies_at_most_1_plus_lambda() {
+        // The masking claim: over every codeword transition the *outer*
+        // parity wire's delay factor never exceeds 1+λ.
+        let lambda = 2.8;
+        let mut c = Dapx::new(3);
+        let outer = c.wires() - 1;
+        let mut worst: f64 = 0.0;
+        for b in Word::enumerate_all(3) {
+            for a in Word::enumerate_all(3) {
+                let tv = TransitionVector::between(c.encode(b), c.encode(a));
+                worst = worst.max(wire_delay_factor(&tv, outer, lambda));
+            }
+        }
+        assert!(
+            worst <= DelayClass::DUPLICATED_EDGE.factor(lambda) + 1e-12,
+            "outer parity factor {worst}"
+        );
+    }
+
+    #[test]
+    fn full_bus_stays_in_cac_class() {
+        let lambda = 1.1;
+        let mut c = Dapx::new(3);
+        let mut worst: f64 = 0.0;
+        for b in Word::enumerate_all(3) {
+            for a in Word::enumerate_all(3) {
+                let tv = TransitionVector::between(c.encode(b), c.encode(a));
+                worst = worst.max(bus_delay_factor(&tv, lambda));
+            }
+        }
+        assert!(worst <= DelayClass::CAC.factor(lambda) + 1e-12);
+    }
+
+    #[test]
+    fn second_parity_copy_error_is_harmless() {
+        let mut c = Dapx::new(8);
+        let d = Word::from_bits(0b1100_1010, 8);
+        let cw = c.encode(d);
+        let outer = c.wires() - 1;
+        assert_eq!(c.decode(cw.with_bit(outer, !cw.bit(outer))), d);
+    }
+}

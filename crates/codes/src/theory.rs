@@ -1,0 +1,296 @@
+//! Executable version of the paper's Appendix I.
+//!
+//! **Theorem 1**: no *linear* crosstalk-avoidance code satisfies the FT
+//! (resp. FP) condition with fewer wires than shielding's `2k − 1` (resp.
+//! duplication's `2k`).
+//!
+//! This module searches every binary generator matrix for small `(k, n)`
+//! and checks the conditions directly, so the theorem can be *tested*
+//! rather than trusted — and the boundary cases (shielding and duplication
+//! themselves being linear and minimal) are confirmed constructively.
+
+use crate::cac::{fp_condition, ft_compatible};
+use socbus_model::Word;
+
+/// A `k × n` binary generator matrix: row `i` is the bus word contributed
+/// by data bit `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Generator {
+    rows: Vec<Word>,
+    n: usize,
+}
+
+impl Generator {
+    /// Builds a generator from rows (each of width `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent widths or there are none.
+    #[must_use]
+    pub fn new(rows: Vec<Word>) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let n = rows[0].width();
+        assert!(rows.iter().all(|r| r.width() == n), "row width mismatch");
+        Generator { rows, n }
+    }
+
+    /// Number of data bits `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of wires `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes `data` as the GF(2) linear combination of rows.
+    #[must_use]
+    pub fn encode(&self, data: Word) -> Word {
+        assert_eq!(data.width(), self.k(), "data width mismatch");
+        let mut acc = Word::zero(self.n);
+        for (i, &row) in self.rows.iter().enumerate() {
+            if data.bit(i) {
+                acc = acc.xor(row);
+            }
+        }
+        acc
+    }
+
+    /// The full codebook (size `2^k`; smaller image if rows are dependent).
+    #[must_use]
+    pub fn codebook(&self) -> Vec<Word> {
+        Word::enumerate_all(self.k()).map(|d| self.encode(d)).collect()
+    }
+
+    /// Whether the map is injective (rows linearly independent).
+    #[must_use]
+    pub fn is_injective(&self) -> bool {
+        // Gaussian elimination over GF(2).
+        let mut rows: Vec<u128> = self.rows.iter().map(|r| r.bits()).collect();
+        let mut rank = 0;
+        for col in 0..self.n {
+            if let Some(p) = (rank..rows.len()).find(|&r| rows[r] >> col & 1 == 1) {
+                rows.swap(rank, p);
+                for r in 0..rows.len() {
+                    if r != rank && rows[r] >> col & 1 == 1 {
+                        rows[r] ^= rows[rank];
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank == self.rows.len()
+    }
+}
+
+/// The crosstalk condition a codebook is tested against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacCondition {
+    /// Forbidden transition: pairwise property of codeword transitions.
+    ForbiddenTransition,
+    /// Forbidden pattern: per-codeword property (`010`/`101` absent).
+    ForbiddenPattern,
+}
+
+/// Whether a codebook satisfies the given CAC condition.
+///
+/// The FP check also requires the codebook to actually deliver the
+/// `(1 + 2λ)` delay bound: on fewer than 3 wires the pattern condition is
+/// vacuous (no 3-wire window exists) while adjacent opposing transitions
+/// are still possible, and a "CAC" that does not avoid crosstalk would
+/// make the theorem's wire-count claim meaningless. For 3 or more wires
+/// the bound follows from the pattern condition (Duan et al.), so the
+/// extra check changes nothing there.
+#[must_use]
+pub fn codebook_satisfies(book: &[Word], cond: CacCondition) -> bool {
+    match cond {
+        CacCondition::ForbiddenTransition => book
+            .iter()
+            .all(|&a| book.iter().all(|&b| ft_compatible(a, b))),
+        CacCondition::ForbiddenPattern => {
+            book.iter().all(|&w| fp_condition(w)) && delay_bound_holds(book)
+        }
+    }
+}
+
+/// Whether every pairwise transition of the codebook keeps each wire's
+/// delay at or below the CAC class `(1 + 2λ)`.
+fn delay_bound_holds(book: &[Word]) -> bool {
+    use socbus_model::{bus_delay_factor, DelayClass, TransitionVector};
+    let lambda = 1.0;
+    let limit = DelayClass::CAC.factor(lambda) + 1e-9;
+    book.iter().all(|&a| {
+        book.iter().all(|&b| {
+            bus_delay_factor(&TransitionVector::between(a, b), lambda) <= limit
+        })
+    })
+}
+
+/// Searches all injective `k × n` generator matrices for a linear code
+/// whose codebook satisfies `cond`. Returns the first found.
+///
+/// The search space is `2^(k·n)` matrices, so this is feasible only for
+/// the small `(k, n)` the theorem's boundary needs.
+///
+/// # Panics
+///
+/// Panics if `k·n > 24` (search-space guard).
+#[must_use]
+pub fn find_linear_cac(k: usize, n: usize, cond: CacCondition) -> Option<Generator> {
+    assert!(k * n <= 24, "search space 2^{} too large", k * n);
+    let total: u64 = 1 << (k * n);
+    for bits in 0..total {
+        let rows: Vec<Word> = (0..k)
+            .map(|i| Word::from_bits((u128::from(bits) >> (i * n)) & ((1 << n) - 1), n))
+            .collect();
+        let g = Generator::new(rows);
+        if !g.is_injective() {
+            continue;
+        }
+        if codebook_satisfies(&g.codebook(), cond) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// The shielding generator: data bit `i` on wire `2i`, zeros elsewhere —
+/// the minimal linear FT code (`n = 2k − 1`).
+#[must_use]
+pub fn shielding_generator(k: usize) -> Generator {
+    let n = 2 * k - 1;
+    Generator::new(
+        (0..k)
+            .map(|i| Word::zero(n).with_bit(2 * i, true))
+            .collect(),
+    )
+}
+
+/// The duplication generator: data bit `i` on wires `2i` and `2i + 1` —
+/// the minimal linear FP code (`n = 2k`).
+#[must_use]
+pub fn duplication_generator(k: usize) -> Generator {
+    let n = 2 * k;
+    Generator::new(
+        (0..k)
+            .map(|i| {
+                Word::zero(n)
+                    .with_bit(2 * i, true)
+                    .with_bit(2 * i + 1, true)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shielding_and_duplication_are_linear_and_valid() {
+        for k in 1..=4 {
+            let s = shielding_generator(k);
+            assert!(s.is_injective());
+            assert!(codebook_satisfies(
+                &s.codebook(),
+                CacCondition::ForbiddenTransition
+            ));
+            let d = duplication_generator(k);
+            assert!(d.is_injective());
+            assert!(codebook_satisfies(
+                &d.codebook(),
+                CacCondition::ForbiddenPattern
+            ));
+        }
+    }
+
+    #[test]
+    fn theorem1_ft_no_linear_code_below_shielding() {
+        // k = 2: shielding needs 3 wires; no injective linear FT code on 2.
+        assert!(find_linear_cac(2, 2, CacCondition::ForbiddenTransition).is_none());
+        // k = 3: shielding needs 5; nothing on 3 or 4 wires.
+        assert!(find_linear_cac(3, 3, CacCondition::ForbiddenTransition).is_none());
+        assert!(find_linear_cac(3, 4, CacCondition::ForbiddenTransition).is_none());
+    }
+
+    #[test]
+    fn theorem1_ft_boundary_is_achievable() {
+        assert!(find_linear_cac(2, 3, CacCondition::ForbiddenTransition).is_some());
+        assert!(find_linear_cac(3, 5, CacCondition::ForbiddenTransition).is_some());
+    }
+
+    #[test]
+    fn theorem1_fp_interior_bits_must_be_duplicated() {
+        // Refinement of the paper's FP claim found by exhaustive search:
+        // the appendix proof shows every *triple window* forces one of its
+        // adjacent pairs equal, which duplicates all interior bits — but
+        // the two EDGE wires escape (an edge wire's delay tops out at
+        // (1+2λ) with any neighbor), so the true linear minimum is 2k−2,
+        // not duplication's 2k. Below 2k−2 nothing exists:
+        assert!(find_linear_cac(3, 3, CacCondition::ForbiddenPattern).is_none());
+        // ... and 2k−2 is achieved by "duplicate interior, free edges":
+        let g = find_linear_cac(3, 4, CacCondition::ForbiddenPattern)
+            .expect("edge-exempt linear FP code on 2k-2 wires");
+        // Verify the found code indeed duplicates its interior wires.
+        for cw in g.codebook() {
+            assert_eq!(cw.bit(1), cw.bit(2), "interior pair must match in {cw}");
+        }
+    }
+
+    #[test]
+    fn theorem1_fp_every_window_duplicates_a_pair() {
+        // The mechanism behind the appendix proof, checked directly: in
+        // any linear FP codebook, every 3-wire window has either its first
+        // or its second adjacent pair identical across ALL codewords —
+        // which is what forces interior bits to be duplicated.
+        let candidates = [
+            duplication_generator(3),
+            find_linear_cac(3, 4, CacCondition::ForbiddenPattern)
+                .expect("edge-exempt linear FP code exists"),
+        ];
+        for g in candidates {
+            let book = g.codebook();
+            for w0 in 0..g.n() - 2 {
+                let left = book.iter().all(|cw| cw.bit(w0) == cw.bit(w0 + 1));
+                let right = book.iter().all(|cw| cw.bit(w0 + 1) == cw.bit(w0 + 2));
+                assert!(left || right, "window at {w0} has no pinned pair");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_fp_boundary_is_achievable() {
+        assert!(find_linear_cac(2, 4, CacCondition::ForbiddenPattern).is_some());
+        assert!(find_linear_cac(3, 6, CacCondition::ForbiddenPattern).is_some());
+    }
+
+    #[test]
+    fn nonlinear_ftc_beats_the_linear_bound() {
+        // The whole point of FTC: 3 bits on 4 wires, below shielding's 5 —
+        // possible only because the code is nonlinear.
+        let book = crate::cac::ftc_codebook(4);
+        assert!(book.len() >= 8);
+        assert!(codebook_satisfies(&book[..8], CacCondition::ForbiddenTransition));
+    }
+
+    #[test]
+    fn generator_encode_is_linear() {
+        let g = shielding_generator(3);
+        for a in Word::enumerate_all(3) {
+            for b in Word::enumerate_all(3) {
+                assert_eq!(g.encode(a).xor(g.encode(b)), g.encode(a.xor(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn injectivity_detects_dependent_rows() {
+        let n = 3;
+        let r = Word::from_bits(0b101, n);
+        let g = Generator::new(vec![r, r]);
+        assert!(!g.is_injective());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests across arbitrary widths for the parameterized codes —
+//! the constructors must produce correct codecs for *every* width, not
+//! just the paper's 4- and 32-bit instances.
+
+use proptest::prelude::*;
+use socbus_codes::{analysis, BchDec, BusCode, Dap, ForbiddenTransitionCode, Hamming};
+use socbus_model::{bus_delay_factor, DelayClass, TransitionVector, Word};
+
+fn word(bits: u128, k: usize) -> Word {
+    Word::from_bits(bits, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_corrects_at_any_width(k in 1usize..=57, data in any::<u64>(), wire in any::<usize>()) {
+        let mut c = Hamming::new(k);
+        let d = word(u128::from(data) & ((1 << k.min(64)) - 1), k);
+        let cw = c.encode(d);
+        let w = wire % cw.width();
+        prop_assert_eq!(c.decode(cw.with_bit(w, !cw.bit(w))), d);
+    }
+
+    #[test]
+    fn dap_corrects_at_any_width(k in 1usize..=64, data in any::<u64>(), wire in any::<usize>()) {
+        let mut c = Dap::new(k);
+        let d = word(u128::from(data) & ((1u128 << k) - 1).min(u128::MAX), k);
+        let cw = c.encode(d);
+        let w = wire % cw.width();
+        prop_assert_eq!(c.decode(cw.with_bit(w, !cw.bit(w))), d);
+    }
+
+    #[test]
+    fn bch_corrects_two_errors_at_any_width(
+        k in 1usize..=60,
+        data in any::<u64>(),
+        w1 in any::<usize>(),
+        w2 in any::<usize>(),
+    ) {
+        let mut c = BchDec::new(k);
+        let mask = if k >= 64 { u64::MAX } else { (1 << k) - 1 };
+        let d = word(u128::from(data & mask), k);
+        let cw = c.encode(d);
+        let a = w1 % cw.width();
+        let b = w2 % cw.width();
+        let mut bad = cw.with_bit(a, !cw.bit(a));
+        if b != a {
+            bad.set_bit(b, !bad.bit(b));
+        }
+        prop_assert_eq!(c.decode(bad), d, "k={} flips {},{}", k, a, b);
+    }
+
+    #[test]
+    fn ftc_roundtrips_and_keeps_cac_class_at_any_width(
+        k in 1usize..=40,
+        seq in prop::collection::vec(any::<u64>(), 2..12),
+        lambda in 0.95f64..4.6,
+    ) {
+        let mut c = ForbiddenTransitionCode::new(k);
+        let mask = if k >= 64 { u64::MAX } else { (1 << k) - 1 };
+        let mut prev: Option<Word> = None;
+        for &v in &seq {
+            let d = word(u128::from(v & mask), k);
+            let cw = c.encode(d);
+            prop_assert_eq!(c.decode(cw), d);
+            if let Some(p) = prev {
+                let f = bus_delay_factor(&TransitionVector::between(p, cw), lambda);
+                prop_assert!(f <= DelayClass::CAC.factor(lambda) + 1e-9, "k={} f={}", k, f);
+            }
+            prev = Some(cw);
+        }
+    }
+
+    #[test]
+    fn average_energy_is_bounded_by_worst_case(k in 2usize..=8) {
+        // Self coefficient can never exceed wires/2 (every wire switching
+        // every cycle); coupling never exceeds (wires-1)*2.
+        let mut c = Dap::new(k);
+        let e = analysis::average_energy(&mut c, 0);
+        let n = c.wires() as f64;
+        prop_assert!(e.self_coeff <= n / 2.0);
+        prop_assert!(e.coupling_coeff <= (n - 1.0) * 2.0);
+        prop_assert!(e.self_coeff > 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The DSM bus delay model — eq. (1) of the paper.
+//!
+//! The delay of wire *l* of an *n*-wire coupled bus, normalized to the delay
+//! τ0 of a crosstalk-free wire, is
+//!
+//! ```text
+//! T_1 = τ0 [ (1+λ)Δ₁² − λΔ₁Δ₂ ]                            (edge wire)
+//! T_l = τ0 [ (1+2λ)Δ_l² − λΔ_l(Δ_{l−1} + Δ_{l+1}) ]        (1 < l < n)
+//! T_n = τ0 [ (1+λ)Δ_n² − λΔ_nΔ_{n−1} ]                     (edge wire)
+//! ```
+//!
+//! where λ is the ratio of coupling to bulk capacitance. For a switching
+//! wire the normalized delay is one of `1, 1+λ, 1+2λ, 1+3λ, 1+4λ`; which of
+//! these can occur is exactly what crosstalk-avoidance codes control, so we
+//! expose the multiplier of λ as a [`DelayClass`].
+
+use crate::transition::TransitionVector;
+
+/// Normalized delay factor of wire `l` for transition vector `tv`:
+/// `T_l / τ0`. Non-switching wires report 0.
+///
+/// # Panics
+///
+/// Panics if `l` is out of range or the bus has fewer than 1 wire.
+#[must_use]
+pub fn wire_delay_factor(tv: &TransitionVector, l: usize, lambda: f64) -> f64 {
+    let n = tv.width();
+    assert!(n >= 1, "empty bus");
+    assert!(l < n, "wire {l} out of range for {n}-wire bus");
+    let d = |i: usize| f64::from(tv.get(i).delta());
+    let dl = d(l);
+    if n == 1 {
+        return dl * dl;
+    }
+    if l == 0 {
+        (1.0 + lambda) * dl * dl - lambda * dl * d(1)
+    } else if l == n - 1 {
+        (1.0 + lambda) * dl * dl - lambda * dl * d(n - 2)
+    } else {
+        (1.0 + 2.0 * lambda) * dl * dl - lambda * dl * (d(l - 1) + d(l + 1))
+    }
+}
+
+/// Normalized worst-case delay of the whole bus for one transition:
+/// `max_l T_l / τ0`.
+#[must_use]
+pub fn bus_delay_factor(tv: &TransitionVector, lambda: f64) -> f64 {
+    (0..tv.width())
+        .map(|l| wire_delay_factor(tv, l, lambda))
+        .fold(0.0, f64::max)
+}
+
+/// The discrete crosstalk delay class of a bus transition: the worst-case
+/// per-wire delay is `(1 + c·λ)·τ0` where `c` is the class index 0..=4.
+///
+/// The classes (for a switching victim wire):
+///
+/// | class | factor      | scenario |
+/// |-------|-------------|----------|
+/// | 0     | `1`         | both neighbors switch with the victim |
+/// | 1     | `1 + λ`     | one neighbor switches with, one holds (or edge wire, neighbor holds... see below) |
+/// | 2     | `1 + 2λ`    | both neighbors hold — the CAC guarantee |
+/// | 3     | `1 + 3λ`    | one neighbor holds, one switches against |
+/// | 4     | `1 + 4λ`    | both neighbors switch against the victim |
+///
+/// Edge wires have only one neighbor, so their worst case is class 2.
+/// An idle bus (no wire switches) reports class 0 with factor 0 handled by
+/// [`bus_delay_factor`]; `DelayClass` itself always describes the code-level
+/// *guarantee*, i.e. the maximum over all legal codeword transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DelayClass(u8);
+
+impl DelayClass {
+    /// Creates a delay class with λ-multiplier `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c > 4` (no such crosstalk scenario exists).
+    #[must_use]
+    pub fn new(c: u8) -> Self {
+        assert!(c <= 4, "delay class multiplier {c} out of range 0..=4");
+        DelayClass(c)
+    }
+
+    /// The λ-multiplier `c` of this class.
+    #[must_use]
+    pub fn multiplier(self) -> u8 {
+        self.0
+    }
+
+    /// The normalized delay factor `1 + c·λ`.
+    #[must_use]
+    pub fn factor(self, lambda: f64) -> f64 {
+        1.0 + f64::from(self.0) * lambda
+    }
+
+    /// The class of the worst uncoded bus transition, `1 + 4λ`.
+    pub const WORST: DelayClass = DelayClass(4);
+    /// The class guaranteed by any crosstalk-avoidance code, `1 + 2λ`.
+    pub const CAC: DelayClass = DelayClass(2);
+    /// The class of a fully shielded (or isolated) wire, `1 + 2λ` — idle
+    /// shields still present their coupling capacitance.
+    pub const SHIELDED: DelayClass = DelayClass(2);
+    /// The class of a duplicated pair's parity wire in DAPX, `1 + λ`.
+    pub const DUPLICATED_EDGE: DelayClass = DelayClass(1);
+
+    /// Classifies the worst-case delay factor of a single transition into
+    /// the smallest class whose factor bounds it.
+    ///
+    /// Useful when scanning codebooks: `classify(bus_delay_factor(..))`.
+    #[must_use]
+    pub fn classify(factor: f64, lambda: f64) -> DelayClass {
+        for c in 0..=4u8 {
+            if factor <= 1.0 + f64::from(c) * lambda + 1e-9 {
+                return DelayClass(c);
+            }
+        }
+        DelayClass(4)
+    }
+}
+
+impl std::fmt::Display for DelayClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            0 => write!(f, "1"),
+            1 => write!(f, "1+lambda"),
+            c => write!(f, "1+{c}lambda"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word;
+
+    fn tv(before: u128, after: u128, n: usize) -> TransitionVector {
+        TransitionVector::between(Word::from_bits(before, n), Word::from_bits(after, n))
+    }
+
+    const LAMBDA: f64 = 2.0;
+
+    #[test]
+    fn isolated_wire_has_unit_delay() {
+        let t = tv(0, 1, 1);
+        assert_eq!(wire_delay_factor(&t, 0, LAMBDA), 1.0);
+    }
+
+    #[test]
+    fn middle_wire_worst_case_is_1_plus_4_lambda() {
+        // Middle rises, both neighbors fall: 010 -> 101 inverted... use
+        // before=101, after=010: wire1 rises, wires 0,2 fall.
+        let t = tv(0b101, 0b010, 3);
+        assert_eq!(wire_delay_factor(&t, 1, LAMBDA), 1.0 + 4.0 * LAMBDA);
+        assert_eq!(bus_delay_factor(&t, LAMBDA), 1.0 + 4.0 * LAMBDA);
+    }
+
+    #[test]
+    fn middle_wire_quiet_neighbors_is_1_plus_2_lambda() {
+        let t = tv(0b000, 0b010, 3);
+        assert_eq!(wire_delay_factor(&t, 1, LAMBDA), 1.0 + 2.0 * LAMBDA);
+    }
+
+    #[test]
+    fn all_wires_same_direction_is_unit_delay() {
+        let t = tv(0b000, 0b111, 3);
+        for l in 0..3 {
+            let expected = 1.0; // coupling caps carry no charge change
+            assert_eq!(wire_delay_factor(&t, l, LAMBDA), expected);
+        }
+    }
+
+    #[test]
+    fn edge_wire_worst_case_is_1_plus_2_lambda() {
+        // Edge wire rises while its only neighbor falls.
+        let t = tv(0b10, 0b01, 2);
+        assert_eq!(wire_delay_factor(&t, 0, LAMBDA), 1.0 + 2.0 * LAMBDA);
+    }
+
+    #[test]
+    fn non_switching_wire_has_zero_delay() {
+        let t = tv(0b000, 0b101, 3);
+        assert_eq!(wire_delay_factor(&t, 1, LAMBDA), 0.0);
+    }
+
+    #[test]
+    fn one_neighbor_opposing_is_1_plus_3_lambda() {
+        // Wire 1 rises, wire 0 falls, wire 2 holds.
+        let t = tv(0b001, 0b010, 3);
+        assert_eq!(wire_delay_factor(&t, 1, LAMBDA), 1.0 + 3.0 * LAMBDA);
+    }
+
+    #[test]
+    fn class_factors() {
+        assert_eq!(DelayClass::new(0).factor(2.8), 1.0);
+        assert_eq!(DelayClass::WORST.factor(2.8), 1.0 + 4.0 * 2.8);
+        assert_eq!(DelayClass::CAC.factor(2.8), 1.0 + 2.0 * 2.8);
+    }
+
+    #[test]
+    fn classify_rounds_up_to_smallest_bounding_class() {
+        assert_eq!(DelayClass::classify(1.0, 2.0), DelayClass::new(0));
+        assert_eq!(DelayClass::classify(1.0 + 2.0 * 2.0, 2.0), DelayClass::CAC);
+        assert_eq!(DelayClass::classify(1.0 + 3.5 * 2.0, 2.0), DelayClass::WORST);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_above_four_panics() {
+        let _ = DelayClass::new(5);
+    }
+
+    #[test]
+    fn worst_case_exhaustive_3bit_matches_classes() {
+        // Over all 8x8 transitions of a 3-bit bus the worst factor is 1+4λ
+        // and every observed factor classifies into 0..=4.
+        let lambda = 1.7;
+        let mut worst: f64 = 0.0;
+        for b in Word::enumerate_all(3) {
+            for a in Word::enumerate_all(3) {
+                let t = TransitionVector::between(b, a);
+                let f = bus_delay_factor(&t, lambda);
+                worst = worst.max(f);
+                let c = DelayClass::classify(f, lambda);
+                assert!((f - c.factor(lambda)).abs() < 1e-9 || f < c.factor(lambda));
+            }
+        }
+        assert!((worst - (1.0 + 4.0 * lambda)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,55 @@
+//! # socbus-model — electrical models for deep-submicron on-chip buses
+//!
+//! This crate implements the bus models of Sridhara & Shanbhag, *"Coding
+//! for System-on-Chip Networks: A Unified Framework"* (DAC 2004 / TVLSI
+//! 2005), §II:
+//!
+//! * [`word`] / [`transition`] — bus words and the per-wire transition
+//!   algebra Δ ∈ {−1, 0, +1};
+//! * [`delay`] — the coupled-bus delay model (eq. (1)) and the discrete
+//!   crosstalk [`DelayClass`]es `1 + c·λ`;
+//! * [`energy`] — the self + coupling energy model (eqs. (2)–(4));
+//! * [`noise`] — the Gaussian DSM-noise model (eqs. (5)–(8)) with
+//!   deep-tail `Q`/`Q⁻¹`;
+//! * [`tech`] — 0.13-µm technology and bus-geometry parameters, τ0;
+//! * [`perf`] — design-point evaluation: speed-up (eq. (10)), energy
+//!   savings, area overhead, repeater insertion, and encoder-delay
+//!   masking via timing paths.
+//!
+//! # Example
+//!
+//! ```
+//! use socbus_model::{BusGeometry, DelayClass, Environment, Word};
+//!
+//! // Worst-case crosstalk on a 10-mm bus at λ = 2.8 is 1+4λ slower than a
+//! // crosstalk-free flight; a CAC code caps it at 1+2λ.
+//! let env = Environment::new(BusGeometry::new(10.0, 2.8));
+//! let worst = env.wire_delay(DelayClass::WORST);
+//! let cac = env.wire_delay(DelayClass::CAC);
+//! assert!(worst / cac > 1.5);
+//!
+//! // Transition energy of one transfer.
+//! let e = socbus_model::energy::word_transition_energy(
+//!     Word::from_bits(0b01, 2),
+//!     Word::from_bits(0b10, 2),
+//! );
+//! assert_eq!(e.coupling_coeff, 2.0); // opposing neighbors: worst case
+//! ```
+
+pub mod delay;
+pub mod energy;
+pub mod noise;
+pub mod perf;
+pub mod tech;
+pub mod transition;
+pub mod word;
+
+pub use delay::{bus_delay_factor, wire_delay_factor, DelayClass};
+pub use energy::{transition_energy_coeff, word_transition_energy, EnergyCoeff};
+pub use noise::{bit_error_probability, ln_q, q, q_inv};
+pub use perf::{
+    area_overhead, energy_savings, speedup, CodePerf, Environment, RepeaterConfig, TimingPath,
+};
+pub use tech::{BusGeometry, Technology};
+pub use transition::{Transition, TransitionVector};
+pub use word::Word;

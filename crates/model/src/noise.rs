@@ -1,0 +1,301 @@
+//! The DSM noise and reliability model — eqs. (5)–(8) of the paper.
+//!
+//! DSM noise (power-grid fluctuation, inter-layer crosstalk, EMI, particle
+//! hits) is modeled as an additive Gaussian noise voltage with standard
+//! deviation σ_N on each wire. A receiver slicing at `Vdd/2` then sees a
+//! bit-error probability `ε = Q(Vdd / 2σ_N)` (eq. (5)).
+//!
+//! The paper's reliability↔energy tradeoff (eq. (11)) needs `Q` and `Q⁻¹`
+//! at probabilities as small as 1e-22, far below where naive `erfc`
+//! approximations hold, so [`q`] is computed from a Taylor series near zero
+//! and the Mills-ratio continued fraction in the tail, and [`q_inv`] by
+//! Newton iteration on `ln Q`.
+
+/// The Gaussian tail function `Q(x) = ∫ₓ^∞ φ(y) dy` (eq. (6)).
+///
+/// Accurate to better than 1e-12 relative error over the full range used by
+/// the reliability model (|x| ≤ ~40).
+#[must_use]
+pub fn q(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - q(-x);
+    }
+    if x < 2.0 {
+        0.5 * erfc_small(x / std::f64::consts::SQRT_2)
+    } else {
+        ln_q_tail(x).exp()
+    }
+}
+
+/// Natural log of `Q(x)`, stable for very large `x` where `Q(x)` underflows.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite.
+#[must_use]
+pub fn ln_q(x: f64) -> f64 {
+    assert!(x.is_finite(), "ln_q requires finite x");
+    if x < 2.0 {
+        q(x).ln()
+    } else {
+        ln_q_tail(x)
+    }
+}
+
+/// `erfc` via the Taylor series of `erf`, valid (and fast) for small `z`.
+fn erfc_small(z: f64) -> f64 {
+    // erf(z) = (2/sqrt(pi)) * sum_n (-1)^n z^(2n+1) / (n! (2n+1))
+    let mut term = z;
+    let mut sum = z;
+    let z2 = z * z;
+    for n in 1..200 {
+        let nf = n as f64;
+        term *= -z2 / nf;
+        let contrib = term / (2.0 * nf + 1.0);
+        sum += contrib;
+        if contrib.abs() < 1e-18 * sum.abs() {
+            break;
+        }
+    }
+    1.0 - sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// `ln Q(x)` for `x ≥ 2` via the Mills-ratio continued fraction:
+/// `Q(x) = φ(x) / (x + 1/(x + 2/(x + 3/(x + …))))`.
+fn ln_q_tail(x: f64) -> f64 {
+    // Evaluate the continued fraction bottom-up.
+    let mut cf = 0.0;
+    for k in (1..=60u32).rev() {
+        cf = f64::from(k) / (x + cf);
+    }
+    let denom = x + cf;
+    let ln_phi = -0.5 * x * x - 0.5 * (2.0 * std::f64::consts::PI).ln();
+    ln_phi - denom.ln()
+}
+
+/// Inverse Gaussian tail: the `x` with `Q(x) = p`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn q_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "q_inv requires 0 < p < 1, got {p}");
+    if p > 0.5 {
+        return -q_inv(1.0 - p);
+    }
+    let target = p.ln();
+    // Initial guess from the leading asymptotic ln Q(x) ≈ −x²/2 − ln(x√2π).
+    let mut x = if p < 0.1 {
+        let t = -2.0 * target;
+        (t - (t).ln() - (2.0 * std::f64::consts::PI).ln()).max(0.25).sqrt()
+    } else {
+        0.5
+    };
+    // Newton on f(x) = ln Q(x) − ln p; f'(x) = −φ(x)/Q(x) = −exp(ln φ − ln Q).
+    for _ in 0..100 {
+        let f = ln_q(x) - target;
+        let ln_phi = -0.5 * x * x - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        let fprime = -(ln_phi - ln_q(x)).exp();
+        let step = f / fprime;
+        x -= step;
+        if x <= 0.0 {
+            x = 1e-6;
+        }
+        if step.abs() < 1e-13 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+/// Bit-error probability of a wire with swing `vdd` and noise σ (eq. (5)).
+#[must_use]
+pub fn bit_error_probability(vdd: f64, sigma: f64) -> f64 {
+    q(vdd / (2.0 * sigma))
+}
+
+/// Word-error probability of a `k`-bit uncoded bus under independent bit
+/// errors, low-ε approximation `P ≈ k·ε` (eq. (7)).
+#[must_use]
+pub fn word_error_uncoded(k: usize, eps: f64) -> f64 {
+    k as f64 * eps
+}
+
+/// Exact word-error probability of a `k`-bit uncoded bus:
+/// `1 − (1−ε)^k`.
+#[must_use]
+pub fn word_error_uncoded_exact(k: usize, eps: f64) -> f64 {
+    1.0 - (1.0 - eps).powi(k as i32)
+}
+
+/// Residual word-error probability of a Hamming-coded bus carrying `k` data
+/// bits with `m` parity bits, low-ε approximation
+/// `P ≈ C(k+m, 2)·ε²` (eq. (8)).
+#[must_use]
+pub fn word_error_hamming(k: usize, m: usize, eps: f64) -> f64 {
+    let n = (k + m) as f64;
+    n * (n - 1.0) / 2.0 * eps * eps
+}
+
+/// Residual word-error probability of the DAP code on `k` data bits,
+/// low-ε approximation `P ≈ 3k(k+1)/2 · ε²` (eq. (9)).
+#[must_use]
+pub fn word_error_dap(k: usize, eps: f64) -> f64 {
+    let kf = k as f64;
+    1.5 * kf * (kf + 1.0) * eps * eps
+}
+
+/// Exact residual word-error probability of the DAP code (eq. (14)):
+/// `1 − P_A − P_B` where `P_A` covers error-free copy-A decoding and `P_B`
+/// error-free copy-B decoding with an odd error count among copy A and the
+/// parity bit.
+#[must_use]
+pub fn word_error_dap_exact(k: usize, eps: f64) -> f64 {
+    let one = 1.0 - eps;
+    // P_A = sum_{i=0}^{k} C(k,i) eps^i (1-eps)^{2k+1-i}
+    //     = (1-eps)^{k+1} * sum C(k,i) eps^i (1-eps)^{k-i} = (1-eps)^{k+1}.
+    // (Kept as the explicit sum to mirror eq. (12) and stay robust if the
+    // model is extended to non-identical per-set error rates.)
+    let mut p_a = 0.0;
+    for i in 0..=k {
+        p_a += binomial(k, i) * eps.powi(i as i32) * one.powi((2 * k + 1 - i) as i32);
+    }
+    let mut p_b = 0.0;
+    for i in 0..=(k / 2) {
+        let odd = 2 * i + 1;
+        if odd > k + 1 {
+            break;
+        }
+        p_b += binomial(k + 1, odd) * eps.powi(odd as i32) * one.powi((2 * k - 2 * i) as i32);
+    }
+    1.0 - p_a - p_b
+}
+
+/// Binomial coefficient as `f64` (exact for the small arguments used here).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_at_zero_is_half() {
+        assert!((q(0.0) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn q_known_values() {
+        // Reference values from standard normal tables.
+        assert!((q(1.0) - 0.158_655_253_931_457_05).abs() < 1e-12);
+        assert!((q(3.0) - 1.349_898_031_630_094_5e-3).abs() < 1e-14);
+        let q6 = q(6.0);
+        assert!((q6 - 9.865_876_450_377e-10).abs() / q6 < 1e-9, "{q6}");
+    }
+
+    #[test]
+    fn q_is_symmetric() {
+        assert!((q(-1.5) + q(1.5) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ln_q_matches_q_where_both_work() {
+        for &x in &[0.1, 1.0, 2.0, 3.0, 5.0, 8.0] {
+            assert!((ln_q(x) - q(x).ln()).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_q_deep_tail_is_finite_and_monotonic() {
+        let a = ln_q(9.6);
+        let b = ln_q(12.0);
+        let c = ln_q(30.0);
+        assert!(a > b && b > c);
+        assert!(c.is_finite());
+        // Q(9.62) is near the paper's 1e-20/32 operating point.
+        let p = ln_q(9.62).exp();
+        assert!(p > 1e-22 && p < 1e-21, "{p}");
+    }
+
+    #[test]
+    fn q_inv_roundtrips() {
+        for &p in &[0.4, 0.1, 1e-3, 1e-6, 1e-12, 1e-20, 3.1e-22] {
+            let x = q_inv(p);
+            let back = ln_q(x).exp();
+            assert!((back - p).abs() / p < 1e-9, "p={p} x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn q_inv_above_half_is_negative() {
+        assert!(q_inv(0.9) < 0.0);
+        assert!((q(q_inv(0.9)) - 0.9).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dap_exact_matches_approximation_at_small_eps() {
+        for &k in &[4usize, 8, 16, 32] {
+            let eps = 1e-6;
+            let exact = word_error_dap_exact(k, eps);
+            let approx = word_error_dap(k, eps);
+            assert!(
+                (exact - approx).abs() / approx < 1e-3,
+                "k={k}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn dap_exact_p_a_reduces_to_closed_form() {
+        // P_A in eq. (12) telescopes to (1-eps)^{k+1}; the exact formula must
+        // therefore equal 1 - (1-e)^{k+1} - P_B.
+        let (k, eps) = (6usize, 0.01f64);
+        let one = 1.0 - eps;
+        let mut p_b = 0.0;
+        for i in 0..=(k / 2) {
+            let odd = 2 * i + 1;
+            p_b += binomial(k + 1, odd) * eps.powi(odd as i32) * one.powi((2 * k - 2 * i) as i32);
+        }
+        let expect = 1.0 - one.powi((k + 1) as i32) - p_b;
+        assert!((word_error_dap_exact(k, eps) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hamming_beats_uncoded_at_low_eps() {
+        let eps = 1e-9;
+        assert!(word_error_hamming(32, 6, eps) < word_error_uncoded(32, eps));
+    }
+
+    #[test]
+    fn uncoded_exact_close_to_linear_approx() {
+        let eps = 1e-8;
+        let a = word_error_uncoded(16, eps);
+        let b = word_error_uncoded_exact(16, eps);
+        assert!((a - b).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(38, 2), 703.0);
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn bit_error_probability_decreases_with_swing() {
+        let sigma = 0.0625;
+        assert!(bit_error_probability(1.2, sigma) < bit_error_probability(0.9, sigma));
+    }
+}

@@ -1,0 +1,417 @@
+//! Bus + codec performance evaluation: the paper's comparison metrics.
+//!
+//! A coded-bus design point ([`CodePerf`]) couples the code-level facts
+//! (wire count, worst-case [`DelayClass`], average [`EnergyCoeff`]) with
+//! codec implementation costs (encoder/decoder delay, energy, area) and an
+//! operating voltage. An [`Environment`] fixes the technology, geometry,
+//! and optional repeater insertion. From these we compute the paper's three
+//! metrics:
+//!
+//! * **speed-up** (eq. (10)): `(T_b2 + T_c2) / (T_b1 + T_c1)`,
+//! * **energy savings** including codec and repeater overhead,
+//! * **area overhead** including wire area and codec area.
+//!
+//! Encoder-delay masking (the paper's §III-E: HammingX, DAPX) falls out of
+//! the path model: each [`TimingPath`] carries the encoder delay feeding a
+//! group of wires plus that group's delay class, and the bus settles when
+//! the *slowest path* settles. Parity wires routed with a cheaper delay
+//! class absorb their encoder delay in the slack.
+
+use crate::delay::DelayClass;
+use crate::energy::EnergyCoeff;
+use crate::tech::{BusGeometry, Technology};
+
+/// Repeater insertion along the bus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepeaterConfig {
+    /// Distance between repeaters (m). The paper uses 2 mm.
+    pub spacing: f64,
+    /// Repeater size as a multiple of the minimum inverter.
+    pub size: f64,
+}
+
+impl RepeaterConfig {
+    /// Repeaters every `spacing_mm` millimeters at `size`× minimum.
+    #[must_use]
+    pub fn new(spacing_mm: f64, size: f64) -> Self {
+        RepeaterConfig {
+            spacing: spacing_mm * 1e-3,
+            size,
+        }
+    }
+
+    /// Number of intermediate repeater stages on a wire of length `length`.
+    #[must_use]
+    pub fn stages(&self, length: f64) -> usize {
+        let segs = (length / self.spacing).ceil() as usize;
+        segs.saturating_sub(1)
+    }
+}
+
+/// The evaluation environment: process, geometry, optional repeaters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Environment {
+    /// Process technology.
+    pub tech: Technology,
+    /// Bus geometry (length, λ, driver size).
+    pub geom: BusGeometry,
+    /// Optional repeater insertion.
+    pub repeaters: Option<RepeaterConfig>,
+}
+
+impl Environment {
+    /// An unrepeated bus in the default 0.13-µm process.
+    #[must_use]
+    pub fn new(geom: BusGeometry) -> Self {
+        Environment {
+            tech: Technology::cmos_130nm(),
+            geom,
+            repeaters: None,
+        }
+    }
+
+    /// Adds repeater insertion.
+    #[must_use]
+    pub fn with_repeaters(mut self, cfg: RepeaterConfig) -> Self {
+        self.repeaters = Some(cfg);
+        self
+    }
+
+    /// Wire flight time for a given crosstalk delay class.
+    ///
+    /// The class factor scales the *bulk-capacitance* charge (crosstalk
+    /// multiplies the effective switched capacitance); fixed capacitances
+    /// (receiver, driver self-load) are unaffected. For an unrepeated
+    /// global wire this is within a few percent of the paper's
+    /// `factor·τ0`; for repeated buses it correctly credits repeaters
+    /// with shrinking the quadratic wire term.
+    #[must_use]
+    pub fn wire_delay(&self, class: DelayClass) -> f64 {
+        let factor = class.factor(self.geom.lambda);
+        match self.repeaters {
+            None => segment_delay(
+                &self.tech,
+                self.geom.length,
+                self.geom.driver_size,
+                self.geom.lambda,
+                factor,
+                self.tech.receiver_cap,
+            ),
+            Some(rep) => {
+                let segs = (self.geom.length / rep.spacing).ceil().max(1.0) as usize;
+                let seg_len = self.geom.length / segs as f64;
+                let mut total = 0.0;
+                for i in 0..segs {
+                    let (drive, load) = if segs == 1 {
+                        (self.geom.driver_size, self.tech.receiver_cap)
+                    } else if i == 0 {
+                        (
+                            self.geom.driver_size,
+                            self.tech.min_driver_input_cap * rep.size,
+                        )
+                    } else if i == segs - 1 {
+                        (rep.size, self.tech.receiver_cap)
+                    } else {
+                        (rep.size, self.tech.min_driver_input_cap * rep.size)
+                    };
+                    total += segment_delay(&self.tech, seg_len, drive, self.geom.lambda, factor, load);
+                    if i > 0 {
+                        total += self.tech.gate_intrinsic_delay;
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    /// The crosstalk-free delay τ0 = `wire_delay(class 0)`.
+    #[must_use]
+    pub fn tau0(&self) -> f64 {
+        self.wire_delay(DelayClass::new(0))
+    }
+
+    /// Area of the bus wiring for `wires` parallel wires (m²): each wire
+    /// occupies one width + one spacing pitch along its length.
+    #[must_use]
+    pub fn wire_area(&self, wires: usize) -> f64 {
+        const PITCH: f64 = 0.4e-6; // 0.2 µm width + 0.2 µm spacing
+        wires as f64 * PITCH * self.geom.length
+    }
+}
+
+fn segment_delay(
+    tech: &Technology,
+    length: f64,
+    driver_size: f64,
+    lambda: f64,
+    factor: f64,
+    load_cap: f64,
+) -> f64 {
+    let r_d = tech.min_driver_res / driver_size;
+    let c_self = tech.min_driver_output_cap * driver_size;
+    let c_bulk = tech.bulk_cap_per_m(lambda) * length;
+    let r_w = tech.wire_res_per_m * length;
+    0.69 * r_d * (factor * c_bulk + load_cap + c_self)
+        + 0.38 * r_w * factor * c_bulk
+        + 0.69 * r_w * load_cap
+}
+
+/// One encoder-to-wire timing path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingPath {
+    /// Combinational encoder delay feeding this wire group (s). Zero for
+    /// pass-through (systematic data) wires.
+    pub encoder_delay: f64,
+    /// Worst-case crosstalk class of this wire group.
+    pub class: DelayClass,
+}
+
+impl TimingPath {
+    /// A pass-through path with no encoder logic.
+    #[must_use]
+    pub fn passthrough(class: DelayClass) -> Self {
+        TimingPath {
+            encoder_delay: 0.0,
+            class,
+        }
+    }
+
+    /// A path with encoder logic in front of the wires.
+    #[must_use]
+    pub fn encoded(encoder_delay: f64, class: DelayClass) -> Self {
+        TimingPath {
+            encoder_delay,
+            class,
+        }
+    }
+}
+
+/// A complete coded-bus design point ready for evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodePerf {
+    /// Scheme name as used in the paper's tables ("DAP", "BI(8)", ...).
+    pub name: String,
+    /// Number of data (payload) bits `k`.
+    pub data_bits: usize,
+    /// Number of bus wires, including shields and parity.
+    pub wires: usize,
+    /// Encoder→wire timing paths; the bus settles at the slowest.
+    pub paths: Vec<TimingPath>,
+    /// Combinational decoder delay after the wires settle (s).
+    pub decoder_delay: f64,
+    /// Average bus energy coefficient per transfer (units of `C·Vdd²`).
+    pub bus_energy: EnergyCoeff,
+    /// Codec (encoder + decoder) energy per transfer (J), at nominal Vdd.
+    pub codec_energy: f64,
+    /// Codec silicon area (m²).
+    pub codec_area: f64,
+    /// Operating bus swing (V); below nominal when ECC enables scaling.
+    pub vdd: f64,
+}
+
+impl CodePerf {
+    /// Bus settling time: the slowest encoder→wire path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has no timing paths.
+    #[must_use]
+    pub fn bus_delay(&self, env: &Environment) -> f64 {
+        assert!(!self.paths.is_empty(), "design has no timing paths");
+        self.paths
+            .iter()
+            .map(|p| p.encoder_delay + env.wire_delay(p.class))
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Total transfer latency: bus settling + decoder (eq. (10)'s
+    /// `T_b + T_c` with encoder masking applied through the path model).
+    #[must_use]
+    pub fn total_delay(&self, env: &Environment) -> f64 {
+        self.bus_delay(env) + self.decoder_delay
+    }
+
+    /// Average bus (wire) energy per transfer in joules, at this design's
+    /// operating swing, including repeater energy if configured.
+    #[must_use]
+    pub fn bus_energy_joules(&self, env: &Environment) -> f64 {
+        let c_bulk = env.geom.wire_bulk_cap(&env.tech);
+        let wire = self
+            .bus_energy
+            .energy_joules(env.geom.lambda, c_bulk, self.vdd);
+        wire + self.repeater_energy_joules(env)
+    }
+
+    /// Energy consumed by repeater stages per transfer (J); zero without
+    /// repeaters. Each switching wire charges the self-capacitance of each
+    /// of its repeater stages; the expected number of switching wires per
+    /// transfer is `2·self_coeff`.
+    #[must_use]
+    pub fn repeater_energy_joules(&self, env: &Environment) -> f64 {
+        match env.repeaters {
+            None => 0.0,
+            Some(rep) => {
+                let stages = rep.stages(env.geom.length) as f64;
+                let c_rep = (env.tech.min_driver_input_cap + env.tech.min_driver_output_cap)
+                    * rep.size;
+                2.0 * self.bus_energy.self_coeff * stages * c_rep * self.vdd * self.vdd
+            }
+        }
+    }
+
+    /// Total energy per transfer: bus + repeaters + codec (J).
+    #[must_use]
+    pub fn total_energy(&self, env: &Environment) -> f64 {
+        self.bus_energy_joules(env) + self.codec_energy
+    }
+
+    /// Total silicon area: wires + codec (m²).
+    #[must_use]
+    pub fn total_area(&self, env: &Environment) -> f64 {
+        env.wire_area(self.wires) + self.codec_area
+    }
+
+    /// Code rate `k / n_wires`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.data_bits as f64 / self.wires as f64
+    }
+}
+
+/// Speed-up of `candidate` over `reference` (eq. (10)): values above 1 mean
+/// `candidate` is faster.
+#[must_use]
+pub fn speedup(reference: &CodePerf, candidate: &CodePerf, env: &Environment) -> f64 {
+    reference.total_delay(env) / candidate.total_delay(env)
+}
+
+/// Fractional energy savings of `candidate` relative to `reference`:
+/// positive means `candidate` uses less energy.
+#[must_use]
+pub fn energy_savings(reference: &CodePerf, candidate: &CodePerf, env: &Environment) -> f64 {
+    1.0 - candidate.total_energy(env) / reference.total_energy(env)
+}
+
+/// Fractional area overhead of `candidate` relative to `reference`
+/// (wires + codec): positive means `candidate` is larger.
+#[must_use]
+pub fn area_overhead(reference: &CodePerf, candidate: &CodePerf, env: &Environment) -> f64 {
+    candidate.total_area(env) / reference.total_area(env) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::new(BusGeometry::new(10.0, 2.8))
+    }
+
+    fn plain_code(name: &str, wires: usize, class: DelayClass, codec_delay: f64) -> CodePerf {
+        CodePerf {
+            name: name.into(),
+            data_bits: 4,
+            wires,
+            paths: vec![TimingPath::encoded(codec_delay / 2.0, class)],
+            decoder_delay: codec_delay / 2.0,
+            bus_energy: crate::energy::uncoded_average_coeff(wires),
+            codec_energy: 0.0,
+            codec_area: 0.0,
+            vdd: 1.2,
+        }
+    }
+
+    #[test]
+    fn cac_class_is_faster_on_long_bus() {
+        let e = env();
+        let ham = plain_code("ham", 7, DelayClass::WORST, 400e-12);
+        let dap = plain_code("dap", 9, DelayClass::CAC, 450e-12);
+        let s = speedup(&ham, &dap, &e);
+        assert!(s > 1.3, "expected significant CAC speed-up, got {s}");
+    }
+
+    #[test]
+    fn masking_reduces_total_delay() {
+        let e = env();
+        // Same encoder delay, but the masked variant routes its encoded bits
+        // on a cheaper class path alongside pass-through data wires.
+        let unmasked = CodePerf {
+            paths: vec![TimingPath::encoded(300e-12, DelayClass::WORST)],
+            ..plain_code("plain", 8, DelayClass::WORST, 0.0)
+        };
+        let masked = CodePerf {
+            paths: vec![
+                TimingPath::passthrough(DelayClass::WORST),
+                TimingPath::encoded(300e-12, DelayClass::new(3)),
+            ],
+            ..plain_code("masked", 8, DelayClass::WORST, 0.0)
+        };
+        assert!(masked.total_delay(&e) < unmasked.total_delay(&e));
+        // With enough slack the encoder delay vanishes entirely.
+        let slack = e.wire_delay(DelayClass::WORST) - e.wire_delay(DelayClass::new(3));
+        if slack > 300e-12 {
+            assert!((masked.total_delay(&e) - e.wire_delay(DelayClass::WORST)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn repeaters_speed_up_long_bus() {
+        let geom = BusGeometry::new(10.0, 2.8);
+        let plain = Environment::new(geom);
+        let repeated = Environment::new(geom).with_repeaters(RepeaterConfig::new(2.0, 40.0));
+        let d_plain = plain.wire_delay(DelayClass::WORST);
+        let d_rep = repeated.wire_delay(DelayClass::WORST);
+        let ratio = d_plain / d_rep;
+        assert!(
+            ratio > 2.0 && ratio < 6.0,
+            "repeater speed-up {ratio} out of expected range"
+        );
+    }
+
+    #[test]
+    fn repeaters_cost_energy() {
+        let geom = BusGeometry::new(10.0, 2.8);
+        let e_rep = Environment::new(geom).with_repeaters(RepeaterConfig::new(2.0, 40.0));
+        let code = plain_code("ham", 7, DelayClass::WORST, 0.0);
+        let overhead = code.repeater_energy_joules(&e_rep);
+        let bus = code.bus_energy_joules(&e_rep) - overhead;
+        assert!(overhead > 0.1 * bus, "repeater energy should be significant");
+        assert!(overhead < bus, "but not dominate the wire energy");
+    }
+
+    #[test]
+    fn voltage_scaling_quadratic_energy() {
+        let e = env();
+        let hi = plain_code("hi", 8, DelayClass::WORST, 0.0);
+        let lo = CodePerf {
+            vdd: 0.6,
+            ..hi.clone()
+        };
+        let ratio = lo.bus_energy_joules(&e) / hi.bus_energy_joules(&e);
+        assert!((ratio - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_overhead_counts_wires_and_codec() {
+        let e = env();
+        let a = plain_code("a", 7, DelayClass::WORST, 0.0);
+        let mut b = plain_code("b", 9, DelayClass::CAC, 0.0);
+        b.codec_area = 0.0;
+        let oh = area_overhead(&a, &b, &e);
+        assert!((oh - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_count() {
+        let rep = RepeaterConfig::new(2.0, 40.0);
+        assert_eq!(rep.stages(10e-3), 4);
+        assert_eq!(rep.stages(2e-3), 0);
+        assert_eq!(rep.stages(3e-3), 1);
+    }
+
+    #[test]
+    fn rate_and_basic_accessors() {
+        let c = plain_code("x", 8, DelayClass::CAC, 0.0);
+        assert!((c.rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,285 @@
+//! Process-technology and bus-geometry parameters.
+//!
+//! The paper evaluates in a 0.13-µm CMOS process: metal-4 wires of 0.2 µm
+//! width and 0.2 µm spacing, drivers sized at 50× minimum, nominal
+//! `Vdd = 1.2 V`, and a coupling ratio λ swept between 0.95 (full metal
+//! coverage above/below) and 4.6 (all bulk capacitance to substrate).
+//!
+//! We parameterize the same way: the *coupling* capacitance per unit length
+//! is fixed by the wire geometry, and λ selects the bulk capacitance
+//! `c_bulk = c_couple / λ`. All quantities are SI (ohms, farads, meters,
+//! seconds, volts) — display helpers convert to ps/µm/fF.
+
+/// A CMOS process technology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Technology {
+    /// Human-readable process name.
+    pub name: &'static str,
+    /// Nominal supply voltage (V).
+    pub vdd: f64,
+    /// Wire resistance per meter (Ω/m).
+    pub wire_res_per_m: f64,
+    /// Wire-to-neighbor coupling capacitance per meter, one side (F/m).
+    pub coupling_cap_per_m: f64,
+    /// Output resistance of a minimum-size driver (Ω).
+    pub min_driver_res: f64,
+    /// Input capacitance of a minimum-size inverter (F).
+    pub min_driver_input_cap: f64,
+    /// Output (self-load) capacitance of a minimum-size driver (F).
+    pub min_driver_output_cap: f64,
+    /// Receiver input capacitance at the far end of the wire (F).
+    pub receiver_cap: f64,
+    /// Intrinsic (unloaded) delay of a minimum-size inverter (s).
+    pub gate_intrinsic_delay: f64,
+}
+
+impl Technology {
+    /// The 0.13-µm process used throughout the paper's evaluation, with
+    /// published-typical global-wire parameters (metal 4, 0.2 µm width and
+    /// spacing): r ≈ 0.4 Ω/µm, coupling ≈ 0.08 fF/µm per side.
+    #[must_use]
+    pub fn cmos_130nm() -> Self {
+        Technology {
+            name: "cmos-130nm",
+            vdd: 1.2,
+            wire_res_per_m: 0.4e6,          // 0.4 Ω/µm
+            coupling_cap_per_m: 0.08e-9,    // 0.08 fF/µm per side
+            min_driver_res: 9.0e3,          // 9 kΩ
+            min_driver_input_cap: 1.8e-15,  // 1.8 fF
+            min_driver_output_cap: 1.2e-15, // 1.2 fF
+            receiver_cap: 4.0e-15,          // 4 fF
+            gate_intrinsic_delay: 20e-12,   // 20 ps
+        }
+    }
+
+    /// Bulk (ground) capacitance per meter implied by a coupling ratio λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    #[must_use]
+    pub fn bulk_cap_per_m(&self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "lambda must be positive");
+        self.coupling_cap_per_m / lambda
+    }
+
+    /// A first-order constant-field scaling of the 0.13-µm anchor to
+    /// another `node_nm`, for the paper's §V forward-looking argument:
+    /// gate speed and capacitances shrink with the node, supply follows
+    /// the roadmap, but wire resistance per length grows as the
+    /// cross-section shrinks (`∝ 1/node²`) while coupling capacitance per
+    /// length stays roughly constant — so a fixed-length global bus slows
+    /// down relative to logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `45 <= node_nm <= 250`.
+    #[must_use]
+    pub fn scaled(node_nm: f64) -> Self {
+        assert!(
+            (45.0..=250.0).contains(&node_nm),
+            "node {node_nm} nm outside the supported 45-250 nm range"
+        );
+        let anchor = 130.0;
+        let s = node_nm / anchor; // < 1 for future nodes
+        let base = Technology::cmos_130nm();
+        Technology {
+            name: "cmos-scaled",
+            vdd: roadmap_vdd(node_nm),
+            wire_res_per_m: base.wire_res_per_m / (s * s),
+            coupling_cap_per_m: base.coupling_cap_per_m,
+            min_driver_res: base.min_driver_res,
+            min_driver_input_cap: base.min_driver_input_cap * s,
+            min_driver_output_cap: base.min_driver_output_cap * s,
+            receiver_cap: base.receiver_cap * s,
+            gate_intrinsic_delay: base.gate_intrinsic_delay * s,
+        }
+    }
+}
+
+/// Roadmap-style supply voltage by node (linear interpolation between the
+/// published full-node values).
+fn roadmap_vdd(node_nm: f64) -> f64 {
+    const TABLE: [(f64, f64); 6] = [
+        (250.0, 2.5),
+        (180.0, 1.8),
+        (130.0, 1.2),
+        (90.0, 1.0),
+        (65.0, 0.9),
+        (45.0, 0.8),
+    ];
+    for pair in TABLE.windows(2) {
+        let (hi, v_hi) = pair[0];
+        let (lo, v_lo) = pair[1];
+        if node_nm <= hi && node_nm >= lo {
+            let t = (node_nm - lo) / (hi - lo);
+            return v_lo + t * (v_hi - v_lo);
+        }
+    }
+    unreachable!("node range checked by caller");
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos_130nm()
+    }
+}
+
+/// Geometry and drive strength of one bus instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BusGeometry {
+    /// Physical wire length (m).
+    pub length: f64,
+    /// Coupling-to-bulk capacitance ratio λ.
+    pub lambda: f64,
+    /// Driver size as a multiple of the minimum inverter.
+    pub driver_size: f64,
+}
+
+impl BusGeometry {
+    /// A bus of `length_mm` millimeters at coupling ratio `lambda`, with the
+    /// paper's default 50× drivers.
+    #[must_use]
+    pub fn new(length_mm: f64, lambda: f64) -> Self {
+        BusGeometry {
+            length: length_mm * 1e-3,
+            lambda,
+            driver_size: 50.0,
+        }
+    }
+
+    /// Sets a non-default driver size (multiple of minimum).
+    #[must_use]
+    pub fn with_driver_size(mut self, size: f64) -> Self {
+        self.driver_size = size;
+        self
+    }
+
+    /// Total bulk capacitance of one wire (F).
+    #[must_use]
+    pub fn wire_bulk_cap(&self, tech: &Technology) -> f64 {
+        tech.bulk_cap_per_m(self.lambda) * self.length
+    }
+
+    /// Total resistance of one wire (Ω).
+    #[must_use]
+    pub fn wire_res(&self, tech: &Technology) -> f64 {
+        tech.wire_res_per_m * self.length
+    }
+
+    /// The crosstalk-free wire delay τ0 (s): the 50% propagation delay of a
+    /// wire whose neighbors switch in the same direction, so only the bulk
+    /// capacitance is (dis)charged.
+    ///
+    /// Uses the standard lumped approximation for a driver-terminated
+    /// distributed RC line:
+    /// `τ0 = 0.69·R_d·(C_bulk + C_recv + C_self) + 0.38·R_w·C_bulk + 0.69·R_w·C_recv`.
+    #[must_use]
+    pub fn tau0(&self, tech: &Technology) -> f64 {
+        let r_d = tech.min_driver_res / self.driver_size;
+        let c_self = tech.min_driver_output_cap * self.driver_size;
+        let c_bulk = self.wire_bulk_cap(tech);
+        let r_w = self.wire_res(tech);
+        0.69 * r_d * (c_bulk + tech.receiver_cap + c_self)
+            + 0.38 * r_w * c_bulk
+            + 0.69 * r_w * tech.receiver_cap
+    }
+
+    /// Energy cost (J) of charging the driver's own input and output
+    /// capacitance once — used when accounting for driver/repeater overhead.
+    #[must_use]
+    pub fn driver_self_energy(&self, tech: &Technology) -> f64 {
+        let c = (tech.min_driver_input_cap + tech.min_driver_output_cap) * self.driver_size;
+        c * tech.vdd * tech.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_cap_tracks_lambda() {
+        let t = Technology::cmos_130nm();
+        let hi = t.bulk_cap_per_m(0.95);
+        let lo = t.bulk_cap_per_m(4.6);
+        assert!(hi > lo);
+        assert!((t.bulk_cap_per_m(1.0) - t.coupling_cap_per_m).abs() < 1e-24);
+    }
+
+    #[test]
+    fn tau0_in_plausible_range_for_10mm() {
+        // A 10-mm 0.13-µm global wire with a 50x driver has a crosstalk-free
+        // delay of a few hundred ps.
+        let t = Technology::cmos_130nm();
+        let g = BusGeometry::new(10.0, 2.8);
+        let tau = g.tau0(&t);
+        assert!(tau > 100e-12 && tau < 2e-9, "tau0 = {} ps", tau * 1e12);
+    }
+
+    #[test]
+    fn tau0_grows_superlinearly_with_length() {
+        let t = Technology::cmos_130nm();
+        let g6 = BusGeometry::new(6.0, 2.8);
+        let g12 = BusGeometry::new(12.0, 2.8);
+        let ratio = g12.tau0(&t) / g6.tau0(&t);
+        assert!(ratio > 2.0, "distributed RC must scale faster than linear, got {ratio}");
+    }
+
+    #[test]
+    fn bigger_driver_is_faster() {
+        let t = Technology::cmos_130nm();
+        let g = BusGeometry::new(10.0, 2.8);
+        assert!(g.with_driver_size(100.0).tau0(&t) < g.with_driver_size(10.0).tau0(&t));
+    }
+
+    #[test]
+    fn tau0_decreases_with_lambda_at_fixed_geometry() {
+        // Larger λ means less bulk capacitance, so the crosstalk-free delay
+        // itself shrinks (the (1+cλ) factors grow instead).
+        let t = Technology::cmos_130nm();
+        assert!(
+            BusGeometry::new(10.0, 4.6).tau0(&t) < BusGeometry::new(10.0, 0.95).tau0(&t)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn nonpositive_lambda_panics() {
+        let _ = Technology::cmos_130nm().bulk_cap_per_m(0.0);
+    }
+
+    #[test]
+    fn scaled_at_anchor_matches_base() {
+        let s = Technology::scaled(130.0);
+        let b = Technology::cmos_130nm();
+        assert!((s.vdd - b.vdd).abs() < 1e-12);
+        assert!((s.wire_res_per_m - b.wire_res_per_m).abs() < 1e-6);
+        assert!((s.gate_intrinsic_delay - b.gate_intrinsic_delay).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scaling_widens_the_gate_wire_gap() {
+        // The Fig.-1 trend: at smaller nodes gates get faster while a
+        // fixed-length wire gets slower.
+        let old = Technology::scaled(180.0);
+        let new = Technology::scaled(65.0);
+        assert!(new.gate_intrinsic_delay < old.gate_intrinsic_delay);
+        let geom = BusGeometry::new(10.0, 2.8);
+        assert!(geom.tau0(&new) > geom.tau0(&old));
+        assert!(new.vdd < old.vdd);
+    }
+
+    #[test]
+    fn roadmap_vdd_interpolates() {
+        assert!((Technology::scaled(90.0).vdd - 1.0).abs() < 1e-9);
+        let mid = Technology::scaled(110.0).vdd;
+        assert!(mid > 1.0 && mid < 1.2, "interpolated {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the supported")]
+    fn scaled_rejects_exotic_nodes() {
+        let _ = Technology::scaled(22.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-wire transition algebra.
+//!
+//! The paper's delay and energy models (eqs. (1)–(4)) are written in terms of
+//! the transition variable Δ_l on each wire l: +1 for a 0→1 transition, −1
+//! for 1→0, and 0 for no transition. [`Transition`] encodes Δ and
+//! [`TransitionVector`] is the Δ vector for one bus transfer.
+
+use crate::word::Word;
+
+/// The transition Δ on a single wire across one clock edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Transition {
+    /// 1 → 0, Δ = −1.
+    Fall,
+    /// No change, Δ = 0.
+    #[default]
+    Hold,
+    /// 0 → 1, Δ = +1.
+    Rise,
+}
+
+impl Transition {
+    /// The signed value Δ ∈ {−1, 0, +1}.
+    #[must_use]
+    pub fn delta(self) -> i32 {
+        match self {
+            Transition::Fall => -1,
+            Transition::Hold => 0,
+            Transition::Rise => 1,
+        }
+    }
+
+    /// The transition taking `before` to `after` on one wire.
+    #[must_use]
+    pub fn between(before: bool, after: bool) -> Self {
+        match (before, after) {
+            (false, true) => Transition::Rise,
+            (true, false) => Transition::Fall,
+            _ => Transition::Hold,
+        }
+    }
+
+    /// Whether the wire switches at all (Δ ≠ 0).
+    #[must_use]
+    pub fn is_switching(self) -> bool {
+        self != Transition::Hold
+    }
+
+    /// The opposite-direction transition (Rise ↔ Fall; Hold is its own
+    /// opposite).
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        match self {
+            Transition::Fall => Transition::Rise,
+            Transition::Hold => Transition::Hold,
+            Transition::Rise => Transition::Fall,
+        }
+    }
+}
+
+/// The vector of per-wire transitions for one bus transfer.
+///
+/// # Examples
+///
+/// ```
+/// use socbus_model::{Transition, TransitionVector, Word};
+///
+/// let before = Word::from_bits(0b00, 2);
+/// let after = Word::from_bits(0b01, 2);
+/// let tv = TransitionVector::between(before, after);
+/// assert_eq!(tv.get(0), Transition::Rise);
+/// assert_eq!(tv.get(1), Transition::Hold);
+/// assert_eq!(tv.switching_count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionVector {
+    deltas: Vec<Transition>,
+}
+
+impl TransitionVector {
+    /// Computes the transition vector from `before` to `after`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words have different widths.
+    #[must_use]
+    pub fn between(before: Word, after: Word) -> Self {
+        assert_eq!(before.width(), after.width(), "width mismatch");
+        let deltas = (0..before.width())
+            .map(|i| Transition::between(before.bit(i), after.bit(i)))
+            .collect();
+        TransitionVector { deltas }
+    }
+
+    /// Builds a transition vector directly from per-wire transitions.
+    #[must_use]
+    pub fn from_transitions(deltas: Vec<Transition>) -> Self {
+        TransitionVector { deltas }
+    }
+
+    /// Number of wires.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Transition on wire `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.width()`.
+    #[must_use]
+    pub fn get(&self, l: usize) -> Transition {
+        self.deltas[l]
+    }
+
+    /// Number of switching wires (self-transition count).
+    #[must_use]
+    pub fn switching_count(&self) -> usize {
+        self.deltas.iter().filter(|t| t.is_switching()).count()
+    }
+
+    /// Number of adjacent wire pairs switching in *opposite* directions —
+    /// the worst crosstalk events that both CAC conditions forbid.
+    #[must_use]
+    pub fn opposing_pair_count(&self) -> usize {
+        self.deltas
+            .windows(2)
+            .filter(|w| w[0].is_switching() && w[1] == w[0].opposite())
+            .count()
+    }
+
+    /// Iterates over per-wire transitions, wire 0 first.
+    pub fn iter(&self) -> impl Iterator<Item = Transition> + '_ {
+        self.deltas.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_values() {
+        assert_eq!(Transition::Fall.delta(), -1);
+        assert_eq!(Transition::Hold.delta(), 0);
+        assert_eq!(Transition::Rise.delta(), 1);
+    }
+
+    #[test]
+    fn between_covers_all_cases() {
+        assert_eq!(Transition::between(false, false), Transition::Hold);
+        assert_eq!(Transition::between(false, true), Transition::Rise);
+        assert_eq!(Transition::between(true, false), Transition::Fall);
+        assert_eq!(Transition::between(true, true), Transition::Hold);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for t in [Transition::Fall, Transition::Hold, Transition::Rise] {
+            assert_eq!(t.opposite().opposite(), t);
+        }
+    }
+
+    #[test]
+    fn vector_between_words() {
+        let tv = TransitionVector::between(Word::from_bits(0b110, 3), Word::from_bits(0b011, 3));
+        assert_eq!(tv.get(0), Transition::Rise);
+        assert_eq!(tv.get(1), Transition::Hold);
+        assert_eq!(tv.get(2), Transition::Fall);
+        assert_eq!(tv.switching_count(), 2);
+    }
+
+    #[test]
+    fn opposing_pairs_detected() {
+        // Wires 0 and 1 switch in opposite directions.
+        let tv = TransitionVector::between(Word::from_bits(0b01, 2), Word::from_bits(0b10, 2));
+        assert_eq!(tv.opposing_pair_count(), 1);
+        // Same direction: no opposing pair.
+        let tv = TransitionVector::between(Word::from_bits(0b00, 2), Word::from_bits(0b11, 2));
+        assert_eq!(tv.opposing_pair_count(), 0);
+    }
+
+    #[test]
+    fn hold_vector_has_no_activity() {
+        let w = Word::from_bits(0b1010, 4);
+        let tv = TransitionVector::between(w, w);
+        assert_eq!(tv.switching_count(), 0);
+        assert_eq!(tv.opposing_pair_count(), 0);
+    }
+}

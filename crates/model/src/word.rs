@@ -1,0 +1,445 @@
+//! Fixed-width bus words.
+//!
+//! A [`Word`] is the value carried by the parallel wires of an on-chip bus in
+//! one clock cycle. Wire 0 is, by convention, the *first* (edge) wire of the
+//! bus; adjacency of wire indices is physical adjacency, which is what the
+//! crosstalk models in [`crate::delay`] and [`crate::energy`] act on.
+//!
+//! Words are value types backed by four 64-bit limbs, supporting buses of up
+//! to 256 wires — the paper's widest evaluated design (DAPBI on a 64-bit
+//! bus) needs 131.
+
+use std::fmt;
+
+/// Maximum supported bus width in wires.
+pub const MAX_WIDTH: usize = 256;
+
+const LIMBS: usize = MAX_WIDTH / 64;
+
+/// A fixed-width binary word on a parallel bus.
+///
+/// Bit `i` of the word is the logic value on wire `i`. Two words on the same
+/// bus must have equal [`width`](Word::width); operations that combine words
+/// panic on width mismatch (this is a programming error, not a data error).
+///
+/// # Examples
+///
+/// ```
+/// use socbus_model::Word;
+///
+/// let w = Word::from_bits(0b1011, 4);
+/// assert_eq!(w.width(), 4);
+/// assert!(w.bit(0) && w.bit(1) && !w.bit(2) && w.bit(3));
+/// assert_eq!(w.count_ones(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Word {
+    limbs: [u64; LIMBS],
+    width: u16,
+}
+
+impl Word {
+    /// Creates an all-zero word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_WIDTH`.
+    #[must_use]
+    pub fn zero(width: usize) -> Self {
+        assert!(width <= MAX_WIDTH, "bus width {width} exceeds {MAX_WIDTH}");
+        Word {
+            limbs: [0; LIMBS],
+            width: width as u16,
+        }
+    }
+
+    /// Creates a word from the low `width` bits of `bits`.
+    ///
+    /// Bits above `width` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_WIDTH`.
+    #[must_use]
+    pub fn from_bits(bits: u128, width: usize) -> Self {
+        let mut w = Word::zero(width);
+        w.limbs[0] = bits as u64;
+        w.limbs[1] = (bits >> 64) as u64;
+        w.mask_off();
+        w
+    }
+
+    /// Creates a word from a slice of booleans, one per wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() > MAX_WIDTH`.
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut w = Word::zero(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            w.set_bit(i, b);
+        }
+        w
+    }
+
+    /// Clears any bits at or above `width`.
+    fn mask_off(&mut self) {
+        let width = self.width as usize;
+        for l in 0..LIMBS {
+            let lo = l * 64;
+            if width <= lo {
+                self.limbs[l] = 0;
+            } else if width < lo + 64 {
+                self.limbs[l] &= (1u64 << (width - lo)) - 1;
+            }
+        }
+    }
+
+    /// Number of wires this word spans.
+    #[must_use]
+    pub fn width(self) -> usize {
+        self.width as usize
+    }
+
+    /// The raw bit pattern as `u128` (low 128 wires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any wire at index 128 or above is set (the value would not
+    /// fit); words up to width 128 always succeed.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        assert!(
+            self.limbs[2] == 0 && self.limbs[3] == 0,
+            "word has bits above 128; use bit() accessors"
+        );
+        u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)
+    }
+
+    /// Logic value on wire `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < self.width(), "wire {i} out of range for width {}", self.width);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the logic value on wire `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width(), "wire {i} out of range for width {}", self.width);
+        if value {
+            self.limbs[i / 64] |= 1 << (i % 64);
+        } else {
+            self.limbs[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Returns a copy with wire `i` set to `value`.
+    #[must_use]
+    pub fn with_bit(mut self, i: usize, value: bool) -> Self {
+        self.set_bit(i, value);
+        self
+    }
+
+    /// Number of wires at logic 1.
+    #[must_use]
+    pub fn count_ones(self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Bitwise XOR; the Hamming-distance mask between two words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn xor(self, other: Word) -> Word {
+        assert_eq!(self.width, other.width, "width mismatch in xor");
+        let mut out = self;
+        for l in 0..LIMBS {
+            out.limbs[l] ^= other.limbs[l];
+        }
+        out
+    }
+
+    /// Bitwise complement within the word's width.
+    #[must_use]
+    pub fn not(self) -> Word {
+        let mut out = self;
+        for l in 0..LIMBS {
+            out.limbs[l] = !out.limbs[l];
+        }
+        out.mask_off();
+        out
+    }
+
+    /// Hamming distance to another word of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[must_use]
+    pub fn hamming_distance(self, other: Word) -> u32 {
+        self.xor(other).count_ones()
+    }
+
+    /// Number of wires that change value going from `self` to `next`
+    /// (the self-transition count).
+    #[must_use]
+    pub fn transition_count(self, next: Word) -> u32 {
+        self.hamming_distance(next)
+    }
+
+    /// Concatenates `other` above `self`: `self` occupies wires
+    /// `0..self.width()` and `other` occupies the wires after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn concat(self, other: Word) -> Word {
+        let total = self.width() + other.width();
+        assert!(total <= MAX_WIDTH, "concatenated width {total} exceeds {MAX_WIDTH}");
+        let mut out = Word::zero(total);
+        out.limbs = self.limbs;
+        for i in 0..other.width() {
+            if other.bit(i) {
+                let j = self.width() + i;
+                out.limbs[j / 64] |= 1 << (j % 64);
+            }
+        }
+        out
+    }
+
+    /// Extracts wires `lo..lo + len` as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo + len > self.width()`.
+    #[must_use]
+    pub fn slice(self, lo: usize, len: usize) -> Word {
+        assert!(lo + len <= self.width(), "slice {lo}..{} out of range", lo + len);
+        let mut out = Word::zero(len);
+        for i in 0..len {
+            let j = lo + i;
+            if (self.limbs[j / 64] >> (j % 64)) & 1 == 1 {
+                out.limbs[i / 64] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Iterates over the logic values wire by wire, wire 0 first.
+    pub fn iter_bits(self) -> impl Iterator<Item = bool> {
+        (0..self.width()).map(move |i| (self.limbs[i / 64] >> (i % 64)) & 1 == 1)
+    }
+
+    /// All `2^width` words of a given width, in numeric order.
+    ///
+    /// Useful for exhaustive codebook analysis of narrow buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width >= 32` (the enumeration would be intractable).
+    pub fn enumerate_all(width: usize) -> impl Iterator<Item = Word> {
+        assert!(width < 32, "exhaustive enumeration limited to width < 32");
+        (0u128..(1 << width)).map(move |b| Word::from_bits(b, width))
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({}:", self.width)?;
+        // Print wire (width-1) first so the string reads like a binary number.
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width().max(1)).rev() {
+            let b = if i < self.width() && self.bit(i) { '1' } else { '0' };
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = self.width().max(1).div_ceil(4);
+        for d in (0..digits).rev() {
+            let mut nibble = 0u8;
+            for b in 0..4 {
+                let i = d * 4 + b;
+                if i < self.width() && self.bit(i) {
+                    nibble |= 1 << b;
+                }
+            }
+            write!(f, "{nibble:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_no_ones() {
+        let w = Word::zero(17);
+        assert_eq!(w.count_ones(), 0);
+        assert_eq!(w.width(), 17);
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        let w = Word::from_bits(0xFF, 4);
+        assert_eq!(w.bits(), 0xF);
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut w = Word::zero(8);
+        w.set_bit(3, true);
+        assert!(w.bit(3));
+        w.set_bit(3, false);
+        assert!(!w.bit(3));
+    }
+
+    #[test]
+    fn from_bools_matches_bit_order() {
+        let w = Word::from_bools(&[true, false, true]);
+        assert_eq!(w.bits(), 0b101);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_wires() {
+        let a = Word::from_bits(0b1100, 4);
+        let b = Word::from_bits(0b1010, 4);
+        assert_eq!(a.hamming_distance(b), 2);
+    }
+
+    #[test]
+    fn not_stays_within_width() {
+        let w = Word::from_bits(0b0101, 4);
+        assert_eq!(w.not().bits(), 0b1010);
+        assert_eq!(w.not().not(), w);
+    }
+
+    #[test]
+    fn concat_places_other_above_self() {
+        let lo = Word::from_bits(0b01, 2);
+        let hi = Word::from_bits(0b11, 2);
+        let c = lo.concat(hi);
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.bits(), 0b1101);
+    }
+
+    #[test]
+    fn slice_inverts_concat() {
+        let lo = Word::from_bits(0b01, 2);
+        let hi = Word::from_bits(0b10, 3);
+        let c = lo.concat(hi);
+        assert_eq!(c.slice(0, 2), lo);
+        assert_eq!(c.slice(2, 3), hi);
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(Word::enumerate_all(5).count(), 32);
+    }
+
+    #[test]
+    fn wide_words_work_across_limbs() {
+        // 200-wire word: set bits straddling every limb boundary.
+        let mut w = Word::zero(200);
+        for &i in &[0usize, 63, 64, 127, 128, 191, 192, 199] {
+            w.set_bit(i, true);
+        }
+        assert_eq!(w.count_ones(), 8);
+        for &i in &[0usize, 63, 64, 127, 128, 191, 192, 199] {
+            assert!(w.bit(i), "bit {i}");
+        }
+        assert_eq!(w.not().count_ones(), 192);
+        // Slice across a limb boundary.
+        let s = w.slice(60, 10); // contains original bits 63 and 64
+        assert_eq!(s.count_ones(), 2);
+        assert!(s.bit(3) && s.bit(4));
+    }
+
+    #[test]
+    fn concat_across_limb_boundaries() {
+        let lo = Word::from_bits(u128::MAX, 100);
+        let hi = Word::from_bits(0b101, 3);
+        let c = lo.concat(hi);
+        assert_eq!(c.width(), 103);
+        assert_eq!(c.count_ones(), 102);
+        assert!(c.bit(100) && !c.bit(101) && c.bit(102));
+        assert_eq!(c.slice(0, 100), lo);
+        assert_eq!(c.slice(100, 3), hi);
+    }
+
+    #[test]
+    fn max_width_word_works() {
+        let mut w = Word::zero(MAX_WIDTH);
+        for i in 0..MAX_WIDTH {
+            w.set_bit(i, true);
+        }
+        assert_eq!(w.count_ones(), MAX_WIDTH as u32);
+        assert_eq!(w.not().count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn xor_panics_on_width_mismatch() {
+        let _ = Word::zero(4).xor(Word::zero(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let _ = Word::zero(4).bit(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above 128")]
+    fn bits_panics_above_128() {
+        let w = Word::zero(200).with_bit(150, true);
+        let _ = w.bits();
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let w = Word::from_bits(0b0011, 4);
+        assert_eq!(w.to_string(), "0011");
+    }
+
+    #[test]
+    fn hex_and_binary_formatting() {
+        let w = Word::from_bits(0b1010_1111, 8);
+        assert_eq!(format!("{w:x}"), "af");
+        assert_eq!(format!("{w:b}"), "10101111");
+    }
+}

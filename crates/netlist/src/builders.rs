@@ -1,0 +1,295 @@
+//! Reusable logic-block generators: XOR trees, ripple adders, popcount,
+//! constant comparators — the building blocks every codec netlist shares.
+
+use crate::graph::{Netlist, NodeId};
+
+/// Balanced XOR tree over `leaves`; returns constant 0 for no leaves.
+pub fn xor_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
+    match leaves.len() {
+        0 => nl.constant(false),
+        1 => leaves[0],
+        _ => {
+            let mut level: Vec<NodeId> = leaves.to_vec();
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|c| if c.len() == 2 { nl.xor(c[0], c[1]) } else { c[0] })
+                    .collect();
+            }
+            level[0]
+        }
+    }
+}
+
+/// Balanced AND tree; returns constant 1 for no leaves.
+pub fn and_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
+    match leaves.len() {
+        0 => nl.constant(true),
+        1 => leaves[0],
+        _ => {
+            let mut level: Vec<NodeId> = leaves.to_vec();
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|c| if c.len() == 2 { nl.and(c[0], c[1]) } else { c[0] })
+                    .collect();
+            }
+            level[0]
+        }
+    }
+}
+
+/// Balanced OR tree; returns constant 0 for no leaves.
+pub fn or_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
+    match leaves.len() {
+        0 => nl.constant(false),
+        1 => leaves[0],
+        _ => {
+            let mut level: Vec<NodeId> = leaves.to_vec();
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|c| if c.len() == 2 { nl.or(c[0], c[1]) } else { c[0] })
+                    .collect();
+            }
+            level[0]
+        }
+    }
+}
+
+/// Full adder: returns `(sum, carry)`.
+pub fn full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, c: NodeId) -> (NodeId, NodeId) {
+    let ab = nl.xor(a, b);
+    let sum = nl.xor(ab, c);
+    let t1 = nl.and(a, b);
+    let t2 = nl.and(ab, c);
+    let carry = nl.or(t1, t2);
+    (sum, carry)
+}
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_adder(nl: &mut Netlist, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    (nl.xor(a, b), nl.and(a, b))
+}
+
+/// Ripple-carry addition of two little-endian bit vectors (unequal widths
+/// allowed); result has `max(len)+1` bits.
+pub fn ripple_add(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let width = a.len().max(b.len());
+    let mut out = Vec::with_capacity(width + 1);
+    let mut carry: Option<NodeId> = None;
+    for i in 0..width {
+        let bit = match (a.get(i), b.get(i), carry) {
+            (Some(&x), Some(&y), None) => {
+                let (s, c) = half_adder(nl, x, y);
+                carry = Some(c);
+                s
+            }
+            (Some(&x), Some(&y), Some(cin)) => {
+                let (s, c) = full_adder(nl, x, y, cin);
+                carry = Some(c);
+                s
+            }
+            (Some(&x), None, Some(cin)) | (None, Some(&x), Some(cin)) => {
+                let (s, c) = half_adder(nl, x, cin);
+                carry = Some(c);
+                s
+            }
+            (Some(&x), None, None) | (None, Some(&x), None) => x,
+            (None, None, _) => unreachable!("width bound"),
+        };
+        out.push(bit);
+    }
+    if let Some(c) = carry {
+        out.push(c);
+    }
+    out
+}
+
+/// Population count of `bits` as a little-endian binary vector, built as
+/// a carry-save (Wallace) compressor tree: full/half adders reduce each
+/// bit-weight column until at most two addends remain, then one short
+/// ripple addition finishes. Logarithmic depth — the speed-optimized
+/// structure a synthesis flow would produce for the bus-invert decision
+/// logic.
+pub fn popcount(nl: &mut Netlist, bits: &[NodeId]) -> Vec<NodeId> {
+    if bits.is_empty() {
+        return vec![nl.constant(false)];
+    }
+    let mut cols: Vec<Vec<NodeId>> = vec![bits.to_vec()];
+    while cols.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); cols.len() + 1];
+        for (w, col) in cols.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, c) = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+                next[w].push(s);
+                next[w + 1].push(c);
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                let (s, c) = half_adder(nl, col[i], col[i + 1]);
+                next[w].push(s);
+                next[w + 1].push(c);
+            } else if col.len() - i == 1 {
+                next[w].push(col[i]);
+            }
+        }
+        while next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        cols = next;
+    }
+    // At most two bits per column: split into two binary numbers and add.
+    let mut a = Vec::with_capacity(cols.len());
+    let mut b = Vec::new();
+    for col in &cols {
+        match col.as_slice() {
+            [] => a.push(nl.constant(false)),
+            [x] => a.push(*x),
+            [x, y, ..] => {
+                a.push(*x);
+                while b.len() + 1 < a.len() {
+                    b.push(nl.constant(false));
+                }
+                b.push(*y);
+            }
+        }
+    }
+    if b.is_empty() {
+        a
+    } else {
+        ripple_add(nl, &a, &b)
+    }
+}
+
+/// Comparator: high when the little-endian `value` exceeds the constant
+/// `threshold`.
+pub fn greater_than_const(nl: &mut Netlist, value: &[NodeId], threshold: u64) -> NodeId {
+    // MSB-first scan: gt |= eq_so_far & (bit > t_bit); eq &= (bit == t_bit).
+    let mut gt: NodeId = nl.constant(false);
+    let mut eq: NodeId = nl.constant(true);
+    for i in (0..value.len()).rev() {
+        let t = (threshold >> i) & 1 == 1;
+        let bit = value[i];
+        if t {
+            // bit can't exceed 1; update eq only.
+            eq = nl.and(eq, bit);
+        } else {
+            let win = nl.and(eq, bit);
+            gt = nl.or(gt, win);
+            let nb = nl.not(bit);
+            eq = nl.and(eq, nb);
+        }
+    }
+    gt
+}
+
+/// Detector: high when `bits` (little-endian) equal the constant `value`.
+pub fn equals_const(nl: &mut Netlist, bits: &[NodeId], value: u64) -> NodeId {
+    let literals: Vec<NodeId> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            if (value >> i) & 1 == 1 {
+                b
+            } else {
+                nl.not(b)
+            }
+        })
+        .collect();
+    and_tree(nl, &literals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::Word;
+
+    fn run1(nl: &Netlist, input: u128, width: usize) -> bool {
+        nl.run(Word::from_bits(input, width)).bit(0)
+    }
+
+    #[test]
+    fn xor_tree_parity() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(5);
+        let t = xor_tree(&mut nl, &ins);
+        nl.output(t);
+        for v in 0u128..32 {
+            assert_eq!(run1(&nl, v, 5), v.count_ones() % 2 == 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(7);
+        let cnt = popcount(&mut nl, &ins);
+        for &c in &cnt {
+            nl.output(c);
+        }
+        for v in 0u128..128 {
+            let out = nl.run(Word::from_bits(v, 7));
+            assert_eq!(out.bits(), u128::from(v.count_ones()), "v={v:07b}");
+        }
+    }
+
+    #[test]
+    fn greater_than_const_works() {
+        for threshold in 0u64..8 {
+            let mut nl = Netlist::new();
+            let ins = nl.inputs(3);
+            let g = greater_than_const(&mut nl, &ins, threshold);
+            nl.output(g);
+            for v in 0u128..8 {
+                assert_eq!(
+                    run1(&nl, v, 3),
+                    v as u64 > threshold,
+                    "v={v} threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equals_const_detects() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(4);
+        let e = equals_const(&mut nl, &ins, 0b1010);
+        nl.output(e);
+        for v in 0u128..16 {
+            assert_eq!(run1(&nl, v, 4), v == 0b1010, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ripple_add_adds() {
+        let mut nl = Netlist::new();
+        let a = nl.inputs(3);
+        let b = nl.inputs(2);
+        let s = ripple_add(&mut nl, &a, &b);
+        for &bit in &s {
+            nl.output(bit);
+        }
+        for x in 0u128..8 {
+            for y in 0u128..4 {
+                let input = x | (y << 3);
+                let out = nl.run(Word::from_bits(input, 5));
+                assert_eq!(out.bits(), x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn trees_handle_degenerate_sizes() {
+        let mut nl = Netlist::new();
+        let t0 = xor_tree(&mut nl, &[]);
+        let a1 = and_tree(&mut nl, &[]);
+        nl.output(t0);
+        nl.output(a1);
+        let out = nl.run(Word::zero(0));
+        assert!(!out.bit(0));
+        assert!(out.bit(1));
+    }
+}

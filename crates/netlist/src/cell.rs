@@ -1,0 +1,248 @@
+//! A 0.13-µm standard-cell library.
+//!
+//! The paper synthesizes its codecs with a commercial 0.13-µm standard
+//! cell library and reports gate-level area / delay / energy estimates.
+//! This module plays that library's role: per-cell area, input
+//! capacitance, drive resistance, intrinsic delay, and internal switching
+//! energy, calibrated so a fanout-of-4 inverter delay lands at ~45 ps —
+//! the textbook figure for a 0.13-µm process.
+//!
+//! Timing uses the standard linear delay model
+//! `t = intrinsic + R_drive · C_load`; energy per output toggle is
+//! `E = E_internal + C_load · Vdd²`.
+
+/// Combinational and sequential cell types available to the synthesizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer (`sel ? b : a`).
+    Mux2,
+    /// Positive-edge D flip-flop.
+    Dff,
+}
+
+/// Electrical and physical parameters of one cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellParams {
+    /// Silicon area (m²).
+    pub area: f64,
+    /// Capacitance presented by one input pin (F).
+    pub input_cap: f64,
+    /// Output drive resistance (Ω).
+    pub drive_res: f64,
+    /// Intrinsic (unloaded) propagation delay (s). For a DFF this is the
+    /// clock-to-Q delay.
+    pub intrinsic_delay: f64,
+    /// Internal energy per output toggle, excluding load (J).
+    pub internal_energy: f64,
+}
+
+/// A standard-cell library: cell parameters plus global constants.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellLibrary {
+    /// Library name.
+    pub name: &'static str,
+    /// Supply voltage for codec logic (V). The paper keeps codecs at the
+    /// nominal 1.2 V even when the bus swing is scaled.
+    pub vdd: f64,
+    /// Load presented by a codec output pin (the predriver stage of the
+    /// sized bus driver) (F).
+    pub output_load: f64,
+    /// Extra wiring capacitance charged per fanout connection (F).
+    pub wire_cap_per_fanout: f64,
+    /// Power derating for combinational glitching: real multi-level logic
+    /// (adder trees, syndrome logic) produces spurious transitions a
+    /// zero-delay toggle count misses; gate-level power estimators apply a
+    /// factor like this one.
+    pub glitch_factor: f64,
+    /// Energy drawn from the clock network per DFF per cycle (F·V² worth,
+    /// stored as J) — flops burn clock power even when their data holds.
+    pub dff_clock_energy: f64,
+    /// Node-scaling multiplier applied to every cell delay.
+    pub delay_scale: f64,
+    /// Node-scaling multiplier applied to every cell energy.
+    pub energy_scale: f64,
+    /// Node-scaling multiplier applied to every cell area.
+    pub area_scale: f64,
+}
+
+impl CellLibrary {
+    /// The 0.13-µm library used throughout the reproduction.
+    #[must_use]
+    pub fn cmos_130nm() -> Self {
+        CellLibrary {
+            name: "scl-130nm",
+            vdd: 1.2,
+            output_load: 10.0e-15,
+            wire_cap_per_fanout: 0.5e-15,
+            glitch_factor: 1.8,
+            dff_clock_energy: 4.0e-15,
+            delay_scale: 1.0,
+            energy_scale: 1.0,
+            area_scale: 1.0,
+        }
+    }
+
+    /// Constant-field scaling of the library to another node: delays and
+    /// capacitances shrink linearly, areas quadratically, per-toggle
+    /// energies as `node · (Vdd/1.2)²`. Pairs with
+    /// `Technology::scaled(node_nm)` for the §V future-node study.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `45 <= node_nm <= 250`.
+    #[must_use]
+    pub fn scaled(node_nm: f64) -> Self {
+        assert!(
+            (45.0..=250.0).contains(&node_nm),
+            "node {node_nm} nm outside the supported 45-250 nm range"
+        );
+        let s = node_nm / 130.0;
+        let base = CellLibrary::cmos_130nm();
+        let vdd = socbus_model::Technology::scaled(node_nm).vdd;
+        let e = s * (vdd / base.vdd).powi(2);
+        CellLibrary {
+            name: "scl-scaled",
+            vdd,
+            output_load: base.output_load * s,
+            wire_cap_per_fanout: base.wire_cap_per_fanout * s,
+            glitch_factor: base.glitch_factor,
+            dff_clock_energy: base.dff_clock_energy * e,
+            delay_scale: s,
+            energy_scale: e,
+            area_scale: s * s,
+        }
+    }
+
+    /// Parameters of a cell.
+    #[must_use]
+    pub fn params(&self, kind: CellKind) -> CellParams {
+        // Areas in µm², caps in fF, resistances in kΩ, delays in ps,
+        // energies in fJ — converted to SI below.
+        let (area, cin, res, delay, energy) = match kind {
+            CellKind::Inv => (5.0, 1.8, 4.0, 15.0, 1.0),
+            CellKind::Buf => (7.0, 1.8, 3.5, 30.0, 1.6),
+            CellKind::Nand2 => (7.0, 2.2, 5.0, 18.0, 1.5),
+            CellKind::Nor2 => (7.0, 2.4, 6.0, 20.0, 1.6),
+            CellKind::And2 => (9.0, 2.0, 5.0, 28.0, 2.0),
+            CellKind::Or2 => (9.0, 2.0, 5.5, 30.0, 2.1),
+            CellKind::Xor2 => (12.0, 3.0, 6.0, 35.0, 3.0),
+            CellKind::Xnor2 => (12.0, 3.0, 6.0, 35.0, 3.0),
+            CellKind::Mux2 => (11.0, 2.5, 5.0, 30.0, 2.5),
+            CellKind::Dff => (20.0, 2.5, 4.5, 85.0, 5.0),
+        };
+        CellParams {
+            area: area * 1e-12 * self.area_scale,
+            input_cap: cin * 1e-15 * self.delay_scale,
+            drive_res: res * 1e3,
+            intrinsic_delay: delay * 1e-12 * self.delay_scale,
+            internal_energy: energy * 1e-15 * self.energy_scale,
+        }
+    }
+
+    /// Propagation delay of `kind` driving `load` farads.
+    #[must_use]
+    pub fn delay(&self, kind: CellKind, load: f64) -> f64 {
+        let p = self.params(kind);
+        p.intrinsic_delay + p.drive_res * load
+    }
+
+    /// Energy of one output toggle of `kind` into `load` farads.
+    #[must_use]
+    pub fn toggle_energy(&self, kind: CellKind, load: f64) -> f64 {
+        let p = self.params(kind);
+        p.internal_energy + load * self.vdd * self.vdd
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::cmos_130nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_delay_near_45ps() {
+        let lib = CellLibrary::cmos_130nm();
+        let inv = lib.params(CellKind::Inv);
+        let fo4 = lib.delay(CellKind::Inv, 4.0 * inv.input_cap);
+        assert!(
+            (35e-12..55e-12).contains(&fo4),
+            "FO4 = {} ps outside 0.13-µm range",
+            fo4 * 1e12
+        );
+    }
+
+    #[test]
+    fn xor_is_slower_and_bigger_than_nand() {
+        let lib = CellLibrary::cmos_130nm();
+        let x = lib.params(CellKind::Xor2);
+        let n = lib.params(CellKind::Nand2);
+        assert!(x.area > n.area);
+        assert!(x.intrinsic_delay > n.intrinsic_delay);
+        assert!(x.internal_energy > n.internal_energy);
+    }
+
+    #[test]
+    fn toggle_energy_includes_load() {
+        let lib = CellLibrary::cmos_130nm();
+        let e0 = lib.toggle_energy(CellKind::Inv, 0.0);
+        let e4 = lib.toggle_energy(CellKind::Inv, 4e-15);
+        assert!((e4 - e0 - 4e-15 * 1.44).abs() < 1e-20);
+    }
+
+    #[test]
+    fn scaled_library_shrinks_delay_energy_area() {
+        let base = CellLibrary::cmos_130nm();
+        let s65 = CellLibrary::scaled(65.0);
+        let pb = base.params(CellKind::Xor2);
+        let ps = s65.params(CellKind::Xor2);
+        assert!(ps.intrinsic_delay < pb.intrinsic_delay);
+        assert!(ps.internal_energy < pb.internal_energy);
+        assert!(ps.area < pb.area / 2.0, "quadratic area shrink");
+        assert!(s65.vdd < base.vdd);
+        // Anchor node reproduces the base library.
+        let s130 = CellLibrary::scaled(130.0);
+        assert!((s130.params(CellKind::Inv).area - base.params(CellKind::Inv).area).abs() < 1e-18);
+    }
+
+    #[test]
+    fn all_cells_have_positive_params() {
+        let lib = CellLibrary::cmos_130nm();
+        for kind in [
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Mux2,
+            CellKind::Dff,
+        ] {
+            let p = lib.params(kind);
+            assert!(p.area > 0.0 && p.input_cap > 0.0 && p.drive_res > 0.0);
+            assert!(p.intrinsic_delay > 0.0 && p.internal_energy > 0.0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! GF(2^m) arithmetic as combinational logic.
+//!
+//! Field elements travel as `m`-bit vectors in the polynomial basis.
+//! Addition is bitwise XOR; multiplication by a *constant* is a GF(2)
+//! linear map (pure XOR network); general multiplication is an AND array
+//! feeding reduction XOR trees; inversion is the Fermat chain
+//! `x^(2^m − 2)` built from (linear) squarings and general multipliers.
+//! These blocks assemble the BCH decoder datapath — the "complex codec"
+//! the paper's §V warns about, here made concrete and measurable.
+
+use crate::builders::{or_tree, xor_tree};
+use crate::graph::{Netlist, NodeId};
+use socbus_codes::ecc::gf::Field;
+
+/// Applies the GF(2) linear map whose image of basis vector `α^j` is
+/// `cols[j]` (an m-bit field element) to the element `x`.
+pub fn linear_map(nl: &mut Netlist, m: usize, cols: &[u16], x: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(cols.len(), x.len(), "matrix/input width mismatch");
+    (0..m)
+        .map(|bit| {
+            let leaves: Vec<NodeId> = cols
+                .iter()
+                .zip(x)
+                .filter(|(&col, _)| col >> bit & 1 == 1)
+                .map(|(_, &n)| n)
+                .collect();
+            xor_tree(nl, &leaves)
+        })
+        .collect()
+}
+
+/// Multiplies `x` by the constant `c` (pure XOR network).
+pub fn const_mul(nl: &mut Netlist, field: &Field, c: u16, x: &[NodeId]) -> Vec<NodeId> {
+    let m = field.m() as usize;
+    let cols: Vec<u16> = (0..m)
+        .map(|j| field.mul(c, 1 << j))
+        .collect();
+    linear_map(nl, m, &cols, x)
+}
+
+/// Squares `x` (the Frobenius map — linear over GF(2)).
+pub fn square(nl: &mut Netlist, field: &Field, x: &[NodeId]) -> Vec<NodeId> {
+    let m = field.m() as usize;
+    let cols: Vec<u16> = (0..m)
+        .map(|j| {
+            let b = 1u16 << j;
+            field.mul(b, b)
+        })
+        .collect();
+    linear_map(nl, m, &cols, x)
+}
+
+/// General GF(2^m) multiplier: AND array plus reduction XOR trees.
+pub fn multiply(nl: &mut Netlist, field: &Field, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let m = field.m() as usize;
+    assert_eq!(a.len(), m, "operand width");
+    assert_eq!(b.len(), m, "operand width");
+    // Partial products: a_i · b_j contributes α^(i+j) reduced.
+    let mut leaves: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in 0..m {
+            let reduced = field.alpha_pow(i + j);
+            let prod = nl.and(a[i], b[j]);
+            for (bit, slot) in leaves.iter_mut().enumerate() {
+                if reduced >> bit & 1 == 1 {
+                    slot.push(prod);
+                }
+            }
+        }
+    }
+    leaves.iter().map(|l| xor_tree(nl, l)).collect()
+}
+
+/// Inverts `x` via Fermat's little theorem: `x^(2^m − 2)` as a
+/// square-and-multiply chain. The output is garbage for `x = 0`; callers
+/// gate on [`is_zero`].
+pub fn inverse(nl: &mut Netlist, field: &Field, x: &[NodeId]) -> Vec<NodeId> {
+    // 2^m − 2 = 2 + 4 + … + 2^(m−1): product of x^(2^i) for i = 1..m−1.
+    let m = field.m() as usize;
+    let mut power = x.to_vec(); // x^(2^0)
+    let mut acc: Option<Vec<NodeId>> = None;
+    for _ in 1..m {
+        power = square(nl, field, &power);
+        acc = Some(match acc {
+            None => power.clone(),
+            Some(a) => multiply(nl, field, &a, &power),
+        });
+    }
+    acc.expect("m >= 2")
+}
+
+/// High when the element is zero.
+pub fn is_zero(nl: &mut Netlist, x: &[NodeId]) -> NodeId {
+    let any = or_tree(nl, x);
+    nl.not(any)
+}
+
+/// High when the element equals the constant `c`.
+pub fn equals_const_elem(nl: &mut Netlist, c: u16, x: &[NodeId]) -> NodeId {
+    let lits: Vec<NodeId> = x
+        .iter()
+        .enumerate()
+        .map(|(bit, &n)| if c >> bit & 1 == 1 { n } else { nl.not(n) })
+        .collect();
+    crate::builders::and_tree(nl, &lits)
+}
+
+/// XORs two equal-width element vectors.
+pub fn add_elems(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    a.iter().zip(b).map(|(&x, &y)| nl.xor(x, y)).collect()
+}
+
+/// XORs a constant into an element vector (inverters on the set bits).
+pub fn add_const(nl: &mut Netlist, c: u16, x: &[NodeId]) -> Vec<NodeId> {
+    x.iter()
+        .enumerate()
+        .map(|(bit, &n)| if c >> bit & 1 == 1 { nl.not(n) } else { n })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_model::Word;
+
+    fn eval(nl: &Netlist, inputs: u128, width: usize) -> Vec<bool> {
+        nl.evaluate(Word::from_bits(inputs, width))
+    }
+
+    fn read_elem(vals: &[bool], nodes: &[NodeId]) -> u16 {
+        nodes
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (bit, &n)| acc | (u16::from(vals[n]) << bit))
+    }
+
+    #[test]
+    fn const_mul_matches_field() {
+        let f = Field::new(4);
+        for c in 0..16u16 {
+            let mut nl = Netlist::new();
+            let x = nl.inputs(4);
+            let y = const_mul(&mut nl, &f, c, &x);
+            for v in 0..16u128 {
+                let vals = eval(&nl, v, 4);
+                assert_eq!(read_elem(&vals, &y), f.mul(c, v as u16), "c={c} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_field_exhaustive_gf16() {
+        let f = Field::new(4);
+        let mut nl = Netlist::new();
+        let a = nl.inputs(4);
+        let b = nl.inputs(4);
+        let p = multiply(&mut nl, &f, &a, &b);
+        for va in 0..16u128 {
+            for vb in 0..16u128 {
+                let vals = eval(&nl, va | (vb << 4), 8);
+                assert_eq!(
+                    read_elem(&vals, &p),
+                    f.mul(va as u16, vb as u16),
+                    "{va}*{vb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_and_inverse_match_field() {
+        let f = Field::new(6);
+        let mut nl = Netlist::new();
+        let x = nl.inputs(6);
+        let sq = square(&mut nl, &f, &x);
+        let inv = inverse(&mut nl, &f, &x);
+        for v in 1..64u128 {
+            let vals = eval(&nl, v, 6);
+            assert_eq!(read_elem(&vals, &sq), f.mul(v as u16, v as u16), "sq {v}");
+            assert_eq!(read_elem(&vals, &inv), f.inv(v as u16), "inv {v}");
+        }
+    }
+
+    #[test]
+    fn zero_detect_and_const_compare() {
+        let mut nl = Netlist::new();
+        let x = nl.inputs(5);
+        let z = is_zero(&mut nl, &x);
+        let e = equals_const_elem(&mut nl, 0b10110, &x);
+        for v in 0..32u128 {
+            let vals = eval(&nl, v, 5);
+            assert_eq!(vals[z], v == 0, "zero {v}");
+            assert_eq!(vals[e], v == 0b10110, "eq {v}");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Gate-level netlist graph with cycle-accurate simulation.
+//!
+//! A [`Netlist`] is a DAG of standard cells plus D flip-flops (the only
+//! state elements). Combinational evaluation propagates values in
+//! topological order; [`Netlist::step`] commits DFF `D` inputs, modeling
+//! one clock edge. The bus-invert and boundary-shift codecs are sequential
+//! and use DFFs; everything else is pure combinational logic.
+
+use crate::cell::CellKind;
+use socbus_model::Word;
+
+/// Identifier of a node within its netlist.
+pub type NodeId = usize;
+
+/// One node of the netlist graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// Primary input `index`.
+    Input(usize),
+    /// Constant driver.
+    Const(bool),
+    /// One- or two-input standard cell.
+    Gate {
+        /// Cell type (1-input kinds use only `a`).
+        kind: CellKind,
+        /// First input.
+        a: NodeId,
+        /// Second input (`None` for Inv/Buf).
+        b: Option<NodeId>,
+    },
+    /// 2:1 mux: output is `b` when `sel` is high, else `a`.
+    Mux {
+        /// Select input.
+        sel: NodeId,
+        /// Output when `sel` = 0.
+        a: NodeId,
+        /// Output when `sel` = 1.
+        b: NodeId,
+    },
+    /// Positive-edge D flip-flop; its output is the state captured at the
+    /// previous [`Netlist::step`].
+    Dff {
+        /// Data input (committed on clock).
+        d: NodeId,
+        /// Power-on state.
+        init: bool,
+    },
+}
+
+/// A gate-level netlist with named primary inputs and outputs.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    /// Current value of each DFF (indexed like `nodes`, only DFF slots used).
+    state: Vec<bool>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len();
+        if let Node::Dff { init, .. } = node {
+            self.state.resize(id + 1, false);
+            self.state[id] = init;
+        } else {
+            self.state.resize(id + 1, false);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a primary input and returns its node.
+    pub fn input(&mut self) -> NodeId {
+        let idx = self.inputs.len();
+        let id = self.push(Node::Input(idx));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds `n` primary inputs.
+    pub fn inputs(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Node::Const(value))
+    }
+
+    /// Marks `node` as the next primary output.
+    pub fn output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Adds a two-input gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a 2-input combinational cell.
+    pub fn gate2(&mut self, kind: CellKind, a: NodeId, b: NodeId) -> NodeId {
+        assert!(
+            matches!(
+                kind,
+                CellKind::Nand2
+                    | CellKind::Nor2
+                    | CellKind::And2
+                    | CellKind::Or2
+                    | CellKind::Xor2
+                    | CellKind::Xnor2
+            ),
+            "{kind:?} is not a 2-input cell"
+        );
+        self.push(Node::Gate { kind, a, b: Some(b) })
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::Gate { kind: CellKind::Inv, a, b: None })
+    }
+
+    /// Adds a buffer.
+    pub fn buf(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::Gate { kind: CellKind::Buf, a, b: None })
+    }
+
+    /// Shorthand for XOR2.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate2(CellKind::Xor2, a, b)
+    }
+
+    /// Shorthand for XNOR2.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate2(CellKind::Xnor2, a, b)
+    }
+
+    /// Shorthand for AND2.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate2(CellKind::And2, a, b)
+    }
+
+    /// Shorthand for OR2.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.gate2(CellKind::Or2, a, b)
+    }
+
+    /// Adds a 2:1 mux (`sel ? b : a`).
+    pub fn mux(&mut self, sel: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Node::Mux { sel, a, b })
+    }
+
+    /// Adds a D flip-flop with power-on value `init`.
+    pub fn dff(&mut self, d: NodeId, init: bool) -> NodeId {
+        self.push(Node::Dff { d, init })
+    }
+
+    /// Adds a D flip-flop whose data input will be connected later with
+    /// [`connect_dff`](Netlist::connect_dff) — the idiom for state feedback
+    /// loops, where `Q` must exist before the logic computing `D`.
+    pub fn dff_floating(&mut self, init: bool) -> NodeId {
+        let id = self.nodes.len();
+        // Self-loop until connected: harmless (state-to-state identity).
+        self.push(Node::Dff { d: id, init })
+    }
+
+    /// Connects the data input of a floating DFF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a DFF node.
+    pub fn connect_dff(&mut self, dff: NodeId, d: NodeId) {
+        match &mut self.nodes[dff] {
+            Node::Dff { d: slot, .. } => *slot = d,
+            other => panic!("node {dff} is {other:?}, not a DFF"),
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// All nodes (for STA / power walkers).
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Primary output node ids.
+    #[must_use]
+    pub fn output_nodes(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Number of gate/mux/DFF instances (excludes inputs and constants).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Gate { .. } | Node::Mux { .. } | Node::Dff { .. }))
+            .count()
+    }
+
+    /// Directly overwrites one DFF's stored state (used by the power
+    /// simulator's commit phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a DFF node.
+    pub fn set_dff_state(&mut self, dff: NodeId, value: bool) {
+        assert!(
+            matches!(self.nodes[dff], Node::Dff { .. }),
+            "node {dff} is not a DFF"
+        );
+        self.state[dff] = value;
+    }
+
+    /// Resets every DFF to its power-on value.
+    pub fn reset(&mut self) {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Node::Dff { init, .. } = node {
+                self.state[id] = *init;
+            }
+        }
+    }
+
+    /// Evaluates all node values for the given primary-input word.
+    ///
+    /// Nodes are created in topological order by construction (inputs of a
+    /// gate always exist before the gate), so a single forward pass
+    /// suffices; DFFs contribute their *current* state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.width() != self.input_count()`.
+    #[must_use]
+    pub fn evaluate(&self, input: Word) -> Vec<bool> {
+        assert_eq!(input.width(), self.inputs.len(), "input width mismatch");
+        let mut v = vec![false; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            v[id] = match node {
+                Node::Input(idx) => input.bit(*idx),
+                Node::Const(c) => *c,
+                Node::Gate { kind, a, b } => {
+                    let x = v[*a];
+                    let y = b.map(|b| v[b]);
+                    match kind {
+                        CellKind::Inv => !x,
+                        CellKind::Buf => x,
+                        CellKind::Nand2 => !(x & y.expect("2-input")),
+                        CellKind::Nor2 => !(x | y.expect("2-input")),
+                        CellKind::And2 => x & y.expect("2-input"),
+                        CellKind::Or2 => x | y.expect("2-input"),
+                        CellKind::Xor2 => x ^ y.expect("2-input"),
+                        CellKind::Xnor2 => !(x ^ y.expect("2-input")),
+                        CellKind::Mux2 | CellKind::Dff => unreachable!("dedicated nodes"),
+                    }
+                }
+                Node::Mux { sel, a, b } => {
+                    if v[*sel] {
+                        v[*b]
+                    } else {
+                        v[*a]
+                    }
+                }
+                Node::Dff { .. } => self.state[id],
+            };
+        }
+        v
+    }
+
+    /// Evaluates and returns only the primary outputs as a word.
+    #[must_use]
+    pub fn run(&self, input: Word) -> Word {
+        let v = self.evaluate(input);
+        let mut out = Word::zero(self.outputs.len());
+        for (i, &o) in self.outputs.iter().enumerate() {
+            out.set_bit(i, v[o]);
+        }
+        out
+    }
+
+    /// Evaluates, commits DFF state (one clock edge), and returns outputs.
+    /// This is one codec cycle for sequential codecs.
+    #[must_use]
+    pub fn step(&mut self, input: Word) -> Word {
+        let v = self.evaluate(input);
+        let mut out = Word::zero(self.outputs.len());
+        for (i, &o) in self.outputs.iter().enumerate() {
+            out.set_bit(i, v[o]);
+        }
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Node::Dff { d, .. } = node {
+                self.state[id] = v[*d];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_gates_evaluate() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.xor(a, b);
+        let n = nl.gate2(CellKind::Nand2, a, b);
+        nl.output(x);
+        nl.output(n);
+        let out = nl.run(Word::from_bits(0b11, 2));
+        assert!(!out.bit(0)); // 1^1
+        assert!(!out.bit(1)); // !(1&1)
+        let out = nl.run(Word::from_bits(0b01, 2));
+        assert!(out.bit(0));
+        assert!(out.bit(1));
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut nl = Netlist::new();
+        let s = nl.input();
+        let a = nl.input();
+        let b = nl.input();
+        let m = nl.mux(s, a, b);
+        nl.output(m);
+        // inputs [s, a, b] = bits 0,1,2
+        assert!(nl.run(Word::from_bits(0b010, 3)).bit(0)); // s=0 -> a=1
+        assert!(nl.run(Word::from_bits(0b101, 3)).bit(0)); // s=1 -> b=1
+        assert!(!nl.run(Word::from_bits(0b011, 3)).bit(0)); // s=1 -> b=0
+    }
+
+    #[test]
+    fn dff_holds_state_across_steps() {
+        // Toggle flop: D = Q ^ 1.
+        let mut nl = Netlist::new();
+        let one = nl.constant(true);
+        let q = nl.dff_floating(false);
+        let d = nl.xor(q, one);
+        nl.connect_dff(q, d);
+        nl.output(q);
+        assert!(!nl.step(Word::zero(0)).bit(0)); // Q=0, then commits 1
+        assert!(nl.step(Word::zero(0)).bit(0)); // Q=1
+        assert!(!nl.step(Word::zero(0)).bit(0)); // Q=0
+        nl.reset();
+        assert!(!nl.step(Word::zero(0)).bit(0));
+    }
+
+    #[test]
+    fn cell_count_excludes_io() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.constant(true);
+        let x = nl.xor(a, b);
+        let y = nl.and(x, c);
+        nl.output(y);
+        assert_eq!(nl.cell_count(), 2);
+    }
+}

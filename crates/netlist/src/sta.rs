@@ -1,0 +1,202 @@
+//! Static timing analysis over a [`Netlist`].
+//!
+//! Computes per-node arrival times with the linear cell delay model and
+//! reports the codec's critical path: the latest arrival over primary
+//! outputs and DFF data inputs (a sequential codec must settle its next
+//! state within the cycle too). Primary inputs and DFF outputs arrive at
+//! t = 0 — codec inputs come straight from registers in the paper's
+//! pipeline model.
+
+use crate::cell::{CellKind, CellLibrary};
+use crate::graph::{Netlist, Node, NodeId};
+
+/// Timing report of one netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingReport {
+    /// Arrival time of each node's output (s).
+    pub arrival: Vec<f64>,
+    /// Critical-path delay: worst arrival over outputs and DFF `D` pins (s).
+    pub critical_path: f64,
+    /// Worst arrival over primary outputs only (s).
+    pub output_path: f64,
+}
+
+/// Capacitive load seen by each node's output: input caps of fanouts plus
+/// per-fanout wiring, plus the bus-driver load on primary outputs.
+#[must_use]
+pub fn node_loads(nl: &Netlist, lib: &CellLibrary) -> Vec<f64> {
+    let mut load = vec![0.0; nl.nodes().len()];
+    let add = |src: NodeId, kind: CellKind, lib: &CellLibrary, load: &mut Vec<f64>| {
+        load[src] += lib.params(kind).input_cap + lib.wire_cap_per_fanout;
+    };
+    for node in nl.nodes() {
+        match node {
+            Node::Input(_) | Node::Const(_) => {}
+            Node::Gate { kind, a, b } => {
+                add(*a, *kind, lib, &mut load);
+                if let Some(b) = b {
+                    add(*b, *kind, lib, &mut load);
+                }
+            }
+            Node::Mux { sel, a, b } => {
+                add(*sel, CellKind::Mux2, lib, &mut load);
+                add(*a, CellKind::Mux2, lib, &mut load);
+                add(*b, CellKind::Mux2, lib, &mut load);
+            }
+            Node::Dff { d, .. } => {
+                add(*d, CellKind::Dff, lib, &mut load);
+            }
+        }
+    }
+    for &o in nl.output_nodes() {
+        load[o] += lib.output_load;
+    }
+    load
+}
+
+/// Runs STA and returns the timing report.
+#[must_use]
+pub fn analyze(nl: &Netlist, lib: &CellLibrary) -> TimingReport {
+    let load = node_loads(nl, lib);
+    let mut arrival = vec![0.0f64; nl.nodes().len()];
+    let mut dff_path: f64 = 0.0;
+    for (id, node) in nl.nodes().iter().enumerate() {
+        arrival[id] = match node {
+            Node::Input(_) | Node::Const(_) => 0.0,
+            Node::Gate { kind, a, b } => {
+                let at = arrival[*a].max(b.map_or(0.0, |b| arrival[b]));
+                at + lib.delay(*kind, load[id])
+            }
+            Node::Mux { sel, a, b } => {
+                let at = arrival[*sel].max(arrival[*a]).max(arrival[*b]);
+                at + lib.delay(CellKind::Mux2, load[id])
+            }
+            // DFF output is valid clk-to-Q after the edge.
+            Node::Dff { d, .. } => {
+                dff_path = dff_path.max(arrival[*d]);
+                lib.params(CellKind::Dff).intrinsic_delay
+            }
+        };
+        if let Node::Dff { d, .. } = node {
+            // Re-read after arrival of d may still grow (forward-connected
+            // feedback); handled in the second pass below.
+            let _ = d;
+        }
+    }
+    // Feedback DFFs may reference nodes appearing later; one extra pass
+    // over DFF D-pins picks up their final arrivals.
+    for node in nl.nodes() {
+        if let Node::Dff { d, .. } = node {
+            dff_path = dff_path.max(arrival[*d]);
+        }
+    }
+    let output_path = nl
+        .output_nodes()
+        .iter()
+        .map(|&o| arrival[o])
+        .fold(0.0, f64::max);
+    TimingReport {
+        critical_path: output_path.max(dff_path),
+        output_path,
+        arrival,
+    }
+}
+
+/// Total cell area of the netlist (m²).
+#[must_use]
+pub fn area(nl: &Netlist, lib: &CellLibrary) -> f64 {
+    nl.nodes()
+        .iter()
+        .map(|node| match node {
+            Node::Input(_) | Node::Const(_) => 0.0,
+            Node::Gate { kind, .. } => lib.params(*kind).area,
+            Node::Mux { .. } => lib.params(CellKind::Mux2).area,
+            Node::Dff { .. } => lib.params(CellKind::Dff).area,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_chain_delay_adds_up() {
+        let lib = CellLibrary::cmos_130nm();
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let x1 = nl.xor(a, b);
+        let x2 = nl.xor(x1, c);
+        nl.output(x2);
+        let t = analyze(&nl, &lib);
+        // Two XOR levels: strictly more than one, less than three.
+        let one = lib.delay(crate::cell::CellKind::Xor2, lib.output_load);
+        assert!(t.critical_path > one);
+        assert!(t.critical_path < 3.0 * one + 50e-12);
+    }
+
+    #[test]
+    fn balanced_tree_beats_linear_chain() {
+        let lib = CellLibrary::cmos_130nm();
+        // Linear chain of 7 XORs vs balanced tree over 8 inputs.
+        let mut chain = Netlist::new();
+        let ins = chain.inputs(8);
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = chain.xor(acc, i);
+        }
+        chain.output(acc);
+
+        let mut tree = Netlist::new();
+        let ins = tree.inputs(8);
+        let mut level = ins;
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        tree.xor(c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        tree.output(level[0]);
+
+        let tc = analyze(&chain, &lib).critical_path;
+        let tt = analyze(&tree, &lib).critical_path;
+        assert!(tt < tc, "tree {tt} should beat chain {tc}");
+    }
+
+    #[test]
+    fn dff_d_pin_counts_toward_critical_path() {
+        let lib = CellLibrary::cmos_130nm();
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.xor(a, b);
+        let y = nl.xor(x, a);
+        let _q = nl.dff(y, false);
+        // No primary output at all: critical path is still the D-pin path.
+        let t = analyze(&nl, &lib);
+        assert!(t.critical_path > 0.0);
+        assert_eq!(t.output_path, 0.0);
+    }
+
+    #[test]
+    fn area_sums_cells() {
+        let lib = CellLibrary::cmos_130nm();
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.xor(a, b);
+        let n = nl.not(x);
+        nl.output(n);
+        let expect = lib.params(crate::cell::CellKind::Xor2).area
+            + lib.params(crate::cell::CellKind::Inv).area;
+        assert!((area(&nl, &lib) - expect).abs() < 1e-18);
+    }
+}

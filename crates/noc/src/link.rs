@@ -1,0 +1,233 @@
+//! A coded point-to-point NoC link.
+//!
+//! One sender, one receiver, a coded parallel bus in between, and DSM
+//! noise on the wires. Two link protocols:
+//!
+//! * **FEC** — decode whatever arrives; residual errors escape upward
+//!   (the paper's reliable-bus design);
+//! * **detect-and-retransmit** — codes with error *detection* NACK the
+//!   word and resend, trading latency and energy for reliability (the
+//!   paper's §II-D note that detection is cheaper but needs
+//!   retransmission).
+//!
+//! The simulator tracks delivered words, residual word errors, cycle
+//! counts (including retransmission round trips), and the wire-energy
+//! coefficient actually switched — multiply by `C·V̂dd²` for joules.
+
+use socbus_channel::BitFlipChannel;
+use socbus_codes::{DecodeStatus, Scheme};
+use socbus_model::{word_transition_energy, EnergyCoeff, Word};
+
+/// Link-level protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Forward error correction only.
+    Fec,
+    /// Stop-and-wait detect-and-retransmit with a NACK round trip of
+    /// `rtt_cycles` and a retry budget.
+    DetectRetransmit {
+        /// Cycles consumed by one NACK round trip.
+        rtt_cycles: u64,
+        /// Maximum resends before the word is delivered as-is.
+        max_retries: u32,
+    },
+}
+
+/// Configuration of one link.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Coding scheme on the wires.
+    pub scheme: Scheme,
+    /// Data bits per word.
+    pub data_bits: usize,
+    /// Per-wire error probability per transfer.
+    pub eps: f64,
+    /// Link protocol.
+    pub protocol: Protocol,
+}
+
+/// Aggregate statistics of a link run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkReport {
+    /// Words handed to the link.
+    pub offered: u64,
+    /// Words delivered (all of them; reliability is in `residual_errors`).
+    pub delivered: u64,
+    /// Delivered words that differ from what was sent.
+    pub residual_errors: u64,
+    /// Total bus cycles consumed, including retransmissions.
+    pub cycles: u64,
+    /// Number of retransmissions performed.
+    pub retransmits: u64,
+    /// Accumulated wire-energy coefficient (units of `C·Vdd²`),
+    /// self and coupling parts kept separate so callers can apply their λ.
+    pub energy: EnergyCoeff,
+}
+
+impl LinkReport {
+    /// Residual word-error rate.
+    #[must_use]
+    pub fn residual_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.residual_errors as f64 / self.delivered as f64
+        }
+    }
+
+    /// Average cycles per delivered word (≥ 1; grows with retransmission).
+    #[must_use]
+    pub fn cycles_per_word(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.delivered as f64
+        }
+    }
+
+    /// Average wire-energy coefficient per delivered word at coupling
+    /// ratio `lambda` (units of `C·Vdd²`).
+    #[must_use]
+    pub fn energy_per_word(&self, lambda: f64) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.energy.total(lambda) / self.delivered as f64
+        }
+    }
+}
+
+/// Simulates `traffic` over the configured link.
+///
+/// # Panics
+///
+/// Panics if the scheme rejects the width.
+pub fn simulate_link(
+    cfg: &LinkConfig,
+    traffic: impl Iterator<Item = Word>,
+    seed: u64,
+) -> LinkReport {
+    let mut enc = cfg.scheme.build(cfg.data_bits);
+    let mut dec = cfg.scheme.build(cfg.data_bits);
+    let mut channel = BitFlipChannel::new(cfg.eps, seed);
+    let mut report = LinkReport::default();
+    // The physical bus holds its last word between transfers.
+    let mut bus_state = Word::zero(enc.wires());
+    for data in traffic {
+        report.offered += 1;
+        let mut tries = 0u32;
+        loop {
+            let sent = enc.encode(data);
+            report.energy = report.energy.add(word_transition_energy(bus_state, sent));
+            bus_state = sent;
+            report.cycles += 1;
+            let received = channel.transmit(sent);
+            let (decoded, status) = dec.decode_checked(received);
+            let retry_allowed = match cfg.protocol {
+                Protocol::Fec => false,
+                Protocol::DetectRetransmit { rtt_cycles, max_retries } => {
+                    if status == DecodeStatus::Detected && tries < max_retries {
+                        report.cycles += rtt_cycles;
+                        report.retransmits += 1;
+                        tries += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if retry_allowed {
+                continue;
+            }
+            report.delivered += 1;
+            if decoded != data {
+                report.residual_errors += 1;
+            }
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::UniformTraffic;
+
+    fn run(scheme: Scheme, eps: f64, protocol: Protocol, n: usize) -> LinkReport {
+        let cfg = LinkConfig {
+            scheme,
+            data_bits: 8,
+            eps,
+            protocol,
+        };
+        simulate_link(&cfg, UniformTraffic::new(8, 42).take(n), 7)
+    }
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let r = run(Scheme::Uncoded, 0.0, Protocol::Fec, 500);
+        assert_eq!(r.delivered, 500);
+        assert_eq!(r.residual_errors, 0);
+        assert_eq!(r.cycles, 500);
+    }
+
+    #[test]
+    fn fec_dap_beats_uncoded_reliability() {
+        let eps = 5e-3;
+        let unc = run(Scheme::Uncoded, eps, Protocol::Fec, 30_000);
+        let dap = run(Scheme::Dap, eps, Protocol::Fec, 30_000);
+        assert!(unc.residual_errors > 0, "uncoded should see errors");
+        assert!(
+            dap.residual_rate() < unc.residual_rate() / 5.0,
+            "dap {} vs uncoded {}",
+            dap.residual_rate(),
+            unc.residual_rate()
+        );
+    }
+
+    #[test]
+    fn retransmission_buys_reliability_with_latency() {
+        let eps = 5e-3;
+        let proto = Protocol::DetectRetransmit {
+            rtt_cycles: 4,
+            max_retries: 4,
+        };
+        let fec = run(Scheme::ExtHamming, eps, Protocol::Fec, 30_000);
+        let arq = run(Scheme::ExtHamming, eps, proto, 30_000);
+        assert!(arq.residual_rate() <= fec.residual_rate());
+        assert!(arq.cycles_per_word() > 1.0);
+        assert!(arq.retransmits > 0);
+    }
+
+    #[test]
+    fn parity_arq_recovers_single_errors() {
+        let eps = 3e-3;
+        let proto = Protocol::DetectRetransmit {
+            rtt_cycles: 2,
+            max_retries: 8,
+        };
+        let plain = run(Scheme::Parity, eps, Protocol::Fec, 30_000);
+        let arq = run(Scheme::Parity, eps, proto, 30_000);
+        assert!(
+            arq.residual_rate() < plain.residual_rate() / 3.0,
+            "arq {} vs plain {}",
+            arq.residual_rate(),
+            plain.residual_rate()
+        );
+    }
+
+    #[test]
+    fn dup_energy_beats_uncoded_per_coefficient_ordering() {
+        // Duplication halves opposing-coupling events per delivered bit;
+        // sanity-check the energy bookkeeping is wired through.
+        let unc = run(Scheme::Uncoded, 0.0, Protocol::Fec, 5_000);
+        assert!(unc.energy_per_word(2.8) > 0.0);
+        let dap = run(Scheme::Dap, 0.0, Protocol::Fec, 5_000);
+        // DAP switches more wires (self energy up) but its coupling
+        // coefficient per word stays below the uncoded bus's.
+        let per = 1.0 / unc.delivered as f64;
+        assert!(dap.energy.self_coeff * per > unc.energy.self_coeff * per);
+        assert!(dap.energy.coupling_coeff < unc.energy.coupling_coeff * 1.2);
+    }
+}

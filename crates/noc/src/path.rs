@@ -1,0 +1,202 @@
+//! Multi-hop NoC paths: several coded links in series.
+//!
+//! In a network-on-chip, a packet typically crosses several router-to-
+//! router links; each hop decodes (correcting what it can) and re-encodes.
+//! Residual errors therefore *accumulate* across hops — the per-hop
+//! reliability budget is the end-to-end target divided by the hop count,
+//! which is exactly where the stronger codes of the unified framework pay
+//! off on long paths.
+
+use crate::link::{LinkConfig, Protocol};
+use socbus_channel::BitFlipChannel;
+use socbus_codes::{BusCode, DecodeStatus};
+use socbus_model::{word_transition_energy, EnergyCoeff, Word};
+
+/// A path of identical coded links in series.
+#[derive(Clone, Debug)]
+pub struct PathConfig {
+    /// Number of hops (links) between source and destination.
+    pub hops: usize,
+    /// Per-hop link configuration.
+    pub link: LinkConfig,
+}
+
+/// End-to-end statistics of a path run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PathReport {
+    /// Words offered at the source.
+    pub offered: u64,
+    /// Words arriving at the destination with wrong payload.
+    pub end_to_end_errors: u64,
+    /// Total bus cycles across all hops (including retransmissions).
+    pub cycles: u64,
+    /// Total wire-energy coefficient across all hops.
+    pub energy: EnergyCoeff,
+}
+
+impl PathReport {
+    /// End-to-end residual word-error rate.
+    #[must_use]
+    pub fn residual_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.end_to_end_errors as f64 / self.offered as f64
+        }
+    }
+
+    /// Average cycles per delivered word across the whole path (with
+    /// per-hop store-and-forward this is also the per-word latency).
+    #[must_use]
+    pub fn cycles_per_word(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Simulates `traffic` across the multi-hop path.
+///
+/// # Panics
+///
+/// Panics if `hops == 0` or the scheme rejects the width.
+pub fn simulate_path(
+    cfg: &PathConfig,
+    traffic: impl Iterator<Item = Word>,
+    seed: u64,
+) -> PathReport {
+    assert!(cfg.hops >= 1, "need at least one hop");
+    let mut hops: Vec<Hop> = (0..cfg.hops)
+        .map(|h| Hop::new(&cfg.link, seed ^ (h as u64).wrapping_mul(0x9E37_79B9)))
+        .collect();
+    let mut report = PathReport::default();
+    for data in traffic {
+        report.offered += 1;
+        let mut word = data;
+        for hop in &mut hops {
+            word = hop.transfer(word, &cfg.link, &mut report);
+        }
+        if word != data {
+            report.end_to_end_errors += 1;
+        }
+    }
+    report
+}
+
+struct Hop {
+    enc: Box<dyn BusCode>,
+    dec: Box<dyn BusCode>,
+    channel: BitFlipChannel,
+    bus_state: Word,
+}
+
+impl Hop {
+    fn new(link: &LinkConfig, seed: u64) -> Self {
+        let enc = link.scheme.build(link.data_bits);
+        let bus_state = Word::zero(enc.wires());
+        Hop {
+            enc,
+            dec: link.scheme.build(link.data_bits),
+            channel: BitFlipChannel::new(link.eps, seed),
+            bus_state,
+        }
+    }
+
+    fn transfer(&mut self, data: Word, link: &LinkConfig, report: &mut PathReport) -> Word {
+        let mut tries = 0u32;
+        loop {
+            let sent = self.enc.encode(data);
+            report.energy = report
+                .energy
+                .add(word_transition_energy(self.bus_state, sent));
+            self.bus_state = sent;
+            report.cycles += 1;
+            let received = self.channel.transmit(sent);
+            let (decoded, status) = self.dec.decode_checked(received);
+            if let Protocol::DetectRetransmit {
+                rtt_cycles,
+                max_retries,
+            } = link.protocol
+            {
+                if status == DecodeStatus::Detected && tries < max_retries {
+                    report.cycles += rtt_cycles;
+                    tries += 1;
+                    continue;
+                }
+            }
+            return decoded;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::UniformTraffic;
+    use socbus_codes::Scheme;
+
+    fn run(scheme: Scheme, hops: usize, eps: f64, n: usize) -> PathReport {
+        let cfg = PathConfig {
+            hops,
+            link: LinkConfig {
+                scheme,
+                data_bits: 8,
+                eps,
+                protocol: Protocol::Fec,
+            },
+        };
+        simulate_path(&cfg, UniformTraffic::new(8, 21).take(n), 77)
+    }
+
+    #[test]
+    fn errors_accumulate_with_hop_count() {
+        let eps = 4e-3;
+        let one = run(Scheme::Uncoded, 1, eps, 40_000);
+        let four = run(Scheme::Uncoded, 4, eps, 40_000);
+        assert!(four.residual_rate() > 2.5 * one.residual_rate());
+        assert_eq!(four.cycles, 4 * one.cycles);
+    }
+
+    #[test]
+    fn per_hop_correction_keeps_long_paths_clean() {
+        let eps = 4e-3;
+        let unc = run(Scheme::Uncoded, 4, eps, 40_000);
+        let dap = run(Scheme::Dap, 4, eps, 40_000);
+        assert!(
+            dap.residual_rate() < unc.residual_rate() / 10.0,
+            "dap {} vs uncoded {}",
+            dap.residual_rate(),
+            unc.residual_rate()
+        );
+    }
+
+    #[test]
+    fn clean_path_is_transparent() {
+        let r = run(Scheme::Bsc, 3, 0.0, 2_000);
+        assert_eq!(r.end_to_end_errors, 0);
+        assert_eq!(r.cycles_per_word(), 3.0);
+        assert!(r.energy.total(2.8) > 0.0);
+    }
+
+    #[test]
+    fn arq_per_hop_composes() {
+        let cfg = PathConfig {
+            hops: 3,
+            link: LinkConfig {
+                scheme: Scheme::Parity,
+                data_bits: 8,
+                eps: 5e-3,
+                protocol: Protocol::DetectRetransmit {
+                    rtt_cycles: 2,
+                    max_retries: 4,
+                },
+            },
+        };
+        let arq = simulate_path(&cfg, UniformTraffic::new(8, 3).take(40_000), 5);
+        let fec = run(Scheme::Parity, 3, 5e-3, 40_000);
+        assert!(arq.residual_rate() < fec.residual_rate() / 3.0);
+        assert!(arq.cycles_per_word() > 3.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Synthetic traffic generators for link-level studies.
+//!
+//! The paper's tables assume spatially and temporally uncorrelated,
+//! equiprobable data ([`UniformTraffic`]); realistic NoC links also carry
+//! correlated payload streams ([`CorrelatedTraffic`]) and address-like
+//! ramps ([`RampTraffic`]), where low-power codes behave differently —
+//! the example applications explore exactly that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socbus_model::Word;
+
+/// Uniform i.i.d. words — the paper's workload assumption.
+#[derive(Clone, Debug)]
+pub struct UniformTraffic {
+    width: usize,
+    rng: StdRng,
+}
+
+impl UniformTraffic {
+    /// Uniform traffic of the given word width.
+    #[must_use]
+    pub fn new(width: usize, seed: u64) -> Self {
+        UniformTraffic {
+            width,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for UniformTraffic {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        Some(Word::from_bits(self.rng.gen::<u128>(), self.width))
+    }
+}
+
+/// Temporally correlated words: each bit is an independent two-state
+/// Markov chain flipping with probability `alpha` per cycle. Small
+/// `alpha` models slowly-varying payload (e.g. media streams).
+#[derive(Clone, Debug)]
+pub struct CorrelatedTraffic {
+    state: Word,
+    alpha: f64,
+    rng: StdRng,
+}
+
+impl CorrelatedTraffic {
+    /// Correlated traffic with per-bit flip probability `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= alpha <= 1`.
+    #[must_use]
+    pub fn new(width: usize, alpha: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = Word::from_bits(rng.gen::<u128>(), width);
+        CorrelatedTraffic { state, alpha, rng }
+    }
+}
+
+impl Iterator for CorrelatedTraffic {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        let mut next = self.state;
+        for i in 0..next.width() {
+            if self.rng.gen::<f64>() < self.alpha {
+                next.set_bit(i, !next.bit(i));
+            }
+        }
+        self.state = next;
+        Some(next)
+    }
+}
+
+/// Sequential address-like ramp: a counter with a configurable stride,
+/// occasionally jumping to a random base (modeling branch behavior on an
+/// address bus).
+#[derive(Clone, Debug)]
+pub struct RampTraffic {
+    width: usize,
+    value: u128,
+    stride: u128,
+    jump_probability: f64,
+    rng: StdRng,
+}
+
+impl RampTraffic {
+    /// A ramp with the given stride and per-cycle jump probability.
+    #[must_use]
+    pub fn new(width: usize, stride: u128, jump_probability: f64, seed: u64) -> Self {
+        RampTraffic {
+            width,
+            value: 0,
+            stride,
+            jump_probability,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for RampTraffic {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        if self.rng.gen::<f64>() < self.jump_probability {
+            self.value = self.rng.gen();
+        } else {
+            self.value = self.value.wrapping_add(self.stride);
+        }
+        Some(Word::from_bits(self.value, self.width))
+    }
+}
+
+/// Packs a byte stream into `width`-bit words (zero-padded tail).
+#[must_use]
+pub fn words_from_bytes(bytes: &[u8], width: usize) -> Vec<Word> {
+    assert!(width >= 1 && width <= 128, "width out of range");
+    let mut out = Vec::new();
+    let mut acc: u128 = 0;
+    let mut bits = 0usize;
+    for &b in bytes {
+        acc |= u128::from(b) << bits;
+        bits += 8;
+        while bits >= width {
+            out.push(Word::from_bits(acc, width));
+            acc >>= width;
+            bits -= width;
+        }
+    }
+    if bits > 0 {
+        out.push(Word::from_bits(acc, width));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_has_half_density() {
+        let ones: u32 = UniformTraffic::new(32, 1)
+            .take(2000)
+            .map(Word::count_ones)
+            .sum();
+        let density = f64::from(ones) / (2000.0 * 32.0);
+        assert!((density - 0.5).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn correlated_traffic_switches_less() {
+        let collect_activity = |mut it: Box<dyn Iterator<Item = Word>>| {
+            let first = it.next().unwrap();
+            let mut prev = first;
+            let mut toggles = 0u32;
+            for w in it.take(2000) {
+                toggles += prev.hamming_distance(w);
+                prev = w;
+            }
+            f64::from(toggles) / (2000.0 * 16.0)
+        };
+        let uni = collect_activity(Box::new(UniformTraffic::new(16, 3)));
+        let cor = collect_activity(Box::new(CorrelatedTraffic::new(16, 0.05, 3)));
+        assert!(cor < uni / 3.0, "correlated {cor} vs uniform {uni}");
+    }
+
+    #[test]
+    fn ramp_mostly_increments() {
+        let words: Vec<Word> = RampTraffic::new(16, 1, 0.0, 5).take(10).collect();
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.bits(), (i + 1) as u128);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_into_words() {
+        let words = words_from_bytes(&[0xAB, 0xCD], 8);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].bits(), 0xAB);
+        assert_eq!(words[1].bits(), 0xCD);
+        // Non-divisible width pads the tail.
+        let words = words_from_bytes(&[0xFF, 0x01], 12);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].bits(), 0x1FF);
+        assert_eq!(words[1].bits(), 0x0);
+    }
+}

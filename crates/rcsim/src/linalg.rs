@@ -1,0 +1,193 @@
+//! Small dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The transient solver factors its (constant) system matrix once and
+//! back-substitutes every time step, so a simple dense LU is both adequate
+//! and dependable for the few-hundred-node ladders the bus models build.
+
+/// Dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of size `n × n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "empty matrix");
+        Matrix { n, a: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.n + j] = v;
+    }
+
+    /// In-place element update.
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.n + j] += v;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        (0..self.n)
+            .map(|i| {
+                let row = &self.a[i * self.n..(i + 1) * self.n];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// LU-factorizes with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is numerically singular.
+    #[must_use]
+    pub fn lu(&self) -> Lu {
+        let n = self.n;
+        let mut a = self.a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot: largest magnitude in column at or below the diagonal.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[r * n + col].abs()))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("non-empty column");
+            assert!(pivot_val > 1e-300, "singular matrix at column {col}");
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let d = a[col * n + col];
+            for r in (col + 1)..n {
+                let f = a[r * n + col] / d;
+                a[r * n + col] = f;
+                for j in (col + 1)..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+            }
+        }
+        Lu { n, a, perm }
+    }
+}
+
+/// LU factors of a matrix, ready for repeated solves.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    n: usize,
+    a: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` mismatches the factor dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.a[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.a[i * n + j] * x[j];
+            }
+            x[i] = s / self.a[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let lu = m.lu();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut m = Matrix::zeros(2);
+        m.set(0, 0, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 0.0);
+        let x = m.lu().solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_random_system() {
+        let n = 25;
+        let mut m = Matrix::zeros(n);
+        // Deterministic diagonally-dominant matrix.
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * 31 + j * 17) % 13) as f64 / 13.0;
+                m.set(i, j, v);
+            }
+            m.add(i, i, 15.0);
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b = m.mul_vec(&x_true);
+        let x = m.lu().solve(&b);
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let m = Matrix::zeros(3);
+        let _ = m.lu();
+    }
+}

@@ -1,0 +1,116 @@
+//! Coupled multi-wire distributed-RC bus model.
+//!
+//! `n` parallel wires, each discretized into `segments` L-sections
+//! (series resistance, then a node carrying ground capacitance); adjacent
+//! wires couple through `c_c` at every node. Each wire is driven through a
+//! Thevenin resistance from an ideal step source and terminated in a
+//! receiver capacitance — exactly the network the paper's eqs. (1)–(3)
+//! abstract.
+
+use socbus_model::{BusGeometry, Technology};
+
+/// Discretized coupled-bus network description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoupledBus {
+    /// Number of wires.
+    pub wires: usize,
+    /// Ladder sections per wire.
+    pub segments: usize,
+    /// Series resistance of one section (Ω).
+    pub r_seg: f64,
+    /// Ground capacitance of one section node (F).
+    pub cg_seg: f64,
+    /// Coupling capacitance between adjacent wires at one node (F).
+    pub cc_seg: f64,
+    /// Driver Thevenin resistance per wire (Ω).
+    pub r_drv: f64,
+    /// Driver output self-capacitance at the near-end node (F).
+    pub c_drv: f64,
+    /// Receiver capacitance at the far-end node (F).
+    pub c_recv: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl CoupledBus {
+    /// Builds the discretized network for `wires` parallel wires with the
+    /// given technology and geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires == 0` or `segments == 0`.
+    #[must_use]
+    pub fn new(tech: &Technology, geom: &BusGeometry, wires: usize, segments: usize) -> Self {
+        assert!(wires >= 1, "need at least one wire");
+        assert!(segments >= 1, "need at least one segment");
+        let seg_len = geom.length / segments as f64;
+        CoupledBus {
+            wires,
+            segments,
+            r_seg: tech.wire_res_per_m * seg_len,
+            cg_seg: tech.bulk_cap_per_m(geom.lambda) * seg_len,
+            cc_seg: tech.coupling_cap_per_m * seg_len,
+            r_drv: tech.min_driver_res / geom.driver_size,
+            c_drv: tech.min_driver_output_cap * geom.driver_size,
+            c_recv: tech.receiver_cap,
+            vdd: tech.vdd,
+        }
+    }
+
+    /// Total node count of the discretized network.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.wires * self.segments
+    }
+
+    /// Flat index of node `(wire, seg)`.
+    #[must_use]
+    pub fn node(&self, wire: usize, seg: usize) -> usize {
+        wire * self.segments + seg
+    }
+
+    /// A rough time constant of the slowest mode, used to size the
+    /// simulation window: driver and wire resistance charging the total
+    /// (worst-case Miller) capacitance.
+    #[must_use]
+    pub fn time_constant(&self) -> f64 {
+        let seg_total = self.segments as f64;
+        let c_wire = (self.cg_seg + 2.0 * self.cc_seg) * seg_total + self.c_recv + self.c_drv;
+        let r_wire = self.r_seg * seg_total;
+        self.r_drv * c_wire + 0.5 * r_wire * c_wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_values_scale_with_length() {
+        let tech = Technology::cmos_130nm();
+        let g10 = BusGeometry::new(10.0, 2.8);
+        let g5 = BusGeometry::new(5.0, 2.8);
+        let b10 = CoupledBus::new(&tech, &g10, 3, 20);
+        let b5 = CoupledBus::new(&tech, &g5, 3, 20);
+        assert!((b10.r_seg / b5.r_seg - 2.0).abs() < 1e-12);
+        assert!((b10.cg_seg / b5.cg_seg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_indexing_is_dense() {
+        let tech = Technology::cmos_130nm();
+        let bus = CoupledBus::new(&tech, &BusGeometry::new(10.0, 2.8), 3, 10);
+        assert_eq!(bus.node_count(), 30);
+        assert_eq!(bus.node(0, 0), 0);
+        assert_eq!(bus.node(2, 9), 29);
+    }
+
+    #[test]
+    fn lambda_affects_only_ground_cap() {
+        let tech = Technology::cmos_130nm();
+        let lo = CoupledBus::new(&tech, &BusGeometry::new(10.0, 0.95), 2, 10);
+        let hi = CoupledBus::new(&tech, &BusGeometry::new(10.0, 4.6), 2, 10);
+        assert!(lo.cg_seg > hi.cg_seg);
+        assert!((lo.cc_seg - hi.cc_seg).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,78 @@
+//! Circuit-level validation of the paper's energy model (eqs. (2)–(4)):
+//! over a *closed cycle* of bus states, the energy drawn from the supply
+//! in the transient simulation must equal the analytic quadratic form
+//! `Σ (C·V²/2)·[ΣΔ² + λ·Σ(Δᵢ−Δᵢ₊₁)²]` summed over the cycle (no net
+//! stored charge remains, so drawn = dissipated = modeled).
+
+use socbus_model::{transition_energy_coeff, BusGeometry, Technology, TransitionVector, Word};
+use socbus_rcsim::{CoupledBus, Transient};
+
+/// Supply energy of one transition, simulated to (near) steady state.
+fn simulated_energy(bus: &CoupledBus, before: Word, after: Word) -> f64 {
+    let tv = TransitionVector::between(before, after);
+    let init: Vec<bool> = (0..before.width()).map(|i| before.bit(i)).collect();
+    let dt = bus.time_constant() / 200.0;
+    let mut sim = Transient::new(bus, &tv, &init, dt);
+    for _ in 0..8000 {
+        sim.step();
+    }
+    sim.supply_energy()
+}
+
+#[test]
+fn closed_cycle_supply_energy_matches_quadratic_form() {
+    let tech = Technology::cmos_130nm();
+    let lambda = 2.0;
+    let geom = BusGeometry::new(5.0, lambda);
+    let bus = CoupledBus::new(&tech, &geom, 2, 12);
+
+    // A closed cycle visiting all 2-wire states, with both common-mode and
+    // opposing transitions.
+    let states = [0b00u128, 0b11, 0b01, 0b10, 0b01, 0b00];
+    let words: Vec<Word> = states.iter().map(|&b| Word::from_bits(b, 2)).collect();
+
+    let mut simulated = 0.0;
+    let mut modeled = 0.0;
+    // The analytic C is the total bulk capacitance of one wire, plus the
+    // fixed receiver/driver caps the lumped model also charges.
+    let c_bulk = bus.cg_seg * bus.segments as f64 + bus.c_recv + bus.c_drv;
+    let lambda_eff = bus.cc_seg / (bus.cg_seg + (bus.c_recv + bus.c_drv) / bus.segments as f64);
+    for pair in words.windows(2) {
+        simulated += simulated_energy(&bus, pair[0], pair[1]);
+        let coeff = transition_energy_coeff(&TransitionVector::between(pair[0], pair[1]));
+        modeled += coeff.total(lambda_eff) * c_bulk * bus.vdd * bus.vdd;
+    }
+    let rel = (simulated - modeled).abs() / modeled;
+    assert!(
+        rel < 0.05,
+        "cycle energy: simulated {simulated:e} vs modeled {modeled:e} ({:.1}% off)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn opposing_transition_draws_more_than_common_mode() {
+    // The physical root of the coupling term: 01 -> 10 charges the
+    // coupling capacitance through a 2·Vdd swing.
+    let tech = Technology::cmos_130nm();
+    let bus = CoupledBus::new(&tech, &BusGeometry::new(5.0, 2.0), 2, 12);
+    let w = |b: u128| Word::from_bits(b, 2);
+    let opposing = simulated_energy(&bus, w(0b01), w(0b10));
+    // Common-mode: both rise together; coupling carries no charge.
+    let common = simulated_energy(&bus, w(0b00), w(0b11));
+    // Opposing: one wire draws its bulk + 2x the coupling; common draws
+    // two bulks. At lambda = 2 the opposing single-wire event still beats
+    // the two-wire common-mode draw.
+    assert!(
+        opposing > 1.3 * common / 2.0 * 2.0,
+        "opposing {opposing:e} vs common {common:e}"
+    );
+    // Quantitative: opposing / common ≈ (1 + 2λ_eff)/2 within 10%.
+    let lambda_eff = bus.cc_seg / (bus.cg_seg + (bus.c_recv + bus.c_drv) / bus.segments as f64);
+    let expect = (1.0 + 2.0 * lambda_eff) / 2.0;
+    let ratio = opposing / common;
+    assert!(
+        (ratio - expect).abs() / expect < 0.10,
+        "ratio {ratio} vs expected {expect}"
+    );
+}

@@ -1,0 +1,75 @@
+//! Design-space exploration: sweep every cataloged scheme over a bus
+//! configuration and print the delay/energy/area/reliability Pareto
+//! picture — the way a designer would actually use the unified framework.
+//!
+//! Run with
+//! `cargo run --release --example design_explorer -- [k] [length_mm] [lambda]`
+//! (defaults: 32 bits, 10 mm, 2.8).
+
+use socbus::codes::Scheme;
+use socbus::model::{BusGeometry, Environment};
+use socbus::netlist::cell::CellLibrary;
+use socbus_bench::designs::{design_point, DesignOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mm: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let lambda: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.8);
+
+    let lib = CellLibrary::cmos_130nm();
+    let env = Environment::new(BusGeometry::new(mm, lambda));
+    let opts = DesignOptions {
+        scale_to: Some(1e-20),
+        energy_samples: 60_000,
+        power_samples: 800,
+        ..DesignOptions::default()
+    };
+
+    println!("Design space for a {k}-bit, {mm} mm bus at lambda = {lambda}");
+    println!("(ECC schemes voltage-scaled to the uncoded bus's 1e-20 target)\n");
+    println!(
+        "{:<10} {:>5} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "scheme", "wires", "delay(ps)", "E/word(pJ)", "area(um2)", "Vdd", "corrects"
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut schemes = Scheme::table3();
+    schemes.push(Scheme::ExtHamming); // SV extensions
+    schemes.push(Scheme::BchDec);
+    for scheme in schemes {
+        let d = design_point(scheme, k, &lib, &opts);
+        let delay = d.total_delay(&env);
+        let energy = d.total_energy(&env);
+        println!(
+            "{:<10} {:>5} {:>10.0} {:>10.2} {:>10.0} {:>8.3} {:>9}",
+            d.name,
+            d.wires,
+            delay * 1e12,
+            energy * 1e12,
+            d.total_area(&env) * 1e12,
+            d.vdd,
+            if scheme.corrects_errors() { "yes" } else { "no" },
+        );
+        rows.push((d.name.clone(), delay, energy));
+    }
+
+    // Pareto frontier on (delay, energy).
+    let mut frontier: Vec<&(String, f64, f64)> = rows
+        .iter()
+        .filter(|(_, d, e)| {
+            !rows
+                .iter()
+                .any(|(_, d2, e2)| (d2 < d && e2 <= e) || (d2 <= d && e2 < e))
+        })
+        .collect();
+    frontier.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!(
+        "\nPareto frontier (delay, energy): {}",
+        frontier
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+}

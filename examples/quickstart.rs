@@ -1,0 +1,68 @@
+//! Quickstart: protect a bus word with the DAP joint code.
+//!
+//! Demonstrates the three problems the unified framework solves at once —
+//! crosstalk delay, power, reliability — on a single 16-bit transfer.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use socbus::codes::{BusCode, Dap, Uncoded};
+use socbus::model::{
+    bus_delay_factor, word_transition_energy, BusGeometry, DelayClass, Environment,
+    TransitionVector, Word,
+};
+
+fn main() {
+    // A 16-bit payload crossing a 10-mm global bus at coupling ratio 2.8.
+    let mut dap = Dap::new(16);
+    let mut plain = Uncoded::new(16);
+    let env = Environment::new(BusGeometry::new(10.0, 2.8));
+
+    // The crosstalk worst case: every wire flips against its neighbors.
+    let before = Word::from_bits(0xAAAA, 16);
+    let after = Word::from_bits(0x5555, 16);
+
+    // 1. Crosstalk delay: the uncoded transition can hit the (1+4λ) class;
+    //    every DAP transition stays within (1+2λ).
+    let plain_factor = bus_delay_factor(
+        &TransitionVector::between(plain.encode(before), plain.encode(after)),
+        2.8,
+    );
+    let dap_factor = bus_delay_factor(
+        &TransitionVector::between(dap.encode(before), dap.encode(after)),
+        2.8,
+    );
+    println!("worst-case delay factor  uncoded: {plain_factor:.1}   DAP: {dap_factor:.1}");
+    println!(
+        "wire flight at those classes: {:.0} ps vs {:.0} ps",
+        env.wire_delay(DelayClass::classify(plain_factor, 2.8)) * 1e12,
+        env.wire_delay(DelayClass::CAC) * 1e12,
+    );
+
+    // 2. Energy: this pathological transfer costs both buses dearly, but
+    //    on average DAP's duplicated pairs switch in common mode and the
+    //    coupling term shrinks.
+    let e_plain = word_transition_energy(plain.encode(before), plain.encode(after));
+    let e_dap = word_transition_energy(dap.encode(before), dap.encode(after));
+    println!(
+        "this transfer (xC*Vdd^2)     uncoded: {:.1}  DAP: {:.1}",
+        e_plain.total(2.8),
+        e_dap.total(2.8)
+    );
+    // Against the classic reliable-bus choice (Hamming), DAP's duplicated
+    // pairs switch in common mode, cutting the average coupling term even
+    // though DAP uses more wires.
+    let mut hamming = socbus::codes::Hamming::new(16);
+    let avg_ham = socbus::codes::analysis::average_energy(&mut hamming, 50_000);
+    let avg_dap = socbus::codes::analysis::average_energy(&mut dap, 50_000);
+    println!(
+        "average coupling coefficient Hamming: {:.1}  DAP: {:.1} (x lambda*C*Vdd^2)",
+        avg_ham.coupling_coeff, avg_dap.coupling_coeff
+    );
+
+    // 3. Reliability: flip any single wire — DAP still decodes correctly.
+    let mut wire_word = dap.encode(after);
+    wire_word.set_bit(7, !wire_word.bit(7)); // DSM noise strike
+    let decoded = dap.decode(wire_word);
+    assert_eq!(decoded, after);
+    println!("single wire error on the DAP bus: corrected, payload intact");
+}

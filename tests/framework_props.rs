@@ -1,0 +1,139 @@
+//! Property tests on the unified-framework composer: every *legal*
+//! composition yields a working code with the promised structure; every
+//! illegal one is rejected with the right error.
+
+use proptest::prelude::*;
+use socbus::codes::framework::{
+    CacChoice, CompositionError, EccChoice, Framework, LpcChoice, LxcChoice,
+};
+use socbus::codes::BusCode;
+use socbus::model::{bus_delay_factor, DelayClass, TransitionVector, Word};
+
+fn cac_strategy() -> impl Strategy<Value = CacChoice> {
+    prop_oneof![
+        Just(CacChoice::None),
+        Just(CacChoice::Shielding),
+        Just(CacChoice::Duplication),
+        Just(CacChoice::Ftc),
+        Just(CacChoice::Fpc),
+    ]
+}
+
+fn lpc_strategy() -> impl Strategy<Value = LpcChoice> {
+    prop_oneof![
+        Just(LpcChoice::None),
+        Just(LpcChoice::BusInvert(1)),
+        Just(LpcChoice::BusInvert(2)),
+    ]
+}
+
+fn ecc_strategy() -> impl Strategy<Value = EccChoice> {
+    prop_oneof![
+        Just(EccChoice::None),
+        Just(EccChoice::Parity),
+        Just(EccChoice::Hamming),
+        Just(EccChoice::ExtendedHamming),
+    ]
+}
+
+fn lxc_strategy() -> impl Strategy<Value = LxcChoice> {
+    prop_oneof![Just(LxcChoice::Shielding), Just(LxcChoice::Duplication)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn composition_is_legal_xor_rejected(
+        cac in cac_strategy(),
+        lpc in lpc_strategy(),
+        ecc in ecc_strategy(),
+        lxc1 in lxc_strategy(),
+        lxc2 in lxc_strategy(),
+        seq in prop::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let k = 6;
+        let built = Framework::new(k)
+            .cac(cac)
+            .lpc(lpc)
+            .ecc(ecc)
+            .lxc1(lxc1)
+            .lxc2(lxc2)
+            .build();
+        match built {
+            Ok(code) => {
+                // Legal: must roundtrip over arbitrary sequences.
+                let mut enc = code.clone();
+                let mut dec = code.clone();
+                enc.reset();
+                dec.reset();
+                for &v in &seq {
+                    let d = Word::from_bits(u128::from(v) & 0x3F, k);
+                    let cw = enc.encode(d);
+                    prop_assert_eq!(dec.decode(cw), d, "{}", enc.name());
+                }
+            }
+            Err(CompositionError::LpcBreaksCac { .. }) => {
+                // Only FT-based CACs may reject bus-invert.
+                prop_assert!(matches!(cac, CacChoice::Shielding | CacChoice::Ftc));
+                prop_assert!(!matches!(lpc, LpcChoice::None));
+            }
+            Err(e) => {
+                // With both LXCs always provided, nothing else can fail at
+                // this width.
+                prop_assert!(false, "unexpected rejection: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_compositions_correct_single_errors(
+        cac in prop_oneof![Just(CacChoice::None), Just(CacChoice::Duplication)],
+        wire_sel in any::<u64>(),
+        seq in prop::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let code = Framework::new(6)
+            .cac(cac)
+            .ecc(EccChoice::Hamming)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .expect("legal");
+        let mut enc = code.clone();
+        for (i, &v) in seq.iter().enumerate() {
+            let d = Word::from_bits(u128::from(v) & 0x3F, 6);
+            let mut cw = enc.encode(d);
+            let wire = ((wire_sel as usize) ^ (i * 7)) % cw.width();
+            cw.set_bit(wire, !cw.bit(wire));
+            let mut dec = code.clone();
+            prop_assert_eq!(dec.decode(cw), d, "wire {}", wire);
+        }
+    }
+
+    #[test]
+    fn cac_compositions_keep_the_delay_guarantee(
+        ecc in ecc_strategy(),
+        seq in prop::collection::vec(any::<u8>(), 2..30),
+    ) {
+        let lambda = 2.0;
+        let code = Framework::new(6)
+            .cac(CacChoice::Duplication)
+            .ecc(ecc)
+            .lxc2(LxcChoice::Duplication)
+            .build()
+            .expect("legal");
+        let mut enc = code.clone();
+        enc.reset();
+        let mut prev = enc.encode(Word::zero(6));
+        for &v in &seq {
+            let cur = enc.encode(Word::from_bits(u128::from(v) & 0x3F, 6));
+            let f = bus_delay_factor(&TransitionVector::between(prev, cur), lambda);
+            prop_assert!(
+                f <= DelayClass::CAC.factor(lambda) + 1e-9,
+                "factor {} with {:?}",
+                f,
+                ecc
+            );
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate reliability integration: analytic models (socbus-model),
+//! the Monte-Carlo channel (socbus-channel), and the real codecs
+//! (socbus-codes) must all agree.
+
+use socbus::channel::montecarlo::word_error_rate;
+use socbus::channel::scaling::{scale_voltage, ResidualModel};
+use socbus::channel::GaussianChannel;
+use socbus::codes::Scheme;
+use socbus::model::{noise, Word};
+
+#[test]
+fn gaussian_channel_through_real_codec_matches_flip_model() {
+    // Drive DAP through the physical-voltage channel and compare with the
+    // analytic residual at the channel's own ε.
+    let mut enc = Scheme::Dap.build(8);
+    let mut dec = Scheme::Dap.build(8);
+    let mut ch = GaussianChannel::new(1.2, 0.24, 99); // ε ≈ 6.2e-3
+    let eps = ch.bit_error_probability();
+    let trials = 200_000u64;
+    let mut failures = 0u64;
+    let mut x: u128 = 1;
+    for _ in 0..trials {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let d = Word::from_bits(x >> 64, 8);
+        if dec.decode(ch.transmit(enc.encode(d))) != d {
+            failures += 1;
+        }
+    }
+    let rate = failures as f64 / trials as f64;
+    let expect = noise::word_error_dap_exact(8, eps);
+    assert!(
+        (rate - expect).abs() / expect < 0.25,
+        "measured {rate} vs analytic {expect} (eps {eps})"
+    );
+}
+
+#[test]
+fn voltage_scaling_is_self_consistent_with_q_model() {
+    // At the scaled swing, the bit-error rate implied by the calibrated σ
+    // must reproduce the ε the solver targeted.
+    let d = scale_voltage(ResidualModel::Dap { k: 32 }, 32, 1e-20, 1.2);
+    let eps_check = socbus::model::bit_error_probability(d.scaled_vdd, d.sigma);
+    assert!(
+        (eps_check - d.eps_scaled).abs() / d.eps_scaled < 1e-6,
+        "eps {} vs target {}",
+        eps_check,
+        d.eps_scaled
+    );
+    // And the residual at that ε meets the target.
+    let resid = ResidualModel::Dap { k: 32 }.residual(d.eps_scaled);
+    assert!((resid - 1e-20).abs() / 1e-20 < 1e-6);
+}
+
+#[test]
+fn redundancy_ranking_is_reflected_in_scaled_swing() {
+    // More residual exposure (bigger multiplier) needs higher swing:
+    // DAPBI (k=33) > DAP (k=32) > Hamming's C(38,2) exposure ordering.
+    let p = 1e-20;
+    let ham = scale_voltage(ResidualModel::DoubleError { wires: 38 }, 32, p, 1.2).scaled_vdd;
+    let dap = scale_voltage(ResidualModel::Dap { k: 32 }, 32, p, 1.2).scaled_vdd;
+    let dapbi = scale_voltage(ResidualModel::Dap { k: 33 }, 32, p, 1.2).scaled_vdd;
+    assert!(dap > ham, "3k(k+1)/2 > C(38,2): dap {dap} ham {ham}");
+    assert!(dapbi > dap);
+    // All within the paper's 0.85-0.90 V band.
+    for v in [ham, dap, dapbi] {
+        assert!((0.82..0.92).contains(&v), "swing {v}");
+    }
+}
+
+#[test]
+fn monte_carlo_tracks_quadratic_scaling_of_ecc() {
+    // Halving ε quarters the ECC residual (within noise).
+    let hi = word_error_rate(Scheme::Hamming, 8, 8e-3, 300_000, 5);
+    let lo = word_error_rate(Scheme::Hamming, 8, 4e-3, 300_000, 6);
+    let ratio = hi.rate / lo.rate;
+    assert!(
+        (2.8..5.5).contains(&ratio),
+        "quadratic residual expected ~4x, got {ratio}"
+    );
+}
+
+#[test]
+fn detection_status_supports_link_protocols() {
+    use socbus::codes::DecodeStatus;
+    let mut code = Scheme::ExtHamming.build(8);
+    let d = Word::from_bits(0x6B, 8);
+    let cw = code.encode(d);
+    let single = cw.with_bit(2, !cw.bit(2));
+    let (out, st) = code.decode_checked(single);
+    assert_eq!(out, d);
+    assert_eq!(st, DecodeStatus::Corrected);
+    let double = single.with_bit(9, !single.bit(9));
+    let (_, st) = code.decode_checked(double);
+    assert_eq!(st, DecodeStatus::Detected);
+}
