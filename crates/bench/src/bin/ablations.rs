@@ -23,7 +23,10 @@ fn main() {
     let opts = DesignOptions::default();
 
     println!("Ablation 1: encoder-delay masking (DAP vs DAPX), 4-bit, lambda = 2.8\n");
-    println!("{:>7} {:>12} {:>12} {:>9}", "L (mm)", "DAP (ps)", "DAPX (ps)", "gain");
+    println!(
+        "{:>7} {:>12} {:>12} {:>9}",
+        "L (mm)", "DAP (ps)", "DAPX (ps)", "gain"
+    );
     let dap = design_point(Scheme::Dap, 4, &lib, &opts);
     let dapx = design_point(Scheme::Dapx, 4, &lib, &opts);
     for &mm in &[2.0, 4.0, 6.0, 10.0, 14.0] {
@@ -57,7 +60,10 @@ fn main() {
     }
 
     println!("\nAblation 2b: self-only vs coupling-driven bus invert, 16-bit\n");
-    println!("{:>8} {:>12} {:>12} {:>12}", "lambda", "BI(2)", "OE-BI", "uncoded");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "lambda", "BI(2)", "OE-BI", "uncoded"
+    );
     for &lam in &[1.0, 2.8, 4.6] {
         let measure = |code: &mut dyn socbus_codes::BusCode| {
             analysis::average_energy(code, 40_000).total(lam)
@@ -86,25 +92,15 @@ fn main() {
     );
     for &eps in &[1e-4, 1e-3, 1e-2] {
         let fec = simulate_link(
-            &LinkConfig {
-                scheme: Scheme::Dap,
-                data_bits: 16,
-                eps,
-                protocol: Protocol::Fec,
-            },
+            &LinkConfig::new(Scheme::Dap, 16, eps),
             UniformTraffic::new(16, 5).take(200_000),
             9,
         );
         let arq = simulate_link(
-            &LinkConfig {
-                scheme: Scheme::Parity,
-                data_bits: 16,
-                eps,
-                protocol: Protocol::DetectRetransmit {
-                    rtt_cycles: 4,
-                    max_retries: 8,
-                },
-            },
+            &LinkConfig::new(Scheme::Parity, 16, eps).with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 4,
+                max_retries: 8,
+            }),
             UniformTraffic::new(16, 5).take(200_000),
             9,
         );

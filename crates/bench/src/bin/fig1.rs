@@ -19,7 +19,10 @@ fn main() {
     let wire_len = 10e-3;
 
     println!("Fig. 1 trend: gate vs 10-mm global wire delay across nodes\n");
-    println!("{:>10} {:>14} {:>16}", "node (nm)", "gate FO4 (ps)", "wire delay (ns)");
+    println!(
+        "{:>10} {:>14} {:>16}",
+        "node (nm)", "gate FO4 (ps)", "wire delay (ns)"
+    );
     for &node in &[250.0, 180.0, 130.0, 90.0, 65.0, 45.0f64] {
         let gate = fo4_anchor_ps * node / anchor_nm;
         let r = r_anchor * (anchor_nm / node).powi(2);

@@ -33,7 +33,14 @@ fn main() {
         &a,
     );
 
-    let b = sweep_length(&schemes, Scheme::Hamming, 4, 2.8, Metric::EnergySavings, &opts);
+    let b = sweep_length(
+        &schemes,
+        Scheme::Hamming,
+        4,
+        2.8,
+        Metric::EnergySavings,
+        &opts,
+    );
     print_series(
         "Fig. 10(b): energy savings over Hamming, 4-bit bus, lambda = 2.8",
         "L (mm)",

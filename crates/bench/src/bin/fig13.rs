@@ -24,7 +24,15 @@ fn main() {
         Scheme::Dapx,
     ];
 
-    let a = sweep_lambda(&schemes, Scheme::Uncoded, 32, 10.0, Metric::Speedup, &opts, None);
+    let a = sweep_lambda(
+        &schemes,
+        Scheme::Uncoded,
+        32,
+        10.0,
+        Metric::Speedup,
+        &opts,
+        None,
+    );
     print_series(
         "Fig. 13(a): speed-up over uncoded 32-bit bus, L = 10 mm",
         "lambda",

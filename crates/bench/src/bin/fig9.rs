@@ -13,7 +13,15 @@ fn main() {
     let opts = DesignOptions::default();
     let schemes = [Scheme::HammingX, Scheme::Bsc, Scheme::Dap, Scheme::Dapx];
 
-    let a = sweep_lambda(&schemes, Scheme::Hamming, 4, 10.0, Metric::Speedup, &opts, None);
+    let a = sweep_lambda(
+        &schemes,
+        Scheme::Hamming,
+        4,
+        10.0,
+        Metric::Speedup,
+        &opts,
+        None,
+    );
     print_series(
         "Fig. 9(a): speed-up over Hamming, 4-bit bus, L = 10 mm",
         "lambda",

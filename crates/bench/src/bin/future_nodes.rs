@@ -55,7 +55,10 @@ fn main() {
                     };
                     let reference = design_point(Scheme::Hamming, 32, &lib, &opts);
                     let d = design_point(s, 32, &lib, &opts);
-                    (speedup(&reference, &d, &env), energy_savings(&reference, &d, &env))
+                    (
+                        speedup(&reference, &d, &env),
+                        energy_savings(&reference, &d, &env),
+                    )
                 })
                 .collect();
             (s, per_node)

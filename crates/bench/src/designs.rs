@@ -138,9 +138,7 @@ pub fn design_point(scheme: Scheme, k: usize, lib: &CellLibrary, opts: &DesignOp
     let bus_energy = analysis::average_energy(code.as_mut(), opts.energy_samples);
     let cost = codec_cost(scheme, k, lib, opts.power_samples, opts.seed);
     let vdd = match (opts.scale_to, residual_model_for(scheme, k)) {
-        (Some(p_target), Some(model)) => {
-            scale_voltage(model, k, p_target, lib.vdd).scaled_vdd
-        }
+        (Some(p_target), Some(model)) => scale_voltage(model, k, p_target, lib.vdd).scaled_vdd,
         _ => lib.vdd,
     };
     CodePerf {

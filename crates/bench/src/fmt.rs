@@ -79,11 +79,7 @@ pub fn print_design_row(d: &CodePerf, env: &Environment, reference: Option<&Code
         coeff(d.bus_energy),
         format!("{:.3}", d.vdd),
         um2(d.codec_area),
-        ps(d.paths
-            .iter()
-            .map(|p| p.encoder_delay)
-            .fold(0.0, f64::max)
-            + d.decoder_delay),
+        ps(d.paths.iter().map(|p| p.encoder_delay).fold(0.0, f64::max) + d.decoder_delay),
         pj(d.codec_energy),
         pj(d.total_energy(env)),
         area_oh,
@@ -94,6 +90,15 @@ pub fn print_design_row(d: &CodePerf, env: &Environment, reference: Option<&Code
 pub fn print_design_header() {
     println!(
         "{:<10} {:>5} {:>7} {:>15} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "Scheme", "Wires", "Delay", "Energy (xCV^2)", "Vdd", "A(um2)", "Tc(ps)", "Ec(pJ)", "Etot(pJ)", "AreaOH"
+        "Scheme",
+        "Wires",
+        "Delay",
+        "Energy (xCV^2)",
+        "Vdd",
+        "A(um2)",
+        "Tc(ps)",
+        "Ec(pJ)",
+        "Etot(pJ)",
+        "AreaOH"
     );
 }

@@ -6,9 +6,7 @@
 
 use crate::designs::{design_point, DesignOptions};
 use socbus_codes::Scheme;
-use socbus_model::{
-    energy_savings, speedup, BusGeometry, CodePerf, Environment, RepeaterConfig,
-};
+use socbus_model::{energy_savings, speedup, BusGeometry, CodePerf, Environment, RepeaterConfig};
 use socbus_netlist::cell::CellLibrary;
 
 /// Which derived metric a sweep reports.
@@ -22,7 +20,12 @@ pub enum Metric {
 
 /// Evaluates `metric` for `candidate` vs `reference` in `env`.
 #[must_use]
-pub fn evaluate(metric: Metric, reference: &CodePerf, candidate: &CodePerf, env: &Environment) -> f64 {
+pub fn evaluate(
+    metric: Metric,
+    reference: &CodePerf,
+    candidate: &CodePerf,
+    env: &Environment,
+) -> f64 {
     match metric {
         Metric::Speedup => speedup(reference, candidate, env),
         Metric::EnergySavings => energy_savings(reference, candidate, env),

@@ -1,0 +1,742 @@
+//! Composable DSM fault injection (beyond the paper's i.i.d. channel).
+//!
+//! The paper's analysis assumes a memoryless channel: every wire flips
+//! independently with probability `ε = Q(Vdd/2σ)` (eq. (5)). Its §V,
+//! however, motivates coding with noise sources that are anything but
+//! memoryless — crosstalk (neighbor-dependent), supply droop (transient,
+//! affects every wire for a window of cycles), and manufacturing or
+//! wear-out defects (permanent, tied to one wire). This module models
+//! those regimes as composable, seedable [`FaultModel`]s:
+//!
+//! * [`FaultSpec::Iid`] — the paper's baseline: each wire flips
+//!   independently with probability ε every cycle;
+//! * [`FaultSpec::Burst`] — a Gilbert–Elliott two-state Markov channel:
+//!   a *good* state with low ε and a *bad* (burst) state with high ε,
+//!   with per-cycle transition probabilities, modeling correlated noise
+//!   events such as simultaneous-switching supply bounce;
+//! * [`FaultSpec::StuckAt`] — a persistent hard fault pinning one wire
+//!   to 0 or 1 (open/short defects, latent oxide breakdown);
+//! * [`FaultSpec::Bridge`] — two neighboring wires shorted together,
+//!   reading back the AND (ground-dominant) or OR (supply-dominant) of
+//!   what was driven;
+//! * [`FaultSpec::Droop`] — a transient voltage droop scaling ε up for a
+//!   window of cycles (the DVS hazard studied by Kaul et al.).
+//!
+//! Every model is deterministic for a given seed; the reliability sweep
+//! binary depends on byte-identical reruns. Models stack via
+//! [`FaultInjector`], which owns the cycle counter so that transient
+//! windows stay aligned with link retransmissions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socbus_model::{q, q_inv, Word};
+
+/// What a shorted wire pair reads back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BridgeMode {
+    /// Ground-dominant short: both wires read the AND of the driven pair.
+    And,
+    /// Supply-dominant short: both wires read the OR of the driven pair.
+    Or,
+}
+
+/// A serializable description of one fault process.
+///
+/// Specs are plain data — `Clone`/`PartialEq`, no RNG state — so link and
+/// path configurations stay cheap to copy; [`FaultSpec::build`] turns one
+/// into a live, seeded [`FaultModel`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Memoryless channel: every wire flips with probability `eps` each
+    /// cycle (the paper's eq. (5) regime).
+    Iid {
+        /// Per-wire flip probability.
+        eps: f64,
+    },
+    /// Gilbert–Elliott burst channel.
+    Burst {
+        /// Per-wire flip probability in the good state.
+        eps_good: f64,
+        /// Per-wire flip probability in the bad (burst) state.
+        eps_bad: f64,
+        /// Per-cycle probability of entering the bad state.
+        p_enter: f64,
+        /// Per-cycle probability of leaving the bad state.
+        p_exit: f64,
+    },
+    /// Wire `wire` permanently reads `value`.
+    StuckAt {
+        /// Affected wire index.
+        wire: usize,
+        /// The value the wire is stuck at.
+        value: bool,
+    },
+    /// Wires `wire` and `wire + 1` are shorted together.
+    Bridge {
+        /// Lower wire index of the shorted pair.
+        wire: usize,
+        /// Which logic value dominates the short.
+        mode: BridgeMode,
+    },
+    /// i.i.d. flips at `eps`, scaled by `scale` during the droop window
+    /// `[start, start + duration)` (in cycles).
+    Droop {
+        /// Baseline per-wire flip probability.
+        eps: f64,
+        /// Multiplier applied to ε inside the window.
+        scale: f64,
+        /// First cycle of the droop window.
+        start: u64,
+        /// Length of the droop window in cycles.
+        duration: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Instantiates the live model, deterministically seeded.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Box<dyn FaultModel> {
+        match *self {
+            FaultSpec::Iid { eps } => Box::new(IidFault::new(eps, seed)),
+            FaultSpec::Burst {
+                eps_good,
+                eps_bad,
+                p_enter,
+                p_exit,
+            } => Box::new(GilbertElliott::new(
+                eps_good, eps_bad, p_enter, p_exit, seed,
+            )),
+            FaultSpec::StuckAt { wire, value } => Box::new(StuckAtFault::new(wire, value)),
+            FaultSpec::Bridge { wire, mode } => Box::new(BridgeFault::new(wire, mode)),
+            FaultSpec::Droop {
+                eps,
+                scale,
+                start,
+                duration,
+            } => Box::new(DroopFault::new(eps, scale, start, duration, seed)),
+        }
+    }
+
+    /// Short human-readable label (used by reports and the sweep output).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            FaultSpec::Iid { eps } => format!("iid(eps={eps})"),
+            FaultSpec::Burst {
+                eps_good, eps_bad, ..
+            } => format!("burst(good={eps_good},bad={eps_bad})"),
+            FaultSpec::StuckAt { wire, value } => {
+                format!("stuck-at-{}(wire={wire})", u8::from(value))
+            }
+            FaultSpec::Bridge { wire, mode } => format!(
+                "bridge-{}(wires={wire},{})",
+                match mode {
+                    BridgeMode::And => "and",
+                    BridgeMode::Or => "or",
+                },
+                wire + 1
+            ),
+            FaultSpec::Droop {
+                eps,
+                scale,
+                start,
+                duration,
+            } => format!("droop(eps={eps},x{scale}@{start}+{duration})"),
+        }
+    }
+}
+
+/// Rescales a bit-error probability as if the wire swing were multiplied
+/// by `factor`, through the eq. (5) relation `ε = Q(swing/2σ)`:
+/// `ε' = Q(factor · Q⁻¹(ε))`. Degenerate ε (≤0 or ≥0.5) pass through.
+#[must_use]
+pub fn rescale_eps(eps: f64, factor: f64) -> f64 {
+    if eps <= 0.0 || eps >= 0.5 || factor <= 0.0 {
+        return eps;
+    }
+    q(factor * q_inv(eps))
+}
+
+/// A fault process corrupting bus words cycle by cycle.
+pub trait FaultModel {
+    /// Short human-readable label.
+    fn label(&self) -> String;
+
+    /// Corrupts the word on the wires at the given cycle index.
+    fn corrupt(&mut self, cycle: u64, word: Word) -> Word;
+
+    /// Adjusts any ε-driven randomness as if the wire swing were
+    /// multiplied by `factor` (> 1 lowers ε). Persistent hard faults are
+    /// voltage-independent and ignore this — which is exactly why the
+    /// degradation ladder needs scheme switching as well as swing steps.
+    fn rescale_swing(&mut self, factor: f64) {
+        let _ = factor;
+    }
+
+    /// Restores the model to its initial (post-seed) state.
+    fn reset(&mut self) {}
+}
+
+/// The paper's memoryless channel as a [`FaultModel`].
+#[derive(Clone, Debug)]
+pub struct IidFault {
+    eps: f64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl IidFault {
+    /// i.i.d. flips with probability `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= eps <= 1`.
+    #[must_use]
+    pub fn new(eps: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "eps out of range");
+        IidFault {
+            eps,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current per-wire flip probability.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+}
+
+impl FaultModel for IidFault {
+    fn label(&self) -> String {
+        format!("iid(eps={})", self.eps)
+    }
+
+    fn corrupt(&mut self, _cycle: u64, word: Word) -> Word {
+        let mut out = word;
+        for i in 0..word.width() {
+            if self.rng.gen::<f64>() < self.eps {
+                out.set_bit(i, !out.bit(i));
+            }
+        }
+        out
+    }
+
+    fn rescale_swing(&mut self, factor: f64) {
+        self.eps = rescale_eps(self.eps, factor);
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Gilbert–Elliott two-state burst channel.
+///
+/// The state evolves once per cycle *before* the word is corrupted, so a
+/// burst entered on cycle `c` already degrades cycle `c`.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    eps_good: f64,
+    eps_bad: f64,
+    p_enter: f64,
+    p_exit: f64,
+    in_burst: bool,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl GilbertElliott {
+    /// A burst channel starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all probabilities are in `[0, 1]`.
+    #[must_use]
+    pub fn new(eps_good: f64, eps_bad: f64, p_enter: f64, p_exit: f64, seed: u64) -> Self {
+        for p in [eps_good, eps_bad, p_enter, p_exit] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        GilbertElliott {
+            eps_good,
+            eps_bad,
+            p_enter,
+            p_exit,
+            in_burst: false,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Stationary average per-wire flip probability.
+    #[must_use]
+    pub fn avg_eps(&self) -> f64 {
+        if self.p_enter + self.p_exit == 0.0 {
+            return self.eps_good;
+        }
+        let p_bad = self.p_enter / (self.p_enter + self.p_exit);
+        p_bad * self.eps_bad + (1.0 - p_bad) * self.eps_good
+    }
+
+    /// Whether the channel is currently in the burst state.
+    #[must_use]
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+}
+
+impl FaultModel for GilbertElliott {
+    fn label(&self) -> String {
+        format!("burst(good={},bad={})", self.eps_good, self.eps_bad)
+    }
+
+    fn corrupt(&mut self, _cycle: u64, word: Word) -> Word {
+        let flip = if self.in_burst {
+            self.p_exit
+        } else {
+            self.p_enter
+        };
+        if self.rng.gen::<f64>() < flip {
+            self.in_burst = !self.in_burst;
+        }
+        let eps = if self.in_burst {
+            self.eps_bad
+        } else {
+            self.eps_good
+        };
+        let mut out = word;
+        for i in 0..word.width() {
+            if self.rng.gen::<f64>() < eps {
+                out.set_bit(i, !out.bit(i));
+            }
+        }
+        out
+    }
+
+    fn rescale_swing(&mut self, factor: f64) {
+        self.eps_good = rescale_eps(self.eps_good, factor);
+        self.eps_bad = rescale_eps(self.eps_bad, factor);
+    }
+
+    fn reset(&mut self) {
+        self.in_burst = false;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// A wire permanently stuck at 0 or 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StuckAtFault {
+    wire: usize,
+    value: bool,
+}
+
+impl StuckAtFault {
+    /// Wire `wire` stuck at `value`.
+    #[must_use]
+    pub fn new(wire: usize, value: bool) -> Self {
+        StuckAtFault { wire, value }
+    }
+}
+
+impl FaultModel for StuckAtFault {
+    fn label(&self) -> String {
+        format!("stuck-at-{}(wire={})", u8::from(self.value), self.wire)
+    }
+
+    fn corrupt(&mut self, _cycle: u64, word: Word) -> Word {
+        if self.wire < word.width() {
+            word.with_bit(self.wire, self.value)
+        } else {
+            word
+        }
+    }
+}
+
+/// Two neighboring wires shorted together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BridgeFault {
+    wire: usize,
+    mode: BridgeMode,
+}
+
+impl BridgeFault {
+    /// Wires `wire` and `wire + 1` shorted, with the given dominance.
+    #[must_use]
+    pub fn new(wire: usize, mode: BridgeMode) -> Self {
+        BridgeFault { wire, mode }
+    }
+}
+
+impl FaultModel for BridgeFault {
+    fn label(&self) -> String {
+        FaultSpec::Bridge {
+            wire: self.wire,
+            mode: self.mode,
+        }
+        .label()
+    }
+
+    fn corrupt(&mut self, _cycle: u64, word: Word) -> Word {
+        let (a, b) = (self.wire, self.wire + 1);
+        if b >= word.width() {
+            return word;
+        }
+        let merged = match self.mode {
+            BridgeMode::And => word.bit(a) && word.bit(b),
+            BridgeMode::Or => word.bit(a) || word.bit(b),
+        };
+        word.with_bit(a, merged).with_bit(b, merged)
+    }
+}
+
+/// Transient voltage droop: ε multiplied by `scale` inside the window.
+#[derive(Clone, Debug)]
+pub struct DroopFault {
+    eps: f64,
+    scale: f64,
+    start: u64,
+    duration: u64,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl DroopFault {
+    /// i.i.d. flips at `eps`, at `eps * scale` during
+    /// `[start, start + duration)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps` and `eps * scale` are valid probabilities.
+    #[must_use]
+    pub fn new(eps: f64, scale: f64, start: u64, duration: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "eps out of range");
+        assert!(
+            scale >= 0.0 && eps * scale <= 1.0,
+            "scaled eps out of range"
+        );
+        DroopFault {
+            eps,
+            scale,
+            start,
+            duration,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The effective ε at the given cycle.
+    #[must_use]
+    pub fn eps_at(&self, cycle: u64) -> f64 {
+        if cycle >= self.start && cycle - self.start < self.duration {
+            (self.eps * self.scale).min(1.0)
+        } else {
+            self.eps
+        }
+    }
+}
+
+impl FaultModel for DroopFault {
+    fn label(&self) -> String {
+        format!(
+            "droop(eps={},x{}@{}+{})",
+            self.eps, self.scale, self.start, self.duration
+        )
+    }
+
+    fn corrupt(&mut self, cycle: u64, word: Word) -> Word {
+        let eps = self.eps_at(cycle);
+        let mut out = word;
+        for i in 0..word.width() {
+            if self.rng.gen::<f64>() < eps {
+                out.set_bit(i, !out.bit(i));
+            }
+        }
+        out
+    }
+
+    fn rescale_swing(&mut self, factor: f64) {
+        self.eps = rescale_eps(self.eps, factor);
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// A stack of fault models applied in order, with a shared cycle counter.
+///
+/// Random (soft) models come first in the stack as built, persistent
+/// (hard) faults last, so a stuck wire stays stuck no matter what the
+/// soft noise did — matching physical dominance of hard defects.
+pub struct FaultInjector {
+    soft: Vec<Box<dyn FaultModel>>,
+    hard: Vec<Box<dyn FaultModel>>,
+    cycle: u64,
+}
+
+impl FaultInjector {
+    /// Builds the stack from specs; sub-model `i` is seeded with
+    /// `seed` mixed with `i` so stacks are deterministic yet decorrelated.
+    #[must_use]
+    pub fn new(specs: &[FaultSpec], seed: u64) -> Self {
+        let mut soft = Vec::new();
+        let mut hard = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let sub_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            match spec {
+                FaultSpec::StuckAt { .. } | FaultSpec::Bridge { .. } => {
+                    hard.push(spec.build(sub_seed));
+                }
+                _ => soft.push(spec.build(sub_seed)),
+            }
+        }
+        FaultInjector {
+            soft,
+            hard,
+            cycle: 0,
+        }
+    }
+
+    /// Transmits one word through every fault process and advances the
+    /// cycle counter (retransmissions therefore consume droop cycles).
+    #[must_use]
+    pub fn transmit(&mut self, word: Word) -> Word {
+        let cycle = self.cycle;
+        self.cycle += 1;
+        let mut w = word;
+        for m in self.soft.iter_mut().chain(self.hard.iter_mut()) {
+            w = m.corrupt(cycle, w);
+        }
+        w
+    }
+
+    /// The number of words transmitted so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Raises (factor > 1) or lowers the modeled swing on every ε-driven
+    /// sub-model. Hard faults are unaffected.
+    pub fn rescale_swing(&mut self, factor: f64) {
+        for m in &mut self.soft {
+            m.rescale_swing(factor);
+        }
+    }
+
+    /// Labels of the active sub-models, soft first.
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        self.soft
+            .iter()
+            .chain(self.hard.iter())
+            .map(|m| m.label())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_flips(specs: &[FaultSpec], width: usize, n: u64, seed: u64) -> u64 {
+        let mut inj = FaultInjector::new(specs, seed);
+        let w = Word::zero(width);
+        (0..n)
+            .map(|_| u64::from(inj.transmit(w).count_ones()))
+            .sum()
+    }
+
+    #[test]
+    fn iid_injector_matches_bitflip_rate() {
+        let flips = count_flips(&[FaultSpec::Iid { eps: 0.05 }], 100, 2000, 3);
+        let rate = flips as f64 / 200_000.0;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let specs = [
+            FaultSpec::Burst {
+                eps_good: 1e-3,
+                eps_bad: 0.2,
+                p_enter: 0.02,
+                p_exit: 0.2,
+            },
+            FaultSpec::StuckAt {
+                wire: 3,
+                value: true,
+            },
+        ];
+        let mut a = FaultInjector::new(&specs, 9);
+        let mut b = FaultInjector::new(&specs, 9);
+        let mut c = FaultInjector::new(&specs, 10);
+        let w = Word::from_bits(0xA5A5, 16);
+        let mut diverged = false;
+        for _ in 0..500 {
+            let (xa, xb, xc) = (a.transmit(w), b.transmit(w), c.transmit(w));
+            assert_eq!(xa, xb, "same seed must reproduce");
+            diverged |= xa != xc;
+        }
+        assert!(diverged, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn burst_channel_clusters_errors() {
+        // Same average ε, bursty vs memoryless: the burst channel must
+        // show a higher variance of per-word error counts.
+        let ge = GilbertElliott::new(0.0, 0.25, 0.02, 0.2, 1);
+        let avg = ge.avg_eps();
+        let n = 20_000u64;
+        let width = 16usize;
+        let var = |spec: &[FaultSpec]| {
+            let mut inj = FaultInjector::new(spec, 7);
+            let w = Word::zero(width);
+            let counts: Vec<f64> = (0..n)
+                .map(|_| f64::from(inj.transmit(w).count_ones()))
+                .collect();
+            let mean = counts.iter().sum::<f64>() / n as f64;
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n as f64;
+            (mean, var)
+        };
+        let (mean_b, var_b) = var(&[FaultSpec::Burst {
+            eps_good: 0.0,
+            eps_bad: 0.25,
+            p_enter: 0.02,
+            p_exit: 0.2,
+        }]);
+        let (mean_i, var_i) = var(&[FaultSpec::Iid { eps: avg }]);
+        assert!(
+            (mean_b - mean_i).abs() / mean_i < 0.25,
+            "avg rates comparable: {mean_b} vs {mean_i}"
+        );
+        assert!(
+            var_b > 2.0 * var_i,
+            "burstiness: var {var_b} vs iid {var_i}"
+        );
+    }
+
+    #[test]
+    fn stuck_at_pins_exactly_one_wire() {
+        let mut inj = FaultInjector::new(
+            &[FaultSpec::StuckAt {
+                wire: 2,
+                value: false,
+            }],
+            0,
+        );
+        for bits in [0b1111u128, 0b0100, 0b1011, 0b0000] {
+            let out = inj.transmit(Word::from_bits(bits, 4));
+            assert!(!out.bit(2));
+            for i in [0usize, 1, 3] {
+                assert_eq!(out.bit(i), (bits >> i) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_merges_neighbors() {
+        let mut or = FaultInjector::new(
+            &[FaultSpec::Bridge {
+                wire: 1,
+                mode: BridgeMode::Or,
+            }],
+            0,
+        );
+        let out = or.transmit(Word::from_bits(0b0010, 4));
+        assert!(out.bit(1) && out.bit(2), "or-short raises both");
+        let mut and = FaultInjector::new(
+            &[FaultSpec::Bridge {
+                wire: 1,
+                mode: BridgeMode::And,
+            }],
+            0,
+        );
+        let out = and.transmit(Word::from_bits(0b0010, 4));
+        assert!(!out.bit(1) && !out.bit(2), "and-short grounds both");
+        // Agreeing neighbors pass through unchanged.
+        let mut or2 = FaultInjector::new(
+            &[FaultSpec::Bridge {
+                wire: 0,
+                mode: BridgeMode::Or,
+            }],
+            0,
+        );
+        assert_eq!(
+            or2.transmit(Word::from_bits(0b11, 2)),
+            Word::from_bits(0b11, 2)
+        );
+    }
+
+    #[test]
+    fn droop_raises_error_rate_only_in_window() {
+        let spec = [FaultSpec::Droop {
+            eps: 1e-3,
+            scale: 100.0,
+            start: 1000,
+            duration: 1000,
+        }];
+        let mut inj = FaultInjector::new(&spec, 11);
+        let w = Word::zero(64);
+        let mut before = 0u64;
+        let mut during = 0u64;
+        let mut after = 0u64;
+        for c in 0..3000u64 {
+            let flips = u64::from(inj.transmit(w).count_ones());
+            match c {
+                0..=999 => before += flips,
+                1000..=1999 => during += flips,
+                _ => after += flips,
+            }
+        }
+        assert!(
+            during > 20 * (before + after + 1),
+            "window {during} vs outside {before}+{after}"
+        );
+    }
+
+    #[test]
+    fn rescale_swing_lowers_soft_eps_but_not_hard_faults() {
+        let mut inj = FaultInjector::new(
+            &[
+                FaultSpec::Iid { eps: 1e-2 },
+                FaultSpec::StuckAt {
+                    wire: 0,
+                    value: true,
+                },
+            ],
+            5,
+        );
+        inj.rescale_swing(1.4);
+        let w = Word::zero(64);
+        let flips: u64 = (0..2000)
+            .map(|_| u64::from(inj.transmit(w).count_ones()))
+            .sum();
+        // 64 wires * 2000 cycles: wire 0 always flips (stuck at 1), the
+        // soft rate drops well below 1e-2.
+        let soft_flips = flips - 2000;
+        let rate = soft_flips as f64 / (63.0 * 2000.0);
+        let expect = rescale_eps(1e-2, 1.4);
+        assert!(rate < 5e-3, "soft rate {rate}");
+        assert!(
+            (rate - expect).abs() / expect < 0.5,
+            "rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn rescale_eps_follows_q_relation() {
+        let eps = 1e-3;
+        let up = rescale_eps(eps, 1.2);
+        let down = rescale_eps(eps, 0.8);
+        assert!(up < eps && down > eps);
+        // Round trip through q_inv/q.
+        let back = rescale_eps(up, 1.0 / 1.2);
+        assert!((back - eps).abs() / eps < 1e-9, "back {back}");
+        // Degenerate inputs pass through.
+        assert_eq!(rescale_eps(0.0, 2.0), 0.0);
+        assert_eq!(rescale_eps(0.6, 2.0), 0.6);
+    }
+}

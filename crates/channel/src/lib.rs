@@ -6,6 +6,9 @@
 //! via low-swing signaling — energy savings (eq. (11)).
 //!
 //! * [`awgn`] — Gaussian and i.i.d. bit-flip channel models;
+//! * [`fault`] — composable seeded fault injection beyond the i.i.d.
+//!   assumption: Gilbert–Elliott bursts, stuck-at and bridged wires, and
+//!   transient voltage droop;
 //! * [`montecarlo`] — residual word-error measurement through real
 //!   codecs, validating eqs. (7)–(9) and Appendix II;
 //! * [`scaling`] — the eq. (11) voltage-scaling solver behind the
@@ -24,9 +27,14 @@
 //! ```
 
 pub mod awgn;
+pub mod fault;
 pub mod montecarlo;
 pub mod scaling;
 
 pub use awgn::{BitFlipChannel, GaussianChannel};
+pub use fault::{
+    rescale_eps, BridgeFault, BridgeMode, DroopFault, FaultInjector, FaultModel, FaultSpec,
+    GilbertElliott, IidFault, StuckAtFault,
+};
 pub use montecarlo::{word_error_rate, WordErrorEstimate};
 pub use scaling::{scale_voltage, ResidualModel, ScaledDesign};

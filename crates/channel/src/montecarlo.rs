@@ -41,7 +41,13 @@ impl WordErrorEstimate {
 /// Encoder and decoder advance in lockstep (wire errors never desynchronize
 /// the codecs in this crate: decoder state is data-independent).
 #[must_use]
-pub fn word_error_rate(scheme: Scheme, k: usize, eps: f64, trials: u64, seed: u64) -> WordErrorEstimate {
+pub fn word_error_rate(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    seed: u64,
+) -> WordErrorEstimate {
     let mut enc = scheme.build(k);
     let mut dec = scheme.build(k);
     let mut ch = BitFlipChannel::new(eps, seed ^ 0x5EED);
@@ -129,7 +135,12 @@ mod tests {
         let eps = 3e-3;
         let unc = word_error_rate(Scheme::Uncoded, 8, eps, 100_000, 29);
         let dap = word_error_rate(Scheme::Dap, 8, eps, 100_000, 31);
-        assert!(dap.rate < unc.rate / 5.0, "dap {} vs uncoded {}", dap.rate, unc.rate);
+        assert!(
+            dap.rate < unc.rate / 5.0,
+            "dap {} vs uncoded {}",
+            dap.rate,
+            unc.rate
+        );
     }
 
     #[test]

@@ -178,10 +178,7 @@ mod tests {
             for &p in &[1e-6, 1e-12, 1e-20] {
                 let eps = model.solve_eps(p);
                 let back = model.residual(eps);
-                assert!(
-                    (back - p).abs() / p < 1e-6,
-                    "{model:?} p={p}: back={back}"
-                );
+                assert!((back - p).abs() / p < 1e-6, "{model:?} p={p}: back={back}");
             }
         }
     }
@@ -200,7 +197,12 @@ mod tests {
         // scales the swing further down than SEC codes.
         let ham = scale_voltage(ResidualModel::DoubleError { wires: 38 }, 32, P, 1.2);
         let bch = scale_voltage(ResidualModel::TripleError { wires: 44 }, 32, P, 1.2);
-        assert!(bch.scaled_vdd < ham.scaled_vdd, "bch {} ham {}", bch.scaled_vdd, ham.scaled_vdd);
+        assert!(
+            bch.scaled_vdd < ham.scaled_vdd,
+            "bch {} ham {}",
+            bch.scaled_vdd,
+            ham.scaled_vdd
+        );
         assert!(bch.scaled_vdd > 0.5, "sane swing {}", bch.scaled_vdd);
         // Roundtrip of the cubic solver.
         let eps = ResidualModel::TripleError { wires: 44 }.solve_eps(P);

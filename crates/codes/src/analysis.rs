@@ -171,7 +171,7 @@ pub fn average_activity(code: &mut dyn BusCode, samples: usize) -> f64 {
 /// Panics if `k == 0` or `k > 12` (the chain has `2^(k+1)` states).
 #[must_use]
 pub fn bus_invert_exact_energy(k: usize) -> EnergyCoeff {
-    assert!(k >= 1 && k <= 12, "exact BI chain limited to k <= 12");
+    assert!((1..=12).contains(&k), "exact BI chain limited to k <= 12");
     let states = 1usize << (k + 1); // output word (y, inv)
     let inputs = 1usize << k;
     let p_in = 1.0 / inputs as f64;
@@ -209,9 +209,7 @@ pub fn bus_invert_exact_energy(k: usize) -> EnergyCoeff {
         let y_prev = s & (inputs - 1);
         for d in 0..inputs {
             let to = Word::from_bits(next(y_prev, d) as u128, k + 1);
-            acc = acc.add(
-                socbus_model::word_transition_energy(from, to).scale(w * p_in),
-            );
+            acc = acc.add(socbus_model::word_transition_energy(from, to).scale(w * p_in));
         }
     }
     acc
@@ -241,15 +239,26 @@ mod tests {
         let mut c = Hamming::new(4);
         let e = average_energy(&mut c, 0);
         assert!((e.self_coeff - 1.75).abs() < 1e-12, "{}", e.self_coeff);
-        assert!((e.coupling_coeff - 3.0).abs() < 1e-12, "{}", e.coupling_coeff);
+        assert!(
+            (e.coupling_coeff - 3.0).abs() < 1e-12,
+            "{}",
+            e.coupling_coeff
+        );
     }
 
     #[test]
     fn worst_delay_factors() {
         let lambda = 2.8;
-        assert!((worst_delay_factor(&mut Uncoded::new(4), lambda, 0) - (1.0 + 4.0 * lambda)).abs() < 1e-12);
-        assert!(worst_delay_factor(&mut Shielding::new(4), lambda, 0) <= 1.0 + 2.0 * lambda + 1e-12);
-        assert!(worst_delay_factor(&mut Duplication::new(4), lambda, 0) <= 1.0 + 2.0 * lambda + 1e-12);
+        assert!(
+            (worst_delay_factor(&mut Uncoded::new(4), lambda, 0) - (1.0 + 4.0 * lambda)).abs()
+                < 1e-12
+        );
+        assert!(
+            worst_delay_factor(&mut Shielding::new(4), lambda, 0) <= 1.0 + 2.0 * lambda + 1e-12
+        );
+        assert!(
+            worst_delay_factor(&mut Duplication::new(4), lambda, 0) <= 1.0 + 2.0 * lambda + 1e-12
+        );
         assert!(worst_delay_factor(&mut Dap::new(4), lambda, 0) <= 1.0 + 2.0 * lambda + 1e-12);
     }
 

@@ -1,6 +1,6 @@
 //! Wire duplication: the trivial forbidden-pattern code.
 
-use crate::traits::BusCode;
+use crate::traits::{BusCode, DecodeStatus};
 use socbus_model::{DelayClass, Word};
 
 /// Duplication: every data bit driven on two adjacent wires —
@@ -29,7 +29,10 @@ impl Duplication {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
-        assert!(2 * k <= socbus_model::word::MAX_WIDTH, "duplicated bus too wide");
+        assert!(
+            2 * k <= socbus_model::word::MAX_WIDTH,
+            "duplicated bus too wide"
+        );
         Duplication { k }
     }
 
@@ -86,6 +89,15 @@ impl BusCode for Duplication {
         1
     }
 
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        let status = if self.mismatch_mask(bus).count_ones() == 0 {
+            DecodeStatus::Clean
+        } else {
+            DecodeStatus::Detected
+        };
+        (self.decode(bus), status)
+    }
+
     fn guaranteed_delay_class(&self) -> DelayClass {
         DelayClass::CAC
     }
@@ -100,7 +112,13 @@ mod tests {
     fn roundtrip() {
         let mut c = Duplication::new(4);
         for w in Word::enumerate_all(4) {
-            assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w);
+            assert_eq!(
+                {
+                    let cw = c.encode(w);
+                    c.decode(cw)
+                },
+                w
+            );
         }
     }
 
@@ -143,6 +161,16 @@ mod tests {
             }
         }
         assert_eq!(min, 2);
+    }
+
+    #[test]
+    fn decode_checked_reports_pair_mismatch() {
+        let mut c = Duplication::new(4);
+        let cw = c.encode(Word::from_bits(0b0110, 4));
+        assert_eq!(c.decode_checked(cw).1, DecodeStatus::Clean);
+        let corrupted = cw.with_bit(0, !cw.bit(0));
+        let (_, status) = c.decode_checked(corrupted);
+        assert_eq!(status, DecodeStatus::Detected);
     }
 
     #[test]

@@ -34,8 +34,13 @@ pub fn fp_condition(w: Word) -> bool {
 /// Panics if `wires == 0` or `wires > 24` (enumeration guard).
 #[must_use]
 pub fn fpc_codebook(wires: usize) -> Vec<Word> {
-    assert!(wires >= 1 && wires <= 24, "fpc_codebook supports 1..=24 wires");
-    Word::enumerate_all(wires).filter(|&w| fp_condition(w)).collect()
+    assert!(
+        (1..=24).contains(&wires),
+        "fpc_codebook supports 1..=24 wires"
+    );
+    Word::enumerate_all(wires)
+        .filter(|&w| fp_condition(w))
+        .collect()
 }
 
 /// Smallest wire count whose FP codebook holds `2^bits` codewords.
@@ -101,7 +106,10 @@ impl ForbiddenPatternCode {
     /// Panics if `k == 0` or `k > 16` (single-group table size guard).
     #[must_use]
     pub fn new(k: usize) -> Self {
-        assert!(k >= 1 && k <= 16, "single-group FPC supports 1..=16 bits");
+        assert!(
+            (1..=16).contains(&k),
+            "single-group FPC supports 1..=16 bits"
+        );
         let wires = fpc_wires_for_bits(k);
         let book: Vec<Word> = fpc_codebook(wires).into_iter().take(1 << k).collect();
         ForbiddenPatternCode { k, wires, book }
@@ -194,7 +202,14 @@ mod tests {
         for k in 1..=6 {
             let mut c = ForbiddenPatternCode::new(k);
             for w in Word::enumerate_all(k) {
-                assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w, "k={k}");
+                assert_eq!(
+                    {
+                        let cw = c.encode(w);
+                        c.decode(cw)
+                    },
+                    w,
+                    "k={k}"
+                );
             }
         }
     }

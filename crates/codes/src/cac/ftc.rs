@@ -44,7 +44,10 @@ pub fn ft_compatible(u: Word, v: Word) -> bool {
 /// exponential; wider buses should be partitioned into groups).
 #[must_use]
 pub fn ftc_codebook(wires: usize) -> Vec<Word> {
-    assert!(wires >= 1 && wires <= 6, "ftc_codebook supports 1..=6 wires");
+    assert!(
+        (1..=6).contains(&wires),
+        "ftc_codebook supports 1..=6 wires"
+    );
     let n_vert = 1usize << wires;
     // adjacency bitsets over at most 64 vertices
     let mut adj = vec![0u64; n_vert];
@@ -84,14 +87,19 @@ fn max_clique(adj: &[u64]) -> u64 {
             let v = cand.trailing_zeros() as usize;
             let vbit = 1u64 << v;
             cand &= !vbit;
-            if (current | cand).count_ones() + 1 <= best.count_ones() {
+            if (current | cand).count_ones() < best.count_ones() {
                 return;
             }
             expand(adj, current | vbit, cand & adj[v], best);
         }
     }
     let mut best = 0u64;
-    expand(adj, 0, (1u128 << adj.len()).wrapping_sub(1) as u64, &mut best);
+    expand(
+        adj,
+        0,
+        (1u128 << adj.len()).wrapping_sub(1) as u64,
+        &mut best,
+    );
     if adj.len() == 64 {
         // (1<<64) wrapped; recompute candidates mask as all-ones.
         best = 0;
@@ -259,18 +267,14 @@ impl BusCode for ForbiddenTransitionCode {
         for g in &self.groups {
             let recv = bus.slice(g.wire_lo, g.wires);
             // Exact match, else nearest codeword (noise tolerance).
-            let idx = g
-                .book
-                .iter()
-                .position(|&cw| cw == recv)
-                .unwrap_or_else(|| {
-                    g.book
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &cw)| cw.hamming_distance(recv))
-                        .map(|(i, _)| i)
-                        .expect("non-empty codebook")
-                });
+            let idx = g.book.iter().position(|&cw| cw == recv).unwrap_or_else(|| {
+                g.book
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &cw)| cw.hamming_distance(recv))
+                    .map(|(i, _)| i)
+                    .expect("non-empty codebook")
+            });
             for b in 0..g.bits {
                 out.set_bit(g.data_lo + b, (idx >> b) & 1 == 1);
             }
@@ -326,7 +330,14 @@ mod tests {
         for k in [1usize, 2, 3, 4, 5, 7, 8] {
             let mut c = ForbiddenTransitionCode::new(k);
             for w in Word::enumerate_all(k) {
-                assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w, "k={k}");
+                assert_eq!(
+                    {
+                        let cw = c.encode(w);
+                        c.decode(cw)
+                    },
+                    w,
+                    "k={k}"
+                );
             }
         }
     }

@@ -86,7 +86,13 @@ mod tests {
         for k in 1..=6 {
             let mut c = HalfShielding::new(k);
             for w in Word::enumerate_all(k) {
-                assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w);
+                assert_eq!(
+                    {
+                        let cw = c.encode(w);
+                        c.decode(cw)
+                    },
+                    w
+                );
             }
         }
     }

@@ -26,6 +26,8 @@ mod shielding;
 
 pub use duplication::Duplication;
 pub use fpc::{fp_condition, fpc_codebook, fpc_wires_for_bits, ForbiddenPatternCode};
-pub use ftc::{ft_compatible, ftc_codebook, ftc_groups, ftc_wires_for_bits, ForbiddenTransitionCode};
+pub use ftc::{
+    ft_compatible, ftc_codebook, ftc_groups, ftc_wires_for_bits, ForbiddenTransitionCode,
+};
 pub use half_shielding::HalfShielding;
 pub use shielding::Shielding;

@@ -27,7 +27,10 @@ impl Shielding {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
-        assert!(2 * k - 1 <= socbus_model::word::MAX_WIDTH, "shielded bus too wide");
+        assert!(
+            2 * k - 1 <= socbus_model::word::MAX_WIDTH,
+            "shielded bus too wide"
+        );
         Shielding { k }
     }
 }
@@ -77,7 +80,13 @@ mod tests {
     fn roundtrip() {
         let mut c = Shielding::new(4);
         for w in Word::enumerate_all(4) {
-            assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w);
+            assert_eq!(
+                {
+                    let cw = c.encode(w);
+                    c.decode(cw)
+                },
+                w
+            );
         }
     }
 

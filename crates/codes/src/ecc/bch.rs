@@ -105,6 +105,7 @@ impl BchDec {
         bus.slice(self.k, self.r).concat(bus.slice(0, self.k))
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn from_poly_word(&self, poly: Word) -> Word {
         poly.slice(self.r, self.k).concat(poly.slice(0, self.r))
     }

@@ -28,7 +28,7 @@ impl ExtendedHamming {
     pub fn new(k: usize) -> Self {
         let inner = Hamming::new(k);
         assert!(
-            inner.wires() + 1 <= socbus_model::word::MAX_WIDTH,
+            inner.wires() < socbus_model::word::MAX_WIDTH,
             "bus too wide"
         );
         ExtendedHamming { inner }
@@ -109,7 +109,10 @@ mod tests {
     fn roundtrip_clean() {
         let mut c = ExtendedHamming::new(6);
         for w in Word::enumerate_all(6) {
-            let (d, s) = { let cw = c.encode(w); c.decode_checked(cw) };
+            let (d, s) = {
+                let cw = c.encode(w);
+                c.decode_checked(cw)
+            };
             assert_eq!(d, w);
             assert_eq!(s, DecodeStatus::Clean);
         }

@@ -224,7 +224,11 @@ mod tests {
     fn minimal_polynomial_of_alpha_is_the_primitive() {
         for m in 3..=8 {
             let f = Field::new(m);
-            assert_eq!(f.minimal_polynomial(1), u64::from(primitive_poly(m)), "m={m}");
+            assert_eq!(
+                f.minimal_polynomial(1),
+                u64::from(primitive_poly(m)),
+                "m={m}"
+            );
         }
     }
 

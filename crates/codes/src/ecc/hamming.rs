@@ -183,7 +183,10 @@ mod tests {
     fn roundtrip_clean() {
         let mut c = Hamming::new(8);
         for w in Word::enumerate_all(8) {
-            let (d, s) = { let cw = c.encode(w); c.decode_checked(cw) };
+            let (d, s) = {
+                let cw = c.encode(w);
+                c.decode_checked(cw)
+            };
             assert_eq!(d, w);
             assert_eq!(s, DecodeStatus::Clean);
         }

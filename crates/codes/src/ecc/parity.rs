@@ -35,7 +35,7 @@ impl ParityBit {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
-        assert!(k + 1 <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        assert!(k < socbus_model::word::MAX_WIDTH, "bus too wide");
         ParityBit { k }
     }
 }
@@ -88,7 +88,10 @@ mod tests {
     fn roundtrip_clean() {
         let mut c = ParityBit::new(5);
         for w in Word::enumerate_all(5) {
-            let (d, s) = { let cw = c.encode(w); c.decode_checked(cw) };
+            let (d, s) = {
+                let cw = c.encode(w);
+                c.decode_checked(cw)
+            };
             assert_eq!(d, w);
             assert_eq!(s, DecodeStatus::Clean);
         }
@@ -113,7 +116,11 @@ mod tests {
         let cw = c.encode(Word::from_bits(0b1010, 4));
         let bad = cw.with_bit(0, !cw.bit(0)).with_bit(1, !cw.bit(1));
         let (_, s) = c.decode_checked(bad);
-        assert_eq!(s, DecodeStatus::Clean, "distance-2 code cannot see double errors");
+        assert_eq!(
+            s,
+            DecodeStatus::Clean,
+            "distance-2 code cannot see double errors"
+        );
     }
 
     #[test]

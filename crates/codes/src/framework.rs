@@ -51,7 +51,10 @@ pub enum CacChoice {
 impl CacChoice {
     /// Whether this CAC's guarantee survives complementing the code bits.
     fn survives_inversion(self) -> bool {
-        matches!(self, CacChoice::None | CacChoice::Duplication | CacChoice::Fpc)
+        matches!(
+            self,
+            CacChoice::None | CacChoice::Duplication | CacChoice::Fpc
+        )
     }
 }
 
@@ -112,12 +115,20 @@ impl fmt::Display for CompositionError {
                 write!(f, "bus-invert destroys the {cac} crosstalk constraint")
             }
             CompositionError::MissingLxc1 => {
-                write!(f, "invert bits need a linear CAC (LXC1) to keep the delay guarantee")
+                write!(
+                    f,
+                    "invert bits need a linear CAC (LXC1) to keep the delay guarantee"
+                )
             }
             CompositionError::MissingLxc2 => {
-                write!(f, "parity bits need a linear CAC (LXC2) to keep the delay guarantee")
+                write!(
+                    f,
+                    "parity bits need a linear CAC (LXC2) to keep the delay guarantee"
+                )
             }
-            CompositionError::TooWide { wires } => write!(f, "composed bus of {wires} wires is too wide"),
+            CompositionError::TooWide { wires } => {
+                write!(f, "composed bus of {wires} wires is too wide")
+            }
         }
     }
 }
@@ -453,7 +464,12 @@ impl ComposedCode {
     }
 
     /// Reads side bits back from the bus; returns (bits, wires consumed).
-    fn read_side_bits(bus: Word, base: usize, count: usize, lxc: Option<LxcChoice>) -> (Word, usize) {
+    fn read_side_bits(
+        bus: Word,
+        base: usize,
+        count: usize,
+        lxc: Option<LxcChoice>,
+    ) -> (Word, usize) {
         let mut bits = Word::zero(count);
         match lxc {
             None => {
@@ -646,7 +662,12 @@ mod tests {
 
     #[test]
     fn plain_combinations_roundtrip() {
-        for cac in [CacChoice::None, CacChoice::Shielding, CacChoice::Duplication, CacChoice::Ftc] {
+        for cac in [
+            CacChoice::None,
+            CacChoice::Shielding,
+            CacChoice::Duplication,
+            CacChoice::Ftc,
+        ] {
             for ecc in [EccChoice::None, EccChoice::Parity, EccChoice::Hamming] {
                 let mut b = Framework::new(6).cac(cac).ecc(ecc);
                 if !matches!(cac, CacChoice::None) {
@@ -750,7 +771,10 @@ mod tests {
 
     #[test]
     fn extended_hamming_detects_doubles_through_framework() {
-        let code = Framework::new(6).ecc(EccChoice::ExtendedHamming).build().unwrap();
+        let code = Framework::new(6)
+            .ecc(EccChoice::ExtendedHamming)
+            .build()
+            .unwrap();
         let mut enc = code.clone();
         let d = Word::from_bits(0b101101, 6);
         let cw = enc.encode(d);

@@ -40,7 +40,10 @@ impl Bih {
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
         let inner = Hamming::new(k + 1);
-        assert!(inner.wires() <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        assert!(
+            inner.wires() <= socbus_model::word::MAX_WIDTH,
+            "bus too wide"
+        );
         Bih {
             k,
             inner,
@@ -204,8 +207,8 @@ mod tests {
             // Parallel path: parity of (d || 0), then flip odd-coverage bits.
             let base = hamming.encode(d.concat(Word::from_bools(&[false])));
             let mut parallel = Word::zero(hamming.parity_bits());
-            for j in 0..hamming.parity_bits() {
-                let p = base.bit(k + 1 + j) ^ inverts[j];
+            for (j, &inv) in inverts.iter().enumerate() {
+                let p = base.bit(k + 1 + j) ^ inv;
                 parallel.set_bit(j, p);
             }
             // Serial path: parity of (!d || 1).

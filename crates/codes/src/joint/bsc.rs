@@ -39,7 +39,7 @@ impl Bsc {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
-        assert!(2 * k + 1 <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        assert!(2 * k < socbus_model::word::MAX_WIDTH, "bus too wide");
         Bsc { k, phase: false }
     }
 

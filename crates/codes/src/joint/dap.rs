@@ -45,7 +45,7 @@ impl Dap {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one data bit");
-        assert!(2 * k + 1 <= socbus_model::word::MAX_WIDTH, "bus too wide");
+        assert!(2 * k < socbus_model::word::MAX_WIDTH, "bus too wide");
         Dap { k }
     }
 
@@ -129,7 +129,10 @@ mod tests {
     fn roundtrip_clean() {
         let mut c = Dap::new(5);
         for w in Word::enumerate_all(5) {
-            let (d, s) = { let cw = c.encode(w); c.decode_checked(cw) };
+            let (d, s) = {
+                let cw = c.encode(w);
+                c.decode_checked(cw)
+            };
             assert_eq!(d, w);
             assert_eq!(s, DecodeStatus::Clean);
         }
@@ -188,12 +191,19 @@ mod tests {
         let mut count = 0.0;
         for b in Word::enumerate_all(4) {
             for a in Word::enumerate_all(4) {
-                acc = acc.add(socbus_model::word_transition_energy(c.encode(b), c.encode(a)));
+                acc = acc.add(socbus_model::word_transition_energy(
+                    c.encode(b),
+                    c.encode(a),
+                ));
                 count += 1.0;
             }
         }
         let avg = acc.scale(1.0 / count);
         assert!((avg.self_coeff - 2.25).abs() < 1e-12, "{}", avg.self_coeff);
-        assert!((avg.coupling_coeff - 2.00).abs() < 1e-12, "{}", avg.coupling_coeff);
+        assert!(
+            (avg.coupling_coeff - 2.00).abs() < 1e-12,
+            "{}",
+            avg.coupling_coeff
+        );
     }
 }

@@ -139,8 +139,8 @@ mod tests {
     #[test]
     fn wire_counts_match_paper() {
         assert_eq!(FtcHc::new(4).wires(), 14); // Table II
-        // Table III lists 65 for 32 bits: FTC 53 code region carries 43
-        // info bits -> m = 6 parity -> 53 + 1 + 11 = 65.
+                                               // Table III lists 65 for 32 bits: FTC 53 code region carries 43
+                                               // info bits -> m = 6 parity -> 53 + 1 + 11 = 65.
         assert_eq!(FtcHc::new(32).wires(), 65);
     }
 
@@ -148,7 +148,10 @@ mod tests {
     fn roundtrip_clean() {
         let mut c = FtcHc::new(4);
         for w in Word::enumerate_all(4) {
-            let (d, s) = { let cw = c.encode(w); c.decode_checked(cw) };
+            let (d, s) = {
+                let cw = c.encode(w);
+                c.decode_checked(cw)
+            };
             assert_eq!(d, w);
             assert_eq!(s, DecodeStatus::Clean);
         }

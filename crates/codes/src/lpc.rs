@@ -70,7 +70,11 @@ impl BusInvert {
         let mut wire_lo = 0;
         for s in 0..i {
             let len = base + usize::from(s < extra);
-            subs.push(SubBus { data_lo, len, wire_lo });
+            subs.push(SubBus {
+                data_lo,
+                len,
+                wire_lo,
+            });
             data_lo += len;
             wire_lo += len + 1;
         }
@@ -211,8 +215,8 @@ impl BusCode for CouplingBusInvert {
         for inv_even in [false, true] {
             for inv_odd in [false, true] {
                 let candidate = self.apply(data, inv_even, inv_odd);
-                let e = socbus_model::word_transition_energy(self.prev, candidate)
-                    .total(self.lambda);
+                let e =
+                    socbus_model::word_transition_energy(self.prev, candidate).total(self.lambda);
                 if best.as_ref().is_none_or(|(b, _)| e < *b) {
                     best = Some((e, candidate));
                 }
@@ -291,7 +295,10 @@ mod tests {
             let d = Word::from_bits(rng.gen::<u128>(), 8);
             let cur = enc.encode(d);
             let data_toggles = prev.slice(0, 8).hamming_distance(cur.slice(0, 8));
-            assert!(data_toggles <= 4, "BI(1) exceeded k/2 toggles: {data_toggles}");
+            assert!(
+                data_toggles <= 4,
+                "BI(1) exceeded k/2 toggles: {data_toggles}"
+            );
             prev = cur;
         }
     }
@@ -332,7 +339,10 @@ mod tests {
             prev = cur;
         }
         let avg = total as f64 / f64::from(n);
-        assert!(avg < 16.0, "BI(8) average switching {avg} not below uncoded 16");
+        assert!(
+            avg < 16.0,
+            "BI(8) average switching {avg} not below uncoded 16"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl Generator {
     /// The full codebook (size `2^k`; smaller image if rows are dependent).
     #[must_use]
     pub fn codebook(&self) -> Vec<Word> {
-        Word::enumerate_all(self.k()).map(|d| self.encode(d)).collect()
+        Word::enumerate_all(self.k())
+            .map(|d| self.encode(d))
+            .collect()
     }
 
     /// Whether the map is injective (rows linearly independent).
@@ -123,9 +125,8 @@ fn delay_bound_holds(book: &[Word]) -> bool {
     let lambda = 1.0;
     let limit = DelayClass::CAC.factor(lambda) + 1e-9;
     book.iter().all(|&a| {
-        book.iter().all(|&b| {
-            bus_delay_factor(&TransitionVector::between(a, b), lambda) <= limit
-        })
+        book.iter()
+            .all(|&b| bus_delay_factor(&TransitionVector::between(a, b), lambda) <= limit)
     })
 }
 
@@ -273,7 +274,10 @@ mod tests {
         // possible only because the code is nonlinear.
         let book = crate::cac::ftc_codebook(4);
         assert!(book.len() >= 8);
-        assert!(codebook_satisfies(&book[..8], CacCondition::ForbiddenTransition));
+        assert!(codebook_satisfies(
+            &book[..8],
+            CacCondition::ForbiddenTransition
+        ));
     }
 
     #[test]

@@ -178,7 +178,13 @@ mod tests {
     fn uncoded_roundtrip() {
         let mut c = Uncoded::new(5);
         for w in Word::enumerate_all(5) {
-            assert_eq!({ let cw = c.encode(w); c.decode(cw) }, w);
+            assert_eq!(
+                {
+                    let cw = c.encode(w);
+                    c.decode(cw)
+                },
+                w
+            );
         }
     }
 

@@ -1,0 +1,178 @@
+//! Persistent-wire-fault properties across the whole scheme catalog.
+//!
+//! A manufacturing defect or electromigration failure leaves a wire stuck
+//! at a fixed level, which corrupts at most one wire of every transmitted
+//! codeword. For each catalog scheme these tests pin down the contract
+//! under that fault class:
+//!
+//! * single-error-correcting schemes must *mask* the fault — the decoder
+//!   returns the original data for every stuck wire and polarity;
+//! * detection-only schemes (parity, duplication) must never report a
+//!   corrupted word as clean;
+//! * every scheme must at least survive the fault without panicking.
+
+use proptest::prelude::*;
+use socbus_codes::{DecodeStatus, Scheme};
+use socbus_model::Word;
+
+const K: usize = 8;
+
+/// Every scheme in the catalog: the Table III set plus the
+/// detection/correction schemes the tables omit.
+fn catalog() -> Vec<Scheme> {
+    let mut schemes = Scheme::table3();
+    for extra in [
+        Scheme::Duplication,
+        Scheme::Parity,
+        Scheme::ExtHamming,
+        Scheme::BchDec,
+    ] {
+        if !schemes.contains(&extra) {
+            schemes.push(extra);
+        }
+    }
+    schemes
+}
+
+/// Detection-only schemes: they flag single wire errors but cannot fix
+/// them.
+fn detects_only(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::Parity | Scheme::Duplication)
+}
+
+/// Encodes `data` with a fresh codec pair, forces `wire` of the codeword
+/// to `value` (a stuck-at fault), and decodes with a fresh, synchronized
+/// decoder. Returns the transmitted codeword, the corrupted word, and the
+/// decode result.
+fn transfer_with_stuck_wire(
+    scheme: Scheme,
+    data: Word,
+    wire: usize,
+    value: bool,
+) -> (Word, Word, Word, DecodeStatus) {
+    let mut enc = scheme.build(K);
+    let mut dec = scheme.build(K);
+    let cw = enc.encode(data);
+    let corrupted = cw.with_bit(wire, value);
+    let (out, status) = dec.decode_checked(corrupted);
+    (cw, corrupted, out, status)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Correcting schemes mask every single stuck wire: whatever polarity
+    /// the defect has and wherever it sits, the data comes back intact.
+    #[test]
+    fn correcting_schemes_mask_any_stuck_wire(data in any::<u8>()) {
+        let d = Word::from_bits(u128::from(data), K);
+        for scheme in catalog().into_iter().filter(|s| s.corrects_errors()) {
+            let wires = scheme.build(K).wires();
+            for wire in 0..wires {
+                for value in [false, true] {
+                    let (_cw, _corrupted, out, status) =
+                        transfer_with_stuck_wire(scheme, d, wire, value);
+                    prop_assert_eq!(
+                        out, d,
+                        "{} wire {} stuck at {}", scheme.name(), wire, u8::from(value)
+                    );
+                    // A single wire fault is within the correction budget,
+                    // so the decoder must never escalate it to an
+                    // uncorrectable `Detected`. `Clean` is legitimate when
+                    // the stuck wire carries no information (shields,
+                    // redundant copies).
+                    prop_assert!(
+                        matches!(status, DecodeStatus::Clean | DecodeStatus::Corrected),
+                        "{} wire {} stuck at {}: status {:?}",
+                        scheme.name(), wire, u8::from(value), status
+                    );
+                }
+            }
+        }
+    }
+
+    /// Detection-only schemes never call a corrupted word clean: a stuck
+    /// wire that actually changed the codeword always raises `Detected`,
+    /// which is what arms the link layer's retransmission path.
+    #[test]
+    fn detecting_schemes_flag_every_corrupted_word(data in any::<u8>()) {
+        let d = Word::from_bits(u128::from(data), K);
+        for scheme in catalog().into_iter().filter(|s| detects_only(*s)) {
+            let wires = scheme.build(K).wires();
+            for wire in 0..wires {
+                for value in [false, true] {
+                    let (cw, corrupted, out, status) =
+                        transfer_with_stuck_wire(scheme, d, wire, value);
+                    if corrupted == cw {
+                        prop_assert_eq!(out, d);
+                        prop_assert_eq!(status, DecodeStatus::Clean);
+                    } else {
+                        prop_assert_eq!(
+                            status,
+                            DecodeStatus::Detected,
+                            "{} wire {} stuck at {} slipped through",
+                            scheme.name(), wire, u8::from(value)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unprotected schemes still have to decode *something* under a stuck
+    /// wire (no panic), and an innocuous fault — the wire already carries
+    /// the stuck level — must not disturb the data.
+    #[test]
+    fn unprotected_schemes_survive_stuck_wires(data in any::<u8>()) {
+        let d = Word::from_bits(u128::from(data), K);
+        for scheme in catalog()
+            .into_iter()
+            .filter(|s| !s.corrects_errors() && !detects_only(*s))
+        {
+            let wires = scheme.build(K).wires();
+            for wire in 0..wires {
+                for value in [false, true] {
+                    let (cw, corrupted, out, _) =
+                        transfer_with_stuck_wire(scheme, d, wire, value);
+                    if corrupted == cw {
+                        prop_assert_eq!(
+                            out, d,
+                            "{} altered data without a fault", scheme.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A resistive bridge shorts two neighboring wires to their AND or OR;
+    /// that changes at most one wire of the pair, so correcting schemes
+    /// must mask bridges exactly like stuck-ats.
+    #[test]
+    fn correcting_schemes_mask_bridged_neighbors(data in any::<u8>()) {
+        let d = Word::from_bits(u128::from(data), K);
+        for scheme in catalog().into_iter().filter(|s| s.corrects_errors()) {
+            let wires = scheme.build(K).wires();
+            for wire in 0..wires - 1 {
+                for or_mode in [false, true] {
+                    let mut enc = scheme.build(K);
+                    let mut dec = scheme.build(K);
+                    let cw = enc.encode(d);
+                    let shorted = if or_mode {
+                        cw.bit(wire) | cw.bit(wire + 1)
+                    } else {
+                        cw.bit(wire) & cw.bit(wire + 1)
+                    };
+                    let corrupted = cw.with_bit(wire, shorted).with_bit(wire + 1, shorted);
+                    let (out, _) = dec.decode_checked(corrupted);
+                    prop_assert_eq!(
+                        out, d,
+                        "{} bridge at wires {},{} ({})",
+                        scheme.name(), wire, wire + 1,
+                        if or_mode { "or" } else { "and" }
+                    );
+                }
+            }
+        }
+    }
+}

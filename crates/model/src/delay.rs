@@ -201,7 +201,10 @@ mod tests {
     fn classify_rounds_up_to_smallest_bounding_class() {
         assert_eq!(DelayClass::classify(1.0, 2.0), DelayClass::new(0));
         assert_eq!(DelayClass::classify(1.0 + 2.0 * 2.0, 2.0), DelayClass::CAC);
-        assert_eq!(DelayClass::classify(1.0 + 3.5 * 2.0, 2.0), DelayClass::WORST);
+        assert_eq!(
+            DelayClass::classify(1.0 + 3.5 * 2.0, 2.0),
+            DelayClass::WORST
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl EnergyCoeff {
 
     /// Component-wise sum (for accumulating averages).
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: EnergyCoeff) -> EnergyCoeff {
         EnergyCoeff {
             self_coeff: self.self_coeff + other.self_coeff,
@@ -140,8 +141,8 @@ pub fn average_energy_trace(words: &[Word], lambda: f64) -> f64 {
         let (b, af) = (pair[0], pair[1]);
         assert_eq!(b.width(), n, "width mismatch in word sequence");
         assert_eq!(af.width(), n, "width mismatch in word sequence");
-        for i in 0..n {
-            for (j, aij) in a[i].iter_mut().enumerate() {
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, aij) in row.iter_mut().enumerate() {
                 let ub_i = f64::from(u8::from(b.bit(i)));
                 let ub_j = f64::from(u8::from(b.bit(j)));
                 let ua_i = f64::from(u8::from(af.bit(i)));

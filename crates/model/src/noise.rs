@@ -88,7 +88,9 @@ pub fn q_inv(p: f64) -> f64 {
     // Initial guess from the leading asymptotic ln Q(x) ≈ −x²/2 − ln(x√2π).
     let mut x = if p < 0.1 {
         let t = -2.0 * target;
-        (t - (t).ln() - (2.0 * std::f64::consts::PI).ln()).max(0.25).sqrt()
+        (t - (t).ln() - (2.0 * std::f64::consts::PI).ln())
+            .max(0.25)
+            .sqrt()
     } else {
         0.5
     };

@@ -114,7 +114,8 @@ impl Environment {
                     } else {
                         (rep.size, self.tech.min_driver_input_cap * rep.size)
                     };
-                    total += segment_delay(&self.tech, seg_len, drive, self.geom.lambda, factor, load);
+                    total +=
+                        segment_delay(&self.tech, seg_len, drive, self.geom.lambda, factor, load);
                     if i > 0 {
                         total += self.tech.gate_intrinsic_delay;
                     }
@@ -252,8 +253,8 @@ impl CodePerf {
             None => 0.0,
             Some(rep) => {
                 let stages = rep.stages(env.geom.length) as f64;
-                let c_rep = (env.tech.min_driver_input_cap + env.tech.min_driver_output_cap)
-                    * rep.size;
+                let c_rep =
+                    (env.tech.min_driver_input_cap + env.tech.min_driver_output_cap) * rep.size;
                 2.0 * self.bus_energy.self_coeff * stages * c_rep * self.vdd * self.vdd
             }
         }
@@ -375,7 +376,10 @@ mod tests {
         let code = plain_code("ham", 7, DelayClass::WORST, 0.0);
         let overhead = code.repeater_energy_joules(&e_rep);
         let bus = code.bus_energy_joules(&e_rep) - overhead;
-        assert!(overhead > 0.1 * bus, "repeater energy should be significant");
+        assert!(
+            overhead > 0.1 * bus,
+            "repeater energy should be significant"
+        );
         assert!(overhead < bus, "but not dominate the wire energy");
     }
 

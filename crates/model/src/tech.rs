@@ -223,7 +223,10 @@ mod tests {
         let g6 = BusGeometry::new(6.0, 2.8);
         let g12 = BusGeometry::new(12.0, 2.8);
         let ratio = g12.tau0(&t) / g6.tau0(&t);
-        assert!(ratio > 2.0, "distributed RC must scale faster than linear, got {ratio}");
+        assert!(
+            ratio > 2.0,
+            "distributed RC must scale faster than linear, got {ratio}"
+        );
     }
 
     #[test]
@@ -238,9 +241,7 @@ mod tests {
         // Larger λ means less bulk capacitance, so the crosstalk-free delay
         // itself shrinks (the (1+cλ) factors grow instead).
         let t = Technology::cmos_130nm();
-        assert!(
-            BusGeometry::new(10.0, 4.6).tau0(&t) < BusGeometry::new(10.0, 0.95).tau0(&t)
-        );
+        assert!(BusGeometry::new(10.0, 4.6).tau0(&t) < BusGeometry::new(10.0, 0.95).tau0(&t));
     }
 
     #[test]

@@ -124,7 +124,11 @@ impl Word {
     /// Panics if `i >= self.width()`.
     #[must_use]
     pub fn bit(self, i: usize) -> bool {
-        assert!(i < self.width(), "wire {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width(),
+            "wire {i} out of range for width {}",
+            self.width
+        );
         (self.limbs[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -134,7 +138,11 @@ impl Word {
     ///
     /// Panics if `i >= self.width()`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.width(), "wire {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width(),
+            "wire {i} out of range for width {}",
+            self.width
+        );
         if value {
             self.limbs[i / 64] |= 1 << (i % 64);
         } else {
@@ -172,6 +180,7 @@ impl Word {
 
     /// Bitwise complement within the word's width.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Word {
         let mut out = self;
         for l in 0..LIMBS {
@@ -207,7 +216,10 @@ impl Word {
     #[must_use]
     pub fn concat(self, other: Word) -> Word {
         let total = self.width() + other.width();
-        assert!(total <= MAX_WIDTH, "concatenated width {total} exceeds {MAX_WIDTH}");
+        assert!(
+            total <= MAX_WIDTH,
+            "concatenated width {total} exceeds {MAX_WIDTH}"
+        );
         let mut out = Word::zero(total);
         out.limbs = self.limbs;
         for i in 0..other.width() {
@@ -226,7 +238,11 @@ impl Word {
     /// Panics if `lo + len > self.width()`.
     #[must_use]
     pub fn slice(self, lo: usize, len: usize) -> Word {
-        assert!(lo + len <= self.width(), "slice {lo}..{} out of range", lo + len);
+        assert!(
+            lo + len <= self.width(),
+            "slice {lo}..{} out of range",
+            lo + len
+        );
         let mut out = Word::zero(len);
         for i in 0..len {
             let j = lo + i;
@@ -278,7 +294,11 @@ impl fmt::Display for Word {
 impl fmt::Binary for Word {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in (0..self.width().max(1)).rev() {
-            let b = if i < self.width() && self.bit(i) { '1' } else { '0' };
+            let b = if i < self.width() && self.bit(i) {
+                '1'
+            } else {
+                '0'
+            };
             write!(f, "{b}")?;
         }
         Ok(())

@@ -13,7 +13,13 @@ pub fn xor_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
             while level.len() > 1 {
                 level = level
                     .chunks(2)
-                    .map(|c| if c.len() == 2 { nl.xor(c[0], c[1]) } else { c[0] })
+                    .map(|c| {
+                        if c.len() == 2 {
+                            nl.xor(c[0], c[1])
+                        } else {
+                            c[0]
+                        }
+                    })
                     .collect();
             }
             level[0]
@@ -31,7 +37,13 @@ pub fn and_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
             while level.len() > 1 {
                 level = level
                     .chunks(2)
-                    .map(|c| if c.len() == 2 { nl.and(c[0], c[1]) } else { c[0] })
+                    .map(|c| {
+                        if c.len() == 2 {
+                            nl.and(c[0], c[1])
+                        } else {
+                            c[0]
+                        }
+                    })
                     .collect();
             }
             level[0]
@@ -49,7 +61,13 @@ pub fn or_tree(nl: &mut Netlist, leaves: &[NodeId]) -> NodeId {
             while level.len() > 1 {
                 level = level
                     .chunks(2)
-                    .map(|c| if c.len() == 2 { nl.or(c[0], c[1]) } else { c[0] })
+                    .map(|c| {
+                        if c.len() == 2 {
+                            nl.or(c[0], c[1])
+                        } else {
+                            c[0]
+                        }
+                    })
                     .collect();
             }
             level[0]
@@ -190,13 +208,7 @@ pub fn equals_const(nl: &mut Netlist, bits: &[NodeId], value: u64) -> NodeId {
     let literals: Vec<NodeId> = bits
         .iter()
         .enumerate()
-        .map(|(i, &b)| {
-            if (value >> i) & 1 == 1 {
-                b
-            } else {
-                nl.not(b)
-            }
-        })
+        .map(|(i, &b)| if (value >> i) & 1 == 1 { b } else { nl.not(b) })
         .collect();
     and_tree(nl, &literals)
 }

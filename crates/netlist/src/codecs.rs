@@ -14,9 +14,7 @@
 //! * sequential codecs (BI, BIH, DAPBI, BSC) advance their DFBs once per
 //!   [`Netlist::step`], in lockstep with the golden model's word clock.
 
-use crate::builders::{
-    and_tree, equals_const, greater_than_const, or_tree, popcount, xor_tree,
-};
+use crate::builders::{and_tree, equals_const, greater_than_const, or_tree, popcount, xor_tree};
 use crate::gf_logic;
 use crate::graph::{Netlist, NodeId};
 use socbus_codes::cac::{ftc_codebook, ftc_groups};
@@ -388,7 +386,11 @@ fn dapbi(k: usize) -> (Netlist, Netlist) {
     // parity(y) = parity(d) ^ (k odd ? inv : 0), so
     // p = parity(y) ^ inv = parity(d) ^ ((k+1) odd ? inv : 0).
     let raw = xor_tree(&mut enc, &ins);
-    let p = if k % 2 == 0 { enc.xor(raw, inv) } else { raw };
+    let p = if k.is_multiple_of(2) {
+        enc.xor(raw, inv)
+    } else {
+        raw
+    };
     for &bit in &y {
         enc.output(bit);
         enc.output(bit);
@@ -481,7 +483,10 @@ fn ftc_group_encoder(nl: &mut Netlist, data: &[NodeId], gwires: usize) -> Vec<No
 /// FTC sub-bus table demapper: codeword wires → data bits via codeword
 /// detectors.
 fn ftc_group_decoder(nl: &mut Netlist, wires: &[NodeId], bits: usize) -> Vec<NodeId> {
-    let book: Vec<_> = ftc_codebook(wires.len()).into_iter().take(1 << bits).collect();
+    let book: Vec<_> = ftc_codebook(wires.len())
+        .into_iter()
+        .take(1 << bits)
+        .collect();
     let detectors: Vec<NodeId> = book
         .iter()
         .map(|cw| {
@@ -694,12 +699,12 @@ fn bch(k: usize) -> (Netlist, Netlist) {
     let double_ok = dec.and(double_mode, two);
 
     // Flip logic and data outputs (data bit i lives at position r + i).
-    for i in 0..k {
+    for (i, &data_in) in ins.iter().enumerate().take(k) {
         let p = r + i;
         let sflip = dec.and(single, single_hits[p]);
         let dflip = dec.and(double_ok, roots[p]);
         let flip = dec.or(sflip, dflip);
-        let out = dec.xor(ins[i], flip);
+        let out = dec.xor(data_in, flip);
         dec.output(out);
     }
     (encoder, dec)
@@ -720,15 +725,23 @@ pub fn linear_encoder(code: &mut dyn socbus_codes::BusCode) -> Netlist {
     let k = code.data_bits();
     let n = code.wires();
     let zero_cw = code.encode(Word::zero(k));
-    assert_eq!(zero_cw.count_ones(), 0, "zero must map to zero for a linear code");
+    assert_eq!(
+        zero_cw.count_ones(),
+        0,
+        "zero must map to zero for a linear code"
+    );
     // Column j of the parity generator: which data bits feed wire k+j.
     let mut coverage: Vec<Vec<usize>> = vec![Vec::new(); n - k];
     for i in 0..k {
         let cw = code.encode(Word::zero(k).with_bit(i, true));
-        assert_eq!(cw.slice(0, k), Word::zero(k).with_bit(i, true), "not systematic");
-        for j in 0..n - k {
+        assert_eq!(
+            cw.slice(0, k),
+            Word::zero(k).with_bit(i, true),
+            "not systematic"
+        );
+        for (j, column) in coverage.iter_mut().enumerate() {
             if cw.bit(k + j) {
-                coverage[j].push(i);
+                column.push(i);
             }
         }
     }

@@ -32,9 +32,7 @@ pub fn linear_map(nl: &mut Netlist, m: usize, cols: &[u16], x: &[NodeId]) -> Vec
 /// Multiplies `x` by the constant `c` (pure XOR network).
 pub fn const_mul(nl: &mut Netlist, field: &Field, c: u16, x: &[NodeId]) -> Vec<NodeId> {
     let m = field.m() as usize;
-    let cols: Vec<u16> = (0..m)
-        .map(|j| field.mul(c, 1 << j))
-        .collect();
+    let cols: Vec<u16> = (0..m).map(|j| field.mul(c, 1 << j)).collect();
     linear_map(nl, m, &cols, x)
 }
 
@@ -57,10 +55,10 @@ pub fn multiply(nl: &mut Netlist, field: &Field, a: &[NodeId], b: &[NodeId]) -> 
     assert_eq!(b.len(), m, "operand width");
     // Partial products: a_i · b_j contributes α^(i+j) reduced.
     let mut leaves: Vec<Vec<NodeId>> = vec![Vec::new(); m];
-    for i in 0..m {
-        for j in 0..m {
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
             let reduced = field.alpha_pow(i + j);
-            let prod = nl.and(a[i], b[j]);
+            let prod = nl.and(ai, bj);
             for (bit, slot) in leaves.iter_mut().enumerate() {
                 if reduced >> bit & 1 == 1 {
                     slot.push(prod);

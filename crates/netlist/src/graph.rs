@@ -117,17 +117,29 @@ impl Netlist {
             ),
             "{kind:?} is not a 2-input cell"
         );
-        self.push(Node::Gate { kind, a, b: Some(b) })
+        self.push(Node::Gate {
+            kind,
+            a,
+            b: Some(b),
+        })
     }
 
     /// Adds an inverter.
     pub fn not(&mut self, a: NodeId) -> NodeId {
-        self.push(Node::Gate { kind: CellKind::Inv, a, b: None })
+        self.push(Node::Gate {
+            kind: CellKind::Inv,
+            a,
+            b: None,
+        })
     }
 
     /// Adds a buffer.
     pub fn buf(&mut self, a: NodeId) -> NodeId {
-        self.push(Node::Gate { kind: CellKind::Buf, a, b: None })
+        self.push(Node::Gate {
+            kind: CellKind::Buf,
+            a,
+            b: None,
+        })
     }
 
     /// Shorthand for XOR2.

@@ -7,37 +7,47 @@
 //!
 //! * [`traffic`] — uniform (the paper's assumption), correlated, and
 //!   address-ramp word generators plus byte packing;
-//! * [`link`] — a coded point-to-point link with FEC or
-//!   detect-and-retransmit protocols over a noisy bus, reporting
-//!   residual errors, cycles (latency), and switched wire energy;
+//! * [`link`] — a coded point-to-point link over a faulty bus with FEC,
+//!   detect-and-retransmit, or timeout/backoff ARQ protocols, plus an
+//!   adaptive degradation ladder, reporting residual errors, cycles
+//!   (latency), corrections, and switched wire energy;
 //! * [`path`] — multi-hop paths of coded links with per-hop decode and
-//!   re-encode, where residual errors accumulate.
+//!   re-encode, per-hop fault domains, and per-hop statistics, where
+//!   residual errors accumulate.
 //!
 //! # Example
 //!
 //! ```
+//! use socbus_channel::FaultSpec;
 //! use socbus_codes::Scheme;
 //! use socbus_noc::{
-//!     link::{simulate_link, LinkConfig, Protocol},
+//!     link::{simulate_link, LinkConfig},
 //!     traffic::UniformTraffic,
 //! };
 //!
-//! let cfg = LinkConfig {
-//!     scheme: Scheme::Dap,
-//!     data_bits: 16,
-//!     eps: 1e-3,
-//!     protocol: Protocol::Fec,
-//! };
+//! // A DAP link under bursty (Gilbert–Elliott) noise instead of the
+//! // paper's i.i.d. assumption.
+//! let cfg = LinkConfig::new(Scheme::Dap, 16, 1e-3).with_fault(FaultSpec::Burst {
+//!     eps_good: 0.0,
+//!     eps_bad: 0.05,
+//!     p_enter: 0.01,
+//!     p_exit: 0.2,
+//! });
 //! let report = simulate_link(&cfg, UniformTraffic::new(16, 1).take(10_000), 2);
 //! assert_eq!(report.delivered, 10_000);
-//! // Single-error correction wipes out almost all word errors at 1e-3.
-//! assert!(report.residual_rate() < 1e-3);
+//! // Bursts defeat a single-error corrector far more often than 1e-3
+//! // i.i.d. noise would, but most words still arrive intact.
+//! assert!(report.corrected > 0);
+//! assert!(report.residual_rate() < 0.05);
 //! ```
 
 pub mod link;
 pub mod path;
 pub mod traffic;
 
-pub use link::{simulate_link, LinkConfig, LinkReport, Protocol};
+pub use link::{
+    simulate_link, DegradationAction, DegradationPolicy, LinkConfig, LinkReport, LinkTransition,
+    Protocol,
+};
 pub use path::{simulate_path, PathConfig, PathReport};
 pub use traffic::{words_from_bytes, CorrelatedTraffic, RampTraffic, UniformTraffic};

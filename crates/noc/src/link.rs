@@ -1,21 +1,34 @@
 //! A coded point-to-point NoC link.
 //!
 //! One sender, one receiver, a coded parallel bus in between, and DSM
-//! noise on the wires. Two link protocols:
+//! noise on the wires. Three link protocols:
 //!
 //! * **FEC** — decode whatever arrives; residual errors escape upward
 //!   (the paper's reliable-bus design);
 //! * **detect-and-retransmit** — codes with error *detection* NACK the
 //!   word and resend, trading latency and energy for reliability (the
 //!   paper's §II-D note that detection is cheaper but needs
-//!   retransmission).
+//!   retransmission);
+//! * **ARQ with timeout and bounded exponential backoff** — the
+//!   realistic variant: a dropped/corrupted NACK is covered by a sender
+//!   timeout, and repeated failures back off exponentially so a link in
+//!   a noise burst does not hammer the bus at line rate.
+//!
+//! On top of any protocol, an optional **adaptive degradation ladder**
+//! ([`DegradationPolicy`]) monitors the windowed *trouble rate* (words
+//! that needed correction, retransmission, or were flagged
+//! uncorrectable) and, past a threshold, walks a configured ladder of
+//! fallbacks: raise the wire swing (lowering ε via the eq. (5) relation)
+//! or switch to a stronger scheme from the catalog. Every transition is
+//! recorded in the [`LinkReport`].
 //!
 //! The simulator tracks delivered words, residual word errors, cycle
-//! counts (including retransmission round trips), and the wire-energy
-//! coefficient actually switched — multiply by `C·V̂dd²` for joules.
+//! counts (including retransmission round trips and backoff), corrected
+//! and detected-uncorrectable events, and the wire-energy coefficient
+//! actually switched — multiply by `C·V̂dd²` for joules.
 
-use socbus_channel::BitFlipChannel;
-use socbus_codes::{DecodeStatus, Scheme};
+use socbus_channel::{FaultInjector, FaultSpec};
+use socbus_codes::{BusCode, DecodeStatus, Scheme};
 use socbus_model::{word_transition_energy, EnergyCoeff, Word};
 
 /// Link-level protocol.
@@ -31,6 +44,83 @@ pub enum Protocol {
         /// Maximum resends before the word is delivered as-is.
         max_retries: u32,
     },
+    /// Stop-and-wait ARQ where every retry costs a sender timeout plus a
+    /// bounded exponential backoff: retry `r` (0-based) waits
+    /// `timeout_cycles + min(backoff_base << r, backoff_cap)` cycles
+    /// before the resend.
+    ArqBackoff {
+        /// Cycles before the sender gives up waiting for an ACK.
+        timeout_cycles: u64,
+        /// Backoff of the first retry (doubles per retry).
+        backoff_base: u64,
+        /// Upper bound on the backoff term.
+        backoff_cap: u64,
+        /// Maximum resends before the word is delivered as-is.
+        max_retries: u32,
+    },
+}
+
+impl Protocol {
+    /// Penalty cycles charged for retry number `tries` (0-based), or
+    /// `None` when the protocol does not allow another retry.
+    #[must_use]
+    pub fn retry_penalty(&self, tries: u32) -> Option<u64> {
+        match *self {
+            Protocol::Fec => None,
+            Protocol::DetectRetransmit {
+                rtt_cycles,
+                max_retries,
+            } => (tries < max_retries).then_some(rtt_cycles),
+            Protocol::ArqBackoff {
+                timeout_cycles,
+                backoff_base,
+                backoff_cap,
+                max_retries,
+            } => (tries < max_retries).then(|| {
+                let backoff = backoff_base
+                    .checked_shl(tries)
+                    .map_or(backoff_cap, |b| b.min(backoff_cap));
+                timeout_cycles + backoff
+            }),
+        }
+    }
+}
+
+/// One fallback step of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DegradationAction {
+    /// Multiply the wire swing by `factor` (> 1), lowering every
+    /// ε-driven fault process through `ε' = Q(factor·Q⁻¹(ε))`. Hard
+    /// faults (stuck-at, bridges) are unaffected.
+    RaiseSwing {
+        /// Swing multiplier (> 1 raises Vdd).
+        factor: f64,
+    },
+    /// Re-provision the link with a different coding scheme (codec state
+    /// resets on both ends; the bus is re-initialized to all-zero).
+    SwitchScheme(Scheme),
+}
+
+/// Windowed-monitoring policy for adaptive degradation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationPolicy {
+    /// Words per monitoring window.
+    pub window: u64,
+    /// Trouble-rate threshold above which the next ladder rung fires.
+    pub trigger: f64,
+    /// Fallback actions, applied in order, at most one per window.
+    pub ladder: Vec<DegradationAction>,
+}
+
+/// A recorded degradation-ladder transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkTransition {
+    /// Number of words delivered when the transition fired.
+    pub at_word: u64,
+    /// Trouble rate of the window that triggered it.
+    pub trouble_rate: f64,
+    /// The action taken.
+    pub action: DegradationAction,
 }
 
 /// Configuration of one link.
@@ -40,14 +130,68 @@ pub struct LinkConfig {
     pub scheme: Scheme,
     /// Data bits per word.
     pub data_bits: usize,
-    /// Per-wire error probability per transfer.
+    /// Per-wire error probability per transfer (the baseline i.i.d.
+    /// process; set to 0 for a clean bus).
     pub eps: f64,
     /// Link protocol.
     pub protocol: Protocol,
+    /// Additional fault processes stacked on the baseline (bursts,
+    /// stuck-at wires, bridges, droop windows).
+    pub faults: Vec<FaultSpec>,
+    /// Optional adaptive degradation ladder.
+    pub degradation: Option<DegradationPolicy>,
+}
+
+impl LinkConfig {
+    /// A FEC link with the baseline i.i.d. channel and no extra faults.
+    #[must_use]
+    pub fn new(scheme: Scheme, data_bits: usize, eps: f64) -> Self {
+        LinkConfig {
+            scheme,
+            data_bits,
+            eps,
+            protocol: Protocol::Fec,
+            faults: Vec::new(),
+            degradation: None,
+        }
+    }
+
+    /// Replaces the link protocol.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Stacks one more fault process onto the channel.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Installs an adaptive degradation ladder.
+    #[must_use]
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = Some(policy);
+        self
+    }
+
+    /// The full fault stack: baseline i.i.d. ε (if nonzero) plus the
+    /// configured extra faults.
+    #[must_use]
+    pub fn fault_stack(&self) -> Vec<FaultSpec> {
+        let mut specs = Vec::with_capacity(self.faults.len() + 1);
+        if self.eps > 0.0 {
+            specs.push(FaultSpec::Iid { eps: self.eps });
+        }
+        specs.extend(self.faults.iter().cloned());
+        specs
+    }
 }
 
 /// Aggregate statistics of a link run.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LinkReport {
     /// Words handed to the link.
     pub offered: u64,
@@ -55,10 +199,17 @@ pub struct LinkReport {
     pub delivered: u64,
     /// Delivered words that differ from what was sent.
     pub residual_errors: u64,
-    /// Total bus cycles consumed, including retransmissions.
+    /// Total bus cycles consumed, including retransmissions and backoff.
     pub cycles: u64,
     /// Number of retransmissions performed.
     pub retransmits: u64,
+    /// Decode attempts where an error was detected and corrected.
+    pub corrected: u64,
+    /// Decode attempts where an error was detected but not correctable
+    /// (each failed ARQ attempt counts once).
+    pub detected: u64,
+    /// Degradation-ladder transitions, in firing order.
+    pub transitions: Vec<LinkTransition>,
     /// Accumulated wire-energy coefficient (units of `C·Vdd²`),
     /// self and coupling parts kept separate so callers can apply their λ.
     pub energy: EnergyCoeff,
@@ -97,6 +248,130 @@ impl LinkReport {
     }
 }
 
+/// The per-link transfer machinery, shared by [`simulate_link`] and the
+/// multi-hop path simulator: codec pair, fault injector, protocol state,
+/// and the degradation monitor.
+pub(crate) struct LinkEngine {
+    enc: Box<dyn BusCode>,
+    dec: Box<dyn BusCode>,
+    injector: FaultInjector,
+    bus_state: Word,
+    data_bits: usize,
+    protocol: Protocol,
+    policy: Option<DegradationPolicy>,
+    rung: usize,
+    window_words: u64,
+    window_trouble: u64,
+    words_done: u64,
+}
+
+impl LinkEngine {
+    /// Builds the engine for `cfg` with `extra` fault processes stacked
+    /// on top of the config's own (used for per-hop fault domains).
+    pub(crate) fn new(cfg: &LinkConfig, extra: &[FaultSpec], seed: u64) -> Self {
+        let enc = cfg.scheme.build(cfg.data_bits);
+        let bus_state = Word::zero(enc.wires());
+        let mut specs = cfg.fault_stack();
+        specs.extend(extra.iter().cloned());
+        LinkEngine {
+            enc,
+            dec: cfg.scheme.build(cfg.data_bits),
+            injector: FaultInjector::new(&specs, seed),
+            bus_state,
+            data_bits: cfg.data_bits,
+            protocol: cfg.protocol,
+            policy: cfg.degradation.clone(),
+            rung: 0,
+            window_words: 0,
+            window_trouble: 0,
+            words_done: 0,
+        }
+    }
+
+    /// Transfers one word, driving the protocol to completion, and
+    /// returns what the receiver hands upward. Accounting (cycles,
+    /// energy, retransmits, corrected/detected, transitions) goes into
+    /// `report`; the caller owns `offered`/`delivered`/`residual_errors`
+    /// because only it knows the reference word.
+    pub(crate) fn transfer(&mut self, data: Word, report: &mut LinkReport) -> Word {
+        let mut tries = 0u32;
+        loop {
+            let sent = self.enc.encode(data);
+            report.energy = report
+                .energy
+                .add(word_transition_energy(self.bus_state, sent));
+            self.bus_state = sent;
+            report.cycles += 1;
+            let received = self.injector.transmit(sent);
+            let (decoded, status) = self.dec.decode_checked(received);
+            match status {
+                DecodeStatus::Corrected => report.corrected += 1,
+                DecodeStatus::Detected => report.detected += 1,
+                DecodeStatus::Clean | DecodeStatus::Unchecked => {}
+            }
+            if status == DecodeStatus::Detected {
+                if let Some(penalty) = self.protocol.retry_penalty(tries) {
+                    report.cycles += penalty;
+                    report.retransmits += 1;
+                    tries += 1;
+                    continue;
+                }
+            }
+            let trouble =
+                tries > 0 || matches!(status, DecodeStatus::Corrected | DecodeStatus::Detected);
+            self.finish_word(trouble, report);
+            return decoded;
+        }
+    }
+
+    /// Window bookkeeping + degradation-ladder stepping, once per word.
+    fn finish_word(&mut self, trouble: bool, report: &mut LinkReport) {
+        self.words_done += 1;
+        let Some((window, trigger)) = self.policy.as_ref().map(|p| (p.window, p.trigger)) else {
+            return;
+        };
+        self.window_words += 1;
+        if trouble {
+            self.window_trouble += 1;
+        }
+        if self.window_words < window {
+            return;
+        }
+        let rate = self.window_trouble as f64 / self.window_words as f64;
+        self.window_words = 0;
+        self.window_trouble = 0;
+        let next = self
+            .policy
+            .as_ref()
+            .and_then(|p| p.ladder.get(self.rung))
+            .copied();
+        if let Some(action) = next {
+            if rate > trigger {
+                self.apply(action);
+                self.rung += 1;
+                report.transitions.push(LinkTransition {
+                    at_word: self.words_done,
+                    trouble_rate: rate,
+                    action,
+                });
+            }
+        }
+    }
+
+    fn apply(&mut self, action: DegradationAction) {
+        match action {
+            DegradationAction::RaiseSwing { factor } => {
+                self.injector.rescale_swing(factor);
+            }
+            DegradationAction::SwitchScheme(scheme) => {
+                self.enc = scheme.build(self.data_bits);
+                self.dec = scheme.build(self.data_bits);
+                self.bus_state = Word::zero(self.enc.wires());
+            }
+        }
+    }
+}
+
 /// Simulates `traffic` over the configured link.
 ///
 /// # Panics
@@ -107,43 +382,14 @@ pub fn simulate_link(
     traffic: impl Iterator<Item = Word>,
     seed: u64,
 ) -> LinkReport {
-    let mut enc = cfg.scheme.build(cfg.data_bits);
-    let mut dec = cfg.scheme.build(cfg.data_bits);
-    let mut channel = BitFlipChannel::new(cfg.eps, seed);
+    let mut engine = LinkEngine::new(cfg, &[], seed);
     let mut report = LinkReport::default();
-    // The physical bus holds its last word between transfers.
-    let mut bus_state = Word::zero(enc.wires());
     for data in traffic {
         report.offered += 1;
-        let mut tries = 0u32;
-        loop {
-            let sent = enc.encode(data);
-            report.energy = report.energy.add(word_transition_energy(bus_state, sent));
-            bus_state = sent;
-            report.cycles += 1;
-            let received = channel.transmit(sent);
-            let (decoded, status) = dec.decode_checked(received);
-            let retry_allowed = match cfg.protocol {
-                Protocol::Fec => false,
-                Protocol::DetectRetransmit { rtt_cycles, max_retries } => {
-                    if status == DecodeStatus::Detected && tries < max_retries {
-                        report.cycles += rtt_cycles;
-                        report.retransmits += 1;
-                        tries += 1;
-                        true
-                    } else {
-                        false
-                    }
-                }
-            };
-            if retry_allowed {
-                continue;
-            }
-            report.delivered += 1;
-            if decoded != data {
-                report.residual_errors += 1;
-            }
-            break;
+        let decoded = engine.transfer(data, &mut report);
+        report.delivered += 1;
+        if decoded != data {
+            report.residual_errors += 1;
         }
     }
     report
@@ -152,15 +398,10 @@ pub fn simulate_link(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::UniformTraffic;
+    use crate::traffic::{RampTraffic, UniformTraffic};
 
     fn run(scheme: Scheme, eps: f64, protocol: Protocol, n: usize) -> LinkReport {
-        let cfg = LinkConfig {
-            scheme,
-            data_bits: 8,
-            eps,
-            protocol,
-        };
+        let cfg = LinkConfig::new(scheme, 8, eps).with_protocol(protocol);
         simulate_link(&cfg, UniformTraffic::new(8, 42).take(n), 7)
     }
 
@@ -170,6 +411,7 @@ mod tests {
         assert_eq!(r.delivered, 500);
         assert_eq!(r.residual_errors, 0);
         assert_eq!(r.cycles, 500);
+        assert!(r.transitions.is_empty());
     }
 
     #[test]
@@ -184,6 +426,7 @@ mod tests {
             dap.residual_rate(),
             unc.residual_rate()
         );
+        assert!(dap.corrected > 0, "corrections should be counted");
     }
 
     #[test]
@@ -229,5 +472,170 @@ mod tests {
         let per = 1.0 / unc.delivered as f64;
         assert!(dap.energy.self_coeff * per > unc.energy.self_coeff * per);
         assert!(dap.energy.coupling_coeff < unc.energy.coupling_coeff * 1.2);
+    }
+
+    /// Retry-exhaustion audit (ISSUE 1 satellite): once `max_retries` is
+    /// spent, the word goes upward as-is — it must be compared against
+    /// the sent word (residual accounting) and every failed round must
+    /// stay in the cycle count. Driven fully deterministically by a
+    /// stuck-at fault instead of a random channel.
+    #[test]
+    fn exhausted_retries_count_residuals_and_failed_cycles() {
+        let max_retries = 3u32;
+        let rtt = 4u64;
+        // Wire 0 carries data bit 0; stuck-at-0 corrupts exactly the odd
+        // payloads. RampTraffic with stride 1 yields values 1..=100, so
+        // 50 odd words fail detection on every attempt.
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: rtt,
+                max_retries,
+            })
+            .with_fault(FaultSpec::StuckAt {
+                wire: 0,
+                value: false,
+            });
+        let r = simulate_link(&cfg, RampTraffic::new(8, 1, 0.0, 1).take(100), 9);
+        assert_eq!(r.offered, 100);
+        assert_eq!(r.delivered, 100, "exhausted words still deliver");
+        assert_eq!(
+            r.residual_errors, 50,
+            "as-is deliveries must be checked against the sent word"
+        );
+        assert_eq!(r.retransmits, 50 * u64::from(max_retries));
+        // Odd word: 1 + max_retries attempts plus rtt per retry; even: 1.
+        let expect_cycles = 100 + 50 * u64::from(max_retries) + 50 * rtt * u64::from(max_retries);
+        assert_eq!(r.cycles, expect_cycles, "failed rounds must be billed");
+        // Every failed attempt (including the final as-is one) is a
+        // detected-uncorrectable event.
+        assert_eq!(r.detected, 50 * (u64::from(max_retries) + 1));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_bounded() {
+        assert_eq!(Protocol::Fec.retry_penalty(0), None);
+        let p = Protocol::ArqBackoff {
+            timeout_cycles: 10,
+            backoff_base: 2,
+            backoff_cap: 16,
+            max_retries: 6,
+        };
+        assert_eq!(p.retry_penalty(0), Some(12)); // 10 + 2
+        assert_eq!(p.retry_penalty(1), Some(14)); // 10 + 4
+        assert_eq!(p.retry_penalty(2), Some(18)); // 10 + 8
+        assert_eq!(p.retry_penalty(3), Some(26)); // 10 + 16 (cap)
+        assert_eq!(p.retry_penalty(4), Some(26)); // capped
+        assert_eq!(p.retry_penalty(6), None); // budget spent
+    }
+
+    #[test]
+    fn backoff_arq_bills_more_cycles_than_flat_arq() {
+        let stuck = FaultSpec::StuckAt {
+            wire: 0,
+            value: false,
+        };
+        let flat = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 4,
+            })
+            .with_fault(stuck.clone());
+        let backoff = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_protocol(Protocol::ArqBackoff {
+                timeout_cycles: 2,
+                backoff_base: 1,
+                backoff_cap: 64,
+                max_retries: 4,
+            })
+            .with_fault(stuck);
+        let rf = simulate_link(&flat, RampTraffic::new(8, 1, 0.0, 1).take(100), 9);
+        let rb = simulate_link(&backoff, RampTraffic::new(8, 1, 0.0, 1).take(100), 9);
+        // Identical retry counts, but each backoff retry r adds 1<<r extra:
+        // 1 + 2 + 4 + 8 = 15 per failing word, 50 failing words.
+        assert_eq!(rf.retransmits, rb.retransmits);
+        assert_eq!(rb.cycles, rf.cycles + 50 * 15);
+    }
+
+    /// End-to-end acceptance: a link with a degradation ladder recovers
+    /// from an injected stuck-at fault — after the ladder switches to a
+    /// correcting scheme, no further residual errors accumulate.
+    #[test]
+    fn degradation_ladder_recovers_from_stuck_wire() {
+        let policy = DegradationPolicy {
+            window: 200,
+            trigger: 0.2,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.25 },
+                DegradationAction::SwitchScheme(Scheme::Dap),
+            ],
+        };
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 1e-4)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 2,
+            })
+            .with_fault(FaultSpec::StuckAt {
+                wire: 0,
+                value: false,
+            })
+            .with_degradation(policy);
+        let head = simulate_link(&cfg, UniformTraffic::new(8, 5).take(2_000), 13);
+        let full = simulate_link(&cfg, UniformTraffic::new(8, 5).take(40_000), 13);
+        // The ladder fully deploys early: swing raise first (does not fix
+        // a hard fault), then the scheme switch (does).
+        assert_eq!(head.transitions.len(), 2, "{:?}", head.transitions);
+        assert!(matches!(
+            head.transitions[0].action,
+            DegradationAction::RaiseSwing { .. }
+        ));
+        assert!(matches!(
+            head.transitions[1].action,
+            DegradationAction::SwitchScheme(Scheme::Dap)
+        ));
+        assert!(head.residual_errors > 0, "parity phase must show damage");
+        // Determinism: the long run replays the same prefix, so any
+        // difference in residuals comes from the post-recovery tail.
+        assert_eq!(full.transitions, head.transitions);
+        let tail_errors = full.residual_errors - head.residual_errors;
+        let tail_words = full.delivered - head.delivered;
+        let tail_rate = tail_errors as f64 / tail_words as f64;
+        assert!(
+            tail_rate < 0.2 / 100.0,
+            "post-recovery residual rate {tail_rate} must fall well below the trigger"
+        );
+    }
+
+    #[test]
+    fn raise_swing_alone_recovers_from_soft_noise() {
+        // Against *soft* noise a swing raise is sufficient — the ladder
+        // should stop after one rung.
+        let policy = DegradationPolicy {
+            window: 500,
+            trigger: 0.05,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.5 },
+                DegradationAction::SwitchScheme(Scheme::ExtHamming),
+            ],
+        };
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 2e-2)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 4,
+            })
+            .with_degradation(policy);
+        let r = simulate_link(&cfg, UniformTraffic::new(8, 6).take(30_000), 17);
+        assert!(
+            !r.transitions.is_empty(),
+            "2% eps on 9 wires must trip a 5% trouble trigger"
+        );
+        assert!(
+            r.transitions.len() <= 2,
+            "swing raise should stem the trouble quickly: {:?}",
+            r.transitions
+        );
+        assert!(matches!(
+            r.transitions[0].action,
+            DegradationAction::RaiseSwing { .. }
+        ));
     }
 }

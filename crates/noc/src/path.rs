@@ -6,11 +6,17 @@
 //! reliability budget is the end-to-end target divided by the hop count,
 //! which is exactly where the stronger codes of the unified framework pay
 //! off on long paths.
+//!
+//! Every hop is its own **fault domain**: besides the shared link
+//! configuration, individual hops can carry extra fault processes (a
+//! stuck wire on hop 2, a droop window on hop 0, …) and the
+//! [`PathReport`] keeps per-hop statistics, so a localized hard fault
+//! shows up on the hop that owns it instead of vanishing into the
+//! end-to-end aggregate.
 
-use crate::link::{LinkConfig, Protocol};
-use socbus_channel::BitFlipChannel;
-use socbus_codes::{BusCode, DecodeStatus};
-use socbus_model::{word_transition_energy, EnergyCoeff, Word};
+use crate::link::{LinkConfig, LinkEngine, LinkReport};
+use socbus_channel::FaultSpec;
+use socbus_model::{EnergyCoeff, Word};
 
 /// A path of identical coded links in series.
 #[derive(Clone, Debug)]
@@ -19,10 +25,37 @@ pub struct PathConfig {
     pub hops: usize,
     /// Per-hop link configuration.
     pub link: LinkConfig,
+    /// Extra fault processes bound to specific hops (hop index, spec) —
+    /// the per-hop fault domains on top of `link.faults`.
+    pub hop_faults: Vec<(usize, FaultSpec)>,
+}
+
+impl PathConfig {
+    /// A path of `hops` identical links with no hop-local faults.
+    #[must_use]
+    pub fn new(hops: usize, link: LinkConfig) -> Self {
+        PathConfig {
+            hops,
+            link,
+            hop_faults: Vec::new(),
+        }
+    }
+
+    /// Binds one more fault process to the given hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    #[must_use]
+    pub fn with_hop_fault(mut self, hop: usize, fault: FaultSpec) -> Self {
+        assert!(hop < self.hops, "hop {hop} out of range");
+        self.hop_faults.push((hop, fault));
+        self
+    }
 }
 
 /// End-to-end statistics of a path run.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PathReport {
     /// Words offered at the source.
     pub offered: u64,
@@ -32,6 +65,9 @@ pub struct PathReport {
     pub cycles: u64,
     /// Total wire-energy coefficient across all hops.
     pub energy: EnergyCoeff,
+    /// Per-hop link statistics; `per_hop[h].residual_errors` counts words
+    /// leaving hop `h` different from what entered it.
+    pub per_hop: Vec<LinkReport>,
 }
 
 impl PathReport {
@@ -55,6 +91,18 @@ impl PathReport {
             self.cycles as f64 / self.offered as f64
         }
     }
+
+    /// The hop with the worst per-hop residual rate, as
+    /// `(hop index, rate)` — the fault-domain view a NoC health monitor
+    /// would act on. `None` on an empty report.
+    #[must_use]
+    pub fn worst_hop(&self) -> Option<(usize, f64)> {
+        self.per_hop
+            .iter()
+            .enumerate()
+            .map(|(h, r)| (h, r.residual_rate()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
 }
 
 /// Simulates `traffic` across the multi-hop path.
@@ -68,85 +116,56 @@ pub fn simulate_path(
     seed: u64,
 ) -> PathReport {
     assert!(cfg.hops >= 1, "need at least one hop");
-    let mut hops: Vec<Hop> = (0..cfg.hops)
-        .map(|h| Hop::new(&cfg.link, seed ^ (h as u64).wrapping_mul(0x9E37_79B9)))
+    let mut engines: Vec<LinkEngine> = (0..cfg.hops)
+        .map(|h| {
+            let extra: Vec<FaultSpec> = cfg
+                .hop_faults
+                .iter()
+                .filter(|(hop, _)| *hop == h)
+                .map(|(_, spec)| spec.clone())
+                .collect();
+            LinkEngine::new(
+                &cfg.link,
+                &extra,
+                seed ^ (h as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
         .collect();
+    let mut per_hop = vec![LinkReport::default(); cfg.hops];
     let mut report = PathReport::default();
     for data in traffic {
         report.offered += 1;
         let mut word = data;
-        for hop in &mut hops {
-            word = hop.transfer(word, &cfg.link, &mut report);
+        for (engine, hop_report) in engines.iter_mut().zip(per_hop.iter_mut()) {
+            let entered = word;
+            hop_report.offered += 1;
+            word = engine.transfer(entered, hop_report);
+            hop_report.delivered += 1;
+            if word != entered {
+                hop_report.residual_errors += 1;
+            }
         }
         if word != data {
             report.end_to_end_errors += 1;
         }
     }
+    for hop_report in &per_hop {
+        report.cycles += hop_report.cycles;
+        report.energy = report.energy.add(hop_report.energy);
+    }
+    report.per_hop = per_hop;
     report
-}
-
-struct Hop {
-    enc: Box<dyn BusCode>,
-    dec: Box<dyn BusCode>,
-    channel: BitFlipChannel,
-    bus_state: Word,
-}
-
-impl Hop {
-    fn new(link: &LinkConfig, seed: u64) -> Self {
-        let enc = link.scheme.build(link.data_bits);
-        let bus_state = Word::zero(enc.wires());
-        Hop {
-            enc,
-            dec: link.scheme.build(link.data_bits),
-            channel: BitFlipChannel::new(link.eps, seed),
-            bus_state,
-        }
-    }
-
-    fn transfer(&mut self, data: Word, link: &LinkConfig, report: &mut PathReport) -> Word {
-        let mut tries = 0u32;
-        loop {
-            let sent = self.enc.encode(data);
-            report.energy = report
-                .energy
-                .add(word_transition_energy(self.bus_state, sent));
-            self.bus_state = sent;
-            report.cycles += 1;
-            let received = self.channel.transmit(sent);
-            let (decoded, status) = self.dec.decode_checked(received);
-            if let Protocol::DetectRetransmit {
-                rtt_cycles,
-                max_retries,
-            } = link.protocol
-            {
-                if status == DecodeStatus::Detected && tries < max_retries {
-                    report.cycles += rtt_cycles;
-                    tries += 1;
-                    continue;
-                }
-            }
-            return decoded;
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::link::Protocol;
     use crate::traffic::UniformTraffic;
     use socbus_codes::Scheme;
 
     fn run(scheme: Scheme, hops: usize, eps: f64, n: usize) -> PathReport {
-        let cfg = PathConfig {
-            hops,
-            link: LinkConfig {
-                scheme,
-                data_bits: 8,
-                eps,
-                protocol: Protocol::Fec,
-            },
-        };
+        let cfg = PathConfig::new(hops, LinkConfig::new(scheme, 8, eps));
         simulate_path(&cfg, UniformTraffic::new(8, 21).take(n), 77)
     }
 
@@ -178,25 +197,64 @@ mod tests {
         assert_eq!(r.end_to_end_errors, 0);
         assert_eq!(r.cycles_per_word(), 3.0);
         assert!(r.energy.total(2.8) > 0.0);
+        assert_eq!(r.per_hop.len(), 3);
     }
 
     #[test]
     fn arq_per_hop_composes() {
-        let cfg = PathConfig {
-            hops: 3,
-            link: LinkConfig {
-                scheme: Scheme::Parity,
-                data_bits: 8,
-                eps: 5e-3,
-                protocol: Protocol::DetectRetransmit {
-                    rtt_cycles: 2,
-                    max_retries: 4,
-                },
-            },
-        };
+        let cfg = PathConfig::new(
+            3,
+            LinkConfig::new(Scheme::Parity, 8, 5e-3).with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 4,
+            }),
+        );
         let arq = simulate_path(&cfg, UniformTraffic::new(8, 3).take(40_000), 5);
         let fec = run(Scheme::Parity, 3, 5e-3, 40_000);
         assert!(arq.residual_rate() < fec.residual_rate() / 3.0);
         assert!(arq.cycles_per_word() > 3.0);
+    }
+
+    /// A stuck wire on hop 1 of an uncoded path must be charged to hop 1
+    /// in the per-hop fault-domain stats, not smeared across the path.
+    #[test]
+    fn hop_fault_domain_is_attributed_to_its_hop() {
+        let cfg = PathConfig::new(3, LinkConfig::new(Scheme::Uncoded, 8, 0.0)).with_hop_fault(
+            1,
+            FaultSpec::StuckAt {
+                wire: 2,
+                value: true,
+            },
+        );
+        let r = simulate_path(&cfg, UniformTraffic::new(8, 33).take(4_000), 3);
+        assert_eq!(r.per_hop.len(), 3);
+        assert_eq!(r.per_hop[0].residual_errors, 0, "hop 0 is clean");
+        assert_eq!(r.per_hop[2].residual_errors, 0, "hop 2 faithfully forwards");
+        assert!(
+            r.per_hop[1].residual_errors > 1_500,
+            "hop 1 owns the damage: {}",
+            r.per_hop[1].residual_errors
+        );
+        assert_eq!(r.end_to_end_errors, r.per_hop[1].residual_errors);
+        assert_eq!(r.worst_hop().map(|(h, _)| h), Some(1));
+    }
+
+    /// With a correcting code, the same hop-local stuck wire is masked at
+    /// hop 1 (visible as corrections there) and never reaches the sink.
+    #[test]
+    fn correcting_code_contains_the_faulty_hop() {
+        let cfg = PathConfig::new(3, LinkConfig::new(Scheme::Dap, 8, 0.0)).with_hop_fault(
+            1,
+            FaultSpec::StuckAt {
+                wire: 2,
+                value: true,
+            },
+        );
+        let r = simulate_path(&cfg, UniformTraffic::new(8, 33).take(4_000), 3);
+        assert_eq!(r.end_to_end_errors, 0);
+        assert_eq!(r.per_hop[1].residual_errors, 0);
+        assert!(r.per_hop[1].corrected > 1_500, "hop 1 logs its corrections");
+        assert_eq!(r.per_hop[0].corrected, 0);
+        assert_eq!(r.per_hop[2].corrected, 0);
     }
 }

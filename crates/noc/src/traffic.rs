@@ -118,7 +118,7 @@ impl Iterator for RampTraffic {
 /// Packs a byte stream into `width`-bit words (zero-padded tail).
 #[must_use]
 pub fn words_from_bytes(bytes: &[u8], width: usize) -> Vec<Word> {
-    assert!(width >= 1 && width <= 128, "width out of range");
+    assert!((1..=128).contains(&width), "width out of range");
     let mut out = Vec::new();
     let mut acc: u128 = 0;
     let mut bits = 0usize;

@@ -105,7 +105,10 @@ mod tests {
         let best = optimal_driver_size(&sweep);
         // Fig. 8: the optimum for a 10-mm bus sits well inside the sweep,
         // in the tens-of-minimum-size range.
-        assert!(best > sizes[0] && best < *sizes.last().unwrap(), "best {best}");
+        assert!(
+            best > sizes[0] && best < *sizes.last().unwrap(),
+            "best {best}"
+        );
         // And the curve is genuinely U-shaped: endpoints are worse.
         let d_best = sweep.iter().find(|&&(s, _)| s == best).unwrap().1;
         assert!(sweep[0].1 > d_best * 1.05);

@@ -26,8 +26,8 @@
 //! ```
 
 pub mod experiments;
-pub mod line;
 pub mod linalg;
+pub mod line;
 pub mod sim;
 
 pub use line::CoupledBus;

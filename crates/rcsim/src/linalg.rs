@@ -20,7 +20,10 @@ impl Matrix {
     #[must_use]
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "empty matrix");
-        Matrix { n, a: vec![0.0; n * n] }
+        Matrix {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -119,15 +122,15 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.a[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.a[i * n + j] * xj;
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.a[i * n + j] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.a[i * n + j] * xj;
             }
             x[i] = s / self.a[i * n + i];
         }

@@ -7,8 +7,8 @@
 //! and accurate enough at ~2000 steps per window for the 50% delay
 //! measurements the experiments need.
 
-use crate::line::CoupledBus;
 use crate::linalg::{Lu, Matrix};
+use crate::line::CoupledBus;
 use socbus_model::{Transition, TransitionVector};
 
 /// A transient simulation of one bus transition.
@@ -223,9 +223,9 @@ pub fn worst_delay(
 ) -> f64 {
     let delays = measure_delays(bus, tv, initial, window, steps);
     let mut worst: f64 = 0.0;
-    for w in 0..bus.wires {
+    for (w, delay) in delays.iter().enumerate() {
         if tv.get(w).is_switching() {
-            let d = delays[w].unwrap_or_else(|| panic!("wire {w} did not settle in {window}s"));
+            let d = delay.unwrap_or_else(|| panic!("wire {w} did not settle in {window}s"));
             worst = worst.max(d);
         }
     }
@@ -260,7 +260,10 @@ mod tests {
         // The lumped 0.69/0.38 estimate should agree within ~35%.
         let lumped = geom.tau0(&tech);
         let ratio = d / lumped;
-        assert!((0.65..1.35).contains(&ratio), "measured {d}, lumped {lumped}");
+        assert!(
+            (0.65..1.35).contains(&ratio),
+            "measured {d}, lumped {lumped}"
+        );
     }
 
     #[test]
@@ -315,8 +318,7 @@ mod tests {
         }
         // Energy drawn charging C to Vdd is C·Vdd² (half stored, half
         // dissipated). C here is ground cap + receiver + driver self-cap.
-        let c_total =
-            bus.cg_seg * bus.segments as f64 + bus.c_recv + bus.c_drv;
+        let c_total = bus.cg_seg * bus.segments as f64 + bus.c_recv + bus.c_drv;
         let expect = c_total * bus.vdd * bus.vdd;
         let got = sim.supply_energy();
         assert!(

@@ -49,7 +49,11 @@ fn main() {
             energy * 1e12,
             d.total_area(&env) * 1e12,
             d.vdd,
-            if scheme.corrects_errors() { "yes" } else { "no" },
+            if scheme.corrects_errors() {
+                "yes"
+            } else {
+                "no"
+            },
         );
         rows.push((d.name.clone(), delay, energy));
     }

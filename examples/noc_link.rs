@@ -14,12 +14,7 @@ use socbus::noc::traffic::{CorrelatedTraffic, UniformTraffic};
 
 fn report(label: &str, scheme: Scheme, protocol: Protocol, correlated: bool) {
     let eps = 2e-3; // an aggressive low-swing operating point
-    let cfg = LinkConfig {
-        scheme,
-        data_bits: 32,
-        eps,
-        protocol,
-    };
+    let cfg = LinkConfig::new(scheme, 32, eps).with_protocol(protocol);
     let n = 60_000;
     let r = if correlated {
         simulate_link(&cfg, CorrelatedTraffic::new(32, 0.08, 11).take(n), 3)
@@ -49,7 +44,12 @@ fn main() {
         report("BI(4)", Scheme::BusInvert(4), Protocol::Fec, correlated);
         report("Hamming (FEC)", Scheme::Hamming, Protocol::Fec, correlated);
         report("DAP (FEC)", Scheme::Dap, Protocol::Fec, correlated);
-        report("ExtHamming (FEC)", Scheme::ExtHamming, Protocol::Fec, correlated);
+        report(
+            "ExtHamming (FEC)",
+            Scheme::ExtHamming,
+            Protocol::Fec,
+            correlated,
+        );
         report("parity + retransmit", Scheme::Parity, arq, correlated);
         report("ExtHamming + ARQ", Scheme::ExtHamming, arq, correlated);
     }

@@ -19,11 +19,18 @@ fn main() {
     let unc = ResidualModel::Uncoded { wires: k };
     let eps_ref = unc.solve_eps(p_target);
     let sigma = nominal / (2.0 * q_inv(eps_ref));
-    println!("  eps(1.2 V) = {eps_ref:.2e}  =>  sigma_N = {:.1} mV\n", sigma * 1e3);
+    println!(
+        "  eps(1.2 V) = {eps_ref:.2e}  =>  sigma_N = {:.1} mV\n",
+        sigma * 1e3
+    );
 
     println!("Step 2: scale each ECC design to the same 1e-20 target (eq. 11)");
     let designs = [
-        ("Hamming", ResidualModel::DoubleError { wires: 38 }, Scheme::Hamming),
+        (
+            "Hamming",
+            ResidualModel::DoubleError { wires: 38 },
+            Scheme::Hamming,
+        ),
         ("DAP", ResidualModel::Dap { k }, Scheme::Dap),
         ("DAPBI", ResidualModel::Dap { k: k + 1 }, Scheme::Dapbi),
     ];
@@ -46,7 +53,10 @@ fn main() {
     println!("  ECC residual falls QUADRATICALLY — which is why the curves");
     println!("  cross far below any measurable rate and ECC wins at 1e-20.");
     let (hi, lo) = (6e-3, 2e-3);
-    println!("  {:<9} {:>13} {:>13} {:>16}", "scheme", "WER@6e-3", "WER@2e-3", "slope (ideal)");
+    println!(
+        "  {:<9} {:>13} {:>13} {:>16}",
+        "scheme", "WER@6e-3", "WER@2e-3", "slope (ideal)"
+    );
     for (name, scheme, ideal) in [
         ("uncoded", Scheme::Uncoded, 3.0),
         ("Hamming", Scheme::Hamming, 9.0),

@@ -68,7 +68,12 @@ fn speedup_orderings_match_table2() {
         let d = design_point(sch, 4, &lib, &o);
         socbus::model::speedup(&ham, &d, &env)
     };
-    let (dapx, dap, bsc, bih) = (s(Scheme::Dapx), s(Scheme::Dap), s(Scheme::Bsc), s(Scheme::Bih));
+    let (dapx, dap, bsc, bih) = (
+        s(Scheme::Dapx),
+        s(Scheme::Dap),
+        s(Scheme::Bsc),
+        s(Scheme::Bih),
+    );
     assert!(dapx > dap && dap > bsc, "dapx {dapx} dap {dap} bsc {bsc}");
     assert!(bih < 1.0, "BIH is dominated in this technology: {bih}");
 }
@@ -87,7 +92,14 @@ fn dapx_speedup_rises_with_lambda_and_length() {
     );
     let pts = &series[0].1;
     assert!(pts.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9), "λ trend");
-    let series = sweep_length(&[Scheme::Dap], Scheme::Hamming, 4, 2.8, Metric::Speedup, &opts());
+    let series = sweep_length(
+        &[Scheme::Dap],
+        Scheme::Hamming,
+        4,
+        2.8,
+        Metric::Speedup,
+        &opts(),
+    );
     let pts = &series[0].1;
     assert!(pts.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9), "L trend");
 }
@@ -141,7 +153,10 @@ fn repeaters_trade_energy_for_speed_and_coding_does_not() {
         .with_repeaters(RepeaterConfig::new(2.0, size));
 
     let rep_speed = ham.total_delay(&plain) / ham.total_delay(&rep);
-    assert!(rep_speed > 2.0 && rep_speed < 4.5, "repeater speed-up {rep_speed}");
+    assert!(
+        rep_speed > 2.0 && rep_speed < 4.5,
+        "repeater speed-up {rep_speed}"
+    );
     let rep_energy = ham.total_energy(&rep) / ham.total_energy(&plain);
     assert!(rep_energy > 1.3, "repeaters must cost energy: {rep_energy}");
 

@@ -113,7 +113,12 @@ proptest! {
 
 #[test]
 fn reset_restores_initial_behavior_for_stateful_codes() {
-    for scheme in [Scheme::BusInvert(2), Scheme::Bih, Scheme::Dapbi, Scheme::Bsc] {
+    for scheme in [
+        Scheme::BusInvert(2),
+        Scheme::Bih,
+        Scheme::Dapbi,
+        Scheme::Bsc,
+    ] {
         let mut a = scheme.build(8);
         let mut b = scheme.build(8);
         // Drive `a` with garbage, then reset; it must now match fresh `b`.

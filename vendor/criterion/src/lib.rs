@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! crates.io is unreachable in this build environment, so this vendored
+//! crate keeps `cargo bench` working with the API subset the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion`
+//! (`bench_function`, `benchmark_group`), `BenchmarkGroup` (`throughput`,
+//! `sample_size`, `bench_with_input`, `finish`), `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and `black_box`.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is timed
+//! with a short calibration pass followed by a fixed measurement window,
+//! and the median of several batches is printed as `ns/iter`.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement window per benchmark (per batch, in nanoseconds).
+const BATCH_TARGET_NS: u128 = 20_000_000;
+/// Batches per benchmark; the median batch is reported.
+const BATCHES: usize = 5;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` under `name` and prints the result.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks (printed with a `group/` prefix).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration workload (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim fixes its own batching.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under this group and `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into().0), &b);
+        self
+    }
+
+    /// Times `f` under this group and `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median batch time per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: how many iterations fill one batch window?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let per_batch = (BATCH_TARGET_NS / once).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.ns_per_iter {
+        Some(ns) => println!("bench {name:<50} {ns:>14.1} ns/iter"),
+        None => println!("bench {name:<50} (no measurement)"),
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    #[must_use]
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id made of a parameter alone.
+    #[must_use]
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Work performed per iteration (accepted, not reported by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

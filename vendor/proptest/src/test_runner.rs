@@ -1,0 +1,74 @@
+//! Configuration, deterministic RNG, and case outcomes for [`proptest!`].
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single property case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; sample again.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+/// The RNG driving strategy sampling, seeded from the property's name so
+/// every run replays the same cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from `name` (FNV-1a).
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index from empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
