@@ -28,20 +28,10 @@ const SEED: u64 = 17;
 const LAMBDA: f64 = 2.8;
 
 /// Every scheme in the catalog: the Table III comparison set plus the
-/// detection/correction schemes the tables omit.
+/// detection/correction schemes the tables omit (now maintained centrally
+/// as [`Scheme::catalog`]; the order is part of the JSON output format).
 fn catalog() -> Vec<Scheme> {
-    let mut schemes = Scheme::table3();
-    for extra in [
-        Scheme::Duplication,
-        Scheme::Parity,
-        Scheme::ExtHamming,
-        Scheme::BchDec,
-    ] {
-        if !schemes.contains(&extra) {
-            schemes.push(extra);
-        }
-    }
-    schemes
+    Scheme::catalog()
 }
 
 /// One representative instance of each fault model, named for the JSON.

@@ -80,6 +80,9 @@ pub fn residual_model_for(scheme: Scheme, k: usize) -> Option<ResidualModel> {
         | Scheme::Duplication
         | Scheme::Ftc
         | Scheme::Parity => None,
+        // Chaos self-test scheme: its advertised reliability is a lie,
+        // so no residual model (and no voltage scaling) applies.
+        Scheme::Sabotaged => None,
     }
 }
 
@@ -123,6 +126,7 @@ fn timing_paths(scheme: Scheme, cost: &CodecCost) -> Vec<TimingPath> {
         Scheme::Shielding | Scheme::Duplication => {
             vec![TimingPath::passthrough(DelayClass::CAC)]
         }
+        Scheme::Sabotaged => panic!("Sabotaged is a harness self-test scheme; no design point"),
     }
 }
 

@@ -8,6 +8,7 @@
 
 pub mod designs;
 pub mod fmt;
+pub mod soak;
 pub mod sweeps;
 
 pub use designs::{design_point, residual_model_for, DesignOptions};

@@ -1,0 +1,219 @@
+//! The chaos soak campaign: every catalog scheme × every schedule
+//! family, under the online invariant monitors.
+//!
+//! The campaign is fully seeded and writes deterministic JSON to
+//! `results/BENCH_soak.json` — two invocations produce byte-identical
+//! output, which CI exploits by running the smoke campaign twice and
+//! comparing. Any invariant violation shrinks to a reproducer under
+//! `results/repro/` and the process exits nonzero.
+//!
+//! Run with `cargo run --release --bin soak` (add `--smoke` for the CI
+//! short campaign).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use socbus_chaos::{build_case, run_case, write_repro, CaseOutcome, InvariantKind, ScheduleFamily};
+use socbus_codes::Scheme;
+
+/// Words per case in the default campaign.
+pub const FULL_WORDS: u64 = 2_000;
+/// Words per case in the `--smoke` campaign (CI).
+pub const SMOKE_WORDS: u64 = 300;
+/// Hops per case.
+pub const HOPS: usize = 3;
+
+/// Formats an `f64` for the JSON output (same convention as the
+/// reliability sweep: fixed-precision exponential, deterministic).
+fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+/// One campaign cell, named and seeded deterministically from its grid
+/// position.
+fn campaign(words: u64) -> Vec<(Scheme, ScheduleFamily, u64)> {
+    let mut cells = Vec::new();
+    for (si, scheme) in Scheme::catalog().into_iter().enumerate() {
+        for (fi, family) in ScheduleFamily::all().into_iter().enumerate() {
+            // The seed fixes the schedule AND the protocol flavour
+            // (correcting schemes alternate FEC / backoff-ARQ by parity).
+            let seed = (si * ScheduleFamily::all().len() + fi) as u64 + 1;
+            cells.push((scheme, family, seed));
+        }
+    }
+    debug_assert!(words > 0);
+    cells
+}
+
+/// Runs the whole campaign, returning per-cell outcomes in grid order.
+#[must_use]
+pub fn run_campaign(words: u64) -> Vec<(String, CaseOutcome)> {
+    campaign(words)
+        .into_iter()
+        .map(|(scheme, family, seed)| {
+            let cfg = build_case(scheme, family, seed, words, HOPS);
+            let name = cfg.name.clone();
+            (name, run_case(&cfg))
+        })
+        .collect()
+}
+
+/// Renders the campaign JSON.
+#[must_use]
+pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"data_bits\": {},",
+        socbus_chaos::cli::DEFAULT_DATA_BITS
+    );
+    let _ = writeln!(json, "  \"hops\": {HOPS},");
+    let _ = writeln!(json, "  \"words_per_case\": {words},");
+    json.push_str("  \"cases\": [\n");
+    let mut first = true;
+    for (name, out) in outcomes {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let retransmits: u64 = out.report.per_hop.iter().map(|h| h.retransmits).sum();
+        let transitions: usize = out.report.per_hop.iter().map(|h| h.transitions.len()).sum();
+        json.push_str("    {");
+        let _ = write!(json, "\"case\": \"{name}\", ");
+        let _ = write!(json, "\"violations\": {}, ", out.violations.len());
+        let _ = write!(json, "\"worst_word_cycles\": {}, ", out.worst_word_cycles);
+        let _ = write!(json, "\"budget_cycles\": {}, ", out.budget_cycles);
+        let _ = write!(json, "\"e2e_errors\": {}, ", out.report.end_to_end_errors);
+        let _ = write!(json, "\"retransmits\": {retransmits}, ");
+        let _ = write!(json, "\"transitions\": {transitions}, ");
+        let _ = write!(
+            json,
+            "\"cycles_per_word\": {}",
+            num(out.report.cycles_per_word())
+        );
+        json.push('}');
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"invariants\": {\n");
+    let mut first = true;
+    for kind in InvariantKind::all() {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let (checked, violated) = outcomes
+            .iter()
+            .flat_map(|(_, out)| out.stats.iter())
+            .filter(|(k, _)| *k == kind)
+            .fold((0u64, 0u64), |(c, v), (_, s)| {
+                (c + s.checked, v + s.violated)
+            });
+        let _ = write!(
+            json,
+            "    \"{}\": {{\"checked\": {checked}, \"violated\": {violated}}}",
+            kind.name()
+        );
+    }
+    json.push_str("\n  },\n");
+    let worst = outcomes
+        .iter()
+        .map(|(_, out)| out.worst_word_cycles)
+        .max()
+        .unwrap_or(0);
+    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
+    let _ = writeln!(json, "  \"worst_word_cycles\": {worst},");
+    let _ = writeln!(json, "  \"violations\": {violations}");
+    json.push_str("}\n");
+    json
+}
+
+/// The `soak` binary's entry point. Args: `[--smoke] [out_path]`.
+/// Returns the process exit code (nonzero iff any invariant violated).
+#[must_use]
+pub fn main_with_args(args: &[String]) -> i32 {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_soak.json".to_owned());
+    let words = if smoke { SMOKE_WORDS } else { FULL_WORDS };
+    let outcomes = run_campaign(words);
+    for (name, out) in &outcomes {
+        eprintln!(
+            "{name:<26} latency {:>3}/{:<3}  e2e {:>4}  violations {}",
+            out.worst_word_cycles,
+            out.budget_cycles,
+            out.report.end_to_end_errors,
+            out.violations.len()
+        );
+    }
+    let json = render_json(words, &outcomes);
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write soak output");
+    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
+    eprintln!(
+        "soak: {} cases x {words} words -> {out_path} ({violations} violation(s))",
+        outcomes.len()
+    );
+    if violations == 0 {
+        return 0;
+    }
+    // Shrink the first violating cell to a reproducer for the artifact.
+    for ((scheme, family, seed), (name, out)) in campaign(words).into_iter().zip(&outcomes) {
+        if let Some(v) = out.violations.first() {
+            eprintln!("soak: {name} violated: {}", v.detail);
+            let cfg = build_case(scheme, family, seed, words, HOPS);
+            match write_repro(&cfg, v, Path::new("results/repro")) {
+                Ok(file) => eprintln!("soak: reproducer written to {}", file.display()),
+                Err(e) => eprintln!("soak: shrink failed: {e}"),
+            }
+            break;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke campaign is clean and its JSON is byte-deterministic —
+    /// the exact property the CI job re-checks with two real runs.
+    #[test]
+    fn smoke_campaign_is_clean_and_deterministic() {
+        let a = run_campaign(SMOKE_WORDS);
+        let violations: usize = a.iter().map(|(_, out)| out.violations.len()).sum();
+        assert_eq!(
+            violations,
+            0,
+            "first violation: {:?}",
+            a.iter().find_map(|(_, o)| o.violations.first())
+        );
+        let b = run_campaign(SMOKE_WORDS);
+        assert_eq!(render_json(SMOKE_WORDS, &a), render_json(SMOKE_WORDS, &b));
+    }
+
+    #[test]
+    fn campaign_covers_the_whole_grid() {
+        let cells = campaign(SMOKE_WORDS);
+        assert_eq!(
+            cells.len(),
+            Scheme::catalog().len() * ScheduleFamily::all().len()
+        );
+        // Seeds are unique, so no two cells share a schedule stream.
+        let mut seeds: Vec<u64> = cells.iter().map(|&(_, _, s)| s).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len());
+    }
+}

@@ -427,6 +427,13 @@ impl DroopFault {
     }
 
     /// The effective ε at the given cycle.
+    ///
+    /// The droop window is half-open, `[start, start + duration)`: the
+    /// scaled ε applies from `start` through `start + duration - 1`
+    /// inclusive, and the cycle `start + duration` itself is already back
+    /// at the nominal ε — the supply has recovered *by* that edge, not
+    /// one cycle later. The subtraction form keeps the comparison exact
+    /// even when `start + duration` would overflow `u64`.
     #[must_use]
     pub fn eps_at(&self, cycle: u64) -> f64 {
         if cycle >= self.start && cycle - self.start < self.duration {
@@ -465,14 +472,56 @@ impl FaultModel for DroopFault {
     }
 }
 
-/// A stack of fault models applied in order, with a shared cycle counter.
+/// Application-order class of a fault process; see
+/// [`FaultInjector::transmit`] for the ordering contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultClass {
+    /// ε-driven random noise (i.i.d., burst, droop).
+    Soft,
+    /// Bridged wire pairs.
+    Bridge,
+    /// Stuck-at wires.
+    Stuck,
+}
+
+impl FaultClass {
+    fn of(spec: &FaultSpec) -> Self {
+        match spec {
+            FaultSpec::StuckAt { .. } => FaultClass::Stuck,
+            FaultSpec::Bridge { .. } => FaultClass::Bridge,
+            _ => FaultClass::Soft,
+        }
+    }
+}
+
+/// One fault process in the injector, with its activation state.
+struct FaultSlot {
+    model: Box<dyn FaultModel>,
+    class: FaultClass,
+    enabled: bool,
+}
+
+/// A stack of fault models applied in a fixed physical order, with a
+/// shared event clock (the cycle counter), and per-slot activation so a
+/// schedule can switch individual fault processes on and off mid-run.
 ///
-/// Random (soft) models come first in the stack as built, persistent
-/// (hard) faults last, so a stuck wire stays stuck no matter what the
-/// soft noise did — matching physical dominance of hard defects.
+/// # Ordering contract
+///
+/// [`FaultInjector::transmit`] applies fault processes in three passes,
+/// in this order regardless of the order the specs were given in:
+///
+/// 1. **soft noise** (i.i.d., Gilbert–Elliott bursts, droop) — random
+///    flips happen on the driven values;
+/// 2. **bridge faults** — a short reads back the AND/OR of what the
+///    (possibly noise-corrupted) drivers put on the shorted pair;
+/// 3. **stuck-at faults** — a stuck wire reads its stuck value no matter
+///    what the noise or a bridge did: on the same wire, *stuck-at wins
+///    over bridge*, matching the physical dominance of a hard open/short
+///    to rail over a resistive wire-to-wire defect.
+///
+/// Within a class, processes apply in the order their specs were pushed.
 pub struct FaultInjector {
-    soft: Vec<Box<dyn FaultModel>>,
-    hard: Vec<Box<dyn FaultModel>>,
+    slots: Vec<FaultSlot>,
     cycle: u64,
 }
 
@@ -481,59 +530,104 @@ impl FaultInjector {
     /// `seed` mixed with `i` so stacks are deterministic yet decorrelated.
     #[must_use]
     pub fn new(specs: &[FaultSpec], seed: u64) -> Self {
-        let mut soft = Vec::new();
-        let mut hard = Vec::new();
+        let mut inj = FaultInjector {
+            slots: Vec::with_capacity(specs.len()),
+            cycle: 0,
+        };
         for (i, spec) in specs.iter().enumerate() {
             let sub_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            match spec {
-                FaultSpec::StuckAt { .. } | FaultSpec::Bridge { .. } => {
-                    hard.push(spec.build(sub_seed));
-                }
-                _ => soft.push(spec.build(sub_seed)),
-            }
+            let _ = inj.push_spec(spec, sub_seed);
         }
-        FaultInjector {
-            soft,
-            hard,
-            cycle: 0,
-        }
+        inj
     }
 
-    /// Transmits one word through every fault process and advances the
-    /// cycle counter (retransmissions therefore consume droop cycles).
+    /// Appends one more fault process (enabled), seeded with `seed`, and
+    /// returns its slot index for later [`FaultInjector::set_enabled`]
+    /// calls. The process joins its class's pass of the ordering
+    /// contract, after any processes of the same class already present.
+    pub fn push_spec(&mut self, spec: &FaultSpec, seed: u64) -> usize {
+        self.slots.push(FaultSlot {
+            model: spec.build(seed),
+            class: FaultClass::of(spec),
+            enabled: true,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Enables or disables the fault process in `slot`. Disabled soft
+    /// processes draw no randomness, so toggling is itself deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set_enabled(&mut self, slot: usize, enabled: bool) {
+        self.slots[slot].enabled = enabled;
+    }
+
+    /// Whether the fault process in `slot` is currently enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn is_enabled(&self, slot: usize) -> bool {
+        self.slots[slot].enabled
+    }
+
+    /// Number of fault-process slots (enabled or not).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Transmits one word through every enabled fault process and
+    /// advances the event clock (retransmissions therefore consume droop
+    /// cycles). See the type-level docs for the ordering contract.
     #[must_use]
     pub fn transmit(&mut self, word: Word) -> Word {
         let cycle = self.cycle;
         self.cycle += 1;
         let mut w = word;
-        for m in self.soft.iter_mut().chain(self.hard.iter_mut()) {
-            w = m.corrupt(cycle, w);
+        for class in [FaultClass::Soft, FaultClass::Bridge, FaultClass::Stuck] {
+            for s in &mut self.slots {
+                if s.enabled && s.class == class {
+                    w = s.model.corrupt(cycle, w);
+                }
+            }
         }
         w
     }
 
-    /// The number of words transmitted so far.
+    /// The number of words transmitted so far — the event clock that
+    /// cycle-window faults (droop) and fault schedules are aligned to.
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycle
     }
 
     /// Raises (factor > 1) or lowers the modeled swing on every ε-driven
-    /// sub-model. Hard faults are unaffected.
+    /// sub-model, enabled or not (the swing is a property of the bus, not
+    /// of the schedule). Hard faults are unaffected.
     pub fn rescale_swing(&mut self, factor: f64) {
-        for m in &mut self.soft {
-            m.rescale_swing(factor);
+        for s in &mut self.slots {
+            if s.class == FaultClass::Soft {
+                s.model.rescale_swing(factor);
+            }
         }
     }
 
-    /// Labels of the active sub-models, soft first.
+    /// Labels of the enabled sub-models, in application order.
     #[must_use]
     pub fn labels(&self) -> Vec<String> {
-        self.soft
-            .iter()
-            .chain(self.hard.iter())
-            .map(|m| m.label())
-            .collect()
+        let mut out = Vec::new();
+        for class in [FaultClass::Soft, FaultClass::Bridge, FaultClass::Stuck] {
+            for s in &self.slots {
+                if s.enabled && s.class == class {
+                    out.push(s.model.label());
+                }
+            }
+        }
+        out
     }
 }
 
@@ -724,6 +818,116 @@ mod tests {
             (rate - expect).abs() / expect < 0.5,
             "rate {rate} vs {expect}"
         );
+    }
+
+    /// Droop boundary (ISSUE 2 satellite): the window is `[start,
+    /// start + duration)` — the last droop cycle is `start+duration-1`
+    /// and the nominal ε is restored exactly at `start+duration`, not one
+    /// cycle late.
+    #[test]
+    fn droop_window_boundary_is_half_open() {
+        let d = DroopFault::new(1e-3, 50.0, 1000, 100, 1);
+        let scaled = 1e-3 * 50.0;
+        assert_eq!(d.eps_at(999), 1e-3, "cycle before the window is nominal");
+        assert_eq!(d.eps_at(1000), scaled, "window opens at start");
+        assert_eq!(d.eps_at(1099), scaled, "last window cycle still drooped");
+        assert_eq!(
+            d.eps_at(1100),
+            1e-3,
+            "cycle start+duration must already be nominal"
+        );
+        // Degenerate and overflow-adjacent shapes.
+        let empty = DroopFault::new(1e-3, 50.0, 7, 0, 1);
+        assert_eq!(empty.eps_at(7), 1e-3, "zero-length window never droops");
+        let late = DroopFault::new(1e-3, 50.0, u64::MAX - 2, 10, 1);
+        assert_eq!(late.eps_at(u64::MAX - 3), 1e-3);
+        assert_eq!(
+            late.eps_at(u64::MAX),
+            scaled,
+            "window straddling u64::MAX must not overflow"
+        );
+    }
+
+    /// Ordering contract (ISSUE 2 satellite): stuck-at wins over bridge
+    /// on the same wire, regardless of the order the specs were given in.
+    #[test]
+    fn stuck_at_wins_over_bridge_on_same_wire() {
+        let stuck = FaultSpec::StuckAt {
+            wire: 1,
+            value: false,
+        };
+        let bridge = FaultSpec::Bridge {
+            wire: 1,
+            mode: BridgeMode::Or,
+        };
+        for specs in [
+            [stuck.clone(), bridge.clone()],
+            [bridge.clone(), stuck.clone()],
+        ] {
+            let mut inj = FaultInjector::new(&specs, 0);
+            // Driven 0b0100: the or-bridge over wires 1,2 raises wire 1,
+            // then the stuck-at-0 pins it back low. Wire 2 keeps the
+            // bridged value.
+            let out = inj.transmit(Word::from_bits(0b0100, 4));
+            assert!(!out.bit(1), "stuck-at-0 must win on wire 1: {out:?}");
+            assert!(out.bit(2), "bridge still drives the partner wire");
+        }
+    }
+
+    /// Soft noise is applied before hard faults: a stuck wire reads its
+    /// stuck value even when the noise process flips it every cycle.
+    #[test]
+    fn hard_faults_apply_after_soft_noise() {
+        let specs = [
+            FaultSpec::Iid { eps: 1.0 },
+            FaultSpec::StuckAt {
+                wire: 3,
+                value: true,
+            },
+        ];
+        let mut inj = FaultInjector::new(&specs, 4);
+        for _ in 0..50 {
+            assert!(inj.transmit(Word::zero(8)).bit(3));
+        }
+    }
+
+    #[test]
+    fn slots_toggle_without_disturbing_the_event_clock() {
+        let specs = [
+            FaultSpec::StuckAt {
+                wire: 0,
+                value: true,
+            },
+            FaultSpec::Droop {
+                eps: 0.0,
+                scale: 1.0,
+                start: 0,
+                duration: u64::MAX,
+            },
+        ];
+        let mut inj = FaultInjector::new(&specs, 0);
+        assert_eq!(inj.slot_count(), 2);
+        assert!(inj.is_enabled(0));
+        let w = Word::zero(4);
+        assert!(inj.transmit(w).bit(0), "enabled stuck-at fires");
+        inj.set_enabled(0, false);
+        assert!(!inj.transmit(w).bit(0), "disabled stuck-at is transparent");
+        inj.set_enabled(0, true);
+        assert!(inj.transmit(w).bit(0), "re-enabled stuck-at fires again");
+        assert_eq!(inj.cycles(), 3, "the event clock ticks regardless");
+        // A dynamically pushed slot participates like a built-in one.
+        let slot = inj.push_spec(
+            &FaultSpec::StuckAt {
+                wire: 1,
+                value: true,
+            },
+            9,
+        );
+        assert_eq!(slot, 2);
+        assert!(inj.transmit(w).bit(1));
+        inj.set_enabled(slot, false);
+        assert!(!inj.transmit(w).bit(1));
+        assert_eq!(inj.labels().len(), 2, "labels list enabled slots only");
     }
 
     #[test]

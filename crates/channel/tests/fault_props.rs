@@ -1,0 +1,40 @@
+//! Property tests for the fault-injection layer (ISSUE 2 satellite).
+
+use proptest::prelude::*;
+use socbus_channel::{FaultModel, GilbertElliott};
+use socbus_model::Word;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `GilbertElliott::avg_eps` is the stationary per-wire flip
+    /// probability `p_bad·ε_bad + (1−p_bad)·ε_good` with
+    /// `p_bad = p_enter/(p_enter+p_exit)`; a long simulated run must
+    /// empirically match it. The run length is chosen so the chain mixes
+    /// through hundreds of burst episodes, and the tolerance budgets the
+    /// burst-correlated variance (the effective sample count is the
+    /// number of independent burst episodes, not the cycle count).
+    fn avg_eps_matches_empirical_rate(
+        eps_good in 0.0f64..0.02,
+        eps_bad in 0.05f64..0.3,
+        p_enter in 0.02f64..0.3,
+        p_exit in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        const WIDTH: usize = 16;
+        const CYCLES: u64 = 100_000;
+        let mut ge = GilbertElliott::new(eps_good, eps_bad, p_enter, p_exit, seed);
+        let avg = ge.avg_eps();
+        let w = Word::zero(WIDTH);
+        let mut flips = 0u64;
+        for cycle in 0..CYCLES {
+            flips += u64::from(ge.corrupt(cycle, w).count_ones());
+        }
+        let rate = flips as f64 / (CYCLES as f64 * WIDTH as f64);
+        let tolerance = 0.3 * avg + 2e-3;
+        prop_assert!(
+            (rate - avg).abs() < tolerance,
+            "empirical {rate:.5} vs stationary {avg:.5} (tolerance {tolerance:.5})"
+        );
+    }
+}

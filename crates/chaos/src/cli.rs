@@ -1,0 +1,280 @@
+//! The `chaos` command-line tool: run randomized cases, replay repros.
+//!
+//! ```text
+//! chaos case <scheme> <family> <seed> [words] [hops]
+//!     Run one randomized chaos case. On violation: shrink it and write
+//!     a reproducer under results/repro/, then exit nonzero.
+//! chaos replay <file>
+//!     Re-run a reproducer file; exit 0 iff the recorded violation
+//!     reproduces (byte-identical canonical form is re-checked first).
+//! ```
+//!
+//! The logic lives here (not in `bin/chaos.rs`) so the root package can
+//! re-export the same entry point and integration tests can drive it
+//! without spawning processes.
+
+use std::path::Path;
+
+use socbus_codes::Scheme;
+use socbus_noc::link::{DegradationAction, DegradationPolicy, Protocol};
+
+use crate::monitor::Violation;
+use crate::replay::Repro;
+use crate::runner::{run_case, CaseConfig};
+use crate::schedule::{FaultSchedule, ScheduleFamily, ScheduleParams};
+use crate::shrink::shrink;
+
+/// Default words per CLI-driven case.
+pub const DEFAULT_WORDS: u64 = 2_000;
+/// Default hops per CLI-driven case.
+pub const DEFAULT_HOPS: usize = 3;
+/// Default data bits per word.
+pub const DEFAULT_DATA_BITS: usize = 16;
+/// Baseline i.i.d. ε under the schedule.
+pub const DEFAULT_EPS: f64 = 1e-3;
+/// Shrink budget (candidate re-runs).
+pub const SHRINK_BUDGET: usize = 400;
+
+/// Chooses a protocol that exercises the scheme's strengths: correcting
+/// schemes alternate FEC and backoff-ARQ (by seed parity), detect-only
+/// schemes get stop-and-wait retransmission, plain schemes run FEC.
+#[must_use]
+pub fn protocol_for(scheme: Scheme, seed: u64) -> Protocol {
+    if scheme.corrects_errors() {
+        if seed.is_multiple_of(2) {
+            Protocol::Fec
+        } else {
+            Protocol::ArqBackoff {
+                timeout_cycles: 3,
+                backoff_base: 1,
+                backoff_cap: 8,
+                max_retries: 3,
+            }
+        }
+    } else if scheme.detects_errors() {
+        Protocol::DetectRetransmit {
+            rtt_cycles: 3,
+            max_retries: 3,
+        }
+    } else {
+        Protocol::Fec
+    }
+}
+
+/// The degradation ladder mixed-mayhem cases run with (other families
+/// run ladder-free so force-degrade events stay no-ops).
+#[must_use]
+pub fn mayhem_ladder() -> DegradationPolicy {
+    DegradationPolicy {
+        window: 250,
+        trigger: 0.25,
+        ladder: vec![
+            DegradationAction::RaiseSwing { factor: 1.3 },
+            DegradationAction::SwitchScheme(Scheme::ExtHamming),
+        ],
+    }
+}
+
+/// Assembles the [`CaseConfig`] for one `(scheme, family, seed)` cell of
+/// the campaign grid — the single source of truth shared by the CLI, the
+/// soak bench, and the tests.
+#[must_use]
+pub fn build_case(
+    scheme: Scheme,
+    family: ScheduleFamily,
+    seed: u64,
+    words: u64,
+    hops: usize,
+) -> CaseConfig {
+    let wires = scheme.build(DEFAULT_DATA_BITS).wires();
+    let params = ScheduleParams { words, hops, wires };
+    let schedule = FaultSchedule::random(family, &params, seed);
+    CaseConfig {
+        name: format!("{}/{}", scheme.name(), family.name()),
+        scheme,
+        data_bits: DEFAULT_DATA_BITS,
+        hops,
+        eps: DEFAULT_EPS,
+        protocol: protocol_for(scheme, seed),
+        degradation: (family == ScheduleFamily::MixedMayhem).then(mayhem_ladder),
+        words,
+        traffic_seed: seed ^ 0xA5A5,
+        sim_seed: seed,
+        schedule,
+    }
+}
+
+/// Shrinks a violating case and writes the reproducer file. Returns the
+/// path written.
+///
+/// # Errors
+///
+/// Returns a message if shrinking fails to reproduce or the file cannot
+/// be written.
+pub fn write_repro(
+    cfg: &CaseConfig,
+    violation: &Violation,
+    dir: &Path,
+) -> Result<std::path::PathBuf, String> {
+    let report = shrink(cfg, violation.key(), SHRINK_BUDGET)
+        .ok_or_else(|| format!("case {} does not reproduce {violation:?}", cfg.name))?;
+    let repro = Repro::new(report.case, &report.violation);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let file = dir.join(format!(
+        "{}.txt",
+        cfg.name.replace(['/', '(', ')', '+'], "_")
+    ));
+    std::fs::write(&file, repro.serialize())
+        .map_err(|e| format!("write {}: {e}", file.display()))?;
+    Ok(file)
+}
+
+/// Replays a reproducer file: parses it, re-checks the canonical form,
+/// re-runs the case, and reports whether the recorded violation fired.
+///
+/// # Errors
+///
+/// Returns a message on parse failure; `Ok(None)` means the case ran but
+/// the violation did *not* reproduce.
+pub fn replay_text(text: &str) -> Result<Option<Violation>, String> {
+    let repro = Repro::parse(text)?;
+    if repro.serialize() != text {
+        return Err("file is not in canonical form (was it hand-edited?)".into());
+    }
+    let key = (repro.expect.kind, repro.expect.hop);
+    Ok(run_case(&repro.case)
+        .violations
+        .into_iter()
+        .find(|v| v.key() == key))
+}
+
+/// The `chaos` binary's entry point. Returns the process exit code.
+#[must_use]
+pub fn main_with_args(args: &[String]) -> i32 {
+    match args {
+        [cmd, file] if cmd == "replay" => {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("chaos: cannot read {file}: {e}");
+                    return 2;
+                }
+            };
+            match replay_text(&text) {
+                Ok(Some(v)) => {
+                    println!(
+                        "reproduced: {} at hop {} word {} — {}",
+                        v.kind.name(),
+                        v.hop.map_or_else(|| "e2e".into(), |h| h.to_string()),
+                        v.word,
+                        v.detail
+                    );
+                    0
+                }
+                Ok(None) => {
+                    println!("did NOT reproduce (the bug may be fixed)");
+                    1
+                }
+                Err(e) => {
+                    eprintln!("chaos: {e}");
+                    2
+                }
+            }
+        }
+        [cmd, rest @ ..] if cmd == "case" && (3..=5).contains(&rest.len()) => {
+            let Some(scheme) = Scheme::from_name(&rest[0]) else {
+                eprintln!("chaos: unknown scheme {:?}", rest[0]);
+                return 2;
+            };
+            let Some(family) = ScheduleFamily::from_name(&rest[1]) else {
+                eprintln!("chaos: unknown family {:?}", rest[1]);
+                return 2;
+            };
+            let Ok(seed) = rest[2].parse::<u64>() else {
+                eprintln!("chaos: bad seed {:?}", rest[2]);
+                return 2;
+            };
+            let words = rest
+                .get(3)
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(DEFAULT_WORDS);
+            let hops = rest
+                .get(4)
+                .and_then(|h| h.parse().ok())
+                .unwrap_or(DEFAULT_HOPS);
+            let cfg = build_case(scheme, family, seed, words, hops);
+            let out = run_case(&cfg);
+            println!(
+                "{}: {} words, worst latency {}/{} cycles, e2e residual {}, {} violation(s)",
+                cfg.name,
+                out.report.offered,
+                out.worst_word_cycles,
+                out.budget_cycles,
+                out.report.end_to_end_errors,
+                out.violations.len()
+            );
+            if let Some(v) = out.violations.first() {
+                eprintln!("violation: {}", v.detail);
+                match write_repro(&cfg, v, Path::new("results/repro")) {
+                    Ok(file) => eprintln!("reproducer written to {}", file.display()),
+                    Err(e) => eprintln!("chaos: shrink failed: {e}"),
+                }
+                return 1;
+            }
+            0
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  chaos case <scheme> <family> <seed> [words] [hops]\n  \
+                 chaos replay <file>\n\nfamilies: {}",
+                ScheduleFamily::all().map(|f| f.name()).join(", ")
+            );
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_grid_cases_are_deterministic() {
+        let a = build_case(Scheme::Dap, ScheduleFamily::BurstTrain, 7, 500, 3);
+        let b = build_case(Scheme::Dap, ScheduleFamily::BurstTrain, 7, 500, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.name, "DAP/burst_train");
+    }
+
+    #[test]
+    fn protocols_match_the_scheme_class() {
+        assert_eq!(protocol_for(Scheme::Uncoded, 0), Protocol::Fec);
+        assert!(matches!(
+            protocol_for(Scheme::Parity, 0),
+            Protocol::DetectRetransmit { .. }
+        ));
+        assert_eq!(protocol_for(Scheme::Dap, 0), Protocol::Fec);
+        assert!(matches!(
+            protocol_for(Scheme::Dap, 1),
+            Protocol::ArqBackoff { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_usage_exits_2() {
+        assert_eq!(main_with_args(&[]), 2);
+        assert_eq!(
+            main_with_args(&["replay".into(), "/no/such/file".into()]),
+            2
+        );
+        assert_eq!(
+            main_with_args(&[
+                "case".into(),
+                "Nope".into(),
+                "burst_train".into(),
+                "1".into()
+            ]),
+            2
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # socbus-chaos — chaos/soak harness for the NoC stack
+//!
+//! Randomized, *seeded* fault schedules driven against multi-hop coded
+//! paths, with online invariant monitors watching every word, and
+//! delta-debugging shrinkers that reduce any violating schedule to a
+//! minimal, byte-identically replayable reproducer file.
+//!
+//! The paper (Sridhara & Shanbhag, DAC 2004) analyses each coding scheme
+//! under a single stationary fault process; a real SoC interconnect sees
+//! *sequences* of fault regimes — burst trains, droop storms, hard
+//! defects that appear and heal, degradation ladders firing mid-flight.
+//! This crate soak-tests the whole stack under such sequences and holds
+//! it to four invariants no schedule may break:
+//!
+//! * **silent-corruption** — no wrong word delivered inside a decoder's
+//!   advertised detection/correction guarantees;
+//! * **conservation** — the fault ledger, report counters, and path
+//!   aggregates must all re-derive from the per-word traces;
+//! * **latency-bound** — no word exceeds
+//!   [`Protocol::worst_case_word_cycles`](socbus_noc::link::Protocol::worst_case_word_cycles);
+//! * **ladder-monotonic** — degradation transitions replay the
+//!   configured ladder as an in-order, justified prefix.
+//!
+//! Module map: [`schedule`] (the event grammar and random families),
+//! [`runner`] (schedule interpreter over [`socbus_noc::PathSim`]),
+//! [`monitor`] (the invariants), [`shrink`] (ddmin + word truncation),
+//! [`replay`] (the `socbus-chaos-repro v1` file format), [`cli`] (the
+//! `chaos` binary's entry point).
+//!
+//! The harness self-test is [`socbus_codes::SabotagedHamming`] (scheme
+//! name `Sabotaged`): a decoder that deliberately mis-corrects while
+//! reporting `Clean`. Soaking it must — and does — produce a
+//! silent-corruption violation whose shrunken reproducer replays.
+//!
+//! # Example
+//!
+//! ```
+//! use socbus_chaos::schedule::{FaultSchedule, ScheduleFamily, ScheduleParams};
+//! use socbus_chaos::{build_case, run_case};
+//! use socbus_codes::Scheme;
+//!
+//! let cfg = build_case(Scheme::Dap, ScheduleFamily::BurstTrain, 7, 400, 3);
+//! let out = run_case(&cfg);
+//! assert!(out.violations.is_empty(), "DAP must survive a burst train");
+//! assert!(out.worst_word_cycles <= out.budget_cycles);
+//! ```
+
+pub mod cli;
+pub mod monitor;
+pub mod replay;
+pub mod runner;
+pub mod schedule;
+pub mod shrink;
+
+pub use cli::{build_case, main_with_args, protocol_for, write_repro};
+pub use monitor::{InvariantKind, InvariantStats, Monitor, Violation};
+pub use replay::{ExpectedViolation, Repro};
+pub use runner::{reproduces, run_case, CaseConfig, CaseOutcome};
+pub use schedule::{FaultSchedule, ScheduleAction, ScheduleEvent, ScheduleFamily, ScheduleParams};
+pub use shrink::{shrink, ShrinkReport};

@@ -1,0 +1,507 @@
+//! Online invariant monitors for chaos runs.
+//!
+//! The monitor watches every word cross the path ([`Monitor::observe`])
+//! and audits the final accounting ([`Monitor::finish`]). Four invariant
+//! families:
+//!
+//! * **silent-corruption** — a decoder may never hand up a wrong word
+//!   while claiming success *within its advertised guarantees*. If the
+//!   channel injected at most `correctable_errors` wire flips on every
+//!   attempt, delivery must be exact; if it injected at most
+//!   `detectable_errors` and the final decode reported `Clean` /
+//!   `Unchecked`, delivery must be exact. Heavier corruption may alias —
+//!   that is physics, not a bug — so the monitor scopes the check by the
+//!   *measured* injected weight and never flags genuine
+//!   beyond-minimum-distance aliasing.
+//! * **conservation** — every transferred word lands in exactly one
+//!   [`FaultLedger`] bucket, the coarse [`LinkReport`] counters must
+//!   re-derive from the per-word traces, and path totals must equal the
+//!   sum over hops.
+//! * **latency-bound** — no word may consume more bus cycles at one hop
+//!   than [`Protocol::worst_case_word_cycles`] allows, no matter what the
+//!   fault schedule does.
+//! * **ladder-monotonic** — degradation transitions must replay the
+//!   configured ladder as an in-order prefix, at nondecreasing word
+//!   indices, and non-forced transitions must actually have exceeded the
+//!   trigger.
+
+use socbus_codes::DecodeStatus;
+use socbus_noc::link::{DegradationPolicy, Protocol};
+use socbus_noc::{PathReport, PathStep};
+
+/// The invariant families the monitor checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Wrong payload delivered within the decoder's advertised guarantees.
+    SilentCorruption,
+    /// Accounting identity broken (ledger, counters, or path totals).
+    Conservation,
+    /// A word exceeded the protocol's worst-case cycle budget.
+    LatencyBound,
+    /// Degradation transitions out of ladder order or unjustified.
+    LadderMonotonic,
+}
+
+impl InvariantKind {
+    /// All kinds, in reporting order.
+    #[must_use]
+    pub fn all() -> [InvariantKind; 4] {
+        [
+            InvariantKind::SilentCorruption,
+            InvariantKind::Conservation,
+            InvariantKind::LatencyBound,
+            InvariantKind::LadderMonotonic,
+        ]
+    }
+
+    /// Stable name (used in reports and repro files).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::SilentCorruption => "silent-corruption",
+            InvariantKind::Conservation => "conservation",
+            InvariantKind::LatencyBound => "latency-bound",
+            InvariantKind::LadderMonotonic => "ladder-monotonic",
+        }
+    }
+
+    /// Inverse of [`InvariantKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<InvariantKind> {
+        InvariantKind::all().into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// The hop it broke on, or `None` for a path-level violation.
+    pub hop: Option<usize>,
+    /// The 0-based word index at which it broke (for end-of-run audits,
+    /// the total word count).
+    pub word: u64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    /// The identity the shrinker preserves: a shrunken schedule
+    /// reproduces iff it violates the same invariant on the same hop.
+    #[must_use]
+    pub fn key(&self) -> (InvariantKind, Option<usize>) {
+        (self.kind, self.hop)
+    }
+}
+
+/// Pass/fail tally for one invariant kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvariantStats {
+    /// Individual checks evaluated.
+    pub checked: u64,
+    /// Checks that failed.
+    pub violated: u64,
+}
+
+/// Per-hop accumulators the end-of-run conservation audit re-derives the
+/// report counters from.
+#[derive(Clone, Copy, Debug, Default)]
+struct HopTally {
+    retries: u64,
+    detected: u64,
+    corrected: u64,
+}
+
+/// The online monitor for one chaos case.
+pub struct Monitor {
+    budget: u64,
+    policy: Option<DegradationPolicy>,
+    words: u64,
+    tallies: Vec<HopTally>,
+    violations: Vec<Violation>,
+    stats: [InvariantStats; 4],
+    /// Worst per-hop word latency observed (cycles).
+    pub worst_word_cycles: u64,
+}
+
+impl Monitor {
+    /// Builds a monitor for a path of `hops` links running `protocol`,
+    /// optionally with a degradation `policy`.
+    #[must_use]
+    pub fn new(hops: usize, protocol: Protocol, policy: Option<DegradationPolicy>) -> Self {
+        Monitor {
+            budget: protocol.worst_case_word_cycles(),
+            policy,
+            words: 0,
+            tallies: vec![HopTally::default(); hops],
+            violations: Vec::new(),
+            stats: [InvariantStats::default(); 4],
+            worst_word_cycles: 0,
+        }
+    }
+
+    /// Violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the monitor, returning all violations.
+    #[must_use]
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    /// Pass/fail tally for one invariant kind.
+    #[must_use]
+    pub fn stats(&self, kind: InvariantKind) -> InvariantStats {
+        let idx = InvariantKind::all()
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in all()");
+        self.stats[idx]
+    }
+
+    fn check(
+        &mut self,
+        kind: InvariantKind,
+        hop: Option<usize>,
+        word: u64,
+        ok: bool,
+        detail: impl FnOnce() -> String,
+    ) {
+        let idx = InvariantKind::all()
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in all()");
+        self.stats[idx].checked += 1;
+        if !ok {
+            self.stats[idx].violated += 1;
+            self.violations.push(Violation {
+                kind,
+                hop,
+                word,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Audits one word's traversal of the path. `word` is its 0-based
+    /// index.
+    pub fn observe(&mut self, word: u64, step: &PathStep) {
+        self.words = self.words.max(word + 1);
+        for (hop, h) in step.hops.iter().enumerate() {
+            let t = &h.trace;
+            self.tallies[hop].retries += u64::from(t.retries);
+            self.tallies[hop].detected +=
+                u64::from(t.retries) + u64::from(t.final_status == DecodeStatus::Detected);
+            self.tallies[hop].corrected += u64::from(t.final_status == DecodeStatus::Corrected);
+            self.worst_word_cycles = self.worst_word_cycles.max(t.cycles);
+
+            // Silent corruption, scoped by the measured injected weight.
+            let weight = u64::from(t.max_error_weight);
+            let within_correction = weight <= t.correctable_errors as u64;
+            let claims_clean = matches!(
+                t.final_status,
+                DecodeStatus::Clean | DecodeStatus::Unchecked
+            );
+            let within_detection = weight <= t.detectable_errors as u64;
+            let guaranteed_exact = within_correction || (within_detection && claims_clean);
+            self.check(
+                InvariantKind::SilentCorruption,
+                Some(hop),
+                word,
+                !guaranteed_exact || h.exited == h.entered,
+                || {
+                    format!(
+                        "hop {hop} delivered a wrong word inside its guarantees: \
+                         injected weight {} vs t={}/d={}, final status {:?}, \
+                         entered {:?} exited {:?}",
+                        t.max_error_weight,
+                        t.correctable_errors,
+                        t.detectable_errors,
+                        t.final_status,
+                        h.entered,
+                        h.exited,
+                    )
+                },
+            );
+
+            // Latency bound.
+            let budget = self.budget;
+            self.check(
+                InvariantKind::LatencyBound,
+                Some(hop),
+                word,
+                t.cycles <= budget,
+                || {
+                    format!(
+                        "hop {hop} spent {} cycles on one word; budget is {budget}",
+                        t.cycles
+                    )
+                },
+            );
+        }
+    }
+
+    /// End-of-run audit: conservation of the fault accounting, counter
+    /// re-derivation, path aggregation, and ladder monotonicity.
+    pub fn finish(&mut self, report: &PathReport) {
+        let words = self.words;
+        for (hop, link) in report.per_hop.iter().enumerate() {
+            let tally = self.tallies[hop];
+            self.check(
+                InvariantKind::Conservation,
+                Some(hop),
+                words,
+                link.ledger.total() == link.delivered && link.delivered == link.offered,
+                || {
+                    format!(
+                        "hop {hop} ledger leaks words: {:?} totals {} vs delivered {} / offered {}",
+                        link.ledger,
+                        link.ledger.total(),
+                        link.delivered,
+                        link.offered
+                    )
+                },
+            );
+            self.check(
+                InvariantKind::Conservation,
+                Some(hop),
+                words,
+                link.residual_errors == link.ledger.residual,
+                || {
+                    format!(
+                        "hop {hop} residual counter {} disagrees with ledger residual {}",
+                        link.residual_errors, link.ledger.residual
+                    )
+                },
+            );
+            self.check(
+                InvariantKind::Conservation,
+                Some(hop),
+                words,
+                link.retransmits == tally.retries
+                    && link.detected == tally.detected
+                    && link.corrected == tally.corrected,
+                || {
+                    format!(
+                        "hop {hop} counters do not re-derive from traces: \
+                         retransmits {} vs {}, detected {} vs {}, corrected {} vs {}",
+                        link.retransmits,
+                        tally.retries,
+                        link.detected,
+                        tally.detected,
+                        link.corrected,
+                        tally.corrected
+                    )
+                },
+            );
+            self.check(
+                InvariantKind::Conservation,
+                Some(hop),
+                words,
+                link.offered == report.offered,
+                || {
+                    format!(
+                        "hop {hop} offered {} words but the path offered {}",
+                        link.offered, report.offered
+                    )
+                },
+            );
+
+            // Ladder monotonicity.
+            let ladder_ok = self.ladder_ok(link.transitions.as_slice());
+            let policy = self.policy.clone();
+            self.check(
+                InvariantKind::LadderMonotonic,
+                Some(hop),
+                words,
+                ladder_ok,
+                || {
+                    format!(
+                        "hop {hop} transitions violate the ladder: {:?} (policy {policy:?})",
+                        link.transitions
+                    )
+                },
+            );
+        }
+
+        let hop_cycles: u64 = report.per_hop.iter().map(|l| l.cycles).sum();
+        self.check(
+            InvariantKind::Conservation,
+            None,
+            words,
+            report.cycles == hop_cycles,
+            || {
+                format!(
+                    "path cycles {} do not equal the per-hop sum {hop_cycles}",
+                    report.cycles
+                )
+            },
+        );
+        let hop_residual: u64 = report.per_hop.iter().map(|l| l.residual_errors).sum();
+        self.check(
+            InvariantKind::Conservation,
+            None,
+            words,
+            report.end_to_end_errors <= hop_residual,
+            || {
+                format!(
+                    "end-to-end errors {} exceed the per-hop residual sum {hop_residual}: \
+                     an e2e error with no hop owning it",
+                    report.end_to_end_errors
+                )
+            },
+        );
+    }
+
+    /// Transitions must form an in-order prefix of the ladder, at
+    /// nondecreasing word indices, and non-forced ones must have earned
+    /// their trigger.
+    fn ladder_ok(&self, transitions: &[socbus_noc::link::LinkTransition]) -> bool {
+        let Some(policy) = &self.policy else {
+            return transitions.is_empty();
+        };
+        if transitions.len() > policy.ladder.len() {
+            return false;
+        }
+        let mut last_word = 0u64;
+        for (i, t) in transitions.iter().enumerate() {
+            if t.action != policy.ladder[i] {
+                return false;
+            }
+            if t.at_word < last_word {
+                return false;
+            }
+            last_word = t.at_word;
+            if !t.forced && t.trouble_rate <= policy.trigger {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbus_codes::Scheme;
+    use socbus_noc::link::{DegradationAction, LinkConfig};
+    use socbus_noc::traffic::UniformTraffic;
+    use socbus_noc::{PathConfig, PathSim};
+
+    fn drive(cfg: &PathConfig, words: usize, monitor: &mut Monitor) -> PathReport {
+        let mut sim = PathSim::new(cfg, 5);
+        for (i, data) in UniformTraffic::new(cfg.link.data_bits, 3)
+            .take(words)
+            .enumerate()
+        {
+            let step = sim.step(data);
+            monitor.observe(i as u64, &step);
+        }
+        let report = sim.finish();
+        monitor.finish(&report);
+        report
+    }
+
+    #[test]
+    fn honest_noisy_path_passes_all_invariants() {
+        let proto = Protocol::DetectRetransmit {
+            rtt_cycles: 3,
+            max_retries: 3,
+        };
+        let cfg = PathConfig::new(
+            3,
+            LinkConfig::new(Scheme::ExtHamming, 16, 3e-3).with_protocol(proto),
+        );
+        let mut monitor = Monitor::new(3, proto, None);
+        drive(&cfg, 4_000, &mut monitor);
+        assert_eq!(monitor.violations(), &[] as &[Violation]);
+        assert!(monitor.stats(InvariantKind::SilentCorruption).checked >= 12_000);
+        assert!(monitor.stats(InvariantKind::Conservation).checked > 0);
+    }
+
+    #[test]
+    fn sabotaged_decoder_is_caught_as_silent_corruption() {
+        let cfg = PathConfig::new(1, LinkConfig::new(Scheme::Sabotaged, 16, 5e-3));
+        let mut monitor = Monitor::new(1, Protocol::Fec, None);
+        drive(&cfg, 4_000, &mut monitor);
+        assert!(
+            monitor
+                .violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::SilentCorruption),
+            "the planted lie must be flagged: {:?}",
+            monitor.violations().first()
+        );
+    }
+
+    #[test]
+    fn heavy_aliasing_on_an_honest_code_is_not_flagged() {
+        // ε far beyond any guarantee: Hamming will alias, but every alias
+        // comes with injected weight > d_min-1, so the monitor stays calm.
+        let cfg = PathConfig::new(2, LinkConfig::new(Scheme::Hamming, 16, 0.05));
+        let mut monitor = Monitor::new(2, Protocol::Fec, None);
+        let report = drive(&cfg, 4_000, &mut monitor);
+        assert!(report.end_to_end_errors > 0, "this ε must cause residuals");
+        assert_eq!(
+            monitor.violations(),
+            &[] as &[Violation],
+            "aliasing beyond the guarantees is physics, not a violation"
+        );
+    }
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for kind in InvariantKind::all() {
+            assert_eq!(InvariantKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(InvariantKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn ladder_prefix_rules_are_enforced() {
+        let policy = DegradationPolicy {
+            window: 100,
+            trigger: 0.2,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.3 },
+                DegradationAction::SwitchScheme(Scheme::Dap),
+            ],
+        };
+        let monitor = Monitor::new(1, Protocol::Fec, Some(policy.clone()));
+        use socbus_noc::link::LinkTransition;
+        let raise = LinkTransition {
+            at_word: 10,
+            trouble_rate: 0.5,
+            action: DegradationAction::RaiseSwing { factor: 1.3 },
+            forced: false,
+        };
+        let switch = LinkTransition {
+            at_word: 20,
+            trouble_rate: 0.0,
+            action: DegradationAction::SwitchScheme(Scheme::Dap),
+            forced: true,
+        };
+        assert!(monitor.ladder_ok(&[]));
+        assert!(monitor.ladder_ok(&[raise]));
+        assert!(monitor.ladder_ok(&[raise, switch]));
+        // Out of order: the switch may not fire first.
+        assert!(!monitor.ladder_ok(&[switch]));
+        // Unearned: non-forced transition at rate below the trigger.
+        let lazy = LinkTransition {
+            trouble_rate: 0.1,
+            forced: false,
+            ..raise
+        };
+        assert!(!monitor.ladder_ok(&[lazy]));
+        // Time must not run backwards.
+        let early_switch = LinkTransition {
+            at_word: 5,
+            ..switch
+        };
+        assert!(!monitor.ladder_ok(&[raise, early_switch]));
+    }
+}

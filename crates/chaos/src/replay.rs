@@ -1,0 +1,572 @@
+//! The reproducer file format: `socbus-chaos-repro v1`.
+//!
+//! A repro file is a line-based, human-readable, fully self-contained
+//! description of one chaos case plus the violation it is expected to
+//! produce. The format round-trips *byte-identically*:
+//! `serialize(parse(text)) == text` for every file this module writes —
+//! floats are rendered with Rust's shortest-roundtrip `{:?}` formatting,
+//! so re-serialization is canonical and replays are reproducible across
+//! runs and machines.
+//!
+//! ```text
+//! socbus-chaos-repro v1
+//! name Sabotaged/mixed_mayhem
+//! scheme Sabotaged
+//! data_bits 16
+//! hops 2
+//! eps 0.0
+//! protocol detect-retransmit rtt=3 max_retries=3
+//! degradation window=200 trigger=0.2
+//! rung raise-swing factor=1.3
+//! rung switch-scheme ExtHamming
+//! words 9
+//! traffic_seed 1
+//! sim_seed 2
+//! event at=0 activate id=900 hop=0 spec=iid eps=0.005
+//! event at=4 deactivate id=900
+//! event at=5 force-degrade hop=1
+//! expect invariant=silent-corruption hop=0 word=8
+//! ```
+
+use std::fmt::Write as _;
+
+use socbus_channel::{BridgeMode, FaultSpec};
+use socbus_codes::Scheme;
+use socbus_noc::link::{DegradationAction, DegradationPolicy, Protocol};
+
+use crate::monitor::{InvariantKind, Violation};
+use crate::runner::CaseConfig;
+use crate::schedule::{FaultSchedule, ScheduleAction, ScheduleEvent};
+
+/// The violation a repro file promises to reproduce.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpectedViolation {
+    /// Invariant that must break.
+    pub kind: InvariantKind,
+    /// Hop it must break on (`None` = path-level, rendered `e2e`).
+    pub hop: Option<usize>,
+    /// Word index it broke at in the original run (informational; replay
+    /// matches on `(kind, hop)` only, since the index is already minimal
+    /// after shrinking).
+    pub word: u64,
+}
+
+/// A parsed (or to-be-written) reproducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repro {
+    /// The case to re-run.
+    pub case: CaseConfig,
+    /// The violation it must produce.
+    pub expect: ExpectedViolation,
+}
+
+const HEADER: &str = "socbus-chaos-repro v1";
+
+impl Repro {
+    /// Bundles a shrunken case with its violation.
+    #[must_use]
+    pub fn new(case: CaseConfig, violation: &Violation) -> Repro {
+        Repro {
+            case,
+            expect: ExpectedViolation {
+                kind: violation.kind,
+                hop: violation.hop,
+                word: violation.word,
+            },
+        }
+    }
+
+    /// Renders the canonical file text.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let c = &self.case;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "name {}", c.name);
+        let _ = writeln!(out, "scheme {}", c.scheme.name());
+        let _ = writeln!(out, "data_bits {}", c.data_bits);
+        let _ = writeln!(out, "hops {}", c.hops);
+        let _ = writeln!(out, "eps {:?}", c.eps);
+        match c.protocol {
+            Protocol::Fec => {
+                let _ = writeln!(out, "protocol fec");
+            }
+            Protocol::DetectRetransmit {
+                rtt_cycles,
+                max_retries,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "protocol detect-retransmit rtt={rtt_cycles} max_retries={max_retries}"
+                );
+            }
+            Protocol::ArqBackoff {
+                timeout_cycles,
+                backoff_base,
+                backoff_cap,
+                max_retries,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "protocol arq-backoff timeout={timeout_cycles} base={backoff_base} \
+                     cap={backoff_cap} max_retries={max_retries}"
+                );
+            }
+        }
+        if let Some(policy) = &c.degradation {
+            let _ = writeln!(
+                out,
+                "degradation window={} trigger={:?}",
+                policy.window, policy.trigger
+            );
+            for rung in &policy.ladder {
+                match rung {
+                    DegradationAction::RaiseSwing { factor } => {
+                        let _ = writeln!(out, "rung raise-swing factor={factor:?}");
+                    }
+                    DegradationAction::SwitchScheme(scheme) => {
+                        let _ = writeln!(out, "rung switch-scheme {}", scheme.name());
+                    }
+                }
+            }
+        }
+        let _ = writeln!(out, "words {}", c.words);
+        let _ = writeln!(out, "traffic_seed {}", c.traffic_seed);
+        let _ = writeln!(out, "sim_seed {}", c.sim_seed);
+        for e in &c.schedule.events {
+            let _ = write!(out, "event at={} ", e.at_word);
+            match &e.action {
+                ScheduleAction::Activate { id, hop, spec } => {
+                    let _ = writeln!(out, "activate id={id} hop={hop} spec={}", spec_str(spec));
+                }
+                ScheduleAction::Deactivate { id } => {
+                    let _ = writeln!(out, "deactivate id={id}");
+                }
+                ScheduleAction::ForceDegrade { hop } => {
+                    let _ = writeln!(out, "force-degrade hop={hop}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "expect invariant={} hop={} word={}",
+            self.expect.kind.name(),
+            self.expect
+                .hop
+                .map_or_else(|| "e2e".to_owned(), |h| h.to_string()),
+            self.expect.word
+        );
+        out
+    }
+
+    /// Parses a repro file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged message on any malformed or missing field.
+    pub fn parse(text: &str) -> Result<Repro, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or("empty repro file")?;
+        if first != HEADER {
+            return Err(format!("bad header {first:?}; expected {HEADER:?}"));
+        }
+        let mut name = None;
+        let mut scheme = None;
+        let mut data_bits = None;
+        let mut hops = None;
+        let mut eps = None;
+        let mut protocol = None;
+        let mut degradation: Option<DegradationPolicy> = None;
+        let mut words = None;
+        let mut traffic_seed = None;
+        let mut sim_seed = None;
+        let mut events = Vec::new();
+        let mut expect = None;
+        for (lineno, line) in lines {
+            let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| at(format!("malformed line {line:?}")))?;
+            match key {
+                "name" => name = Some(rest.to_owned()),
+                "scheme" => {
+                    scheme = Some(
+                        Scheme::from_name(rest)
+                            .ok_or_else(|| at(format!("unknown scheme {rest:?}")))?,
+                    );
+                }
+                "data_bits" => data_bits = Some(parse_num(rest).map_err(&at)?),
+                "hops" => hops = Some(parse_num(rest).map_err(&at)?),
+                "eps" => eps = Some(parse_f64(rest).map_err(&at)?),
+                "protocol" => protocol = Some(parse_protocol(rest).map_err(&at)?),
+                "degradation" => {
+                    let mut toks = rest.split_whitespace();
+                    let window = kv(toks.next(), "window").and_then(parse_num).map_err(&at)?;
+                    let trigger = kv(toks.next(), "trigger")
+                        .and_then(parse_f64)
+                        .map_err(&at)?;
+                    degradation = Some(DegradationPolicy {
+                        window,
+                        trigger,
+                        ladder: Vec::new(),
+                    });
+                }
+                "rung" => {
+                    let policy = degradation
+                        .as_mut()
+                        .ok_or_else(|| at("rung before degradation".into()))?;
+                    policy.ladder.push(parse_rung(rest).map_err(&at)?);
+                }
+                "words" => words = Some(parse_num(rest).map_err(&at)?),
+                "traffic_seed" => traffic_seed = Some(parse_num(rest).map_err(&at)?),
+                "sim_seed" => sim_seed = Some(parse_num(rest).map_err(&at)?),
+                "event" => events.push(parse_event(rest).map_err(&at)?),
+                "expect" => expect = Some(parse_expect(rest).map_err(&at)?),
+                other => return Err(at(format!("unknown key {other:?}"))),
+            }
+        }
+        let missing = |what: &str| format!("missing {what}");
+        Ok(Repro {
+            case: CaseConfig {
+                name: name.ok_or_else(|| missing("name"))?,
+                scheme: scheme.ok_or_else(|| missing("scheme"))?,
+                data_bits: data_bits.ok_or_else(|| missing("data_bits"))?,
+                hops: hops.ok_or_else(|| missing("hops"))?,
+                eps: eps.ok_or_else(|| missing("eps"))?,
+                protocol: protocol.ok_or_else(|| missing("protocol"))?,
+                degradation,
+                words: words.ok_or_else(|| missing("words"))?,
+                traffic_seed: traffic_seed.ok_or_else(|| missing("traffic_seed"))?,
+                sim_seed: sim_seed.ok_or_else(|| missing("sim_seed"))?,
+                schedule: FaultSchedule { events },
+            },
+            expect: expect.ok_or_else(|| missing("expect"))?,
+        })
+    }
+}
+
+fn spec_str(spec: &FaultSpec) -> String {
+    match *spec {
+        FaultSpec::Iid { eps } => format!("iid eps={eps:?}"),
+        FaultSpec::Burst {
+            eps_good,
+            eps_bad,
+            p_enter,
+            p_exit,
+        } => format!(
+            "burst eps_good={eps_good:?} eps_bad={eps_bad:?} p_enter={p_enter:?} p_exit={p_exit:?}"
+        ),
+        FaultSpec::StuckAt { wire, value } => {
+            format!("stuck-at wire={wire} value={}", u8::from(value))
+        }
+        FaultSpec::Bridge { wire, mode } => format!(
+            "bridge wire={wire} mode={}",
+            match mode {
+                BridgeMode::And => "and",
+                BridgeMode::Or => "or",
+            }
+        ),
+        FaultSpec::Droop {
+            eps,
+            scale,
+            start,
+            duration,
+        } => format!("droop eps={eps:?} scale={scale:?} start={start} duration={duration}"),
+    }
+}
+
+/// Extracts the value of a `key=value` token, checking the key.
+fn kv(tok: Option<&str>, key: &str) -> Result<String, String> {
+    let tok = tok.ok_or_else(|| format!("missing {key}=..."))?;
+    let (k, v) = tok
+        .split_once('=')
+        .ok_or_else(|| format!("expected {key}=..., got {tok:?}"))?;
+    if k != key {
+        return Err(format!("expected key {key:?}, got {k:?}"));
+    }
+    Ok(v.to_owned())
+}
+
+fn parse_num<T: std::str::FromStr>(s: impl AsRef<str>) -> Result<T, String> {
+    let s = s.as_ref();
+    s.parse().map_err(|_| format!("bad integer {s:?}"))
+}
+
+fn parse_f64(s: impl AsRef<str>) -> Result<f64, String> {
+    let s = s.as_ref();
+    s.parse().map_err(|_| format!("bad float {s:?}"))
+}
+
+fn parse_protocol(rest: &str) -> Result<Protocol, String> {
+    let mut toks = rest.split_whitespace();
+    match toks.next() {
+        Some("fec") => Ok(Protocol::Fec),
+        Some("detect-retransmit") => Ok(Protocol::DetectRetransmit {
+            rtt_cycles: kv(toks.next(), "rtt").and_then(parse_num)?,
+            max_retries: kv(toks.next(), "max_retries").and_then(parse_num)?,
+        }),
+        Some("arq-backoff") => Ok(Protocol::ArqBackoff {
+            timeout_cycles: kv(toks.next(), "timeout").and_then(parse_num)?,
+            backoff_base: kv(toks.next(), "base").and_then(parse_num)?,
+            backoff_cap: kv(toks.next(), "cap").and_then(parse_num)?,
+            max_retries: kv(toks.next(), "max_retries").and_then(parse_num)?,
+        }),
+        other => Err(format!("unknown protocol {other:?}")),
+    }
+}
+
+fn parse_rung(rest: &str) -> Result<DegradationAction, String> {
+    let mut toks = rest.split_whitespace();
+    match toks.next() {
+        Some("raise-swing") => Ok(DegradationAction::RaiseSwing {
+            factor: kv(toks.next(), "factor").and_then(parse_f64)?,
+        }),
+        Some("switch-scheme") => {
+            let name = toks.next().ok_or("missing scheme name")?;
+            Ok(DegradationAction::SwitchScheme(
+                Scheme::from_name(name).ok_or_else(|| format!("unknown scheme {name:?}"))?,
+            ))
+        }
+        other => Err(format!("unknown rung {other:?}")),
+    }
+}
+
+fn parse_spec(toks: &mut std::str::SplitWhitespace<'_>) -> Result<FaultSpec, String> {
+    match toks.next() {
+        Some("iid") => Ok(FaultSpec::Iid {
+            eps: kv(toks.next(), "eps").and_then(parse_f64)?,
+        }),
+        Some("burst") => Ok(FaultSpec::Burst {
+            eps_good: kv(toks.next(), "eps_good").and_then(parse_f64)?,
+            eps_bad: kv(toks.next(), "eps_bad").and_then(parse_f64)?,
+            p_enter: kv(toks.next(), "p_enter").and_then(parse_f64)?,
+            p_exit: kv(toks.next(), "p_exit").and_then(parse_f64)?,
+        }),
+        Some("stuck-at") => Ok(FaultSpec::StuckAt {
+            wire: kv(toks.next(), "wire").and_then(parse_num)?,
+            value: match kv(toks.next(), "value")?.as_str() {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("bad stuck-at value {other:?}")),
+            },
+        }),
+        Some("bridge") => Ok(FaultSpec::Bridge {
+            wire: kv(toks.next(), "wire").and_then(parse_num)?,
+            mode: match kv(toks.next(), "mode")?.as_str() {
+                "and" => BridgeMode::And,
+                "or" => BridgeMode::Or,
+                other => return Err(format!("bad bridge mode {other:?}")),
+            },
+        }),
+        Some("droop") => Ok(FaultSpec::Droop {
+            eps: kv(toks.next(), "eps").and_then(parse_f64)?,
+            scale: kv(toks.next(), "scale").and_then(parse_f64)?,
+            start: kv(toks.next(), "start").and_then(parse_num)?,
+            duration: kv(toks.next(), "duration").and_then(parse_num)?,
+        }),
+        other => Err(format!("unknown fault spec {other:?}")),
+    }
+}
+
+fn parse_event(rest: &str) -> Result<ScheduleEvent, String> {
+    let mut toks = rest.split_whitespace();
+    let at_word = kv(toks.next(), "at").and_then(parse_num)?;
+    let action = match toks.next() {
+        Some("activate") => {
+            let id = kv(toks.next(), "id").and_then(parse_num)?;
+            let hop = kv(toks.next(), "hop").and_then(parse_num)?;
+            let spec_tag = kv(toks.next(), "spec")?;
+            // `spec=iid` is followed by the spec's own tokens; re-join the
+            // tag with the remainder so parse_spec sees a uniform stream.
+            let joined = format!("{spec_tag} {}", toks.collect::<Vec<_>>().join(" "));
+            let mut spec_toks = joined.split_whitespace();
+            ScheduleAction::Activate {
+                id,
+                hop,
+                spec: parse_spec(&mut spec_toks)?,
+            }
+        }
+        Some("deactivate") => ScheduleAction::Deactivate {
+            id: kv(toks.next(), "id").and_then(parse_num)?,
+        },
+        Some("force-degrade") => ScheduleAction::ForceDegrade {
+            hop: kv(toks.next(), "hop").and_then(parse_num)?,
+        },
+        other => return Err(format!("unknown event action {other:?}")),
+    };
+    Ok(ScheduleEvent { at_word, action })
+}
+
+fn parse_expect(rest: &str) -> Result<ExpectedViolation, String> {
+    let mut toks = rest.split_whitespace();
+    let kind_name = kv(toks.next(), "invariant")?;
+    let kind = InvariantKind::from_name(&kind_name)
+        .ok_or_else(|| format!("unknown invariant {kind_name:?}"))?;
+    let hop_str = kv(toks.next(), "hop")?;
+    let hop = if hop_str == "e2e" {
+        None
+    } else {
+        Some(parse_num(&hop_str)?)
+    };
+    let word = kv(toks.next(), "word").and_then(parse_num)?;
+    Ok(ExpectedViolation { kind, hop, word })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ScheduleFamily, ScheduleParams};
+
+    fn sample_repro() -> Repro {
+        let params = ScheduleParams {
+            words: 500,
+            hops: 3,
+            wires: 21,
+        };
+        let mut schedule = FaultSchedule::random(ScheduleFamily::MixedMayhem, &params, 12);
+        schedule.events.push(ScheduleEvent {
+            at_word: 7,
+            action: ScheduleAction::Activate {
+                id: 42,
+                hop: 2,
+                spec: FaultSpec::Bridge {
+                    wire: 3,
+                    mode: BridgeMode::And,
+                },
+            },
+        });
+        schedule.sort();
+        Repro {
+            case: CaseConfig {
+                name: "DAP/mixed_mayhem".into(),
+                scheme: Scheme::Dap,
+                data_bits: 16,
+                hops: 3,
+                eps: 1.5e-3,
+                protocol: Protocol::ArqBackoff {
+                    timeout_cycles: 3,
+                    backoff_base: 1,
+                    backoff_cap: 8,
+                    max_retries: 3,
+                },
+                degradation: Some(DegradationPolicy {
+                    window: 200,
+                    trigger: 0.2,
+                    ladder: vec![
+                        DegradationAction::RaiseSwing { factor: 1.3 },
+                        DegradationAction::SwitchScheme(Scheme::ExtHamming),
+                    ],
+                }),
+                words: 500,
+                traffic_seed: 11,
+                sim_seed: 7,
+                schedule,
+            },
+            expect: ExpectedViolation {
+                kind: InvariantKind::LatencyBound,
+                hop: Some(1),
+                word: 133,
+            },
+        }
+    }
+
+    #[test]
+    fn serialize_parse_round_trips_structurally() {
+        let repro = sample_repro();
+        let text = repro.serialize();
+        let back = Repro::parse(&text).expect("parses");
+        assert_eq!(back, repro);
+    }
+
+    #[test]
+    fn reserialization_is_byte_identical() {
+        let repro = sample_repro();
+        let text = repro.serialize();
+        let back = Repro::parse(&text).expect("parses");
+        assert_eq!(back.serialize(), text, "canonical form must be stable");
+    }
+
+    #[test]
+    fn e2e_hop_and_every_spec_kind_round_trip() {
+        let mut repro = sample_repro();
+        repro.expect.hop = None;
+        repro.case.degradation = None;
+        repro.case.protocol = Protocol::Fec;
+        repro.case.schedule = FaultSchedule {
+            events: vec![
+                ScheduleEvent {
+                    at_word: 0,
+                    action: ScheduleAction::Activate {
+                        id: 0,
+                        hop: 0,
+                        spec: FaultSpec::Iid { eps: 1e-4 },
+                    },
+                },
+                ScheduleEvent {
+                    at_word: 1,
+                    action: ScheduleAction::Activate {
+                        id: 1,
+                        hop: 1,
+                        spec: FaultSpec::Burst {
+                            eps_good: 1e-4,
+                            eps_bad: 0.25,
+                            p_enter: 0.05,
+                            p_exit: 0.3,
+                        },
+                    },
+                },
+                ScheduleEvent {
+                    at_word: 2,
+                    action: ScheduleAction::Activate {
+                        id: 2,
+                        hop: 2,
+                        spec: FaultSpec::StuckAt {
+                            wire: 5,
+                            value: true,
+                        },
+                    },
+                },
+                ScheduleEvent {
+                    at_word: 3,
+                    action: ScheduleAction::Activate {
+                        id: 3,
+                        hop: 0,
+                        spec: FaultSpec::Droop {
+                            eps: 2e-4,
+                            scale: 150.0,
+                            start: 4,
+                            duration: 60,
+                        },
+                    },
+                },
+                ScheduleEvent {
+                    at_word: 9,
+                    action: ScheduleAction::Deactivate { id: 2 },
+                },
+                ScheduleEvent {
+                    at_word: 10,
+                    action: ScheduleAction::ForceDegrade { hop: 1 },
+                },
+            ],
+        };
+        let text = repro.serialize();
+        let back = Repro::parse(&text).expect("parses");
+        assert_eq!(back, repro);
+        assert_eq!(back.serialize(), text);
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_context() {
+        assert!(Repro::parse("").is_err());
+        assert!(Repro::parse("not a repro\n").is_err());
+        let missing = "socbus-chaos-repro v1\nname x\n";
+        let err = Repro::parse(missing).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let bad_scheme = "socbus-chaos-repro v1\nscheme Nonsense\n";
+        let err = Repro::parse(bad_scheme).unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+        let full = sample_repro().serialize();
+        let broken = full.replace("invariant=latency-bound", "invariant=vibes");
+        assert!(Repro::parse(&broken).unwrap_err().contains("vibes"));
+    }
+}

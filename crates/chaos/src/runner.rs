@@ -1,0 +1,312 @@
+//! The chaos case runner: one scheme, one path, one fault schedule.
+//!
+//! [`run_case`] interprets a [`FaultSchedule`] against a live
+//! [`PathSim`], word by word, with the [`Monitor`] watching every trace.
+//! Everything is keyed off the seeds in the [`CaseConfig`], so the same
+//! config always produces the same outcome — the property the shrinker
+//! and the replay format rely on.
+
+use std::collections::HashMap;
+
+use socbus_channel::FaultSpec;
+use socbus_noc::link::{DegradationPolicy, LinkConfig, Protocol};
+use socbus_noc::traffic::UniformTraffic;
+use socbus_noc::{PathConfig, PathReport, PathSim};
+
+use crate::monitor::{InvariantKind, InvariantStats, Monitor, Violation};
+use crate::schedule::{FaultSchedule, ScheduleAction};
+
+/// Everything needed to (re)run one chaos case deterministically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseConfig {
+    /// Display name (e.g. `"DAP/mixed_mayhem"`).
+    pub name: String,
+    /// Coding scheme on every hop.
+    pub scheme: socbus_codes::Scheme,
+    /// Data bits per word.
+    pub data_bits: usize,
+    /// Hops in the path.
+    pub hops: usize,
+    /// Baseline i.i.d. per-wire flip probability.
+    pub eps: f64,
+    /// Link protocol (also fixes the latency budget).
+    pub protocol: Protocol,
+    /// Optional degradation ladder on every hop.
+    pub degradation: Option<DegradationPolicy>,
+    /// Words to carry.
+    pub words: u64,
+    /// Seed of the traffic generator.
+    pub traffic_seed: u64,
+    /// Seed of the path simulation (per-hop channels and activations).
+    pub sim_seed: u64,
+    /// The fault schedule to interpret.
+    pub schedule: FaultSchedule,
+}
+
+impl CaseConfig {
+    /// The path configuration this case runs over.
+    #[must_use]
+    pub fn path_config(&self) -> PathConfig {
+        let mut link =
+            LinkConfig::new(self.scheme, self.data_bits, self.eps).with_protocol(self.protocol);
+        if let Some(policy) = &self.degradation {
+            link = link.with_degradation(policy.clone());
+        }
+        PathConfig::new(self.hops, link)
+    }
+}
+
+/// What one chaos case produced.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// All invariant violations, in discovery order.
+    pub violations: Vec<Violation>,
+    /// The final path report.
+    pub report: PathReport,
+    /// Worst per-hop single-word latency observed (cycles).
+    pub worst_word_cycles: u64,
+    /// The protocol's worst-case single-word budget (cycles).
+    pub budget_cycles: u64,
+    /// Pass/fail tallies, one per [`InvariantKind::all`] entry.
+    pub stats: [(InvariantKind, InvariantStats); 4],
+}
+
+/// Runs one case to completion. Deterministic in the config.
+///
+/// # Panics
+///
+/// Panics if the scheme rejects the width, `hops == 0`, or a schedule
+/// event targets an out-of-range hop.
+#[must_use]
+pub fn run_case(cfg: &CaseConfig) -> CaseOutcome {
+    let mut sim = PathSim::new(&cfg.path_config(), cfg.sim_seed);
+    let mut monitor = Monitor::new(cfg.hops, cfg.protocol, cfg.degradation.clone());
+    // id -> (hop, slot) of the live activation for that handle.
+    let mut live: HashMap<u32, (usize, usize)> = HashMap::new();
+    let mut next_event = 0usize;
+    let traffic = UniformTraffic::new(cfg.data_bits, cfg.traffic_seed).take(cfg.words as usize);
+    for (word, data) in traffic.enumerate() {
+        let word = word as u64;
+        while next_event < cfg.schedule.events.len()
+            && cfg.schedule.events[next_event].at_word <= word
+        {
+            apply_event(
+                &cfg.schedule.events[next_event].action,
+                cfg.sim_seed,
+                &mut sim,
+                &mut live,
+            );
+            next_event += 1;
+        }
+        let step = sim.step(data);
+        monitor.observe(word, &step);
+    }
+    let report = sim.finish();
+    monitor.finish(&report);
+    let stats = InvariantKind::all().map(|k| (k, monitor.stats(k)));
+    CaseOutcome {
+        worst_word_cycles: monitor.worst_word_cycles,
+        budget_cycles: cfg.protocol.worst_case_word_cycles(),
+        violations: monitor.into_violations(),
+        report,
+        stats,
+    }
+}
+
+/// Whether `cfg` produces at least one violation with the given key —
+/// the oracle the shrinker and the replay checker share.
+#[must_use]
+pub fn reproduces(cfg: &CaseConfig, key: (InvariantKind, Option<usize>)) -> bool {
+    run_case(cfg).violations.iter().any(|v| v.key() == key)
+}
+
+/// Activation seeds mix the sim seed with the event id (not the slot
+/// index), so the same activation replays the same random stream even
+/// after the shrinker removed its neighbours.
+#[must_use]
+pub fn activation_seed(sim_seed: u64, id: u32) -> u64 {
+    sim_seed ^ (u64::from(id) + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+fn apply_event(
+    action: &ScheduleAction,
+    sim_seed: u64,
+    sim: &mut PathSim,
+    live: &mut HashMap<u32, (usize, usize)>,
+) {
+    match action {
+        ScheduleAction::Activate { id, hop, spec } => {
+            let engine = sim.engine_mut(*hop);
+            // A droop window's `start` is relative to activation: pin it
+            // to this hop's event clock now (see ScheduleAction docs).
+            let spec = match *spec {
+                FaultSpec::Droop {
+                    eps,
+                    scale,
+                    start,
+                    duration,
+                } => FaultSpec::Droop {
+                    eps,
+                    scale,
+                    start: engine.injector().cycles().saturating_add(start),
+                    duration,
+                },
+                ref other => other.clone(),
+            };
+            let slot = engine
+                .injector_mut()
+                .push_spec(&spec, activation_seed(sim_seed, *id));
+            live.insert(*id, (*hop, slot));
+        }
+        ScheduleAction::Deactivate { id } => {
+            // Unknown ids are a no-op by contract (shrinker-safe).
+            if let Some((hop, slot)) = live.remove(id) {
+                sim.engine_mut(hop).injector_mut().set_enabled(slot, false);
+            }
+        }
+        ScheduleAction::ForceDegrade { hop } => {
+            let _ = sim.force_degrade(*hop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ScheduleEvent, ScheduleFamily, ScheduleParams};
+    use socbus_codes::Scheme;
+
+    fn base_case(scheme: Scheme, schedule: FaultSchedule) -> CaseConfig {
+        CaseConfig {
+            name: "test".into(),
+            scheme,
+            data_bits: 16,
+            hops: 3,
+            eps: 1e-3,
+            protocol: Protocol::DetectRetransmit {
+                rtt_cycles: 3,
+                max_retries: 3,
+            },
+            degradation: None,
+            words: 1_500,
+            traffic_seed: 11,
+            sim_seed: 7,
+            schedule,
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let params = ScheduleParams {
+            words: 1_500,
+            hops: 3,
+            wires: Scheme::Dap.build(16).wires(),
+        };
+        let schedule = FaultSchedule::random(ScheduleFamily::MixedMayhem, &params, 9);
+        let cfg = base_case(Scheme::Dap, schedule);
+        let a = run_case(&cfg);
+        let b = run_case(&cfg);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.worst_word_cycles, b.worst_word_cycles);
+    }
+
+    #[test]
+    fn honest_schemes_survive_every_family() {
+        for scheme in [Scheme::Dap, Scheme::ExtHamming, Scheme::Parity] {
+            let wires = scheme.build(16).wires();
+            for family in ScheduleFamily::all() {
+                let params = ScheduleParams {
+                    words: 1_000,
+                    hops: 3,
+                    wires,
+                };
+                let schedule = FaultSchedule::random(family, &params, 3);
+                let cfg = base_case(scheme, schedule);
+                let out = run_case(&cfg);
+                assert_eq!(
+                    out.violations,
+                    vec![],
+                    "{scheme:?}/{family:?} must not violate: {:?}",
+                    out.violations.first()
+                );
+                assert!(out.worst_word_cycles <= out.budget_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn sabotaged_scheme_reproduces_by_key() {
+        let schedule = FaultSchedule {
+            events: vec![ScheduleEvent {
+                at_word: 0,
+                action: ScheduleAction::Activate {
+                    id: 0,
+                    hop: 0,
+                    spec: FaultSpec::Iid { eps: 5e-3 },
+                },
+            }],
+        };
+        let mut cfg = base_case(Scheme::Sabotaged, schedule);
+        cfg.eps = 0.0;
+        cfg.protocol = Protocol::Fec;
+        let out = run_case(&cfg);
+        let v = out
+            .violations
+            .iter()
+            .find(|v| v.kind == InvariantKind::SilentCorruption)
+            .expect("the planted lie must trip the monitor");
+        assert_eq!(v.hop, Some(0));
+        assert!(reproduces(&cfg, v.key()));
+    }
+
+    #[test]
+    fn deactivation_heals_the_link() {
+        // A stuck-at window on an uncoded path: residuals accumulate only
+        // while the window is open.
+        let schedule = FaultSchedule {
+            events: vec![
+                ScheduleEvent {
+                    at_word: 100,
+                    action: ScheduleAction::Activate {
+                        id: 0,
+                        hop: 1,
+                        spec: FaultSpec::StuckAt {
+                            wire: 2,
+                            value: true,
+                        },
+                    },
+                },
+                ScheduleEvent {
+                    at_word: 300,
+                    action: ScheduleAction::Deactivate { id: 0 },
+                },
+            ],
+        };
+        let mut cfg = base_case(Scheme::Uncoded, schedule);
+        cfg.eps = 0.0;
+        cfg.protocol = Protocol::Fec;
+        let out = run_case(&cfg);
+        assert_eq!(out.violations, vec![], "honest aliasing only");
+        let hop1 = &out.report.per_hop[1];
+        assert!(
+            hop1.residual_errors > 50 && hop1.residual_errors <= 200,
+            "damage confined to the 200-word window: {}",
+            hop1.residual_errors
+        );
+        assert_eq!(out.report.per_hop[0].residual_errors, 0);
+    }
+
+    #[test]
+    fn unknown_deactivate_is_a_no_op() {
+        let schedule = FaultSchedule {
+            events: vec![ScheduleEvent {
+                at_word: 10,
+                action: ScheduleAction::Deactivate { id: 99 },
+            }],
+        };
+        let cfg = base_case(Scheme::Dap, schedule);
+        let clean = base_case(Scheme::Dap, FaultSchedule::default());
+        assert_eq!(run_case(&cfg).report, run_case(&clean).report);
+    }
+}

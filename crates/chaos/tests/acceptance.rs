@@ -1,0 +1,137 @@
+//! End-to-end acceptance of the chaos harness (the ISSUE 2 criterion):
+//! a deliberately broken decoder must produce a violation whose shrunken
+//! reproducer replays to the *same* violation through the exact file
+//! path the `chaos -- replay` binary uses.
+
+use socbus_channel::FaultSpec;
+use socbus_chaos::schedule::{FaultSchedule, ScheduleAction, ScheduleEvent};
+use socbus_chaos::{build_case, cli, run_case, InvariantKind, Repro, ScheduleFamily};
+use socbus_codes::Scheme;
+
+/// The full loop: violate → shrink → write file → parse file → re-run →
+/// same violation key; and the file is canonical (byte-identical after a
+/// parse/serialize round trip).
+#[test]
+fn sabotaged_decoder_shrinks_to_a_replayable_repro() {
+    // A Sabotaged case with schedule noise around the trigger.
+    let mut cfg = build_case(Scheme::Sabotaged, ScheduleFamily::BurstTrain, 3, 1_500, 2);
+    cfg.schedule.events.push(ScheduleEvent {
+        at_word: 0,
+        action: ScheduleAction::Activate {
+            id: 500,
+            hop: 0,
+            spec: FaultSpec::Iid { eps: 4e-3 },
+        },
+    });
+    cfg.schedule.sort();
+
+    let out = run_case(&cfg);
+    let violation = out
+        .violations
+        .iter()
+        .find(|v| v.kind == InvariantKind::SilentCorruption)
+        .expect("the sabotaged decoder must trip silent-corruption");
+
+    // Shrink and write the repro exactly as the binary would.
+    let dir = std::env::temp_dir().join("socbus-chaos-acceptance");
+    let file = cli::write_repro(&cfg, violation, &dir).expect("shrink + write succeeds");
+    let text = std::fs::read_to_string(&file).expect("repro file readable");
+
+    // Replay through the same code path `chaos -- replay <file>` uses.
+    let replayed = cli::replay_text(&text)
+        .expect("repro parses")
+        .expect("the violation must reproduce on replay");
+    assert_eq!(replayed.kind, violation.kind);
+    assert_eq!(replayed.hop, violation.hop);
+
+    // The written file is canonical: parse → serialize is byte-identical.
+    let parsed = Repro::parse(&text).expect("parses");
+    assert_eq!(parsed.serialize(), text);
+
+    // The shrunken case is genuinely smaller than the original campaign
+    // cell (fewer words; the burst-train noise stripped).
+    assert!(parsed.case.words < cfg.words);
+    assert!(parsed.case.schedule.events.len() < cfg.schedule.events.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every catalog scheme survives a short run of every schedule family —
+/// the core soak claim, in miniature, as a tier-visible test.
+#[test]
+fn catalog_survives_short_runs_of_every_family() {
+    for scheme in Scheme::catalog() {
+        for family in ScheduleFamily::all() {
+            let cfg = build_case(scheme, family, 1, 300, 2);
+            let out = run_case(&cfg);
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                cfg.name,
+                out.violations.first()
+            );
+            assert!(
+                out.worst_word_cycles <= out.budget_cycles,
+                "{}: worst {} > budget {}",
+                cfg.name,
+                out.worst_word_cycles,
+                out.budget_cycles
+            );
+        }
+    }
+}
+
+/// A schedule drawn for one seed replays identically: same violations,
+/// same report, same worst-case latency (the determinism contract behind
+/// byte-identical soak JSON).
+#[test]
+fn campaign_cells_are_bit_deterministic() {
+    let a = run_case(&build_case(
+        Scheme::HammingX,
+        ScheduleFamily::MixedMayhem,
+        9,
+        800,
+        3,
+    ));
+    let b = run_case(&build_case(
+        Scheme::HammingX,
+        ScheduleFamily::MixedMayhem,
+        9,
+        800,
+        3,
+    ));
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.worst_word_cycles, b.worst_word_cycles);
+}
+
+/// Replay refuses non-canonical (hand-edited) files instead of silently
+/// replaying something that would not round-trip.
+#[test]
+fn replay_rejects_non_canonical_text() {
+    let cfg = build_case(Scheme::Dap, ScheduleFamily::DroopStorm, 2, 200, 2);
+    let repro = Repro::new(
+        cfg,
+        &socbus_chaos::Violation {
+            kind: InvariantKind::LatencyBound,
+            hop: Some(0),
+            word: 7,
+            detail: String::new(),
+        },
+    );
+    let canonical = repro.serialize();
+    let edited = format!("{canonical}\n");
+    assert!(cli::replay_text(&edited).is_err());
+    // The canonical text itself parses fine (the case just doesn't
+    // violate anything, so replay reports non-reproduction).
+    assert_eq!(cli::replay_text(&canonical), Ok(None));
+}
+
+/// Empty schedules are legal and trivially healthy.
+#[test]
+fn empty_schedule_is_healthy() {
+    let mut cfg = build_case(Scheme::Bsc, ScheduleFamily::BurstTrain, 4, 200, 2);
+    cfg.schedule = FaultSchedule::default();
+    let out = run_case(&cfg);
+    assert!(out.violations.is_empty());
+}

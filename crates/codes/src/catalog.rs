@@ -6,6 +6,7 @@ use crate::cac::{Duplication, ForbiddenTransitionCode, Shielding};
 use crate::ecc::{BchDec, ExtendedHamming, Hamming, ParityBit};
 use crate::joint::{Bih, Bsc, Dap, Dapbi, Dapx, FtcHc, HammingX};
 use crate::lpc::BusInvert;
+use crate::sabotage::SabotagedHamming;
 use crate::traits::{BusCode, Uncoded};
 
 /// Every coding scheme the paper evaluates, plus the extension codes.
@@ -43,6 +44,11 @@ pub enum Scheme {
     ExtHamming,
     /// Double-error-correcting BCH (paper §V extension).
     BchDec,
+    /// Hamming with a deliberately broken decoder that delivers
+    /// single-wire errors silently — **harness self-tests only**; never
+    /// part of [`Scheme::catalog`] or the paper tables. See
+    /// [`crate::sabotage`].
+    Sabotaged,
 }
 
 impl Scheme {
@@ -66,6 +72,7 @@ impl Scheme {
             Scheme::Dapbi => Box::new(Dapbi::new(k)),
             Scheme::ExtHamming => Box::new(ExtendedHamming::new(k)),
             Scheme::BchDec => Box::new(BchDec::new(k)),
+            Scheme::Sabotaged => Box::new(SabotagedHamming::new(k)),
         }
     }
 
@@ -96,7 +103,40 @@ impl Scheme {
             Scheme::Dapbi => "DAPBI".into(),
             Scheme::ExtHamming => "ExtHamming".into(),
             Scheme::BchDec => "BCH-DEC".into(),
+            Scheme::Sabotaged => "Sabotaged".into(),
         }
+    }
+
+    /// Parses a scheme from its [`Scheme::name`] rendering (the inverse
+    /// mapping, used by chaos replay files and CLI arguments).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        if let Some(i) = name
+            .strip_prefix("BI(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            return i.parse().ok().map(Scheme::BusInvert);
+        }
+        let scheme = match name {
+            "Uncoded" => Scheme::Uncoded,
+            "Shielding" => Scheme::Shielding,
+            "Duplication" => Scheme::Duplication,
+            "FTC" => Scheme::Ftc,
+            "Parity" => Scheme::Parity,
+            "Hamming" => Scheme::Hamming,
+            "HammingX" => Scheme::HammingX,
+            "BIH" => Scheme::Bih,
+            "FTC+HC" => Scheme::FtcHc,
+            "BSC" => Scheme::Bsc,
+            "DAP" => Scheme::Dap,
+            "DAPX" => Scheme::Dapx,
+            "DAPBI" => Scheme::Dapbi,
+            "ExtHamming" => Scheme::ExtHamming,
+            "BCH-DEC" => Scheme::BchDec,
+            "Sabotaged" => Scheme::Sabotaged,
+            _ => return None,
+        };
+        Some(scheme)
     }
 
     /// The reliable-bus comparison set of Table II (4-bit bus).
@@ -135,6 +175,9 @@ impl Scheme {
     }
 
     /// Whether the scheme can correct a single wire error.
+    ///
+    /// `Sabotaged` *claims* correction (that is its planted lie); the
+    /// chaos monitors are what call the bluff.
     #[must_use]
     pub fn corrects_errors(self) -> bool {
         matches!(
@@ -149,7 +192,57 @@ impl Scheme {
                 | Scheme::Dapbi
                 | Scheme::ExtHamming
                 | Scheme::BchDec
+                | Scheme::Sabotaged
         )
+    }
+
+    /// Whether the scheme can at least *detect* a single wire error
+    /// (every correcting scheme detects; parity and duplication detect
+    /// without correcting).
+    #[must_use]
+    pub fn detects_errors(self) -> bool {
+        self.corrects_errors() || matches!(self, Scheme::Parity | Scheme::Duplication)
+    }
+
+    /// The full evaluated catalog: the Table III comparison set plus the
+    /// detection/correction schemes the tables omit (`Duplication`,
+    /// `Parity`, `ExtHamming`, `BCH-DEC`). This is the iteration set of
+    /// the reliability and soak sweeps; the `Sabotaged` self-test scheme
+    /// is deliberately excluded.
+    #[must_use]
+    pub fn catalog() -> Vec<Scheme> {
+        let mut schemes = Scheme::table3();
+        for extra in [
+            Scheme::Duplication,
+            Scheme::Parity,
+            Scheme::ExtHamming,
+            Scheme::BchDec,
+        ] {
+            if !schemes.contains(&extra) {
+                schemes.push(extra);
+            }
+        }
+        schemes
+    }
+
+    /// Every catalog scheme with single-error *correction* — the class
+    /// the chaos monitors hold to the correction contract.
+    #[must_use]
+    pub fn correcting() -> Vec<Scheme> {
+        Scheme::catalog()
+            .into_iter()
+            .filter(|s| s.corrects_errors())
+            .collect()
+    }
+
+    /// Every catalog scheme with at least single-error *detection* — the
+    /// class the no-silent-corruption monitor applies to.
+    #[must_use]
+    pub fn detecting() -> Vec<Scheme> {
+        Scheme::catalog()
+            .into_iter()
+            .filter(|s| s.detects_errors())
+            .collect()
     }
 }
 
@@ -222,5 +315,38 @@ mod tests {
         assert!(Scheme::Hamming.corrects_errors());
         assert!(!Scheme::Uncoded.corrects_errors());
         assert!(!Scheme::Shielding.corrects_errors());
+    }
+
+    #[test]
+    fn from_name_inverts_name_for_the_whole_catalog() {
+        let mut all = Scheme::catalog();
+        all.extend([Scheme::BusInvert(4), Scheme::Sabotaged]);
+        for s in all {
+            assert_eq!(Scheme::from_name(&s.name()), Some(s), "{}", s.name());
+        }
+        assert_eq!(Scheme::from_name("NoSuchCode"), None);
+        assert_eq!(Scheme::from_name("BI(x)"), None);
+    }
+
+    #[test]
+    fn catalog_classes_are_consistent() {
+        let catalog = Scheme::catalog();
+        assert!(
+            catalog.len() >= 17,
+            "table III set plus the four extras: {catalog:?}"
+        );
+        assert!(
+            !catalog.contains(&Scheme::Sabotaged),
+            "the planted-fault scheme must stay out of the catalog"
+        );
+        for s in Scheme::correcting() {
+            assert!(s.corrects_errors() && s.detects_errors());
+        }
+        let detecting = Scheme::detecting();
+        assert!(detecting.contains(&Scheme::Parity));
+        assert!(detecting.contains(&Scheme::Duplication));
+        assert!(!detecting.contains(&Scheme::Uncoded));
+        // Detection strictly contains correction.
+        assert!(detecting.len() > Scheme::correcting().len());
     }
 }

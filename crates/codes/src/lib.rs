@@ -43,6 +43,7 @@ pub mod ecc;
 pub mod framework;
 pub mod joint;
 pub mod lpc;
+pub mod sabotage;
 pub mod theory;
 pub mod traits;
 
@@ -54,4 +55,5 @@ pub use ecc::{BchDec, ExtendedHamming, Hamming, ParityBit};
 pub use framework::{ComposedCode, CompositionError, Framework};
 pub use joint::{Bih, Bsc, Dap, Dapbi, Dapx, FtcHc, HammingX};
 pub use lpc::{BusInvert, CouplingBusInvert};
+pub use sabotage::SabotagedHamming;
 pub use traits::{BusCode, DecodeStatus, Uncoded};

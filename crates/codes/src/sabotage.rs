@@ -1,0 +1,134 @@
+//! A deliberately broken decoder for harness self-tests.
+//!
+//! A soak/chaos harness is only trustworthy if it *fails* when the stack
+//! under test is broken. [`SabotagedHamming`] is the planted fault that
+//! proves it: a systematic Hamming codec whose decoder, whenever the
+//! syndrome indicates a correctable single-wire error, **skips the
+//! correction and reports the word as clean** — exactly the
+//! silent-corruption failure mode a detecting code must never exhibit
+//! (Niesen & Kudekar's burst-error hazard, here made unconditional).
+//!
+//! The scheme advertises Hamming's single-error guarantees
+//! ([`BusCode::correctable_errors`]`/`[`BusCode::detectable_errors`]` = 1`)
+//! — that lie is the point: the chaos monitors hold every scheme to its
+//! advertised contract, so any single-wire fault schedule catches this
+//! decoder within a handful of words. It is excluded from
+//! [`crate::Scheme::catalog`] and every paper table; the only legitimate
+//! uses are the chaos harness's self-tests and replay files.
+
+use crate::ecc::Hamming;
+use crate::traits::{BusCode, DecodeStatus};
+use socbus_model::Word;
+
+/// Systematic Hamming with a sabotaged decoder: single-wire errors are
+/// *silently ignored* instead of corrected, while the codec still claims
+/// Hamming's correction/detection capability.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SabotagedHamming {
+    inner: Hamming,
+}
+
+impl SabotagedHamming {
+    /// A sabotaged Hamming codec over `k` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the coded bus exceeds the word limit.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        SabotagedHamming {
+            inner: Hamming::new(k),
+        }
+    }
+}
+
+impl BusCode for SabotagedHamming {
+    fn name(&self) -> String {
+        "Sabotaged".into()
+    }
+
+    fn data_bits(&self) -> usize {
+        self.inner.data_bits()
+    }
+
+    fn wires(&self) -> usize {
+        self.inner.wires()
+    }
+
+    fn encode(&mut self, data: Word) -> Word {
+        self.inner.encode(data)
+    }
+
+    fn decode(&mut self, bus: Word) -> Word {
+        self.decode_checked(bus).0
+    }
+
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        let (corrected, status) = self.inner.decode_checked(bus);
+        match status {
+            // The sabotage: drop the correction, hand the raw systematic
+            // data bits upward, and claim the word arrived clean.
+            DecodeStatus::Corrected => (bus.slice(0, self.inner.data_bits()), DecodeStatus::Clean),
+            other => (corrected, other),
+        }
+    }
+
+    fn correctable_errors(&self) -> usize {
+        1
+    }
+
+    fn detectable_errors(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_words_roundtrip() {
+        let mut enc = SabotagedHamming::new(8);
+        let mut dec = SabotagedHamming::new(8);
+        for v in [0u128, 0xA5, 0xFF, 0x3C] {
+            let d = Word::from_bits(v, 8);
+            let (out, status) = dec.decode_checked(enc.encode(d));
+            assert_eq!(out, d);
+            assert_eq!(status, DecodeStatus::Clean);
+        }
+    }
+
+    #[test]
+    fn single_data_wire_error_is_silently_delivered_wrong() {
+        let mut enc = SabotagedHamming::new(8);
+        let mut dec = SabotagedHamming::new(8);
+        let d = Word::from_bits(0x5A, 8);
+        let mut bus = enc.encode(d);
+        bus.set_bit(3, !bus.bit(3)); // single error on a data wire
+        let (out, status) = dec.decode_checked(bus);
+        assert_eq!(
+            status,
+            DecodeStatus::Clean,
+            "the sabotage claims the word is clean"
+        );
+        assert_ne!(out, d, "…while delivering corrupted data");
+        assert_eq!(out, d.with_bit(3, !d.bit(3)));
+    }
+
+    #[test]
+    fn parity_wire_error_still_lies_about_cleanliness() {
+        let mut enc = SabotagedHamming::new(8);
+        let mut dec = SabotagedHamming::new(8);
+        let d = Word::from_bits(0x5A, 8);
+        let mut bus = enc.encode(d);
+        let parity_wire = dec.wires() - 1;
+        bus.set_bit(parity_wire, !bus.bit(parity_wire));
+        let (out, status) = dec.decode_checked(bus);
+        assert_eq!(out, d, "data bits were untouched");
+        assert_eq!(
+            status,
+            DecodeStatus::Clean,
+            "but Clean is still a lie for a corrupted codeword"
+        );
+    }
+}

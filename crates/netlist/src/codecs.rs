@@ -60,6 +60,9 @@ pub fn synthesize(scheme: Scheme, k: usize) -> CodecPair {
         Scheme::Dapbi => dapbi(k),
         Scheme::ExtHamming => ext_hamming(k),
         Scheme::BchDec => bch(k),
+        // The chaos self-test scheme has no hardware story: a gate-level
+        // netlist of a deliberately broken decoder is meaningless.
+        Scheme::Sabotaged => panic!("Sabotaged is a harness self-test scheme; no netlist exists"),
     };
     CodecPair {
         scheme,

@@ -61,6 +61,22 @@ pub enum Protocol {
 }
 
 impl Protocol {
+    /// Upper bound on the bus cycles a single word can consume under this
+    /// protocol: the first transmission plus, for every allowed retry,
+    /// its penalty and the retransmission itself. This is the latency
+    /// budget the chaos monitors hold [`LinkEngine`] to — no fault
+    /// schedule may push one word past it.
+    #[must_use]
+    pub fn worst_case_word_cycles(&self) -> u64 {
+        let mut total = 1;
+        let mut retry = 0;
+        while let Some(penalty) = self.retry_penalty(retry) {
+            total += 1 + penalty;
+            retry += 1;
+        }
+        total
+    }
+
     /// Penalty cycles charged for retry number `tries` (0-based), or
     /// `None` when the protocol does not allow another retry.
     #[must_use]
@@ -117,10 +133,15 @@ pub struct DegradationPolicy {
 pub struct LinkTransition {
     /// Number of words delivered when the transition fired.
     pub at_word: u64,
-    /// Trouble rate of the window that triggered it.
+    /// Trouble rate of the window that triggered it (for a forced
+    /// transition, the rate of the partial window at that moment).
     pub trouble_rate: f64,
     /// The action taken.
     pub action: DegradationAction,
+    /// Whether the transition was forced externally
+    /// ([`LinkEngine::force_degrade`]) rather than triggered by the
+    /// windowed monitor — forced transitions need not exceed the trigger.
+    pub forced: bool,
 }
 
 /// Configuration of one link.
@@ -190,6 +211,42 @@ impl LinkConfig {
     }
 }
 
+/// Exact per-word fault accounting: every transferred word lands in
+/// exactly one bucket, so `clean + corrected_masked + retry_masked +
+/// residual` always equals the number of words the engine transferred.
+/// The chaos conservation monitor cross-checks this ledger against the
+/// coarser [`LinkReport`] counters every run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultLedger {
+    /// Words the channel never corrupted (on any attempt) and that
+    /// arrived intact.
+    pub clean: u64,
+    /// Words corrupted by the channel but delivered intact without any
+    /// retransmission — masked by the code's correction (or by the
+    /// corruption missing the decoded payload).
+    pub corrected_masked: u64,
+    /// Words corrupted by the channel and delivered intact only after at
+    /// least one retransmission.
+    pub retry_masked: u64,
+    /// Words delivered with the wrong payload.
+    pub residual: u64,
+}
+
+impl FaultLedger {
+    /// Total words accounted for (the conservation left-hand side).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.clean + self.corrected_masked + self.retry_masked + self.residual
+    }
+
+    /// Words the channel touched at least once (injected = masked +
+    /// residual, the conservation identity of the chaos monitors).
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.corrected_masked + self.retry_masked + self.residual
+    }
+}
+
 /// Aggregate statistics of a link run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct LinkReport {
@@ -213,6 +270,9 @@ pub struct LinkReport {
     /// Accumulated wire-energy coefficient (units of `C·Vdd²`),
     /// self and coupling parts kept separate so callers can apply their λ.
     pub energy: EnergyCoeff,
+    /// Exact per-word fault accounting (filled by the engine; the chaos
+    /// monitors check it against the counters above).
+    pub ledger: FaultLedger,
 }
 
 impl LinkReport {
@@ -248,10 +308,42 @@ impl LinkReport {
     }
 }
 
+/// Everything the link observed while transferring one word — the
+/// monitor hook point the chaos harness consumes. A trace is pure data;
+/// collecting it costs two word compares per attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WordTrace {
+    /// The word handed upward by the receiver.
+    pub delivered: Word,
+    /// Retransmissions performed for this word.
+    pub retries: u32,
+    /// Total bus transmissions (`retries + 1`).
+    pub attempts: u32,
+    /// Bus cycles this word consumed, including retry penalties.
+    pub cycles: u64,
+    /// Attempts on which the channel altered the word on the wires.
+    pub corrupt_attempts: u32,
+    /// Largest per-attempt injected error weight (wires flipped by the
+    /// channel on a single transmission).
+    pub max_error_weight: u32,
+    /// Decode status of the final (delivered) attempt.
+    pub final_status: DecodeStatus,
+    /// Single-transfer detection guarantee of the decoder *at the time
+    /// this word was sent* (scheme switches change it for later words).
+    pub detectable_errors: usize,
+    /// Single-transfer correction guarantee of the decoder at the time
+    /// this word was sent.
+    pub correctable_errors: usize,
+    /// The degradation transition this word triggered, if any.
+    pub transition: Option<LinkTransition>,
+}
+
 /// The per-link transfer machinery, shared by [`simulate_link`] and the
 /// multi-hop path simulator: codec pair, fault injector, protocol state,
-/// and the degradation monitor.
-pub(crate) struct LinkEngine {
+/// and the degradation monitor. Public so external harnesses (the chaos
+/// soak driver) can step a link word by word, reach into its fault
+/// injector between words, and force degradation transitions.
+pub struct LinkEngine {
     enc: Box<dyn BusCode>,
     dec: Box<dyn BusCode>,
     injector: FaultInjector,
@@ -268,7 +360,8 @@ pub(crate) struct LinkEngine {
 impl LinkEngine {
     /// Builds the engine for `cfg` with `extra` fault processes stacked
     /// on top of the config's own (used for per-hop fault domains).
-    pub(crate) fn new(cfg: &LinkConfig, extra: &[FaultSpec], seed: u64) -> Self {
+    #[must_use]
+    pub fn new(cfg: &LinkConfig, extra: &[FaultSpec], seed: u64) -> Self {
         let enc = cfg.scheme.build(cfg.data_bits);
         let bus_state = Word::zero(enc.wires());
         let mut specs = cfg.fault_stack();
@@ -290,11 +383,23 @@ impl LinkEngine {
 
     /// Transfers one word, driving the protocol to completion, and
     /// returns what the receiver hands upward. Accounting (cycles,
-    /// energy, retransmits, corrected/detected, transitions) goes into
-    /// `report`; the caller owns `offered`/`delivered`/`residual_errors`
-    /// because only it knows the reference word.
-    pub(crate) fn transfer(&mut self, data: Word, report: &mut LinkReport) -> Word {
+    /// energy, retransmits, corrected/detected, ledger, transitions) goes
+    /// into `report`; the caller owns `offered`/`delivered`/
+    /// `residual_errors` because only it knows the reference word.
+    pub fn transfer(&mut self, data: Word, report: &mut LinkReport) -> Word {
+        self.transfer_traced(data, report).delivered
+    }
+
+    /// [`LinkEngine::transfer`], returning the full per-word
+    /// [`WordTrace`] for online invariant monitoring.
+    pub fn transfer_traced(&mut self, data: Word, report: &mut LinkReport) -> WordTrace {
+        let detectable_errors = self.dec.detectable_errors();
+        let correctable_errors = self.dec.correctable_errors();
+        let cycles_before = report.cycles;
+        let transitions_before = report.transitions.len();
         let mut tries = 0u32;
+        let mut corrupt_attempts = 0u32;
+        let mut max_error_weight = 0u32;
         loop {
             let sent = self.enc.encode(data);
             report.energy = report
@@ -303,6 +408,10 @@ impl LinkEngine {
             self.bus_state = sent;
             report.cycles += 1;
             let received = self.injector.transmit(sent);
+            if received != sent {
+                corrupt_attempts += 1;
+                max_error_weight = max_error_weight.max(sent.hamming_distance(received));
+            }
             let (decoded, status) = self.dec.decode_checked(received);
             match status {
                 DecodeStatus::Corrected => report.corrected += 1,
@@ -317,11 +426,78 @@ impl LinkEngine {
                     continue;
                 }
             }
+            if decoded != data {
+                report.ledger.residual += 1;
+            } else if corrupt_attempts == 0 {
+                report.ledger.clean += 1;
+            } else if tries == 0 {
+                report.ledger.corrected_masked += 1;
+            } else {
+                report.ledger.retry_masked += 1;
+            }
             let trouble =
                 tries > 0 || matches!(status, DecodeStatus::Corrected | DecodeStatus::Detected);
             self.finish_word(trouble, report);
-            return decoded;
+            return WordTrace {
+                delivered: decoded,
+                retries: tries,
+                attempts: tries + 1,
+                cycles: report.cycles - cycles_before,
+                corrupt_attempts,
+                max_error_weight,
+                final_status: status,
+                detectable_errors,
+                correctable_errors,
+                transition: report.transitions.get(transitions_before).copied(),
+            };
         }
+    }
+
+    /// Mutable access to the fault injector, so a schedule driver can
+    /// activate/deactivate fault processes between words.
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
+    /// Read access to the fault injector (event clock, slot states).
+    #[must_use]
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Applies the next ladder rung immediately, regardless of the
+    /// windowed trouble rate, recording a `forced` transition. Returns
+    /// `None` when there is no policy or the ladder is exhausted — the
+    /// chaos schedules use this to exercise mid-flight degradation at
+    /// adversarial moments.
+    pub fn force_degrade(&mut self, report: &mut LinkReport) -> Option<LinkTransition> {
+        let action = self
+            .policy
+            .as_ref()
+            .and_then(|p| p.ladder.get(self.rung))
+            .copied()?;
+        let trouble_rate = if self.window_words == 0 {
+            0.0
+        } else {
+            self.window_trouble as f64 / self.window_words as f64
+        };
+        self.apply(action);
+        self.rung += 1;
+        let transition = LinkTransition {
+            at_word: self.words_done,
+            trouble_rate,
+            action,
+            forced: true,
+        };
+        report.transitions.push(transition);
+        Some(transition)
+    }
+
+    /// The ladder rung the engine will apply next (also the number of
+    /// transitions fired so far).
+    #[must_use]
+    pub fn rung(&self) -> usize {
+        self.rung
     }
 
     /// Window bookkeeping + degradation-ladder stepping, once per word.
@@ -353,6 +529,7 @@ impl LinkEngine {
                     at_word: self.words_done,
                     trouble_rate: rate,
                     action,
+                    forced: false,
                 });
             }
         }
@@ -509,6 +686,90 @@ mod tests {
         // Every failed attempt (including the final as-is one) is a
         // detected-uncorrectable event.
         assert_eq!(r.detected, 50 * (u64::from(max_retries) + 1));
+    }
+
+    /// Zero-word guard (ISSUE 2 satellite): an empty run must report 0.0
+    /// rates, never NaN — downstream JSON and monitors divide by these.
+    #[test]
+    fn zero_word_link_report_is_nan_free() {
+        let empty = simulate_link(
+            &LinkConfig::new(Scheme::Dap, 8, 1e-3),
+            std::iter::empty(),
+            1,
+        );
+        assert_eq!(empty.delivered, 0);
+        assert_eq!(empty.residual_rate(), 0.0);
+        assert_eq!(empty.cycles_per_word(), 0.0);
+        assert_eq!(empty.energy_per_word(2.8), 0.0);
+        assert!(!empty.residual_rate().is_nan());
+        let blank = LinkReport::default();
+        assert_eq!(blank.residual_rate(), 0.0);
+        assert_eq!(blank.cycles_per_word(), 0.0);
+    }
+
+    /// The worst-case word budget really bounds every transfer, and the
+    /// trace/ledger bookkeeping is conserved word by word.
+    #[test]
+    fn traces_respect_worst_case_budget_and_ledger_conserves() {
+        let proto = Protocol::ArqBackoff {
+            timeout_cycles: 3,
+            backoff_base: 1,
+            backoff_cap: 8,
+            max_retries: 3,
+        };
+        // 1 + (1+4) + (1+5) + (1+7) = 20 cycles at most per word.
+        assert_eq!(proto.worst_case_word_cycles(), 20);
+        assert_eq!(Protocol::Fec.worst_case_word_cycles(), 1);
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 5e-3).with_protocol(proto);
+        let mut engine = LinkEngine::new(&cfg, &[], 3);
+        let mut report = LinkReport::default();
+        let mut words = 0u64;
+        for data in UniformTraffic::new(8, 11).take(3_000) {
+            let trace = engine.transfer_traced(data, &mut report);
+            words += 1;
+            assert!(
+                trace.cycles <= proto.worst_case_word_cycles(),
+                "word exceeded its cycle budget: {trace:?}"
+            );
+            assert_eq!(trace.attempts, trace.retries + 1);
+            assert_eq!(report.ledger.total(), words, "ledger must conserve");
+        }
+        assert!(report.ledger.clean > 0);
+        assert!(
+            report.ledger.injected() > 0,
+            "5e-3 eps must touch some words"
+        );
+    }
+
+    /// `force_degrade` walks the ladder in order, marks transitions
+    /// forced, and reports exhaustion.
+    #[test]
+    fn force_degrade_walks_ladder_in_order() {
+        let policy = DegradationPolicy {
+            window: 1_000_000,
+            trigger: 1.0,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.25 },
+                DegradationAction::SwitchScheme(Scheme::Dap),
+            ],
+        };
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0).with_degradation(policy);
+        let mut engine = LinkEngine::new(&cfg, &[], 0);
+        let mut report = LinkReport::default();
+        let first = engine.force_degrade(&mut report).expect("rung 0");
+        assert!(first.forced);
+        assert!(matches!(first.action, DegradationAction::RaiseSwing { .. }));
+        let second = engine.force_degrade(&mut report).expect("rung 1");
+        assert!(matches!(
+            second.action,
+            DegradationAction::SwitchScheme(Scheme::Dap)
+        ));
+        assert_eq!(engine.rung(), 2);
+        assert!(engine.force_degrade(&mut report).is_none(), "exhausted");
+        assert_eq!(report.transitions.len(), 2);
+        // The engine still transfers correctly on the switched scheme.
+        let w = Word::from_bits(0x5A, 8);
+        assert_eq!(engine.transfer(w, &mut report), w);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! shows up on the hop that owns it instead of vanishing into the
 //! end-to-end aggregate.
 
-use crate::link::{LinkConfig, LinkEngine, LinkReport};
+use crate::link::{LinkConfig, LinkEngine, LinkReport, LinkTransition, WordTrace};
 use socbus_channel::FaultSpec;
 use socbus_model::{EnergyCoeff, Word};
 
@@ -105,6 +105,167 @@ impl PathReport {
     }
 }
 
+/// What one word did at one hop — the per-hop slice of a [`PathStep`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopStep {
+    /// The word the hop was asked to carry.
+    pub entered: Word,
+    /// The word the hop handed to the next hop (or the sink).
+    pub exited: Word,
+    /// The link-level trace of the transfer.
+    pub trace: WordTrace,
+}
+
+/// Everything one source word did crossing the whole path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStep {
+    /// The word delivered at the destination.
+    pub delivered: Word,
+    /// Whether the delivered word differs from the injected word.
+    pub e2e_error: bool,
+    /// Per-hop observations, hop 0 first.
+    pub hops: Vec<HopStep>,
+}
+
+/// An incrementally driven multi-hop path simulation: the chaos harness's
+/// hook into the NoC stack. Where [`simulate_path`] consumes a whole
+/// traffic iterator, `PathSim` carries one word at a time ([`PathSim::
+/// step`]), exposes each hop's [`LinkEngine`] between words (so fault
+/// schedules can activate/deactivate fault processes mid-run), and
+/// returns per-word [`PathStep`] traces for online invariant monitors.
+pub struct PathSim {
+    engines: Vec<LinkEngine>,
+    per_hop: Vec<LinkReport>,
+    offered: u64,
+    end_to_end_errors: u64,
+}
+
+impl PathSim {
+    /// Builds the per-hop engines exactly as [`simulate_path`] does (same
+    /// per-hop seed derivation, so the two are interchangeable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.hops == 0` or the scheme rejects the width.
+    #[must_use]
+    pub fn new(cfg: &PathConfig, seed: u64) -> Self {
+        assert!(cfg.hops >= 1, "need at least one hop");
+        let engines: Vec<LinkEngine> = (0..cfg.hops)
+            .map(|h| {
+                let extra: Vec<FaultSpec> = cfg
+                    .hop_faults
+                    .iter()
+                    .filter(|(hop, _)| *hop == h)
+                    .map(|(_, spec)| spec.clone())
+                    .collect();
+                LinkEngine::new(
+                    &cfg.link,
+                    &extra,
+                    seed ^ (h as u64).wrapping_mul(0x9E37_79B9),
+                )
+            })
+            .collect();
+        let per_hop = vec![LinkReport::default(); cfg.hops];
+        PathSim {
+            engines,
+            per_hop,
+            offered: 0,
+            end_to_end_errors: 0,
+        }
+    }
+
+    /// Number of hops.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Words carried so far.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// The engine of one hop, for schedule-driven fault activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    pub fn engine_mut(&mut self, hop: usize) -> &mut LinkEngine {
+        &mut self.engines[hop]
+    }
+
+    /// The running per-hop report (accounting so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    #[must_use]
+    pub fn hop_report(&self, hop: usize) -> &LinkReport {
+        &self.per_hop[hop]
+    }
+
+    /// Forces the next degradation-ladder rung on one hop, recording the
+    /// transition in that hop's report. `None` if the ladder is absent or
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop` is out of range.
+    pub fn force_degrade(&mut self, hop: usize) -> Option<LinkTransition> {
+        self.engines[hop].force_degrade(&mut self.per_hop[hop])
+    }
+
+    /// Carries one word across every hop, updating all accounting, and
+    /// returns the full trace.
+    pub fn step(&mut self, data: Word) -> PathStep {
+        self.offered += 1;
+        let mut word = data;
+        let mut hops = Vec::with_capacity(self.engines.len());
+        for (engine, hop_report) in self.engines.iter_mut().zip(self.per_hop.iter_mut()) {
+            let entered = word;
+            hop_report.offered += 1;
+            let trace = engine.transfer_traced(entered, hop_report);
+            hop_report.delivered += 1;
+            word = trace.delivered;
+            if word != entered {
+                hop_report.residual_errors += 1;
+            }
+            hops.push(HopStep {
+                entered,
+                exited: word,
+                trace,
+            });
+        }
+        let e2e_error = word != data;
+        if e2e_error {
+            self.end_to_end_errors += 1;
+        }
+        PathStep {
+            delivered: word,
+            e2e_error,
+            hops,
+        }
+    }
+
+    /// Finalizes the run into a [`PathReport`] (aggregating cycles and
+    /// energy across hops, exactly like [`simulate_path`]).
+    #[must_use]
+    pub fn finish(self) -> PathReport {
+        let mut report = PathReport {
+            offered: self.offered,
+            end_to_end_errors: self.end_to_end_errors,
+            ..PathReport::default()
+        };
+        for hop_report in &self.per_hop {
+            report.cycles += hop_report.cycles;
+            report.energy = report.energy.add(hop_report.energy);
+        }
+        report.per_hop = self.per_hop;
+        report
+    }
+}
+
 /// Simulates `traffic` across the multi-hop path.
 ///
 /// # Panics
@@ -115,46 +276,11 @@ pub fn simulate_path(
     traffic: impl Iterator<Item = Word>,
     seed: u64,
 ) -> PathReport {
-    assert!(cfg.hops >= 1, "need at least one hop");
-    let mut engines: Vec<LinkEngine> = (0..cfg.hops)
-        .map(|h| {
-            let extra: Vec<FaultSpec> = cfg
-                .hop_faults
-                .iter()
-                .filter(|(hop, _)| *hop == h)
-                .map(|(_, spec)| spec.clone())
-                .collect();
-            LinkEngine::new(
-                &cfg.link,
-                &extra,
-                seed ^ (h as u64).wrapping_mul(0x9E37_79B9),
-            )
-        })
-        .collect();
-    let mut per_hop = vec![LinkReport::default(); cfg.hops];
-    let mut report = PathReport::default();
+    let mut sim = PathSim::new(cfg, seed);
     for data in traffic {
-        report.offered += 1;
-        let mut word = data;
-        for (engine, hop_report) in engines.iter_mut().zip(per_hop.iter_mut()) {
-            let entered = word;
-            hop_report.offered += 1;
-            word = engine.transfer(entered, hop_report);
-            hop_report.delivered += 1;
-            if word != entered {
-                hop_report.residual_errors += 1;
-            }
-        }
-        if word != data {
-            report.end_to_end_errors += 1;
-        }
+        let _ = sim.step(data);
     }
-    for hop_report in &per_hop {
-        report.cycles += hop_report.cycles;
-        report.energy = report.energy.add(hop_report.energy);
-    }
-    report.per_hop = per_hop;
-    report
+    sim.finish()
 }
 
 #[cfg(test)]
@@ -213,6 +339,51 @@ mod tests {
         let fec = run(Scheme::Parity, 3, 5e-3, 40_000);
         assert!(arq.residual_rate() < fec.residual_rate() / 3.0);
         assert!(arq.cycles_per_word() > 3.0);
+    }
+
+    /// Zero-word guard (ISSUE 2 satellite): empty path runs report 0.0
+    /// rates, never NaN.
+    #[test]
+    fn zero_word_path_report_is_nan_free() {
+        let cfg = PathConfig::new(2, LinkConfig::new(Scheme::Dap, 8, 1e-3));
+        let r = simulate_path(&cfg, std::iter::empty(), 1);
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.residual_rate(), 0.0);
+        assert_eq!(r.cycles_per_word(), 0.0);
+        assert!(!r.residual_rate().is_nan());
+        assert!(!r.cycles_per_word().is_nan());
+        let blank = PathReport::default();
+        assert_eq!(blank.residual_rate(), 0.0);
+        assert_eq!(blank.cycles_per_word(), 0.0);
+        assert_eq!(blank.worst_hop(), None);
+    }
+
+    /// `PathSim::step` must agree word for word with `simulate_path`.
+    #[test]
+    fn path_sim_matches_batch_simulation() {
+        let cfg = PathConfig::new(
+            3,
+            LinkConfig::new(Scheme::Parity, 8, 5e-3).with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 4,
+            }),
+        )
+        .with_hop_fault(
+            1,
+            FaultSpec::StuckAt {
+                wire: 2,
+                value: true,
+            },
+        );
+        let batch = simulate_path(&cfg, UniformTraffic::new(8, 3).take(5_000), 5);
+        let mut sim = PathSim::new(&cfg, 5);
+        for data in UniformTraffic::new(8, 3).take(5_000) {
+            let step = sim.step(data);
+            assert_eq!(step.hops.len(), 3);
+            assert_eq!(step.hops[2].exited, step.delivered);
+        }
+        let incremental = sim.finish();
+        assert_eq!(incremental, batch);
     }
 
     /// A stuck wire on hop 1 of an uncoded path must be charged to hop 1

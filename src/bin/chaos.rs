@@ -1,0 +1,8 @@
+//! Workspace-root wrapper so `cargo run --bin chaos -- replay <file>`
+//! works from the repository root. The logic lives in
+//! [`socbus_chaos::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_chaos::main_with_args(&args));
+}
