@@ -12,6 +12,7 @@
 //! Run with `cargo run --release -p socbus-bench --bin ablations`.
 
 use socbus_bench::designs::{design_point, DesignOptions};
+use socbus_bench::fmt::Report;
 use socbus_codes::{analysis, BusCode, ForbiddenPatternCode, Scheme};
 use socbus_model::{BusGeometry, Environment};
 use socbus_netlist::cell::CellLibrary;
@@ -22,48 +23,54 @@ fn main() {
     let lib = CellLibrary::cmos_130nm();
     let opts = DesignOptions::default();
 
-    println!("Ablation 1: encoder-delay masking (DAP vs DAPX), 4-bit, lambda = 2.8\n");
-    println!(
+    let mut report = Report::new();
+    report.line("Ablation 1: encoder-delay masking (DAP vs DAPX), 4-bit, lambda = 2.8");
+    report.blank();
+    report.line(format!(
         "{:>7} {:>12} {:>12} {:>9}",
         "L (mm)", "DAP (ps)", "DAPX (ps)", "gain"
-    );
+    ));
     let dap = design_point(Scheme::Dap, 4, &lib, &opts);
     let dapx = design_point(Scheme::Dapx, 4, &lib, &opts);
     for &mm in &[2.0, 4.0, 6.0, 10.0, 14.0] {
         let env = Environment::new(BusGeometry::new(mm, 2.8));
         let td = dap.total_delay(&env);
         let tx = dapx.total_delay(&env);
-        println!(
+        report.line(format!(
             "{mm:>7.0} {:>12.0} {:>12.0} {:>8.1}%",
             td * 1e12,
             tx * 1e12,
             100.0 * (1.0 - tx / td)
-        );
+        ));
     }
 
-    println!("\nAblation 2: bus-invert sub-bus count, 32-bit, lambda = 2.8\n");
-    println!(
+    report.blank();
+    report.line("Ablation 2: bus-invert sub-bus count, 32-bit, lambda = 2.8");
+    report.blank();
+    report.line(format!(
         "{:>5} {:>6} {:>16} {:>12}",
         "i", "wires", "energy (xCV^2)", "enc (ps)"
-    );
+    ));
     for &i in &[1usize, 2, 4, 8, 16] {
         let mut code = Scheme::BusInvert(i).build(32);
         let e = analysis::average_energy(code.as_mut(), 60_000);
         let cost = socbus_netlist::cost::codec_cost(Scheme::BusInvert(i), 32, &lib, 400, 2);
-        println!(
+        report.line(format!(
             "{i:>5} {:>6} {:>7.2} + {:>5.2}L {:>12.0}",
             code.wires(),
             e.self_coeff,
             e.coupling_coeff,
             cost.encoder_delay * 1e12
-        );
+        ));
     }
 
-    println!("\nAblation 2b: self-only vs coupling-driven bus invert, 16-bit\n");
-    println!(
+    report.blank();
+    report.line("Ablation 2b: self-only vs coupling-driven bus invert, 16-bit");
+    report.blank();
+    report.line(format!(
         "{:>8} {:>12} {:>12} {:>12}",
         "lambda", "BI(2)", "OE-BI", "uncoded"
-    );
+    ));
     for &lam in &[1.0, 2.8, 4.6] {
         let measure = |code: &mut dyn socbus_codes::BusCode| {
             analysis::average_energy(code, 40_000).total(lam)
@@ -71,25 +78,32 @@ fn main() {
         let bi = measure(&mut socbus_codes::BusInvert::new(16, 2));
         let oe = measure(&mut socbus_codes::CouplingBusInvert::new(16, lam));
         let unc = measure(&mut socbus_codes::Uncoded::new(16));
-        println!("{lam:>8.1} {bi:>12.2} {oe:>12.2} {unc:>12.2}");
+        report.line(format!("{lam:>8.1} {bi:>12.2} {oe:>12.2} {unc:>12.2}"));
     }
-    println!("# the coupling-aware metric wins at high lambda, at the cost of");
-    println!("# four parallel metric evaluations per cycle (paper SII-B).");
+    report.line("# the coupling-aware metric wins at high lambda, at the cost of");
+    report.line("# four parallel metric evaluations per cycle (paper SII-B).");
 
-    println!("\nAblation 3: general FPC vs duplication (CAC rate)\n");
-    println!("{:>5} {:>10} {:>10}", "k", "FPC wires", "dup wires");
+    report.blank();
+    report.line("Ablation 3: general FPC vs duplication (CAC rate)");
+    report.blank();
+    report.line(format!(
+        "{:>5} {:>10} {:>10}",
+        "k", "FPC wires", "dup wires"
+    ));
     for &k in &[2usize, 4, 6, 8, 10] {
         let fpc = ForbiddenPatternCode::new(k);
-        println!("{k:>5} {:>10} {:>10}", fpc.wires(), 2 * k);
+        report.line(format!("{k:>5} {:>10} {:>10}", fpc.wires(), 2 * k));
     }
-    println!("# FPC approaches the 1.44x Fibonacci bound but needs table codecs;");
-    println!("# duplication pays 2x wires for a wiring-only codec (why DAP uses it).");
+    report.line("# FPC approaches the 1.44x Fibonacci bound but needs table codecs;");
+    report.line("# duplication pays 2x wires for a wiring-only codec (why DAP uses it).");
 
-    println!("\nAblation 4: FEC (DAP) vs detect-and-retransmit (parity), 16-bit link\n");
-    println!(
+    report.blank();
+    report.line("Ablation 4: FEC (DAP) vs detect-and-retransmit (parity), 16-bit link");
+    report.blank();
+    report.line(format!(
         "{:>9} {:>14} {:>14} {:>12} {:>12}",
         "eps", "DAP resid", "ARQ resid", "DAP cyc/w", "ARQ cyc/w"
-    );
+    ));
     for &eps in &[1e-4, 1e-3, 1e-2] {
         let fec = simulate_link(
             &LinkConfig::new(Scheme::Dap, 16, eps),
@@ -104,12 +118,13 @@ fn main() {
             UniformTraffic::new(16, 5).take(200_000),
             9,
         );
-        println!(
+        report.line(format!(
             "{eps:>9.0e} {:>14.3e} {:>14.3e} {:>12.3} {:>12.3}",
             fec.residual_rate(),
             arq.residual_rate(),
             fec.cycles_per_word(),
             arq.cycles_per_word()
-        );
+        ));
     }
+    report.emit_with_env_arg();
 }

@@ -15,6 +15,7 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin bch_extension`.
 
+use socbus_bench::fmt::Report;
 use socbus_channel::scaling::{scale_voltage, ResidualModel};
 use socbus_codes::{analysis, BchDec, BusCode, Scheme};
 
@@ -25,24 +26,30 @@ fn main() {
     let k = 32;
     let lib = CellLibrary::cmos_130nm();
 
-    println!("BCH-DEC extension for a {k}-bit bus (paper SV)\n");
+    let mut report = Report::new();
+    report.line(format!("BCH-DEC extension for a {k}-bit bus (paper SV)"));
+    report.blank();
 
     // Structure.
     let mut bch = BchDec::new(k);
     let mut bch_e = analysis::average_energy(&mut bch, 120_000);
     bch_e.self_coeff = (bch_e.self_coeff * 100.0).round() / 100.0;
-    println!("wires: Hamming 38, BCH-DEC {}, DAP 65", bch.wires());
-    println!(
-        "BCH bus energy coefficient: {:.2} + {:.2}L (vs Hamming 9.50 + 18.52L)\n",
+    report.line(format!(
+        "wires: Hamming 38, BCH-DEC {}, DAP 65",
+        bch.wires()
+    ));
+    report.line(format!(
+        "BCH bus energy coefficient: {:.2} + {:.2}L (vs Hamming 9.50 + 18.52L)",
         bch_e.self_coeff, bch_e.coupling_coeff
-    );
+    ));
+    report.blank();
 
     // Voltage scaling across reliability targets.
-    println!("scaled swing V^dd at target P (nominal 1.2 V):");
-    println!(
+    report.line("scaled swing V^dd at target P (nominal 1.2 V):");
+    report.line(format!(
         "{:>10} {:>10} {:>10} {:>10} {:>14}",
         "P_target", "Hamming", "DAP", "BCH-DEC", "BCH bus-E win"
-    );
+    ));
     for &p in &[1e-12, 1e-16, 1e-20, 1e-25, 1e-30] {
         let ham = scale_voltage(ResidualModel::DoubleError { wires: 38 }, k, p, 1.2);
         let dap = scale_voltage(ResidualModel::Dap { k }, k, p, 1.2);
@@ -53,28 +60,29 @@ fn main() {
         let ham_coeff = 9.50 + 18.52 * lam;
         let bch_coeff = bch_e.self_coeff + bch_e.coupling_coeff * lam;
         let ratio = (bch_coeff * bchv.scaled_vdd.powi(2)) / (ham_coeff * ham.scaled_vdd.powi(2));
-        println!(
+        report.line(format!(
             "{p:>10.0e} {:>10.3} {:>10.3} {:>10.3} {:>13.1}%",
             ham.scaled_vdd,
             dap.scaled_vdd,
             bchv.scaled_vdd,
             100.0 * (1.0 - ratio)
-        );
+        ));
     }
 
     // Monte-Carlo validation of the cubic residual.
-    println!("\nMonte-Carlo residual at measurable eps (cubic check):");
-    println!(
+    report.blank();
+    report.line("Monte-Carlo residual at measurable eps (cubic check):");
+    report.line(format!(
         "{:>8} {:>13} {:>13} {:>9}",
         "eps", "MC", "C(44,3)e^3", "MC/model"
-    );
+    ));
     for &eps in &[1e-2, 2e-2] {
         let measured = bch_word_error(k, eps, 400_000);
         let model = binomial(44, 3) * eps * eps * eps;
-        println!(
+        report.line(format!(
             "{eps:>8.0e} {measured:>13.3e} {model:>13.3e} {:>9.2}",
             measured / model
-        );
+        ));
     }
 
     // Codec complexity, fully synthesized: syndromes, Fermat-chain field
@@ -83,16 +91,17 @@ fn main() {
     let ham_cost = socbus_netlist::cost::codec_cost(Scheme::Hamming, k, &lib, 400, 3);
     let bch_pair = socbus_netlist::synthesize(Scheme::BchDec, k);
     let ham_pair = socbus_netlist::synthesize(Scheme::Hamming, k);
-    println!("\ncodec complexity (synthesized gate level):");
-    println!(
+    report.blank();
+    report.line("codec complexity (synthesized gate level):");
+    report.line(format!(
         "  {:<10} {:>9} {:>9} {:>10} {:>9} {:>9}",
         "", "enc(ps)", "dec(ps)", "area(um2)", "E(pJ)", "cells"
-    );
+    ));
     for (name, cost, pair) in [
         ("Hamming", &ham_cost, &ham_pair),
         ("BCH-DEC", &bch_cost, &bch_pair),
     ] {
-        println!(
+        report.line(format!(
             "  {:<10} {:>9.0} {:>9.0} {:>10.0} {:>9.2} {:>9}",
             name,
             cost.encoder_delay * 1e12,
@@ -100,13 +109,15 @@ fn main() {
             cost.area * 1e12,
             cost.energy_per_transfer * 1e12,
             pair.encoder.cell_count() + pair.decoder.cell_count()
-        );
+        ));
     }
-    println!(
-        "\n# the DEC locator datapath costs ~{}x Hamming's decoder cells —\n\
+    report.blank();
+    report.line(format!(
+        "# the DEC locator datapath costs ~{}x Hamming's decoder cells —\n\
          # the codec-overhead concern the paper raises, now measured.",
         (bch_pair.decoder.cell_count() / ham_pair.decoder.cell_count().max(1))
-    );
+    ));
+    report.emit_with_env_arg();
 }
 
 /// Monte-Carlo word-error rate for the (non-catalog) BCH code.

@@ -3,30 +3,35 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin bih_delay`.
 
+use socbus_bench::fmt::Report;
 use socbus_codes::Scheme;
 use socbus_netlist::cell::CellLibrary;
 use socbus_netlist::cost::codec_cost;
 
 fn main() {
     let lib = CellLibrary::cmos_130nm();
-    println!("BIH encoder-delay masking (paper SIII-B, Fig. 5)\n");
-    println!(
+    let mut report = Report::new();
+    report.line("BIH encoder-delay masking (paper SIII-B, Fig. 5)");
+    report.blank();
+    report.line(format!(
         "{:>4} {:>12} {:>12} {:>12} {:>9}",
         "k", "serial (ps)", "BIH (ps)", "saved (ps)", "saving"
-    );
+    ));
     for &k in &[8usize, 16, 32, 64] {
         let bih = codec_cost(Scheme::Bih, k, &lib, 400, 1);
         let bi = codec_cost(Scheme::BusInvert(1), k, &lib, 400, 1);
         let ham = codec_cost(Scheme::Hamming, k + 1, &lib, 400, 1);
         let serial = bi.encoder_delay + ham.encoder_delay;
         let saving = 1.0 - bih.encoder_delay / serial;
-        println!(
+        report.line(format!(
             "{k:>4} {:>12.0} {:>12.0} {:>12.0} {:>8.1}%",
             serial * 1e12,
             bih.encoder_delay * 1e12,
             (serial - bih.encoder_delay) * 1e12,
             100.0 * saving
-        );
+        ));
     }
-    println!("\n# paper's gate-level estimate: 21-33% encoder-delay reduction.");
+    report.blank();
+    report.line("# paper's gate-level estimate: 21-33% encoder-delay reduction.");
+    report.emit_with_env_arg();
 }

@@ -10,6 +10,8 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin fig1`.
 
+use socbus_bench::fmt::Report;
+
 fn main() {
     // Anchored at the 0.13-µm calibration of socbus-model.
     let anchor_nm = 130.0;
@@ -18,18 +20,22 @@ fn main() {
     let c_per_m = 0.11e-9; // total F/m (bulk + coupling share), constant
     let wire_len = 10e-3;
 
-    println!("Fig. 1 trend: gate vs 10-mm global wire delay across nodes\n");
-    println!(
+    let mut report = Report::new();
+    report.line("Fig. 1 trend: gate vs 10-mm global wire delay across nodes");
+    report.blank();
+    report.line(format!(
         "{:>10} {:>14} {:>16}",
         "node (nm)", "gate FO4 (ps)", "wire delay (ns)"
-    );
+    ));
     for &node in &[250.0, 180.0, 130.0, 90.0, 65.0, 45.0f64] {
         let gate = fo4_anchor_ps * node / anchor_nm;
         let r = r_anchor * (anchor_nm / node).powi(2);
         let wire = 0.38 * r * wire_len * c_per_m * wire_len;
-        println!("{node:>10.0} {gate:>14.1} {:>16.2}", wire * 1e9);
+        report.line(format!("{node:>10.0} {gate:>14.1} {:>16.2}", wire * 1e9));
     }
-    println!("\n# gate delay shrinks ~linearly; unrepeated global wire delay");
-    println!("# grows ~quadratically in 1/node — the widening gap that makes");
-    println!("# coding latency affordable (zero/negative-latency ECCs).");
+    report.blank();
+    report.line("# gate delay shrinks ~linearly; unrepeated global wire delay");
+    report.line("# grows ~quadratically in 1/node — the widening gap that makes");
+    report.line("# coding latency affordable (zero/negative-latency ECCs).");
+    report.emit_with_env_arg();
 }

@@ -4,11 +4,12 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig10`.
 
 use socbus_bench::designs::DesignOptions;
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
 use socbus_codes::Scheme;
 
 fn main() {
+    let mut report = Report::new();
     let opts = DesignOptions::default();
     let schemes = [
         Scheme::HammingX,
@@ -27,7 +28,7 @@ fn main() {
         &opts,
         None,
     );
-    print_series(
+    report.series(
         "Fig. 10(a): energy savings over Hamming, 4-bit bus, L = 10 mm",
         "lambda",
         &a,
@@ -41,9 +42,11 @@ fn main() {
         Metric::EnergySavings,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 10(b): energy savings over Hamming, 4-bit bus, lambda = 2.8",
         "L (mm)",
         &b,
     );
+
+    report.emit_with_env_arg();
 }

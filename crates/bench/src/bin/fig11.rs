@@ -5,11 +5,12 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig11`.
 
 use socbus_bench::designs::DesignOptions;
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{sweep_width, Metric};
 use socbus_codes::Scheme;
 
 fn main() {
+    let mut report = Report::new();
     let opts = DesignOptions::default();
     let schemes = [Scheme::HammingX, Scheme::Bsc, Scheme::Dap, Scheme::Dapx];
     let widths = [4usize, 8, 16, 32, 64];
@@ -23,7 +24,7 @@ fn main() {
         Metric::Speedup,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 11(a): speed-up over Hamming vs bus width (L = 10 mm, lambda = 2.8)",
         "k (bits)",
         &a,
@@ -38,9 +39,11 @@ fn main() {
         Metric::EnergySavings,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 11(b): energy savings over Hamming vs bus width",
         "k (bits)",
         &b,
     );
+
+    report.emit_with_env_arg();
 }

@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig12`.
 
 use socbus_bench::designs::{design_point, DesignOptions};
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{lambda_grid, optimal_repeater_size};
 use socbus_codes::Scheme;
 use socbus_model::{energy_savings, speedup, BusGeometry, Environment, RepeaterConfig};
@@ -23,7 +23,11 @@ fn main() {
 
     let reference = design_point(Scheme::Hamming, 4, &lib, &opts);
     let rep_size = optimal_repeater_size(10.0, 2.8, 2.0);
-    println!("# repeaters every 2 mm at {rep_size:.0}x minimum size\n");
+    let mut report = Report::new();
+    report.line(format!(
+        "# repeaters every 2 mm at {rep_size:.0}x minimum size"
+    ));
+    report.blank();
 
     let mut speed = Vec::new();
     let mut energy = Vec::new();
@@ -46,12 +50,12 @@ fn main() {
         speed.push((format!("{}+rep", s.name()), sp));
         energy.push((format!("{}+rep", s.name()), en));
     }
-    print_series(
+    report.series(
         "Fig. 12(a): speed-up of repeater-inserted coded buses over repeater-less Hamming (4-bit, 10 mm)",
         "lambda",
         &speed,
     );
-    print_series(
+    report.series(
         "Fig. 12(b): energy savings of repeater-inserted coded buses over repeater-less Hamming",
         "lambda",
         &energy,
@@ -63,19 +67,20 @@ fn main() {
         .with_repeaters(RepeaterConfig::new(2.0, rep_size));
     let ham_rep = design_point(Scheme::Hamming, 4, &lib, &opts);
     let dapx = design_point(Scheme::Dapx, 4, &lib, &opts);
-    println!("# headline (lambda = 2.8):");
-    println!(
+    report.line("# headline (lambda = 2.8):");
+    report.line(format!(
         "#  repeaters alone:  {:.2}x speed-up, {:+.0}% energy",
         reference.total_delay(&env_plain) / ham_rep.total_delay(&env_rep),
         -100.0 * (1.0 - ham_rep.total_energy(&env_rep) / reference.total_energy(&env_plain)),
-    );
-    println!(
+    ));
+    report.line(format!(
         "#  DAPX coding alone: {:.2}x speed-up, {:+.0}% energy",
         speedup(&reference, &dapx, &env_plain),
         -100.0 * energy_savings(&reference, &dapx, &env_plain),
-    );
-    println!(
+    ));
+    report.line(format!(
         "#  DAPX + repeaters: {:.2}x speed-up",
         reference.total_delay(&env_plain) / dapx.total_delay(&env_rep),
-    );
+    ));
+    report.emit_with_env_arg();
 }

@@ -5,11 +5,12 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig14`.
 
 use socbus_bench::designs::DesignOptions;
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
 use socbus_codes::Scheme;
 
 fn main() {
+    let mut report = Report::new();
     let opts = DesignOptions {
         scale_to: Some(1e-20),
         ..DesignOptions::default()
@@ -33,7 +34,7 @@ fn main() {
         &opts,
         None,
     );
-    print_series(
+    report.series(
         "Fig. 14(a): energy savings over uncoded 32-bit bus, L = 10 mm",
         "lambda",
         &a,
@@ -47,9 +48,11 @@ fn main() {
         Metric::EnergySavings,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 14(b): energy savings over uncoded 32-bit bus, lambda = 2.8",
         "L (mm)",
         &b,
     );
+
+    report.emit_with_env_arg();
 }

@@ -5,11 +5,12 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig15`.
 
 use socbus_bench::designs::DesignOptions;
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{sweep_width, Metric};
 use socbus_codes::Scheme;
 
 fn main() {
+    let mut report = Report::new();
     let opts = DesignOptions {
         scale_to: Some(1e-20),
         ..DesignOptions::default()
@@ -31,7 +32,7 @@ fn main() {
         Metric::Speedup,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 15(a): speed-up over uncoded bus vs width (scaled ECC designs)",
         "k (bits)",
         &a,
@@ -46,9 +47,11 @@ fn main() {
         Metric::EnergySavings,
         &opts,
     );
-    print_series(
+    report.series(
         "Fig. 15(b): energy savings over uncoded bus vs width",
         "k (bits)",
         &b,
     );
+
+    report.emit_with_env_arg();
 }

@@ -9,19 +9,26 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin fig8`.
 
+use socbus_bench::fmt::Report;
 use socbus_model::Technology;
 use socbus_rcsim::experiments::{driver_size_sweep, optimal_driver_size};
 
 fn main() {
     let tech = Technology::cmos_130nm();
     let sizes: Vec<f64> = (1..=15).map(|i| i as f64 * 10.0).collect();
-    println!("Fig. 8: worst-case delay of a 10-mm 3-bit bus vs driver size");
-    println!("(victim switching against both neighbors, lambda = 2.8)\n");
-    println!("{:>8} {:>12}", "size(x)", "delay(ps)");
+    let mut report = Report::new();
+    report.line("Fig. 8: worst-case delay of a 10-mm 3-bit bus vs driver size");
+    report.line("(victim switching against both neighbors, lambda = 2.8)");
+    report.blank();
+    report.line(format!("{:>8} {:>12}", "size(x)", "delay(ps)"));
     let sweep = driver_size_sweep(&tech, 10.0, 2.8, &sizes);
     for &(s, d) in &sweep {
-        println!("{s:>8.0} {:>12.1}", d * 1e12);
+        report.line(format!("{s:>8.0} {:>12.1}", d * 1e12));
     }
     let best = optimal_driver_size(&sweep);
-    println!("\noptimum driver size: {best:.0}x minimum (paper: 50x)");
+    report.blank();
+    report.line(format!(
+        "optimum driver size: {best:.0}x minimum (paper: 50x)"
+    ));
+    report.emit_with_env_arg();
 }

@@ -5,11 +5,12 @@
 //! Run with `cargo run --release -p socbus-bench --bin fig9`.
 
 use socbus_bench::designs::DesignOptions;
-use socbus_bench::fmt::print_series;
+use socbus_bench::fmt::Report;
 use socbus_bench::sweeps::{sweep_lambda, sweep_length, Metric};
 use socbus_codes::Scheme;
 
 fn main() {
+    let mut report = Report::new();
     let opts = DesignOptions::default();
     let schemes = [Scheme::HammingX, Scheme::Bsc, Scheme::Dap, Scheme::Dapx];
 
@@ -22,16 +23,18 @@ fn main() {
         &opts,
         None,
     );
-    print_series(
+    report.series(
         "Fig. 9(a): speed-up over Hamming, 4-bit bus, L = 10 mm",
         "lambda",
         &a,
     );
 
     let b = sweep_length(&schemes, Scheme::Hamming, 4, 2.8, Metric::Speedup, &opts);
-    print_series(
+    report.series(
         "Fig. 9(b): speed-up over Hamming, 4-bit bus, lambda = 2.8",
         "L (mm)",
         &b,
     );
+
+    report.emit_with_env_arg();
 }

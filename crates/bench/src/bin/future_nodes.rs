@@ -13,6 +13,7 @@
 //! Run with `cargo run --release -p socbus-bench --bin future_nodes`.
 
 use socbus_bench::designs::{design_point, DesignOptions};
+use socbus_bench::fmt::Report;
 use socbus_codes::Scheme;
 use socbus_model::{energy_savings, speedup, BusGeometry, Environment, Technology};
 use socbus_netlist::cell::CellLibrary;
@@ -34,13 +35,15 @@ fn main() {
     ];
     let nodes = [180.0, 130.0, 90.0, 65.0];
 
-    println!("Future-node study: 32-bit reliable 10-mm bus vs Hamming, lambda = 2.8\n");
-    println!("speed-up over Hamming:");
-    print!("{:<10}", "scheme");
+    let mut report = Report::new();
+    report.line("Future-node study: 32-bit reliable 10-mm bus vs Hamming, lambda = 2.8");
+    report.blank();
+    report.line("speed-up over Hamming:");
+    let mut header = format!("{:<10}", "scheme");
     for &n in &nodes {
-        print!(" {:>9}", format!("{n:.0}nm"));
+        header.push_str(&format!(" {:>9}", format!("{n:.0}nm")));
     }
-    println!();
+    report.line(&header);
     let tables: Vec<(Scheme, Vec<(f64, f64)>)> = schemes
         .iter()
         .map(|&s| {
@@ -65,28 +68,27 @@ fn main() {
         })
         .collect();
     for (s, per_node) in &tables {
-        print!("{:<10}", s.name());
+        let mut row = format!("{:<10}", s.name());
         for (sp, _) in per_node {
-            print!(" {sp:>8.3}x");
+            row.push_str(&format!(" {sp:>8.3}x"));
         }
-        println!();
+        report.line(&row);
     }
-    println!("\nenergy savings over Hamming:");
-    print!("{:<10}", "scheme");
-    for &n in &nodes {
-        print!(" {:>9}", format!("{n:.0}nm"));
-    }
-    println!();
+    report.blank();
+    report.line("energy savings over Hamming:");
+    report.line(&header);
     for (s, per_node) in &tables {
-        print!("{:<10}", s.name());
+        let mut row = format!("{:<10}", s.name());
         for (_, e) in per_node {
-            print!(" {:>8.1}%", 100.0 * e);
+            row.push_str(&format!(" {:>8.1}%", 100.0 * e));
         }
-        println!();
+        report.line(&row);
     }
-    println!(
-        "\n# Codec-heavy codes (BIH, DAPBI, FTC+HC) gain with every node as the\n\
+    report.blank();
+    report.line(
+        "# Codec-heavy codes (BIH, DAPBI, FTC+HC) gain with every node as the\n\
          # codec latency/energy shrinks against the fixed 10-mm wire — the\n\
-         # paper's closing prediction."
+         # paper's closing prediction.",
     );
+    report.emit_with_env_arg();
 }

@@ -4,46 +4,53 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin pdap_validation`.
 
+use socbus_bench::fmt::Report;
 use socbus_channel::montecarlo::word_error_rate;
 use socbus_codes::Scheme;
 use socbus_model::noise;
 
 fn main() {
-    println!("Appendix II validation: DAP residual word-error probability\n");
-    println!(
+    let mut report = Report::new();
+    report.line("Appendix II validation: DAP residual word-error probability");
+    report.blank();
+    report.line(format!(
         "{:>4} {:>9} {:>13} {:>13} {:>13} {:>9}",
         "k", "eps", "MC", "exact(14)", "approx(9)", "MC/exact"
-    );
+    ));
     for &k in &[4usize, 8, 16, 32] {
         for &eps in &[3e-3, 1e-2] {
             let trials = 600_000;
             let mc = word_error_rate(Scheme::Dap, k, eps, trials, 0xDA9 + k as u64);
             let exact = noise::word_error_dap_exact(k, eps);
             let approx = noise::word_error_dap(k, eps);
-            println!(
+            report.line(format!(
                 "{k:>4} {eps:>9.0e} {:>13.4e} {exact:>13.4e} {approx:>13.4e} {:>9.3}",
                 mc.rate,
                 mc.rate / exact
-            );
+            ));
         }
     }
 
-    println!("\nHamming residual word-error (eq. (8)) for comparison:\n");
-    println!(
+    report.blank();
+    report.line("Hamming residual word-error (eq. (8)) for comparison:");
+    report.blank();
+    report.line(format!(
         "{:>4} {:>9} {:>13} {:>13} {:>9}",
         "k", "eps", "MC", "approx(8)", "MC/apx"
-    );
+    ));
     for &k in &[8usize, 32] {
         let m = socbus_codes::ecc::hamming_parity_bits(k);
         for &eps in &[3e-3, 1e-2] {
             let mc = word_error_rate(Scheme::Hamming, k, eps, 600_000, 0x4A + k as u64);
             let approx = noise::word_error_hamming(k, m, eps);
-            println!(
+            report.line(format!(
                 "{k:>4} {eps:>9.0e} {:>13.4e} {approx:>13.4e} {:>9.3}",
                 mc.rate,
                 mc.rate / approx
-            );
+            ));
         }
     }
-    println!("\n# MC/analytic near 1.0 confirms eqs. (8), (9), (14).");
+    report.blank();
+    report.line("# MC/analytic near 1.0 confirms eqs. (8), (9), (14).");
+    report.emit_with_env_arg();
 }

@@ -12,15 +12,19 @@
 //! byte-identical JSON to `results/BENCH_reliability.json` (or the path
 //! given as the first argument).
 //!
-//! Run with `cargo run --release -p socbus-bench --bin reliability`.
+//! Run with `cargo run --release -p socbus-bench --bin reliability`
+//! (add `--trace-out <path>` for a telemetry event log plus Perfetto
+//! trace of the sweep).
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::rc::Rc;
 
 use socbus_channel::{BridgeMode, FaultSpec};
 use socbus_codes::Scheme;
-use socbus_noc::link::{simulate_link, LinkConfig};
+use socbus_noc::link::{simulate_link_with, LinkConfig};
 use socbus_noc::traffic::UniformTraffic;
+use socbus_telemetry::{Recorder, Telemetry};
 
 const DATA_BITS: usize = 16;
 const WORDS: usize = 20_000;
@@ -84,9 +88,30 @@ fn num(x: f64) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_reliability.json".to_owned());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_reliability.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("reliability: --trace-out needs a path");
+                    std::process::exit(2);
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("reliability: unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    let recorder = trace_out.as_ref().map(|_| Rc::new(Recorder::new()));
+    let tel = recorder
+        .as_ref()
+        .map_or_else(Telemetry::off, Telemetry::from_recorder);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -102,10 +127,11 @@ fn main() {
     for &scheme in &schemes {
         for (fault_name, spec) in &faults {
             let cfg = LinkConfig::new(scheme, DATA_BITS, 0.0).with_fault(spec.clone());
-            let r = simulate_link(
+            let r = simulate_link_with(
                 &cfg,
                 UniformTraffic::new(DATA_BITS, SEED ^ 0xA5).take(WORDS),
                 SEED,
+                tel.clone(),
             );
             if !first {
                 json.push_str(",\n");
@@ -146,6 +172,21 @@ fn main() {
         }
     }
     std::fs::write(&out_path, &json).expect("write sweep output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "reliability: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
     eprintln!(
         "wrote {} runs ({} schemes x {} fault models) to {out_path}",
         schemes.len() * faults.len(),

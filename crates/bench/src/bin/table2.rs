@@ -8,7 +8,7 @@
 //! Run with `cargo run --release -p socbus-bench --bin table2`.
 
 use socbus_bench::designs::{design_point, DesignOptions};
-use socbus_bench::fmt;
+use socbus_bench::fmt::Report;
 use socbus_codes::Scheme;
 use socbus_model::{BusGeometry, Environment};
 use socbus_netlist::cell::CellLibrary;
@@ -18,25 +18,32 @@ fn main() {
     let opts = DesignOptions::default();
     let env = Environment::new(BusGeometry::new(10.0, 2.8));
 
-    println!("Table II: code comparison for a reliable 4-bit bus");
-    println!("(L = 10 mm, lambda = 2.8, 0.13-um library, nominal 1.2 V)\n");
-    fmt::print_design_header();
+    let mut report = Report::new();
+    report.line("Table II: code comparison for a reliable 4-bit bus");
+    report.line("(L = 10 mm, lambda = 2.8, 0.13-um library, nominal 1.2 V)");
+    report.blank();
+    report.design_header();
 
     let reference = design_point(Scheme::Hamming, 4, &lib, &opts);
     for scheme in Scheme::table2() {
         let d = design_point(scheme, 4, &lib, &opts);
-        fmt::print_design_row(&d, &env, Some(&reference));
+        report.design_row(&d, &env, Some(&reference));
     }
 
-    println!("\nDerived metrics vs Hamming (same environment):");
-    println!("{:<10} {:>9} {:>14}", "Scheme", "Speed-up", "EnergySavings");
+    report.blank();
+    report.line("Derived metrics vs Hamming (same environment):");
+    report.line(format!(
+        "{:<10} {:>9} {:>14}",
+        "Scheme", "Speed-up", "EnergySavings"
+    ));
     for scheme in Scheme::table2() {
         let d = design_point(scheme, 4, &lib, &opts);
-        println!(
+        report.line(format!(
             "{:<10} {:>8.2}x {:>13.1}%",
             d.name,
             socbus_model::speedup(&reference, &d, &env),
             100.0 * socbus_model::energy_savings(&reference, &d, &env),
-        );
+        ));
     }
+    report.emit_with_env_arg();
 }

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p socbus-bench --bin table3`.
 
 use socbus_bench::designs::{design_point, DesignOptions};
-use socbus_bench::fmt;
+use socbus_bench::fmt::Report;
 use socbus_codes::Scheme;
 use socbus_model::{BusGeometry, Environment};
 use socbus_netlist::cell::CellLibrary;
@@ -22,25 +22,32 @@ fn main() {
     };
     let env = Environment::new(BusGeometry::new(10.0, 2.8));
 
-    println!("Table III: code comparison for a 32-bit bus (P_target = 1e-20)");
-    println!("(L = 10 mm, lambda = 2.8, low-swing ECC designs)\n");
-    fmt::print_design_header();
+    let mut report = Report::new();
+    report.line("Table III: code comparison for a 32-bit bus (P_target = 1e-20)");
+    report.line("(L = 10 mm, lambda = 2.8, low-swing ECC designs)");
+    report.blank();
+    report.design_header();
 
     let reference = design_point(Scheme::Uncoded, 32, &lib, &opts);
     for scheme in Scheme::table3() {
         let d = design_point(scheme, 32, &lib, &opts);
-        fmt::print_design_row(&d, &env, Some(&reference));
+        report.design_row(&d, &env, Some(&reference));
     }
 
-    println!("\nDerived metrics vs the uncoded bus (same environment):");
-    println!("{:<10} {:>9} {:>14}", "Scheme", "Speed-up", "EnergySavings");
+    report.blank();
+    report.line("Derived metrics vs the uncoded bus (same environment):");
+    report.line(format!(
+        "{:<10} {:>9} {:>14}",
+        "Scheme", "Speed-up", "EnergySavings"
+    ));
     for scheme in Scheme::table3() {
         let d = design_point(scheme, 32, &lib, &opts);
-        println!(
+        report.line(format!(
             "{:<10} {:>8.2}x {:>13.1}%",
             d.name,
             socbus_model::speedup(&reference, &d, &env),
             100.0 * socbus_model::energy_savings(&reference, &d, &env),
-        );
+        ));
     }
+    report.emit_with_env_arg();
 }

@@ -8,13 +8,18 @@
 //! `results/repro/` and the process exits nonzero.
 //!
 //! Run with `cargo run --release --bin soak` (add `--smoke` for the CI
-//! short campaign).
+//! short campaign, `--trace-out <path>` for a telemetry event log plus a
+//! Perfetto trace of the campaign).
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::rc::Rc;
 
-use socbus_chaos::{build_case, run_case, write_repro, CaseOutcome, InvariantKind, ScheduleFamily};
+use socbus_chaos::{
+    build_case, run_case_with, write_repro, CaseOutcome, InvariantKind, ScheduleFamily,
+};
 use socbus_codes::Scheme;
+use socbus_telemetry::{Recorder, Telemetry};
 
 /// Words per case in the default campaign.
 pub const FULL_WORDS: u64 = 2_000;
@@ -52,12 +57,20 @@ fn campaign(words: u64) -> Vec<(Scheme, ScheduleFamily, u64)> {
 /// Runs the whole campaign, returning per-cell outcomes in grid order.
 #[must_use]
 pub fn run_campaign(words: u64) -> Vec<(String, CaseOutcome)> {
+    run_campaign_with(words, Telemetry::off())
+}
+
+/// [`run_campaign`] with a telemetry handle shared by every cell —
+/// counters accumulate across the whole grid and spans/events land in
+/// one ring, so a single export covers the full campaign.
+#[must_use]
+pub fn run_campaign_with(words: u64, tel: Telemetry) -> Vec<(String, CaseOutcome)> {
     campaign(words)
         .into_iter()
         .map(|(scheme, family, seed)| {
             let cfg = build_case(scheme, family, seed, words, HOPS);
             let name = cfg.name.clone();
-            (name, run_case(&cfg))
+            (name, run_case_with(&cfg, tel.clone()))
         })
         .collect()
 }
@@ -132,18 +145,38 @@ pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
     json
 }
 
-/// The `soak` binary's entry point. Args: `[--smoke] [out_path]`.
+/// The `soak` binary's entry point.
+/// Args: `[--smoke] [--trace-out <path>] [out_path]`.
 /// Returns the process exit code (nonzero iff any invariant violated).
 #[must_use]
 pub fn main_with_args(args: &[String]) -> i32 {
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "results/BENCH_soak.json".to_owned());
+    let mut smoke = false;
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_soak.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("soak: --trace-out needs a path");
+                    return 2;
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("soak: unknown flag {other}");
+                return 2;
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
     let words = if smoke { SMOKE_WORDS } else { FULL_WORDS };
-    let outcomes = run_campaign(words);
+    let recorder = trace_out.as_ref().map(|_| Rc::new(Recorder::new()));
+    let tel = recorder
+        .as_ref()
+        .map_or_else(Telemetry::off, Telemetry::from_recorder);
+    let outcomes = run_campaign_with(words, tel);
     for (name, out) in &outcomes {
         eprintln!(
             "{name:<26} latency {:>3}/{:<3}  e2e {:>4}  violations {}",
@@ -160,6 +193,21 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
     }
     std::fs::write(&out_path, &json).expect("write soak output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "soak: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
     let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
     eprintln!(
         "soak: {} cases x {words} words -> {out_path} ({violations} violation(s))",
@@ -168,13 +216,28 @@ pub fn main_with_args(args: &[String]) -> i32 {
     if violations == 0 {
         return 0;
     }
-    // Shrink the first violating cell to a reproducer for the artifact.
+    // Shrink the first violating cell to a reproducer for the artifact,
+    // then replay the shrunken case under telemetry so a Perfetto trace
+    // of the minimal failure lands next to it.
     for ((scheme, family, seed), (name, out)) in campaign(words).into_iter().zip(&outcomes) {
         if let Some(v) = out.violations.first() {
             eprintln!("soak: {name} violated: {}", v.detail);
             let cfg = build_case(scheme, family, seed, words, HOPS);
             match write_repro(&cfg, v, Path::new("results/repro")) {
-                Ok(file) => eprintln!("soak: reproducer written to {}", file.display()),
+                Ok(file) => {
+                    eprintln!("soak: reproducer written to {}", file.display());
+                    let rec = Rc::new(Recorder::new());
+                    let replayed = std::fs::read_to_string(&file).ok().and_then(|text| {
+                        socbus_chaos::cli::replay_text_with(&text, Telemetry::from_recorder(&rec))
+                            .ok()
+                    });
+                    if replayed.is_some() {
+                        let trace = format!("{}.trace.json", file.display());
+                        std::fs::write(&trace, rec.export_chrome_trace())
+                            .expect("write repro trace");
+                        eprintln!("soak: trace written to {trace}");
+                    }
+                }
                 Err(e) => eprintln!("soak: shrink failed: {e}"),
             }
             break;

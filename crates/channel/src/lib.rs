@@ -36,5 +36,5 @@ pub use fault::{
     rescale_eps, BridgeFault, BridgeMode, DroopFault, FaultInjector, FaultModel, FaultSpec,
     GilbertElliott, IidFault, StuckAtFault,
 };
-pub use montecarlo::{word_error_rate, WordErrorEstimate};
+pub use montecarlo::{word_error_rate, word_error_rate_traced, WordErrorEstimate};
 pub use scaling::{scale_voltage, ResidualModel, ScaledDesign};

@@ -11,6 +11,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use socbus_codes::Scheme;
 use socbus_model::Word;
+use socbus_telemetry::Telemetry;
+
+/// Trials between `mc.progress` telemetry events in
+/// [`word_error_rate_traced`]; small runs emit a single final event.
+pub const MC_PROGRESS_CHUNK: u64 = 10_000;
 
 /// Result of a word-error Monte-Carlo run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -25,13 +30,25 @@ pub struct WordErrorEstimate {
 
 impl WordErrorEstimate {
     /// Approximate 95% confidence half-width (normal approximation).
+    ///
+    /// Degenerate shapes stay finite-friendly: zero trials yields
+    /// `INFINITY` (no information), and an all-failures or zero-failures
+    /// run yields `0.0` (the normal approximation collapses; the true
+    /// interval is one-sided). The result is never NaN.
     #[must_use]
     pub fn confidence95(&self) -> f64 {
         if self.trials == 0 {
             return f64::INFINITY;
         }
         let p = self.rate;
-        1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
+        if !p.is_finite() {
+            return f64::INFINITY;
+        }
+        let var = p * (1.0 - p) / self.trials as f64;
+        if var <= 0.0 {
+            return 0.0;
+        }
+        1.96 * var.sqrt()
     }
 }
 
@@ -48,21 +65,69 @@ pub fn word_error_rate(
     trials: u64,
     seed: u64,
 ) -> WordErrorEstimate {
+    word_error_rate_traced(scheme, k, eps, trials, seed, &Telemetry::off())
+}
+
+/// [`word_error_rate`] with batch-progress telemetry: every
+/// [`MC_PROGRESS_CHUNK`] trials (and once at the end) it emits an
+/// `mc.progress` event plus `mc.trials`/`mc.failures` counters and an
+/// `mc.rate` gauge, all labeled with the scheme name. With a disabled
+/// handle the loop body is the uninstrumented one.
+#[must_use]
+pub fn word_error_rate_traced(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    seed: u64,
+    tel: &Telemetry,
+) -> WordErrorEstimate {
     let mut enc = scheme.build(k);
     let mut dec = scheme.build(k);
     let mut ch = BitFlipChannel::new(eps, seed ^ 0x5EED);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut failures = 0u64;
-    for _ in 0..trials {
+    let mut chunk_failures = 0u64;
+    let scheme_name = if tel.is_enabled() {
+        scheme.name()
+    } else {
+        String::new()
+    };
+    for t in 0..trials {
         let d = Word::from_bits(rng.gen::<u128>(), k);
         let sent = enc.encode(d);
         let received = ch.transmit(sent);
         if dec.decode(received) != d {
             failures += 1;
+            chunk_failures += 1;
+        }
+        if tel.is_enabled() {
+            let done = t + 1;
+            if done % MC_PROGRESS_CHUNK == 0 || done == trials {
+                let labels = [("scheme", scheme_name.as_str())];
+                tel.event("mc.progress", &labels, done);
+                tel.counter(
+                    "mc.trials",
+                    &labels,
+                    if done % MC_PROGRESS_CHUNK == 0 {
+                        MC_PROGRESS_CHUNK
+                    } else {
+                        done % MC_PROGRESS_CHUNK
+                    },
+                );
+                tel.counter("mc.failures", &labels, chunk_failures);
+                chunk_failures = 0;
+                tel.gauge("mc.rate", &labels, failures as f64 / done as f64);
+            }
         }
     }
     WordErrorEstimate {
-        rate: failures as f64 / trials as f64,
+        // Guard the 0/0 shape explicitly: an empty run has rate 0, not NaN.
+        rate: if trials == 0 {
+            0.0
+        } else {
+            failures as f64 / trials as f64
+        },
         trials,
         failures,
     }
@@ -141,6 +206,64 @@ mod tests {
             dap.rate,
             unc.rate
         );
+    }
+
+    /// Edge cases (ISSUE satellite): zero trials, zero errors, all
+    /// errors — every field stays well-defined, never NaN.
+    #[test]
+    fn confidence95_edge_cases_stay_finite() {
+        // Zero trials: rate 0 (not 0/0 = NaN), infinite half-width.
+        let empty = word_error_rate(Scheme::Uncoded, 8, 0.5, 0, 1);
+        assert_eq!(empty.rate, 0.0, "zero-trial rate must not be NaN");
+        assert!(empty.rate.is_finite());
+        assert_eq!(empty.confidence95(), f64::INFINITY);
+        // Zero errors: p=0 collapses the normal interval to zero width.
+        let clean = word_error_rate(Scheme::Uncoded, 8, 0.0, 1000, 1);
+        assert_eq!(clean.failures, 0);
+        assert_eq!(clean.rate, 0.0);
+        assert_eq!(clean.confidence95(), 0.0);
+        // All errors: eps=1 flips every wire, every word fails.
+        let dirty = word_error_rate(Scheme::Uncoded, 8, 1.0, 1000, 1);
+        assert_eq!(dirty.failures, 1000);
+        assert_eq!(dirty.rate, 1.0);
+        assert_eq!(dirty.confidence95(), 0.0);
+        // A hand-built NaN rate is caught by the guard too.
+        let nan = WordErrorEstimate {
+            rate: f64::NAN,
+            trials: 10,
+            failures: 0,
+        };
+        assert!(!nan.confidence95().is_nan());
+    }
+
+    /// The traced variant is estimate-identical to the plain one and
+    /// reports chunked trial counters that sum to the total.
+    #[test]
+    fn traced_runs_match_plain_and_report_progress() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let (k, eps, seed) = (8, 5e-3, 41);
+        let trials = 2 * MC_PROGRESS_CHUNK + 123;
+        let plain = word_error_rate(Scheme::Dap, k, eps, trials, seed);
+        let recorder = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&recorder);
+        let traced = word_error_rate_traced(Scheme::Dap, k, eps, trials, seed, &tel);
+        assert_eq!(plain, traced, "telemetry must not disturb the estimate");
+        let labels = [("scheme", "DAP")];
+        assert_eq!(recorder.counter_value("mc.trials", &labels), trials);
+        assert_eq!(
+            recorder.counter_value("mc.failures", &labels),
+            traced.failures,
+            "failure counter sums chunk deltas"
+        );
+        assert_eq!(
+            recorder.gauge_value("mc.rate", &labels),
+            Some(traced.rate),
+            "final gauge is the final rate"
+        );
+        // 2 full chunks + the final partial chunk = 3 progress events.
+        let stats = recorder.ring_stats();
+        assert_eq!(stats.recorded, 3);
     }
 
     #[test]

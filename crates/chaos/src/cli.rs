@@ -14,13 +14,15 @@
 //! without spawning processes.
 
 use std::path::Path;
+use std::rc::Rc;
 
 use socbus_codes::Scheme;
 use socbus_noc::link::{DegradationAction, DegradationPolicy, Protocol};
+use socbus_telemetry::{Recorder, Telemetry};
 
 use crate::monitor::Violation;
 use crate::replay::Repro;
-use crate::runner::{run_case, CaseConfig};
+use crate::runner::{run_case, run_case_with, CaseConfig};
 use crate::schedule::{FaultSchedule, ScheduleFamily, ScheduleParams};
 use crate::shrink::shrink;
 
@@ -137,12 +139,24 @@ pub fn write_repro(
 /// Returns a message on parse failure; `Ok(None)` means the case ran but
 /// the violation did *not* reproduce.
 pub fn replay_text(text: &str) -> Result<Option<Violation>, String> {
+    replay_text_with(text, Telemetry::off())
+}
+
+/// [`replay_text`] with a telemetry handle wired through the replayed
+/// case (the `chaos replay` command uses this to produce a Perfetto
+/// trace of every reproducer).
+///
+/// # Errors
+///
+/// Returns a message on parse failure; `Ok(None)` means the case ran but
+/// the violation did *not* reproduce.
+pub fn replay_text_with(text: &str, tel: Telemetry) -> Result<Option<Violation>, String> {
     let repro = Repro::parse(text)?;
     if repro.serialize() != text {
         return Err("file is not in canonical form (was it hand-edited?)".into());
     }
     let key = (repro.expect.kind, repro.expect.hop);
-    Ok(run_case(&repro.case)
+    Ok(run_case_with(&repro.case, tel)
         .violations
         .into_iter()
         .find(|v| v.key() == key))
@@ -160,7 +174,19 @@ pub fn main_with_args(args: &[String]) -> i32 {
                     return 2;
                 }
             };
-            match replay_text(&text) {
+            let recorder = Rc::new(Recorder::new());
+            let outcome = replay_text_with(&text, Telemetry::from_recorder(&recorder));
+            if outcome.is_ok() {
+                // Every successfully parsed reproducer gets a Perfetto
+                // trace next to it, reproduced or not — the trace of a
+                // non-reproducing run is exactly what shows the fix.
+                let trace_path = format!("{file}.trace.json");
+                match std::fs::write(&trace_path, recorder.export_chrome_trace()) {
+                    Ok(()) => eprintln!("trace written to {trace_path} (load in ui.perfetto.dev)"),
+                    Err(e) => eprintln!("chaos: cannot write {trace_path}: {e}"),
+                }
+            }
+            match outcome {
                 Ok(Some(v)) => {
                     println!(
                         "reproduced: {} at hop {} word {} — {}",

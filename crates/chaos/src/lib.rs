@@ -55,6 +55,6 @@ pub mod shrink;
 pub use cli::{build_case, main_with_args, protocol_for, write_repro};
 pub use monitor::{InvariantKind, InvariantStats, Monitor, Violation};
 pub use replay::{ExpectedViolation, Repro};
-pub use runner::{reproduces, run_case, CaseConfig, CaseOutcome};
+pub use runner::{reproduces, run_case, run_case_with, CaseConfig, CaseOutcome};
 pub use schedule::{FaultSchedule, ScheduleAction, ScheduleEvent, ScheduleFamily, ScheduleParams};
 pub use shrink::{shrink, ShrinkReport};

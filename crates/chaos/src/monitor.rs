@@ -28,6 +28,7 @@
 use socbus_codes::DecodeStatus;
 use socbus_noc::link::{DegradationPolicy, Protocol};
 use socbus_noc::{PathReport, PathStep};
+use socbus_telemetry::Telemetry;
 
 /// The invariant families the monitor checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -121,6 +122,10 @@ pub struct Monitor {
     tallies: Vec<HopTally>,
     violations: Vec<Violation>,
     stats: [InvariantStats; 4],
+    /// `stats[i].checked` already reported as a `monitor.checks`
+    /// counter, so [`Monitor::flush_telemetry`] emits only the delta.
+    checks_flushed: [u64; 4],
+    tel: Telemetry,
     /// Worst per-hop word latency observed (cycles).
     pub worst_word_cycles: u64,
 }
@@ -137,7 +142,35 @@ impl Monitor {
             tallies: vec![HopTally::default(); hops],
             violations: Vec::new(),
             stats: [InvariantStats::default(); 4],
+            checks_flushed: [0; 4],
+            tel: Telemetry::off(),
             worst_word_cycles: 0,
+        }
+    }
+
+    /// Attaches a telemetry handle: check tallies batch locally and
+    /// [`Monitor::flush_telemetry`] reports them as `monitor.checks`
+    /// counters keyed by invariant name; every violation immediately
+    /// emits a `monitor.violations` counter plus a word-domain
+    /// `monitor.violation` event on the control track (the `at_hop` label
+    /// names the hop without claiming a cycle-domain timestamp).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Reports the `monitor.checks` counters accumulated since the last
+    /// flush (safe to call repeatedly; each check is reported once).
+    pub fn flush_telemetry(&mut self) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        for (idx, kind) in InvariantKind::all().iter().enumerate() {
+            let delta = self.stats[idx].checked - self.checks_flushed[idx];
+            if delta > 0 {
+                self.tel
+                    .counter("monitor.checks", &[("invariant", kind.name())], delta);
+                self.checks_flushed[idx] = self.stats[idx].checked;
+            }
         }
     }
 
@@ -178,6 +211,12 @@ impl Monitor {
         self.stats[idx].checked += 1;
         if !ok {
             self.stats[idx].violated += 1;
+            if self.tel.is_enabled() {
+                let hop_label = hop.map_or_else(|| "path".to_owned(), |h| h.to_string());
+                let labels = [("invariant", kind.name()), ("at_hop", hop_label.as_str())];
+                self.tel.counter("monitor.violations", &labels, 1);
+                self.tel.event("monitor.violation", &labels, word);
+            }
             self.violations.push(Violation {
                 kind,
                 hop,

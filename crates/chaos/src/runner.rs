@@ -12,6 +12,7 @@ use socbus_channel::FaultSpec;
 use socbus_noc::link::{DegradationPolicy, LinkConfig, Protocol};
 use socbus_noc::traffic::UniformTraffic;
 use socbus_noc::{PathConfig, PathReport, PathSim};
+use socbus_telemetry::Telemetry;
 
 use crate::monitor::{InvariantKind, InvariantStats, Monitor, Violation};
 use crate::schedule::{FaultSchedule, ScheduleAction};
@@ -79,8 +80,25 @@ pub struct CaseOutcome {
 /// event targets an out-of-range hop.
 #[must_use]
 pub fn run_case(cfg: &CaseConfig) -> CaseOutcome {
-    let mut sim = PathSim::new(&cfg.path_config(), cfg.sim_seed);
+    run_case_with(cfg, Telemetry::off())
+}
+
+/// [`run_case`] with a telemetry handle wired through the whole stack:
+/// each hop's link engine and fault injector report on the hop's track,
+/// the monitor reports verdict counters and violation events, and every
+/// interpreted schedule event lands on the control track (word-domain
+/// `at_hop` labels). `run_case(cfg)` is exactly
+/// `run_case_with(cfg, Telemetry::off())`.
+///
+/// # Panics
+///
+/// Panics if the scheme rejects the width, `hops == 0`, or a schedule
+/// event targets an out-of-range hop.
+#[must_use]
+pub fn run_case_with(cfg: &CaseConfig, tel: Telemetry) -> CaseOutcome {
+    let mut sim = PathSim::new_with_telemetry(&cfg.path_config(), cfg.sim_seed, tel.clone());
     let mut monitor = Monitor::new(cfg.hops, cfg.protocol, cfg.degradation.clone());
+    monitor.set_telemetry(tel.clone());
     // id -> (hop, slot) of the live activation for that handle.
     let mut live: HashMap<u32, (usize, usize)> = HashMap::new();
     let mut next_event = 0usize;
@@ -90,12 +108,9 @@ pub fn run_case(cfg: &CaseConfig) -> CaseOutcome {
         while next_event < cfg.schedule.events.len()
             && cfg.schedule.events[next_event].at_word <= word
         {
-            apply_event(
-                &cfg.schedule.events[next_event].action,
-                cfg.sim_seed,
-                &mut sim,
-                &mut live,
-            );
+            let action = &cfg.schedule.events[next_event].action;
+            apply_event(action, cfg.sim_seed, &mut sim, &mut live);
+            emit_schedule_event(&tel, action, word);
             next_event += 1;
         }
         let step = sim.step(data);
@@ -103,6 +118,7 @@ pub fn run_case(cfg: &CaseConfig) -> CaseOutcome {
     }
     let report = sim.finish();
     monitor.finish(&report);
+    monitor.flush_telemetry();
     let stats = InvariantKind::all().map(|k| (k, monitor.stats(k)));
     CaseOutcome {
         worst_word_cycles: monitor.worst_word_cycles,
@@ -126,6 +142,38 @@ pub fn reproduces(cfg: &CaseConfig, key: (InvariantKind, Option<usize>)) -> bool
 #[must_use]
 pub fn activation_seed(sim_seed: u64, id: u32) -> u64 {
     sim_seed ^ (u64::from(id) + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Reports one interpreted schedule event on the control track. The
+/// timestamp is the word index (word-domain), and hops are named with
+/// the `at_hop` label so these never land on a cycle-domain hop track.
+fn emit_schedule_event(tel: &Telemetry, action: &ScheduleAction, word: u64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    match action {
+        ScheduleAction::Activate { hop, spec, .. } => {
+            let hop_label = hop.to_string();
+            let labels = [
+                ("at_hop", hop_label.as_str()),
+                ("fault_family", spec.family()),
+            ];
+            tel.event("schedule.activate", &labels, word);
+            tel.counter("schedule.activations", &labels, 1);
+        }
+        ScheduleAction::Deactivate { id } => {
+            let id_label = id.to_string();
+            tel.event("schedule.deactivate", &[("id", id_label.as_str())], word);
+        }
+        ScheduleAction::ForceDegrade { hop } => {
+            let hop_label = hop.to_string();
+            tel.event(
+                "schedule.force_degrade",
+                &[("at_hop", hop_label.as_str())],
+                word,
+            );
+        }
+    }
 }
 
 fn apply_event(
@@ -295,6 +343,38 @@ mod tests {
             hop1.residual_errors
         );
         assert_eq!(out.report.per_hop[0].residual_errors, 0);
+    }
+
+    /// Telemetry pass-through: `run_case_with` an enabled recorder must
+    /// produce the identical outcome as `run_case`, while the recorder
+    /// picks up monitor verdicts and schedule events.
+    #[test]
+    fn traced_case_matches_plain_and_records() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let params = ScheduleParams {
+            words: 1_000,
+            hops: 3,
+            wires: Scheme::Dap.build(16).wires(),
+        };
+        let schedule = FaultSchedule::random(ScheduleFamily::MixedMayhem, &params, 9);
+        let cfg = base_case(Scheme::Dap, schedule);
+        let plain = run_case(&cfg);
+        let recorder = Rc::new(Recorder::new());
+        let traced = run_case_with(&cfg, Telemetry::from_recorder(&recorder));
+        assert_eq!(plain.report, traced.report, "telemetry must not perturb");
+        assert_eq!(plain.violations, traced.violations);
+        let checks: u64 = InvariantKind::all()
+            .iter()
+            .map(|k| recorder.counter_value("monitor.checks", &[("invariant", k.name())]))
+            .sum();
+        let expect: u64 = traced.stats.iter().map(|(_, s)| s.checked).sum();
+        assert_eq!(checks, expect, "every verdict is counted");
+        assert_eq!(
+            recorder.counter_value("link.words", &[("scheme", "DAP"), ("hop", "0")]),
+            cfg.words,
+            "hop 0 engine reports on its own track"
+        );
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod path;
 pub mod traffic;
 
 pub use link::{
-    simulate_link, DegradationAction, DegradationPolicy, FaultLedger, LinkConfig, LinkEngine,
-    LinkReport, LinkTransition, Protocol, WordTrace,
+    simulate_link, simulate_link_with, DegradationAction, DegradationPolicy, FaultLedger,
+    LinkConfig, LinkEngine, LinkReport, LinkTransition, Protocol, WordTrace,
 };
 pub use path::{simulate_path, HopStep, PathConfig, PathReport, PathSim, PathStep};
 pub use traffic::{words_from_bytes, CorrelatedTraffic, RampTraffic, UniformTraffic};

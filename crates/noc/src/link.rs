@@ -30,6 +30,7 @@
 use socbus_channel::{FaultInjector, FaultSpec};
 use socbus_codes::{BusCode, DecodeStatus, Scheme};
 use socbus_model::{word_transition_energy, EnergyCoeff, Word};
+use socbus_telemetry::Telemetry;
 
 /// Link-level protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -355,6 +356,28 @@ pub struct LinkEngine {
     window_words: u64,
     window_trouble: u64,
     words_done: u64,
+    tel: Telemetry,
+    scheme_label: String,
+    hop_label: String,
+    /// Per-scheme-label metric batches (a scheme switch mid-run starts a
+    /// new batch so counters stay split by the label they occurred
+    /// under). Flushed by [`LinkEngine::flush_telemetry`].
+    tel_batches: Vec<(String, LinkTelemetryBatch)>,
+}
+
+/// Locally accumulated per-word metrics, flushed to the sink once per
+/// run — keeps the per-word telemetry cost to one span call plus local
+/// arithmetic.
+#[derive(Default)]
+struct LinkTelemetryBatch {
+    words: u64,
+    retransmits: u64,
+    corrected: u64,
+    detected: u64,
+    residual: u64,
+    /// Word-latency histogram as (cycles, occurrences) — word latencies
+    /// are small integers, so this stays a handful of entries.
+    cycles_hist: std::collections::BTreeMap<u64, u64>,
 }
 
 impl LinkEngine {
@@ -378,7 +401,69 @@ impl LinkEngine {
             window_words: 0,
             window_trouble: 0,
             words_done: 0,
+            tel: Telemetry::off(),
+            scheme_label: cfg.scheme.name(),
+            hop_label: "0".to_owned(),
+            tel_batches: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry handle, tagging every metric and event from
+    /// this engine with `hop` (the Perfetto track). The handle is also
+    /// forwarded to the fault injector for per-family corruption
+    /// counters. With the handle disabled (the default), instrumented
+    /// paths reduce to a single branch. Spans and events stream to the
+    /// sink per word; counters and the latency histogram batch locally
+    /// until [`LinkEngine::flush_telemetry`].
+    pub fn set_telemetry(&mut self, tel: Telemetry, hop: usize) {
+        self.injector.set_telemetry(tel.clone());
+        self.tel = tel;
+        self.hop_label = hop.to_string();
+    }
+
+    /// Emits the locally batched counters and latency histogram, plus
+    /// the injector's corruption counters, and resets the batches (safe
+    /// to call repeatedly; each delta is reported once).
+    pub fn flush_telemetry(&mut self) {
+        self.injector.flush_telemetry();
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let tel = self.tel.clone();
+        for (scheme, b) in std::mem::take(&mut self.tel_batches) {
+            let labels = [
+                ("scheme", scheme.as_str()),
+                ("hop", self.hop_label.as_str()),
+            ];
+            tel.counter("link.words", &labels, b.words);
+            if b.retransmits > 0 {
+                tel.counter("link.retransmits", &labels, b.retransmits);
+            }
+            if b.corrected > 0 {
+                tel.counter("link.corrected", &labels, b.corrected);
+            }
+            if b.detected > 0 {
+                tel.counter("link.detected", &labels, b.detected);
+            }
+            if b.residual > 0 {
+                tel.counter("link.residual", &labels, b.residual);
+            }
+            for (&cycles, &n) in &b.cycles_hist {
+                #[allow(clippy::cast_precision_loss)]
+                tel.observe_n("link.word_cycles", &labels, cycles as f64, n);
+            }
+        }
+    }
+
+    /// The batch metrics accumulate into: the last one if its scheme
+    /// label is still current, else a fresh one for the new label.
+    fn active_batch(&mut self) -> &mut LinkTelemetryBatch {
+        let stale = !matches!(self.tel_batches.last(), Some((l, _)) if *l == self.scheme_label);
+        if stale {
+            self.tel_batches
+                .push((self.scheme_label.clone(), LinkTelemetryBatch::default()));
+        }
+        &mut self.tel_batches.last_mut().expect("just ensured").1
     }
 
     /// Transfers one word, driving the protocol to completion, and
@@ -423,6 +508,13 @@ impl LinkEngine {
                     report.cycles += penalty;
                     report.retransmits += 1;
                     tries += 1;
+                    if self.tel.is_enabled() {
+                        let labels = [
+                            ("scheme", self.scheme_label.as_str()),
+                            ("hop", self.hop_label.as_str()),
+                        ];
+                        self.tel.event("link.retry", &labels, report.cycles);
+                    }
                     continue;
                 }
             }
@@ -434,6 +526,28 @@ impl LinkEngine {
                 report.ledger.corrected_masked += 1;
             } else {
                 report.ledger.retry_masked += 1;
+            }
+            if self.tel.is_enabled() {
+                let labels = [
+                    ("scheme", self.scheme_label.as_str()),
+                    ("hop", self.hop_label.as_str()),
+                ];
+                self.tel
+                    .span("link.word", &labels, cycles_before, report.cycles);
+                let word_cycles = report.cycles - cycles_before;
+                let residual = decoded != data;
+                let b = self.active_batch();
+                b.words += 1;
+                b.retransmits += u64::from(tries);
+                match status {
+                    DecodeStatus::Corrected => b.corrected += 1,
+                    DecodeStatus::Detected => b.detected += 1,
+                    DecodeStatus::Clean | DecodeStatus::Unchecked => {}
+                }
+                if residual {
+                    b.residual += 1;
+                }
+                *b.cycles_hist.entry(word_cycles).or_insert(0) += 1;
             }
             let trouble =
                 tries > 0 || matches!(status, DecodeStatus::Corrected | DecodeStatus::Detected);
@@ -490,7 +604,28 @@ impl LinkEngine {
             forced: true,
         };
         report.transitions.push(transition);
+        self.emit_degrade(&transition, report.cycles);
         Some(transition)
+    }
+
+    /// Reports one ladder transition on the hop's track (the scheme label
+    /// is the *post-transition* scheme — `apply` has already run).
+    fn emit_degrade(&self, transition: &LinkTransition, at_cycle: u64) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let action = match transition.action {
+            DegradationAction::RaiseSwing { .. } => "raise_swing",
+            DegradationAction::SwitchScheme(_) => "switch_scheme",
+        };
+        let labels = [
+            ("scheme", self.scheme_label.as_str()),
+            ("hop", self.hop_label.as_str()),
+            ("action", action),
+            ("forced", if transition.forced { "true" } else { "false" }),
+        ];
+        self.tel.event("link.degrade", &labels, at_cycle);
+        self.tel.counter("link.degrades", &labels[1..3], 1);
     }
 
     /// The ladder rung the engine will apply next (also the number of
@@ -525,12 +660,14 @@ impl LinkEngine {
             if rate > trigger {
                 self.apply(action);
                 self.rung += 1;
-                report.transitions.push(LinkTransition {
+                let transition = LinkTransition {
                     at_word: self.words_done,
                     trouble_rate: rate,
                     action,
                     forced: false,
-                });
+                };
+                report.transitions.push(transition);
+                self.emit_degrade(&transition, report.cycles);
             }
         }
     }
@@ -544,6 +681,7 @@ impl LinkEngine {
                 self.enc = scheme.build(self.data_bits);
                 self.dec = scheme.build(self.data_bits);
                 self.bus_state = Word::zero(self.enc.wires());
+                self.scheme_label = scheme.name();
             }
         }
     }
@@ -559,7 +697,23 @@ pub fn simulate_link(
     traffic: impl Iterator<Item = Word>,
     seed: u64,
 ) -> LinkReport {
+    simulate_link_with(cfg, traffic, seed, Telemetry::off())
+}
+
+/// [`simulate_link`] with a telemetry handle attached to the engine (hop
+/// track 0). Passing `Telemetry::off()` is exactly `simulate_link`.
+///
+/// # Panics
+///
+/// Panics if the scheme rejects the width.
+pub fn simulate_link_with(
+    cfg: &LinkConfig,
+    traffic: impl Iterator<Item = Word>,
+    seed: u64,
+    tel: Telemetry,
+) -> LinkReport {
     let mut engine = LinkEngine::new(cfg, &[], seed);
+    engine.set_telemetry(tel, 0);
     let mut report = LinkReport::default();
     for data in traffic {
         report.offered += 1;
@@ -569,6 +723,7 @@ pub fn simulate_link(
             report.residual_errors += 1;
         }
     }
+    engine.flush_telemetry();
     report
 }
 
@@ -770,6 +925,100 @@ mod tests {
         // The engine still transfers correctly on the switched scheme.
         let w = Word::from_bits(0x5A, 8);
         assert_eq!(engine.transfer(w, &mut report), w);
+    }
+
+    /// Equivalence audit (ISSUE satellite): for every scheme in the
+    /// catalog, `transfer` and `transfer_traced` deliver identical words
+    /// and identical `LinkReport` deltas (cycles, retransmits, corrected,
+    /// detected, energy, ledger buckets) from the same seed — the traced
+    /// path is a pure observer.
+    #[test]
+    fn transfer_and_transfer_traced_are_equivalent_across_catalog() {
+        let proto = Protocol::DetectRetransmit {
+            rtt_cycles: 3,
+            max_retries: 2,
+        };
+        for scheme in Scheme::catalog() {
+            let cfg = LinkConfig::new(scheme, 8, 8e-3)
+                .with_protocol(proto)
+                .with_fault(FaultSpec::Burst {
+                    eps_good: 1e-3,
+                    eps_bad: 0.1,
+                    p_enter: 0.02,
+                    p_exit: 0.2,
+                });
+            let mut plain = LinkEngine::new(&cfg, &[], 23);
+            let mut traced = LinkEngine::new(&cfg, &[], 23);
+            let mut plain_report = LinkReport::default();
+            let mut traced_report = LinkReport::default();
+            for data in UniformTraffic::new(8, 31).take(400) {
+                let word = plain.transfer(data, &mut plain_report);
+                let trace = traced.transfer_traced(data, &mut traced_report);
+                assert_eq!(
+                    word,
+                    trace.delivered,
+                    "{}: delivered words must match",
+                    scheme.name()
+                );
+                assert_eq!(
+                    plain_report,
+                    traced_report,
+                    "{}: report deltas must match",
+                    scheme.name()
+                );
+            }
+            assert_eq!(plain_report.ledger, traced_report.ledger);
+        }
+    }
+
+    /// Attaching an enabled telemetry sink must not perturb the
+    /// simulation: words, report, and ledger stay identical, while the
+    /// recorder's counters agree with the report's own accounting.
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let cfg =
+            LinkConfig::new(Scheme::Parity, 8, 8e-3).with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 3,
+                max_retries: 2,
+            });
+        let mut plain = LinkEngine::new(&cfg, &[], 29);
+        let mut traced = LinkEngine::new(&cfg, &[], 29);
+        let recorder = Rc::new(Recorder::new());
+        traced.set_telemetry(Telemetry::from_recorder(&recorder), 4);
+        let mut plain_report = LinkReport::default();
+        let mut traced_report = LinkReport::default();
+        for data in UniformTraffic::new(8, 37).take(2_000) {
+            assert_eq!(
+                plain.transfer(data, &mut plain_report),
+                traced.transfer(data, &mut traced_report)
+            );
+        }
+        assert_eq!(plain_report, traced_report);
+        let labels = [("scheme", "Parity"), ("hop", "4")];
+        assert_eq!(
+            recorder.counter_value("link.words", &labels),
+            0,
+            "counters batch locally until flushed"
+        );
+        traced.flush_telemetry();
+        traced.flush_telemetry(); // idempotent: deltas report once
+        assert_eq!(recorder.counter_value("link.words", &labels), 2_000);
+        assert_eq!(
+            recorder.counter_value("link.retransmits", &labels),
+            traced_report.retransmits
+        );
+        assert_eq!(
+            recorder.counter_value("link.detected", &labels),
+            traced_report.detected - traced_report.retransmits,
+            "detected counter tallies final-attempt detections only"
+        );
+        let hist = recorder
+            .histogram("link.word_cycles", &labels)
+            .expect("cycle histogram");
+        assert_eq!(hist.count, 2_000);
+        assert_eq!(hist.sum, traced_report.cycles as f64);
     }
 
     #[test]

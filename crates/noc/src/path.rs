@@ -17,6 +17,7 @@
 use crate::link::{LinkConfig, LinkEngine, LinkReport, LinkTransition, WordTrace};
 use socbus_channel::FaultSpec;
 use socbus_model::{EnergyCoeff, Word};
+use socbus_telemetry::Telemetry;
 
 /// A path of identical coded links in series.
 #[derive(Clone, Debug)]
@@ -138,6 +139,10 @@ pub struct PathSim {
     per_hop: Vec<LinkReport>,
     offered: u64,
     end_to_end_errors: u64,
+    tel: Telemetry,
+    /// Path-level counter deltas batched since the last flush.
+    tel_words: u64,
+    tel_e2e: u64,
 }
 
 impl PathSim {
@@ -149,6 +154,19 @@ impl PathSim {
     /// Panics if `cfg.hops == 0` or the scheme rejects the width.
     #[must_use]
     pub fn new(cfg: &PathConfig, seed: u64) -> Self {
+        Self::new_with_telemetry(cfg, seed, Telemetry::off())
+    }
+
+    /// [`PathSim::new`] with a telemetry handle: each hop's engine (and
+    /// its fault injector) reports on its own `hop` track, and path-level
+    /// counters/events go to the control track. With the handle disabled
+    /// this is exactly `new` — the engines are byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.hops == 0` or the scheme rejects the width.
+    #[must_use]
+    pub fn new_with_telemetry(cfg: &PathConfig, seed: u64, tel: Telemetry) -> Self {
         assert!(cfg.hops >= 1, "need at least one hop");
         let engines: Vec<LinkEngine> = (0..cfg.hops)
             .map(|h| {
@@ -158,11 +176,15 @@ impl PathSim {
                     .filter(|(hop, _)| *hop == h)
                     .map(|(_, spec)| spec.clone())
                     .collect();
-                LinkEngine::new(
+                let mut engine = LinkEngine::new(
                     &cfg.link,
                     &extra,
                     seed ^ (h as u64).wrapping_mul(0x9E37_79B9),
-                )
+                );
+                if tel.is_enabled() {
+                    engine.set_telemetry(tel.clone(), h);
+                }
+                engine
             })
             .collect();
         let per_hop = vec![LinkReport::default(); cfg.hops];
@@ -171,6 +193,30 @@ impl PathSim {
             per_hop,
             offered: 0,
             end_to_end_errors: 0,
+            tel,
+            tel_words: 0,
+            tel_e2e: 0,
+        }
+    }
+
+    /// Emits every locally batched metric — each hop engine's (and its
+    /// fault injector's) plus the path-level counters — and resets the
+    /// batches. Called by [`PathSim::finish`]; drive it directly when
+    /// reading the recorder mid-run. Safe to call repeatedly.
+    pub fn flush_telemetry(&mut self) {
+        for engine in &mut self.engines {
+            engine.flush_telemetry();
+        }
+        if !self.tel.is_enabled() {
+            return;
+        }
+        if self.tel_words > 0 {
+            self.tel.counter("path.words", &[], self.tel_words);
+            self.tel_words = 0;
+        }
+        if self.tel_e2e > 0 {
+            self.tel.counter("path.e2e_errors", &[], self.tel_e2e);
+            self.tel_e2e = 0;
         }
     }
 
@@ -241,6 +287,15 @@ impl PathSim {
         if e2e_error {
             self.end_to_end_errors += 1;
         }
+        if self.tel.is_enabled() {
+            self.tel_words += 1;
+            if e2e_error {
+                self.tel_e2e += 1;
+                // Word-count timestamp on the control track — end-to-end
+                // errors are a path-level (word-domain) observation.
+                self.tel.event("path.e2e_error", &[], self.offered);
+            }
+        }
         PathStep {
             delivered: word,
             e2e_error,
@@ -249,9 +304,11 @@ impl PathSim {
     }
 
     /// Finalizes the run into a [`PathReport`] (aggregating cycles and
-    /// energy across hops, exactly like [`simulate_path`]).
+    /// energy across hops, exactly like [`simulate_path`]), flushing any
+    /// batched telemetry first.
     #[must_use]
-    pub fn finish(self) -> PathReport {
+    pub fn finish(mut self) -> PathReport {
+        self.flush_telemetry();
         let mut report = PathReport {
             offered: self.offered,
             end_to_end_errors: self.end_to_end_errors,

@@ -1,0 +1,435 @@
+//! Exporters over a [`Recorder`]: JSONL, Chrome/Perfetto `trace_event`
+//! JSON, and a human-readable summary table.
+//!
+//! All three renderings are **byte-deterministic**: the registry is a
+//! `BTreeMap`, the ring preserves insertion order, and floats use
+//! shortest-roundtrip formatting (`null` for non-finite values, which
+//! JSON cannot express). The CI trace job runs the `trace` binary twice
+//! and byte-compares every output.
+//!
+//! # JSONL
+//!
+//! One JSON object per line: a `meta` header, then every ring event in
+//! record order (`span` / `event`), then every registry metric in key
+//! order (`counter` / `gauge` / `histogram`), then a `ring` trailer with
+//! occupancy stats. The checked-in schema
+//! (`crates/telemetry/schemas/telemetry-jsonl.schema.json`, embedded as
+//! [`jsonl_schema`]) lists the required fields per record type;
+//! [`validate_jsonl`] enforces it.
+//!
+//! # Chrome trace
+//!
+//! The `trace_event` JSON understood by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: spans become `ph:"X"` complete events and
+//! instants become `ph:"i"` thread-scoped events. One simulated cycle is
+//! rendered as one microsecond. Tracks: events labeled `hop=<n>` land on
+//! thread `n` ("hop <n>"); everything else lands on the "control"
+//! thread. Each track owns its cycle clock (see the recorder docs).
+
+use std::fmt::Write as _;
+
+use crate::json::{self, escape, Json};
+use crate::recorder::{EventRecord, Metric, Recorder};
+
+/// The checked-in JSONL schema, embedded so library users and tests
+/// validate against the same bytes CI does.
+#[must_use]
+pub fn jsonl_schema() -> &'static str {
+    include_str!("../schemas/telemetry-jsonl.schema.json")
+}
+
+/// The `tid` non-hop events are mapped to in the Chrome trace.
+const CONTROL_TID: u64 = 1000;
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+    }
+    out.push('}');
+    out
+}
+
+fn hop_tid(labels: &[(String, String)]) -> u64 {
+    labels
+        .iter()
+        .find(|(k, _)| k == "hop")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .unwrap_or(CONTROL_TID)
+}
+
+impl Recorder {
+    /// Renders the JSONL event log.
+    #[must_use]
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        out.push_str("{\"type\": \"meta\", \"version\": 1, \"clock\": \"cycles\"}\n");
+        for e in &inner.events {
+            let labels = labels_json(&e.labels);
+            match e.end {
+                Some(end) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\": \"span\", \"name\": \"{}\", \"begin\": {}, \"end\": {end}, \
+                         \"labels\": {labels}}}",
+                        escape(e.name),
+                        e.begin
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\": \"event\", \"name\": \"{}\", \"at\": {}, \
+                         \"labels\": {labels}}}",
+                        escape(e.name),
+                        e.begin
+                    );
+                }
+            }
+        }
+        for ((name, labels), metric) in &inner.metrics {
+            let labels = labels_json(labels);
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\": \"counter\", \"name\": \"{}\", \"labels\": {labels}, \
+                         \"value\": {v}}}",
+                        escape(name)
+                    );
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\": \"gauge\", \"name\": \"{}\", \"labels\": {labels}, \
+                         \"value\": {}}}",
+                        escape(name),
+                        json::num(*v)
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds.iter().map(|b| json::num(*b)).collect();
+                    let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\": \"histogram\", \"name\": \"{}\", \"labels\": {labels}, \
+                         \"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+                        escape(name),
+                        bounds.join(", "),
+                        counts.join(", "),
+                        json::num(h.sum),
+                        h.count
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\": \"ring\", \"recorded\": {}, \"dropped\": {}, \"capacity\": {}}}",
+            inner.events.len(),
+            inner.dropped,
+            inner.capacity
+        );
+        out
+    }
+
+    /// Renders the Chrome `trace_event` JSON (Perfetto-loadable).
+    #[must_use]
+    pub fn export_chrome_trace(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut tids: Vec<u64> = inner.events.iter().map(|e| hop_tid(&e.labels)).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        let mut push = |line: String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str("  ");
+            out.push_str(&line);
+        };
+        push(
+            "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", \
+             \"args\": {\"name\": \"socbus\"}}"
+                .to_owned(),
+            &mut first,
+        );
+        for tid in &tids {
+            let name = if *tid == CONTROL_TID {
+                "control".to_owned()
+            } else {
+                format!("hop {tid}")
+            };
+            push(
+                format!(
+                    "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \"name\": \"thread_name\", \
+                     \"args\": {{\"name\": \"{name}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for e in &inner.events {
+            push(chrome_event(e), &mut first);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the human-readable summary table.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::from("telemetry summary (clock: simulated cycles)\n");
+        let _ = writeln!(
+            out,
+            "events: {} recorded, {} dropped (ring capacity {})",
+            inner.events.len(),
+            inner.dropped,
+            inner.capacity
+        );
+        if inner.kind_conflicts > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} metric kind conflicts",
+                inner.kind_conflicts
+            );
+        }
+        for (section, want) in [
+            ("counters", "counter"),
+            ("gauges", "gauge"),
+            ("histograms", "histogram"),
+        ] {
+            let entries: Vec<_> = inner
+                .metrics
+                .iter()
+                .filter(|(_, m)| m.kind() == want)
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "\n{section}:");
+            for ((name, labels), metric) in entries {
+                let key = if labels.is_empty() {
+                    name.clone()
+                } else {
+                    let pairs: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("{name}{{{}}}", pairs.join(","))
+                };
+                match metric {
+                    Metric::Counter(v) => {
+                        let _ = writeln!(out, "  {key:<58} {v:>12}");
+                    }
+                    Metric::Gauge(v) => {
+                        let _ = writeln!(out, "  {key:<58} {v:>12?}");
+                    }
+                    Metric::Histogram(h) => {
+                        let mean = if h.count == 0 {
+                            0.0
+                        } else {
+                            h.sum / h.count as f64
+                        };
+                        let _ = writeln!(out, "  {key:<58} count={} mean={mean:.3}", h.count);
+                        for (i, c) in h.counts.iter().enumerate() {
+                            if *c == 0 {
+                                continue;
+                            }
+                            let label = h
+                                .bounds
+                                .get(i)
+                                .map_or_else(|| "+inf".to_owned(), |b| format!("{b:?}"));
+                            let _ = writeln!(out, "    <= {label:<10} {c:>12}");
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn chrome_event(e: &EventRecord) -> String {
+    let tid = hop_tid(&e.labels);
+    let args = labels_json(&e.labels);
+    match e.end {
+        Some(end) => format!(
+            "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {tid}, \"name\": \"{}\", \"ts\": {}, \
+             \"dur\": {}, \"args\": {args}}}",
+            escape(e.name),
+            e.begin,
+            end.saturating_sub(e.begin)
+        ),
+        None => format!(
+            "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"name\": \"{}\", \"ts\": {}, \
+             \"s\": \"t\", \"args\": {args}}}",
+            escape(e.name),
+            e.begin
+        ),
+    }
+}
+
+/// Validates a JSONL document against a schema of the checked-in format
+/// (see [`jsonl_schema`]): every non-empty line must parse as a JSON
+/// object whose `type` names a schema entry and which carries every
+/// required field with the required JSON type. Returns the number of
+/// validated lines.
+///
+/// # Errors
+///
+/// Returns a line-tagged message on the first offending line, or a
+/// message describing a malformed schema.
+pub fn validate_jsonl(schema_text: &str, input: &str) -> Result<u64, String> {
+    let schema = json::parse(schema_text).map_err(|e| format!("schema: {e}"))?;
+    let types = schema
+        .get("types")
+        .ok_or("schema: missing \"types\"")?
+        .clone();
+    let Json::Obj(ref type_members) = types else {
+        return Err("schema: \"types\" must be an object".into());
+    };
+    let mut validated = 0;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let record = json::parse(line).map_err(&at)?;
+        let ty = record
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing string field \"type\"".into()))?;
+        let required = type_members
+            .iter()
+            .find(|(name, _)| name == ty)
+            .map(|(_, fields)| fields)
+            .ok_or_else(|| at(format!("unknown record type {ty:?}")))?;
+        let Json::Obj(fields) = required else {
+            return Err(format!("schema: type {ty:?} must map to an object"));
+        };
+        for (field, want) in fields {
+            let want = want
+                .as_str()
+                .ok_or_else(|| format!("schema: field {field:?} type must be a string"))?;
+            let got = record
+                .get(field)
+                .ok_or_else(|| at(format!("record type {ty:?} missing field {field:?}")))?;
+            if got.type_name() != want {
+                return Err(at(format!(
+                    "field {field:?} of {ty:?} is {}, schema requires {want}",
+                    got.type_name()
+                )));
+            }
+        }
+        validated += 1;
+    }
+    Ok(validated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TelemetrySink;
+
+    fn sample() -> Recorder {
+        let r = Recorder::new();
+        r.span("link.word", &[("hop", "0"), ("scheme", "DAP")], 0, 3);
+        r.event("monitor.violation", &[("invariant", "latency-bound")], 7);
+        r.counter_add("link.words", &[("scheme", "DAP")], 2);
+        r.gauge_set("mc.rate", &[], 1.5e-3);
+        r.observe("link.word_cycles", &[], 3.0);
+        r
+    }
+
+    #[test]
+    fn jsonl_validates_against_the_checked_in_schema() {
+        let r = sample();
+        let jsonl = r.export_jsonl();
+        let lines = validate_jsonl(jsonl_schema(), &jsonl).expect("valid");
+        // meta + 2 ring events + 3 metrics + ring trailer.
+        assert_eq!(lines, 7);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse_and_carry_labels() {
+        let jsonl = sample().export_jsonl();
+        let span = jsonl.lines().nth(1).unwrap();
+        let doc = json::parse(span).expect("span parses");
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(
+            doc.get("labels").unwrap().get("scheme").unwrap().as_str(),
+            Some("DAP")
+        );
+        assert_eq!(doc.get("begin").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("end").unwrap().as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_thread_metadata() {
+        let trace = sample().export_chrome_trace();
+        let doc = json::parse(&trace).expect("trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name + 2 thread_names (hop 0, control) + 2 events.
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some("hop 0")
+        }));
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(span.get("dur").unwrap().as_num(), Some(3.0));
+        assert_eq!(span.get("tid").unwrap().as_num(), Some(0.0));
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("one instant event");
+        assert_eq!(
+            instant.get("tid").unwrap().as_num(),
+            Some(f64::from(1000u16))
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.export_jsonl(), b.export_jsonl());
+        assert_eq!(a.export_chrome_trace(), b.export_chrome_trace());
+        assert_eq!(a.render_summary(), b.render_summary());
+    }
+
+    #[test]
+    fn summary_lists_every_metric_kind() {
+        let summary = sample().render_summary();
+        assert!(summary.contains("counters:"));
+        assert!(summary.contains("link.words{scheme=DAP}"));
+        assert!(summary.contains("gauges:"));
+        assert!(summary.contains("histograms:"));
+        assert!(summary.contains("events: 2 recorded, 0 dropped"));
+    }
+
+    #[test]
+    fn validator_rejects_bad_records() {
+        let schema = jsonl_schema();
+        assert!(validate_jsonl(schema, "{\"no_type\": 1}\n").is_err());
+        assert!(validate_jsonl(schema, "{\"type\": \"nonsense\"}\n").is_err());
+        let missing = "{\"type\": \"span\", \"name\": \"x\", \"begin\": 0, \"end\": 1}\n";
+        let err = validate_jsonl(schema, missing).unwrap_err();
+        assert!(err.contains("labels"), "{err}");
+        let wrong = "{\"type\": \"counter\", \"name\": \"x\", \"labels\": {}, \
+                     \"value\": \"three\"}\n";
+        let err = validate_jsonl(schema, wrong).unwrap_err();
+        assert!(err.contains("requires number"), "{err}");
+        assert_eq!(validate_jsonl(schema, "\n\n").unwrap(), 0);
+    }
+}

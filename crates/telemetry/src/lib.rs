@@ -1,0 +1,59 @@
+//! # socbus-telemetry — observability for the socbus stack
+//!
+//! A zero-overhead-when-disabled instrumentation layer for the
+//! simulators: the paper's evaluation (Tables II–III, Figs. 8–15) is all
+//! about *measured* quantities — transition activity, coupling energy,
+//! latency, residual error rate — and this crate makes those quantities
+//! observable while a simulation runs instead of only as end-of-run
+//! aggregates.
+//!
+//! Three pieces:
+//!
+//! * [`sink`] — the [`TelemetrySink`] trait and the cheap cloneable
+//!   [`Telemetry`] handle the instrumented crates carry. A disabled
+//!   handle (`Telemetry::off()`) costs one branch per instrumentation
+//!   site; no labels are built, no strings formatted, nothing recorded.
+//! * [`recorder`] — the in-memory sink: a metrics registry (monotonic
+//!   counters, gauges, fixed-bucket histograms, keyed by static metric
+//!   names plus label sets like `scheme`/`hop`/`fault_family`) and a
+//!   bounded ring buffer of structured spans and events stamped with
+//!   **simulated cycles**, never wall-clock time — recording is fully
+//!   deterministic, so two identical runs export byte-identical files.
+//! * [`export`] — three renderers over a [`Recorder`]: a JSONL event
+//!   log (validated by the checked-in schema, see
+//!   [`export::jsonl_schema`]), a Chrome `trace_event` JSON loadable in
+//!   `ui.perfetto.dev`, and a human-readable summary table.
+//!
+//! [`json`] is a minimal self-contained JSON parser used by the schema
+//! validator (`validate_jsonl` binary) and the exporter tests; the build
+//! environment has no serde.
+//!
+//! # Example
+//!
+//! ```
+//! use std::rc::Rc;
+//! use socbus_telemetry::{Recorder, Telemetry};
+//!
+//! let recorder = Rc::new(Recorder::new());
+//! let tel = Telemetry::from_recorder(&recorder);
+//! // An instrumented hot loop: guard, then record.
+//! for cycle in 0..4u64 {
+//!     if tel.is_enabled() {
+//!         tel.counter("demo.words", &[("scheme", "DAP")], 1);
+//!         tel.span("demo.word", &[("scheme", "DAP")], cycle, cycle + 1);
+//!     }
+//! }
+//! let jsonl = recorder.export_jsonl();
+//! assert_eq!(jsonl.lines().count(), 1 + 4 + 1 + 1); // meta, spans, counter, dropped
+//! assert!(recorder.export_chrome_trace().contains("\"traceEvents\""));
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod sink;
+
+pub use export::{jsonl_schema, validate_jsonl};
+pub use json::Json;
+pub use recorder::{Recorder, RingStats};
+pub use sink::{Labels, NoopSink, Telemetry, TelemetrySink};

@@ -1,0 +1,394 @@
+//! The in-memory sink: metrics registry plus a bounded event ring.
+//!
+//! # Cycle domains
+//!
+//! Timestamps are simulated cycles supplied by the instrumentation
+//! sites, never wall-clock time. Each *track* (e.g. one hop of a path)
+//! owns its cycle clock: hop 1's cycle 40 is not the same instant as hop
+//! 0's cycle 40. Exporters keep tracks separate (one Perfetto thread per
+//! hop), so per-track ordering is exact while cross-track alignment is
+//! approximate — acceptable for a store-and-forward simulation, and the
+//! price of staying fully deterministic.
+//!
+//! # Determinism
+//!
+//! All storage is ordered (a `BTreeMap` registry, an insertion-ordered
+//! ring); floats are rendered with shortest-roundtrip formatting at
+//! export time. Two identical simulation runs therefore export
+//! byte-identical JSONL, Perfetto JSON, and summary text — the property
+//! the CI trace job byte-diffs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::sink::{Labels, TelemetrySink};
+
+/// Default ring capacity (events). At the soak campaign's smoke size a
+/// full run fits; longer runs drop oldest-first and count the loss.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Histogram bucket upper bounds used when a metric has no registered
+/// bounds: powers of two covering the cycle counts a word can plausibly
+/// consume (the `+Inf` bucket is implicit).
+pub const DEFAULT_HISTOGRAM_BOUNDS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Owned label set, sorted by key — the canonical registry identity.
+type OwnedLabels = Vec<(String, String)>;
+
+fn own(labels: Labels<'_>) -> OwnedLabels {
+    let mut owned: OwnedLabels = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+/// One registry entry.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A fixed-bucket histogram: `counts[i]` tallies observations `<=
+/// bounds[i]`; the final slot is the overflow (`+Inf`) bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` slots).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe_n(&mut self, value: f64, n: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += n;
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum += value * n as f64;
+        }
+        self.count += n;
+    }
+}
+
+/// One recorded span or instant event.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct EventRecord {
+    pub name: &'static str,
+    pub labels: OwnedLabels,
+    pub begin: u64,
+    /// `None` for instantaneous events.
+    pub end: Option<u64>,
+}
+
+/// Ring-buffer occupancy statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events currently held.
+    pub recorded: usize,
+    /// Events evicted oldest-first because the ring was full.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: usize,
+}
+
+pub(crate) struct Inner {
+    pub metrics: BTreeMap<(String, OwnedLabels), Metric>,
+    pub events: VecDeque<EventRecord>,
+    pub capacity: usize,
+    pub dropped: u64,
+    /// Name-keyed custom histogram bounds (checked before the default).
+    pub bounds: Vec<(&'static str, Vec<f64>)>,
+    /// Updates ignored because the key already held a different metric
+    /// kind (a site bug worth surfacing, not worth a panic mid-run).
+    pub kind_conflicts: u64,
+}
+
+/// The deterministic in-memory sink. Single-threaded by design (the
+/// simulators are single-threaded); interior mutability lets a shared
+/// `Rc<Recorder>` receive from many instrumented components at once.
+pub struct Recorder {
+    pub(crate) inner: RefCell<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose event ring holds at most `capacity` events;
+    /// older events are evicted first and tallied in [`RingStats`].
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            inner: RefCell::new(Inner {
+                metrics: BTreeMap::new(),
+                events: VecDeque::with_capacity(capacity.min(1 << 20)),
+                capacity,
+                dropped: 0,
+                bounds: Vec::new(),
+                kind_conflicts: 0,
+            }),
+        }
+    }
+
+    /// Registers custom histogram bucket bounds for `name` (ascending).
+    /// Histograms created before this call keep their old bounds.
+    pub fn set_histogram_bounds(&self, name: &'static str, bounds: Vec<f64>) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(entry) = inner.bounds.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = bounds;
+        } else {
+            inner.bounds.push((name, bounds));
+        }
+    }
+
+    /// Ring-buffer occupancy.
+    #[must_use]
+    pub fn ring_stats(&self) -> RingStats {
+        let inner = self.inner.borrow();
+        RingStats {
+            recorded: inner.events.len(),
+            dropped: inner.dropped,
+            capacity: inner.capacity,
+        }
+    }
+
+    /// The current value of the counter `name` with exactly `labels`
+    /// (order-insensitive), or 0 when absent — the test hook.
+    #[must_use]
+    pub fn counter_value(&self, name: &str, labels: Labels<'_>) -> u64 {
+        let key = (name.to_owned(), own(labels));
+        match self.inner.borrow().metrics.get(&key) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The current value of the gauge `name` with exactly `labels`, or
+    /// `None` when absent.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str, labels: Labels<'_>) -> Option<f64> {
+        let key = (name.to_owned(), own(labels));
+        match self.inner.borrow().metrics.get(&key) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A copy of the histogram `name` with exactly `labels`, or `None`.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: Labels<'_>) -> Option<Histogram> {
+        let key = (name.to_owned(), own(labels));
+        match self.inner.borrow().metrics.get(&key) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Updates ignored because a metric name+labels key was reused with
+    /// a different kind.
+    #[must_use]
+    pub fn kind_conflicts(&self) -> u64 {
+        self.inner.borrow().kind_conflicts
+    }
+
+    fn push_event(&self, record: EventRecord) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.capacity == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        while inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(record);
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn counter_add(&self, name: &'static str, labels: Labels<'_>, delta: u64) {
+        let key = (name.to_owned(), own(labels));
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        match inner.metrics.entry(key).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            _ => inner.kind_conflicts += 1,
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, labels: Labels<'_>, value: f64) {
+        let key = (name.to_owned(), own(labels));
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        match inner.metrics.entry(key).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            _ => inner.kind_conflicts += 1,
+        }
+    }
+
+    fn observe(&self, name: &'static str, labels: Labels<'_>, value: f64) {
+        self.observe_n(name, labels, value, 1);
+    }
+
+    fn observe_n(&self, name: &'static str, labels: Labels<'_>, value: f64, n: u64) {
+        let key = (name.to_owned(), own(labels));
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let bounds = inner
+            .bounds
+            .iter()
+            .find(|(nm, _)| *nm == name)
+            .map_or_else(|| DEFAULT_HISTOGRAM_BOUNDS.to_vec(), |(_, b)| b.clone());
+        match inner
+            .metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe_n(value, n),
+            _ => inner.kind_conflicts += 1,
+        }
+    }
+
+    fn event(&self, name: &'static str, labels: Labels<'_>, at: u64) {
+        self.push_event(EventRecord {
+            name,
+            labels: own(labels),
+            begin: at,
+            end: None,
+        });
+    }
+
+    fn span(&self, name: &'static str, labels: Labels<'_>, begin: u64, end: u64) {
+        self.push_event(EventRecord {
+            name,
+            labels: own(labels),
+            begin,
+            end: Some(end),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Recorder::new();
+        r.counter_add("link.words", &[("scheme", "DAP")], 1);
+        r.counter_add("link.words", &[("scheme", "DAP")], 2);
+        r.counter_add("link.words", &[("scheme", "BSC")], 5);
+        assert_eq!(r.counter_value("link.words", &[("scheme", "DAP")]), 3);
+        assert_eq!(r.counter_value("link.words", &[("scheme", "BSC")]), 5);
+        assert_eq!(r.counter_value("link.words", &[]), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Recorder::new();
+        r.counter_add("c", &[("a", "1"), ("b", "2")], 1);
+        r.counter_add("c", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(r.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Recorder::new();
+        r.gauge_set("g", &[], 1.0);
+        r.gauge_set("g", &[], 2.5);
+        assert_eq!(r.gauge_value("g", &[]), Some(2.5));
+        assert_eq!(r.gauge_value("missing", &[]), None);
+    }
+
+    #[test]
+    fn histograms_bucket_and_overflow() {
+        let r = Recorder::new();
+        r.set_histogram_bounds("h", vec![1.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            r.observe("h", &[], v);
+        }
+        let h = r.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.bounds, vec![1.0, 10.0]);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 104.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_bounds_apply_without_registration() {
+        let r = Recorder::new();
+        r.observe("h", &[], 3.0);
+        let h = r.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.bounds, DEFAULT_HISTOGRAM_BOUNDS.to_vec());
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let r = Recorder::with_capacity(2);
+        r.event("e", &[], 0);
+        r.event("e", &[], 1);
+        r.event("e", &[], 2);
+        let stats = r.ring_stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.capacity, 2);
+        let inner = r.inner.borrow();
+        assert_eq!(inner.events[0].begin, 1, "oldest event evicted first");
+    }
+
+    #[test]
+    fn kind_conflicts_are_counted_not_fatal() {
+        let r = Recorder::new();
+        r.counter_add("m", &[], 1);
+        r.gauge_set("m", &[], 2.0);
+        r.observe("m", &[], 3.0);
+        assert_eq!(r.counter_value("m", &[]), 1, "first kind wins");
+        assert_eq!(r.kind_conflicts(), 2);
+    }
+}
