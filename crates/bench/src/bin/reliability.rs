@@ -1,196 +1,8 @@
-//! Reliability sweep: every catalog scheme against every fault model.
-//!
-//! The paper's analysis assumes i.i.d. wire flips (eq. (5)); real
-//! interconnect also suffers burst noise, hard defects (stuck-at and
-//! bridging faults), and transient supply droop. This sweep runs each
-//! coding scheme over a 16-bit link under one fault process at a time and
-//! records the residual reliability, correction/detection activity, and
-//! cost (cycles, energy), so the schemes' robustness can be compared
-//! beyond the regime they were designed for.
-//!
-//! The run is fully seeded: the same binary invoked twice writes
-//! byte-identical JSON to `results/BENCH_reliability.json` (or the path
-//! given as the first argument).
-//!
-//! Run with `cargo run --release -p socbus-bench --bin reliability`
-//! (add `--trace-out <path>` for a telemetry event log plus Perfetto
-//! trace of the sweep).
-
-use std::fmt::Write as _;
-use std::path::Path;
-use std::rc::Rc;
-
-use socbus_channel::{BridgeMode, FaultSpec};
-use socbus_codes::Scheme;
-use socbus_noc::link::{simulate_link_with, LinkConfig};
-use socbus_noc::traffic::UniformTraffic;
-use socbus_telemetry::{Recorder, Telemetry};
-
-const DATA_BITS: usize = 16;
-const WORDS: usize = 20_000;
-const SEED: u64 = 17;
-const LAMBDA: f64 = 2.8;
-
-/// Every scheme in the catalog: the Table III comparison set plus the
-/// detection/correction schemes the tables omit (now maintained centrally
-/// as [`Scheme::catalog`]; the order is part of the JSON output format).
-fn catalog() -> Vec<Scheme> {
-    Scheme::catalog()
-}
-
-/// One representative instance of each fault model, named for the JSON.
-fn fault_suite() -> Vec<(&'static str, FaultSpec)> {
-    vec![
-        ("iid", FaultSpec::Iid { eps: 1e-3 }),
-        (
-            "burst",
-            FaultSpec::Burst {
-                eps_good: 1e-4,
-                eps_bad: 0.05,
-                p_enter: 0.01,
-                p_exit: 0.2,
-            },
-        ),
-        (
-            "stuck_at_0",
-            FaultSpec::StuckAt {
-                wire: 0,
-                value: false,
-            },
-        ),
-        (
-            "bridge_or",
-            FaultSpec::Bridge {
-                wire: 1,
-                mode: BridgeMode::Or,
-            },
-        ),
-        (
-            "droop",
-            FaultSpec::Droop {
-                eps: 1e-4,
-                scale: 100.0,
-                start: 5_000,
-                duration: 2_000,
-            },
-        ),
-    ]
-}
-
-/// Formats an `f64` for the JSON output. Exponential with fixed
-/// precision keeps the rendering deterministic and diff-friendly.
-fn num(x: f64) -> String {
-    if x == 0.0 {
-        "0.0".to_owned()
-    } else {
-        format!("{x:.6e}")
-    }
-}
+//! Thin wrapper over [`socbus_bench::reliability`] — the sweep runs on
+//! the deterministic parallel engine; see that module (and DESIGN.md
+//! §12) for the shard decomposition and the byte-determinism argument.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut trace_out: Option<String> = None;
-    let mut out_path = "results/BENCH_reliability.json".to_owned();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--trace-out" => {
-                let Some(path) = it.next() else {
-                    eprintln!("reliability: --trace-out needs a path");
-                    std::process::exit(2);
-                };
-                trace_out = Some(path.clone());
-            }
-            other if other.starts_with("--") => {
-                eprintln!("reliability: unknown flag {other}");
-                std::process::exit(2);
-            }
-            other => out_path = other.to_owned(),
-        }
-    }
-    let recorder = trace_out.as_ref().map(|_| Rc::new(Recorder::new()));
-    let tel = recorder
-        .as_ref()
-        .map_or_else(Telemetry::off, Telemetry::from_recorder);
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"data_bits\": {DATA_BITS},");
-    let _ = writeln!(json, "  \"words_per_run\": {WORDS},");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"lambda\": {LAMBDA},");
-    json.push_str("  \"runs\": [\n");
-
-    let schemes = catalog();
-    let faults = fault_suite();
-    let mut first = true;
-    for &scheme in &schemes {
-        for (fault_name, spec) in &faults {
-            let cfg = LinkConfig::new(scheme, DATA_BITS, 0.0).with_fault(spec.clone());
-            let r = simulate_link_with(
-                &cfg,
-                UniformTraffic::new(DATA_BITS, SEED ^ 0xA5).take(WORDS),
-                SEED,
-                tel.clone(),
-            );
-            if !first {
-                json.push_str(",\n");
-            }
-            first = false;
-            json.push_str("    {");
-            let _ = write!(json, "\"scheme\": \"{}\", ", scheme.name());
-            let _ = write!(json, "\"fault\": \"{fault_name}\", ");
-            let _ = write!(json, "\"fault_detail\": \"{}\", ", spec.label());
-            let _ = write!(json, "\"offered\": {}, ", r.offered);
-            let _ = write!(json, "\"residual_errors\": {}, ", r.residual_errors);
-            let _ = write!(json, "\"residual_rate\": {}, ", num(r.residual_rate()));
-            let _ = write!(json, "\"corrected\": {}, ", r.corrected);
-            let _ = write!(json, "\"detected\": {}, ", r.detected);
-            let _ = write!(json, "\"retransmits\": {}, ", r.retransmits);
-            let _ = write!(json, "\"cycles\": {}, ", r.cycles);
-            let _ = write!(
-                json,
-                "\"energy_per_word\": {}",
-                num(r.energy_per_word(LAMBDA))
-            );
-            json.push('}');
-            eprintln!(
-                "{:<14} {:<11} residual {:>10.3e}  corrected {:>6}  detected {:>6}",
-                scheme.name(),
-                fault_name,
-                r.residual_rate(),
-                r.corrected,
-                r.detected,
-            );
-        }
-    }
-    json.push_str("\n  ]\n}\n");
-
-    if let Some(dir) = Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out_path, &json).expect("write sweep output");
-    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
-        if let Some(dir) = Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create trace directory");
-            }
-        }
-        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
-        let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
-        let stats = rec.ring_stats();
-        eprintln!(
-            "reliability: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
-            stats.recorded, stats.dropped
-        );
-    }
-    eprintln!(
-        "wrote {} runs ({} schemes x {} fault models) to {out_path}",
-        schemes.len() * faults.len(),
-        schemes.len(),
-        faults.len(),
-    );
+    std::process::exit(socbus_bench::reliability::main_with_args(&args));
 }

@@ -8,6 +8,7 @@
 
 pub mod designs;
 pub mod fmt;
+pub mod reliability;
 pub mod soak;
 pub mod sweeps;
 

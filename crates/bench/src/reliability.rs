@@ -1,0 +1,311 @@
+//! Reliability sweep: every catalog scheme against every fault model,
+//! on the deterministic parallel engine.
+//!
+//! The paper's analysis assumes i.i.d. wire flips (eq. (5)); real
+//! interconnect also suffers burst noise, hard defects (stuck-at and
+//! bridging faults), and transient supply droop. This sweep runs each
+//! coding scheme over a 16-bit link under one fault process at a time
+//! and records the residual reliability, correction/detection activity,
+//! and cost (cycles, energy), so the schemes' robustness can be compared
+//! beyond the regime they were designed for.
+//!
+//! One (scheme, fault) run is one shard: the grid is a static list, each
+//! run's link engine and traffic generator are constructed inside the
+//! shard from the run's own seeds, and results merge in grid order — so
+//! the JSON written to `results/BENCH_reliability.json` is byte-identical
+//! for `--threads 1` and `--threads N`, which CI `cmp`s.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin reliability`
+//! (add `--threads N` to override the worker count, `--trace-out <path>`
+//! for a telemetry event log plus Perfetto trace of the sweep).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+
+use socbus_channel::{BridgeMode, FaultSpec};
+use socbus_codes::Scheme;
+use socbus_exec::{default_threads, parse_threads, run_shards};
+use socbus_noc::link::{simulate_link_with, LinkConfig, LinkReport};
+use socbus_noc::traffic::UniformTraffic;
+use socbus_telemetry::{Recorder, Telemetry};
+
+/// Data bits per transferred word.
+pub const DATA_BITS: usize = 16;
+/// Words per (scheme, fault) run.
+pub const WORDS: usize = 20_000;
+/// Root seed of the sweep (traffic seed is `SEED ^ 0xA5`).
+pub const SEED: u64 = 17;
+/// Coupling ratio λ used for the energy-per-word column.
+pub const LAMBDA: f64 = 2.8;
+
+/// One representative instance of each fault model, named for the JSON.
+#[must_use]
+pub fn fault_suite() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("iid", FaultSpec::Iid { eps: 1e-3 }),
+        (
+            "burst",
+            FaultSpec::Burst {
+                eps_good: 1e-4,
+                eps_bad: 0.05,
+                p_enter: 0.01,
+                p_exit: 0.2,
+            },
+        ),
+        (
+            "stuck_at_0",
+            FaultSpec::StuckAt {
+                wire: 0,
+                value: false,
+            },
+        ),
+        (
+            "bridge_or",
+            FaultSpec::Bridge {
+                wire: 1,
+                mode: BridgeMode::Or,
+            },
+        ),
+        (
+            "droop",
+            FaultSpec::Droop {
+                eps: 1e-4,
+                scale: 100.0,
+                start: 5_000,
+                duration: 2_000,
+            },
+        ),
+    ]
+}
+
+/// The static shard list: every catalog scheme × every fault model, in
+/// the (scheme-major) order the JSON renders.
+#[must_use]
+pub fn sweep_cells() -> Vec<(Scheme, &'static str, FaultSpec)> {
+    let mut cells = Vec::new();
+    for scheme in Scheme::catalog() {
+        for (fault_name, spec) in fault_suite() {
+            cells.push((scheme, fault_name, spec));
+        }
+    }
+    cells
+}
+
+/// Runs one sweep cell with the given telemetry handle — the shard body.
+fn run_cell(scheme: Scheme, spec: &FaultSpec, tel: Telemetry) -> LinkReport {
+    let cfg = LinkConfig::new(scheme, DATA_BITS, 0.0).with_fault(spec.clone());
+    simulate_link_with(
+        &cfg,
+        UniformTraffic::new(DATA_BITS, SEED ^ 0xA5).take(WORDS),
+        SEED,
+        tel,
+    )
+}
+
+/// Runs the whole sweep on up to `threads` workers; reports come back in
+/// grid order, identically for every thread count.
+#[must_use]
+pub fn run_sweep_parallel(threads: usize) -> Vec<(Scheme, &'static str, FaultSpec, LinkReport)> {
+    let cells = sweep_cells();
+    run_shards(threads, &cells, |_, (scheme, fault_name, spec)| {
+        (
+            *scheme,
+            *fault_name,
+            spec.clone(),
+            run_cell(*scheme, spec, Telemetry::off()),
+        )
+    })
+}
+
+/// [`run_sweep_parallel`] with telemetry: per-shard recorders, absorbed
+/// in grid order at merge (see `Recorder::absorb`), so the combined
+/// recording is thread-count invariant too.
+#[must_use]
+pub fn run_sweep_traced(
+    threads: usize,
+) -> (Vec<(Scheme, &'static str, FaultSpec, LinkReport)>, Recorder) {
+    let cells = sweep_cells();
+    let sharded = run_shards(threads, &cells, |_, (scheme, fault_name, spec)| {
+        let rec = Rc::new(Recorder::new());
+        let report = run_cell(*scheme, spec, Telemetry::from_recorder(&rec));
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("simulate_link_with released every telemetry handle");
+        (*scheme, *fault_name, spec.clone(), report, rec)
+    });
+    let combined = Recorder::new();
+    let runs = sharded
+        .into_iter()
+        .map(|(scheme, fault_name, spec, report, rec)| {
+            combined.absorb(&rec);
+            (scheme, fault_name, spec, report)
+        })
+        .collect();
+    (runs, combined)
+}
+
+/// Formats an `f64` for the JSON output. Exponential with fixed
+/// precision keeps the rendering deterministic and diff-friendly.
+fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+/// Renders the sweep JSON (the `results/BENCH_reliability.json` format).
+#[must_use]
+pub fn render_json(runs: &[(Scheme, &'static str, FaultSpec, LinkReport)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"data_bits\": {DATA_BITS},");
+    let _ = writeln!(json, "  \"words_per_run\": {WORDS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"lambda\": {LAMBDA},");
+    json.push_str("  \"runs\": [\n");
+    let mut first = true;
+    for (scheme, fault_name, spec, r) in runs {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str("    {");
+        let _ = write!(json, "\"scheme\": \"{}\", ", scheme.name());
+        let _ = write!(json, "\"fault\": \"{fault_name}\", ");
+        let _ = write!(json, "\"fault_detail\": \"{}\", ", spec.label());
+        let _ = write!(json, "\"offered\": {}, ", r.offered);
+        let _ = write!(json, "\"residual_errors\": {}, ", r.residual_errors);
+        let _ = write!(json, "\"residual_rate\": {}, ", num(r.residual_rate()));
+        let _ = write!(json, "\"corrected\": {}, ", r.corrected);
+        let _ = write!(json, "\"detected\": {}, ", r.detected);
+        let _ = write!(json, "\"retransmits\": {}, ", r.retransmits);
+        let _ = write!(json, "\"cycles\": {}, ", r.cycles);
+        let _ = write!(
+            json,
+            "\"energy_per_word\": {}",
+            num(r.energy_per_word(LAMBDA))
+        );
+        json.push('}');
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// The `reliability` binary's entry point.
+/// Args: `[--threads N] [--trace-out <path>] [out_path]`.
+/// Returns the process exit code.
+#[must_use]
+pub fn main_with_args(args: &[String]) -> i32 {
+    let mut threads = default_threads();
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_reliability.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| parse_threads(v)) else {
+                    eprintln!("reliability: --threads needs a positive integer");
+                    return 2;
+                };
+                threads = n;
+            }
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("reliability: --trace-out needs a path");
+                    return 2;
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("reliability: unknown flag {other}");
+                return 2;
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    let started = std::time::Instant::now();
+    let (runs, recorder) = if trace_out.is_some() {
+        let (runs, rec) = run_sweep_traced(threads);
+        (runs, Some(rec))
+    } else {
+        (run_sweep_parallel(threads), None)
+    };
+    let wall = started.elapsed();
+    for (scheme, fault_name, _, r) in &runs {
+        eprintln!(
+            "{:<14} {:<11} residual {:>10.3e}  corrected {:>6}  detected {:>6}",
+            scheme.name(),
+            fault_name,
+            r.residual_rate(),
+            r.corrected,
+            r.detected,
+        );
+    }
+    let json = render_json(&runs);
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write sweep output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "reliability: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
+    let schemes = Scheme::catalog().len();
+    let faults = fault_suite().len();
+    eprintln!(
+        "wrote {} runs ({schemes} schemes x {faults} fault models) on {threads} thread(s) in {:.2}s to {out_path}",
+        runs.len(),
+        wall.as_secs_f64()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ISSUE 4 satellite: every catalog scheme (sabotage excluded)
+    /// appears in the reliability sweep against every fault model, so a
+    /// newly cataloged scheme cannot silently skip the sweep matrix.
+    #[test]
+    fn sweep_covers_every_catalog_scheme_and_fault() {
+        let cells = sweep_cells();
+        let faults = fault_suite();
+        for scheme in Scheme::catalog() {
+            for (fault_name, _) in &faults {
+                assert!(
+                    cells
+                        .iter()
+                        .any(|(s, f, _)| *s == scheme && f == fault_name),
+                    "{} x {fault_name} missing from the reliability sweep",
+                    scheme.name()
+                );
+            }
+        }
+        assert!(cells.iter().all(|(s, _, _)| *s != Scheme::Sabotaged));
+        assert_eq!(cells.len(), Scheme::catalog().len() * faults.len());
+    }
+
+    /// Sweep shards cross threads: descriptor and result must be Send.
+    #[test]
+    fn sweep_shard_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<(Scheme, &'static str, FaultSpec)>();
+        assert_send::<(Scheme, &'static str, FaultSpec, LinkReport)>();
+    }
+}

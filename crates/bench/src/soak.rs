@@ -1,254 +1,42 @@
 //! The chaos soak campaign: every catalog scheme × every schedule
 //! family, under the online invariant monitors.
 //!
+//! Since the parallel-execution refactor the implementation lives in
+//! [`socbus_chaos::campaign`] (one campaign cell = one shard on the
+//! deterministic engine; see `DESIGN.md §12`); this module re-exports it
+//! so existing `socbus_bench::soak` users and the root `soak` binary
+//! keep working unchanged.
+//!
 //! The campaign is fully seeded and writes deterministic JSON to
 //! `results/BENCH_soak.json` — two invocations produce byte-identical
-//! output, which CI exploits by running the smoke campaign twice and
-//! comparing. Any invariant violation shrinks to a reproducer under
+//! output **for any `--threads` value**, which CI exploits by running
+//! the smoke campaign at `--threads 1` and `--threads 8` and comparing.
+//! Any invariant violation shrinks to a reproducer under
 //! `results/repro/` and the process exits nonzero.
 //!
 //! Run with `cargo run --release --bin soak` (add `--smoke` for the CI
-//! short campaign, `--trace-out <path>` for a telemetry event log plus a
-//! Perfetto trace of the campaign).
+//! short campaign, `--threads N` to override the worker count,
+//! `--trace-out <path>` for a telemetry event log plus a Perfetto trace
+//! of the campaign).
 
-use std::fmt::Write as _;
-use std::path::Path;
-use std::rc::Rc;
-
-use socbus_chaos::{
-    build_case, run_case_with, write_repro, CaseOutcome, InvariantKind, ScheduleFamily,
+pub use socbus_chaos::campaign::{
+    campaign_cells, render_json, run_campaign, run_campaign_parallel, run_campaign_traced,
+    run_campaign_with, FULL_WORDS, HOPS, SMOKE_WORDS,
 };
-use socbus_codes::Scheme;
-use socbus_telemetry::{Recorder, Telemetry};
-
-/// Words per case in the default campaign.
-pub const FULL_WORDS: u64 = 2_000;
-/// Words per case in the `--smoke` campaign (CI).
-pub const SMOKE_WORDS: u64 = 300;
-/// Hops per case.
-pub const HOPS: usize = 3;
-
-/// Formats an `f64` for the JSON output (same convention as the
-/// reliability sweep: fixed-precision exponential, deterministic).
-fn num(x: f64) -> String {
-    if x == 0.0 {
-        "0.0".to_owned()
-    } else {
-        format!("{x:.6e}")
-    }
-}
-
-/// One campaign cell, named and seeded deterministically from its grid
-/// position.
-fn campaign(words: u64) -> Vec<(Scheme, ScheduleFamily, u64)> {
-    let mut cells = Vec::new();
-    for (si, scheme) in Scheme::catalog().into_iter().enumerate() {
-        for (fi, family) in ScheduleFamily::all().into_iter().enumerate() {
-            // The seed fixes the schedule AND the protocol flavour
-            // (correcting schemes alternate FEC / backoff-ARQ by parity).
-            let seed = (si * ScheduleFamily::all().len() + fi) as u64 + 1;
-            cells.push((scheme, family, seed));
-        }
-    }
-    debug_assert!(words > 0);
-    cells
-}
-
-/// Runs the whole campaign, returning per-cell outcomes in grid order.
-#[must_use]
-pub fn run_campaign(words: u64) -> Vec<(String, CaseOutcome)> {
-    run_campaign_with(words, Telemetry::off())
-}
-
-/// [`run_campaign`] with a telemetry handle shared by every cell —
-/// counters accumulate across the whole grid and spans/events land in
-/// one ring, so a single export covers the full campaign.
-#[must_use]
-pub fn run_campaign_with(words: u64, tel: Telemetry) -> Vec<(String, CaseOutcome)> {
-    campaign(words)
-        .into_iter()
-        .map(|(scheme, family, seed)| {
-            let cfg = build_case(scheme, family, seed, words, HOPS);
-            let name = cfg.name.clone();
-            (name, run_case_with(&cfg, tel.clone()))
-        })
-        .collect()
-}
-
-/// Renders the campaign JSON.
-#[must_use]
-pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(
-        json,
-        "  \"data_bits\": {},",
-        socbus_chaos::cli::DEFAULT_DATA_BITS
-    );
-    let _ = writeln!(json, "  \"hops\": {HOPS},");
-    let _ = writeln!(json, "  \"words_per_case\": {words},");
-    json.push_str("  \"cases\": [\n");
-    let mut first = true;
-    for (name, out) in outcomes {
-        if !first {
-            json.push_str(",\n");
-        }
-        first = false;
-        let retransmits: u64 = out.report.per_hop.iter().map(|h| h.retransmits).sum();
-        let transitions: usize = out.report.per_hop.iter().map(|h| h.transitions.len()).sum();
-        json.push_str("    {");
-        let _ = write!(json, "\"case\": \"{name}\", ");
-        let _ = write!(json, "\"violations\": {}, ", out.violations.len());
-        let _ = write!(json, "\"worst_word_cycles\": {}, ", out.worst_word_cycles);
-        let _ = write!(json, "\"budget_cycles\": {}, ", out.budget_cycles);
-        let _ = write!(json, "\"e2e_errors\": {}, ", out.report.end_to_end_errors);
-        let _ = write!(json, "\"retransmits\": {retransmits}, ");
-        let _ = write!(json, "\"transitions\": {transitions}, ");
-        let _ = write!(
-            json,
-            "\"cycles_per_word\": {}",
-            num(out.report.cycles_per_word())
-        );
-        json.push('}');
-    }
-    json.push_str("\n  ],\n");
-    json.push_str("  \"invariants\": {\n");
-    let mut first = true;
-    for kind in InvariantKind::all() {
-        if !first {
-            json.push_str(",\n");
-        }
-        first = false;
-        let (checked, violated) = outcomes
-            .iter()
-            .flat_map(|(_, out)| out.stats.iter())
-            .filter(|(k, _)| *k == kind)
-            .fold((0u64, 0u64), |(c, v), (_, s)| {
-                (c + s.checked, v + s.violated)
-            });
-        let _ = write!(
-            json,
-            "    \"{}\": {{\"checked\": {checked}, \"violated\": {violated}}}",
-            kind.name()
-        );
-    }
-    json.push_str("\n  },\n");
-    let worst = outcomes
-        .iter()
-        .map(|(_, out)| out.worst_word_cycles)
-        .max()
-        .unwrap_or(0);
-    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
-    let _ = writeln!(json, "  \"worst_word_cycles\": {worst},");
-    let _ = writeln!(json, "  \"violations\": {violations}");
-    json.push_str("}\n");
-    json
-}
 
 /// The `soak` binary's entry point.
-/// Args: `[--smoke] [--trace-out <path>] [out_path]`.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
 /// Returns the process exit code (nonzero iff any invariant violated).
 #[must_use]
 pub fn main_with_args(args: &[String]) -> i32 {
-    let mut smoke = false;
-    let mut trace_out: Option<String> = None;
-    let mut out_path = "results/BENCH_soak.json".to_owned();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--trace-out" => {
-                let Some(path) = it.next() else {
-                    eprintln!("soak: --trace-out needs a path");
-                    return 2;
-                };
-                trace_out = Some(path.clone());
-            }
-            other if other.starts_with("--") => {
-                eprintln!("soak: unknown flag {other}");
-                return 2;
-            }
-            other => out_path = other.to_owned(),
-        }
-    }
-    let words = if smoke { SMOKE_WORDS } else { FULL_WORDS };
-    let recorder = trace_out.as_ref().map(|_| Rc::new(Recorder::new()));
-    let tel = recorder
-        .as_ref()
-        .map_or_else(Telemetry::off, Telemetry::from_recorder);
-    let outcomes = run_campaign_with(words, tel);
-    for (name, out) in &outcomes {
-        eprintln!(
-            "{name:<26} latency {:>3}/{:<3}  e2e {:>4}  violations {}",
-            out.worst_word_cycles,
-            out.budget_cycles,
-            out.report.end_to_end_errors,
-            out.violations.len()
-        );
-    }
-    let json = render_json(words, &outcomes);
-    if let Some(dir) = Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&out_path, &json).expect("write soak output");
-    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
-        if let Some(dir) = Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create trace directory");
-            }
-        }
-        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
-        let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
-        let stats = rec.ring_stats();
-        eprintln!(
-            "soak: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
-            stats.recorded, stats.dropped
-        );
-    }
-    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
-    eprintln!(
-        "soak: {} cases x {words} words -> {out_path} ({violations} violation(s))",
-        outcomes.len()
-    );
-    if violations == 0 {
-        return 0;
-    }
-    // Shrink the first violating cell to a reproducer for the artifact,
-    // then replay the shrunken case under telemetry so a Perfetto trace
-    // of the minimal failure lands next to it.
-    for ((scheme, family, seed), (name, out)) in campaign(words).into_iter().zip(&outcomes) {
-        if let Some(v) = out.violations.first() {
-            eprintln!("soak: {name} violated: {}", v.detail);
-            let cfg = build_case(scheme, family, seed, words, HOPS);
-            match write_repro(&cfg, v, Path::new("results/repro")) {
-                Ok(file) => {
-                    eprintln!("soak: reproducer written to {}", file.display());
-                    let rec = Rc::new(Recorder::new());
-                    let replayed = std::fs::read_to_string(&file).ok().and_then(|text| {
-                        socbus_chaos::cli::replay_text_with(&text, Telemetry::from_recorder(&rec))
-                            .ok()
-                    });
-                    if replayed.is_some() {
-                        let trace = format!("{}.trace.json", file.display());
-                        std::fs::write(&trace, rec.export_chrome_trace())
-                            .expect("write repro trace");
-                        eprintln!("soak: trace written to {trace}");
-                    }
-                }
-                Err(e) => eprintln!("soak: shrink failed: {e}"),
-            }
-            break;
-        }
-    }
-    1
+    socbus_chaos::campaign::campaign_main(args)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socbus_chaos::ScheduleFamily;
+    use socbus_codes::Scheme;
 
     /// The smoke campaign is clean and its JSON is byte-deterministic —
     /// the exact property the CI job re-checks with two real runs.
@@ -268,7 +56,7 @@ mod tests {
 
     #[test]
     fn campaign_covers_the_whole_grid() {
-        let cells = campaign(SMOKE_WORDS);
+        let cells = campaign_cells(SMOKE_WORDS);
         assert_eq!(
             cells.len(),
             Scheme::catalog().len() * ScheduleFamily::all().len()

@@ -36,5 +36,8 @@ pub use fault::{
     rescale_eps, BridgeFault, BridgeMode, DroopFault, FaultInjector, FaultModel, FaultSpec,
     GilbertElliott, IidFault, StuckAtFault,
 };
-pub use montecarlo::{word_error_rate, word_error_rate_traced, WordErrorEstimate};
+pub use montecarlo::{
+    mc_shards, word_error_rate, word_error_rate_parallel, word_error_rate_parallel_traced,
+    word_error_rate_traced, WordErrorEstimate,
+};
 pub use scaling::{scale_voltage, ResidualModel, ScaledDesign};

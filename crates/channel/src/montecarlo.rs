@@ -5,17 +5,30 @@
 //! eqs. (7)–(9) and Appendix II, run at error rates high enough to
 //! observe (the analytic formulas then extrapolate to the 1e-20 design
 //! point, exactly as the paper does).
+//!
+//! Large runs go through [`word_error_rate_parallel`]: trials are cut
+//! into a *static* shard list of [`MC_SHARD_TRIALS`]-sized chunks, each
+//! shard seeded by [`socbus_exec::shard_seed`] from the root seed and
+//! its shard index, shards execute on a work-stealing thread pool, and
+//! the per-shard estimates merge in shard order — so the result is
+//! bit-identical for every thread count, 1 included.
 
 use crate::awgn::BitFlipChannel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use socbus_codes::Scheme;
+use socbus_exec::{run_shards, shard_seed};
 use socbus_model::Word;
 use socbus_telemetry::Telemetry;
 
 /// Trials between `mc.progress` telemetry events in
 /// [`word_error_rate_traced`]; small runs emit a single final event.
 pub const MC_PROGRESS_CHUNK: u64 = 10_000;
+
+/// Trials per shard in [`word_error_rate_parallel`]. Part of the result
+/// definition: the decomposition (and therefore the merged estimate) is
+/// fixed by the trial count alone, never by the thread count.
+pub const MC_SHARD_TRIALS: u64 = 65_536;
 
 /// Result of a word-error Monte-Carlo run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +63,46 @@ impl WordErrorEstimate {
         }
         1.96 * var.sqrt()
     }
+
+    /// Merges per-shard estimates into the whole-run estimate: trials
+    /// and failures add exactly, and the rate is **recomputed** from the
+    /// merged tallies (never averaged — shards may have unequal sizes).
+    /// The result is identical to a monolithic run that produced the
+    /// same total tallies, `confidence95` included. An empty iterator
+    /// (or all-empty shards) yields the zero-trial estimate.
+    #[must_use]
+    pub fn merged(shards: impl IntoIterator<Item = WordErrorEstimate>) -> WordErrorEstimate {
+        let (trials, failures) = shards
+            .into_iter()
+            .fold((0u64, 0u64), |(t, f), s| (t + s.trials, f + s.failures));
+        WordErrorEstimate {
+            rate: if trials == 0 {
+                0.0
+            } else {
+                failures as f64 / trials as f64
+            },
+            trials,
+            failures,
+        }
+    }
+}
+
+/// The static shard decomposition of a `trials`-sized run rooted at
+/// `root_seed`: `(shard trials, shard seed)` pairs of [`MC_SHARD_TRIALS`]
+/// full shards plus one remainder shard. Thread-count independent by
+/// construction; exposed so tests can assert the decomposition directly.
+#[must_use]
+pub fn mc_shards(trials: u64, root_seed: u64) -> Vec<(u64, u64)> {
+    let full = trials / MC_SHARD_TRIALS;
+    let rem = trials % MC_SHARD_TRIALS;
+    let mut shards = Vec::with_capacity(usize::try_from(full).unwrap_or(usize::MAX) + 1);
+    for i in 0..full {
+        shards.push((MC_SHARD_TRIALS, shard_seed(root_seed, i)));
+    }
+    if rem > 0 {
+        shards.push((rem, shard_seed(root_seed, full)));
+    }
+    shards
 }
 
 /// Measures the residual word-error rate of `scheme` at width `k` under
@@ -131,6 +184,79 @@ pub fn word_error_rate_traced(
         trials,
         failures,
     }
+}
+
+/// [`word_error_rate`] on the deterministic parallel engine: the run is
+/// cut by [`mc_shards`] into a thread-count-independent shard list, each
+/// shard measured with its own split seed, and the per-shard estimates
+/// merged in shard order via [`WordErrorEstimate::merged`] — so any
+/// `threads >= 1` returns the identical estimate (the property the
+/// determinism proptests pin down).
+///
+/// Note the sharded estimate differs from the single-stream
+/// [`word_error_rate`] at equal `(trials, seed)` — the RNG streams are
+/// split differently — but it is a Monte-Carlo estimate of the same
+/// quantity with the same variance, and unlike the single-stream form it
+/// scales to the paper's low-ε trial counts.
+#[must_use]
+pub fn word_error_rate_parallel(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    root_seed: u64,
+    threads: usize,
+) -> WordErrorEstimate {
+    word_error_rate_parallel_traced(
+        scheme,
+        k,
+        eps,
+        trials,
+        root_seed,
+        threads,
+        &Telemetry::off(),
+    )
+}
+
+/// [`word_error_rate_parallel`] with merge-time telemetry. Shards run
+/// *untraced* (per-trial progress events from concurrent shards would
+/// interleave nondeterministically); instead, one `mc.progress` event
+/// plus `mc.trials`/`mc.failures` counter increments are emitted **per
+/// shard, at merge time, in shard order**, and the final `mc.rate` gauge
+/// is set once — the recording is byte-identical for every thread count
+/// and the estimate is exactly the untraced one.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn word_error_rate_parallel_traced(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    root_seed: u64,
+    threads: usize,
+    tel: &Telemetry,
+) -> WordErrorEstimate {
+    let shards = mc_shards(trials, root_seed);
+    let estimates = run_shards(threads, &shards, |_, &(shard_trials, seed)| {
+        word_error_rate(scheme, k, eps, shard_trials, seed)
+    });
+    if tel.is_enabled() {
+        let scheme_name = scheme.name();
+        let labels = [("scheme", scheme_name.as_str())];
+        let mut done = 0u64;
+        let mut failures = 0u64;
+        for shard in &estimates {
+            done += shard.trials;
+            failures += shard.failures;
+            tel.event("mc.progress", &labels, done);
+            tel.counter("mc.trials", &labels, shard.trials);
+            tel.counter("mc.failures", &labels, shard.failures);
+        }
+        if done > 0 {
+            tel.gauge("mc.rate", &labels, failures as f64 / done as f64);
+        }
+    }
+    WordErrorEstimate::merged(estimates)
 }
 
 #[cfg(test)]
@@ -264,6 +390,148 @@ mod tests {
         // 2 full chunks + the final partial chunk = 3 progress events.
         let stats = recorder.ring_stats();
         assert_eq!(stats.recorded, 3);
+    }
+
+    /// ISSUE 4 satellite: shard merge preserves tallies exactly and
+    /// recomputes (never averages) the rate.
+    #[test]
+    fn merged_preserves_tallies_and_recomputes_rate() {
+        let shards = [
+            WordErrorEstimate {
+                rate: 0.5,
+                trials: 10,
+                failures: 5,
+            },
+            WordErrorEstimate {
+                rate: 0.01,
+                trials: 1000,
+                failures: 10,
+            },
+        ];
+        let m = WordErrorEstimate::merged(shards);
+        assert_eq!(m.trials, 1010);
+        assert_eq!(m.failures, 15);
+        // Recomputed from the merged tallies (15/1010 ≈ 0.01485), NOT
+        // the shard-rate average (0.255) — unequal shards would bias it.
+        assert!((m.rate - 15.0 / 1010.0).abs() < 1e-15);
+        // The merged confidence interval is the monolithic run's: an
+        // estimate built directly from the same totals agrees exactly.
+        let mono = WordErrorEstimate {
+            rate: 15.0 / 1010.0,
+            trials: 1010,
+            failures: 15,
+        };
+        assert_eq!(m, mono);
+        assert_eq!(m.confidence95(), mono.confidence95());
+    }
+
+    /// Merge edge cases: empty input, empty shards, all-failure shards.
+    #[test]
+    fn merged_edge_cases() {
+        let zero = WordErrorEstimate::merged([]);
+        assert_eq!((zero.rate, zero.trials, zero.failures), (0.0, 0, 0));
+        assert_eq!(zero.confidence95(), f64::INFINITY);
+        // An empty shard (aborted or zero-length) contributes nothing.
+        let empty = WordErrorEstimate {
+            rate: 0.0,
+            trials: 0,
+            failures: 0,
+        };
+        let real = WordErrorEstimate {
+            rate: 0.25,
+            trials: 8,
+            failures: 2,
+        };
+        let m = WordErrorEstimate::merged([empty, real, empty]);
+        assert_eq!(m, real);
+        // An all-failure shard merges to the exact failure count and the
+        // p=1 degenerate interval when alone.
+        let all_fail = WordErrorEstimate {
+            rate: 1.0,
+            trials: 16,
+            failures: 16,
+        };
+        let solo = WordErrorEstimate::merged([all_fail]);
+        assert_eq!(solo.rate, 1.0);
+        assert_eq!(solo.confidence95(), 0.0);
+        let mixed = WordErrorEstimate::merged([all_fail, real]);
+        assert_eq!(mixed.trials, 24);
+        assert_eq!(mixed.failures, 18);
+        assert!((mixed.rate - 0.75).abs() < 1e-15);
+    }
+
+    /// The static decomposition covers every trial exactly once and is
+    /// seeded purely by `(root, index)`.
+    #[test]
+    fn mc_shards_partition_the_trials() {
+        for trials in [
+            0,
+            1,
+            MC_SHARD_TRIALS - 1,
+            MC_SHARD_TRIALS,
+            3 * MC_SHARD_TRIALS + 7,
+        ] {
+            let shards = mc_shards(trials, 99);
+            let total: u64 = shards.iter().map(|&(t, _)| t).sum();
+            assert_eq!(total, trials, "trials={trials}");
+            assert!(shards.iter().all(|&(t, _)| t > 0 && t <= MC_SHARD_TRIALS));
+            let mut seeds: Vec<u64> = shards.iter().map(|&(_, s)| s).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), shards.len(), "split seeds are distinct");
+        }
+        assert!(mc_shards(0, 99).is_empty());
+    }
+
+    /// The parallel estimate is invariant in the thread count — the
+    /// direct (non-proptest) version of the determinism property.
+    #[test]
+    fn parallel_estimate_is_thread_count_invariant() {
+        let trials = 2 * MC_SHARD_TRIALS + 4321;
+        let one = word_error_rate_parallel(Scheme::Dap, 8, 5e-3, trials, 7, 1);
+        for threads in [2, 3, 7, 16] {
+            let n = word_error_rate_parallel(Scheme::Dap, 8, 5e-3, trials, 7, threads);
+            assert_eq!(one, n, "threads={threads}");
+        }
+        assert_eq!(one.trials, trials);
+    }
+
+    /// ISSUE 4 satellite (progress-event fix): the merge-time-traced
+    /// parallel run returns the identical estimate to the untraced one,
+    /// and its telemetry is emitted once per shard in shard order.
+    #[test]
+    fn parallel_traced_matches_plain_and_reports_per_shard() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let (k, eps, seed) = (8, 5e-3, 41);
+        let trials = 2 * MC_SHARD_TRIALS + 123;
+        let plain = word_error_rate_parallel(Scheme::Dap, k, eps, trials, seed, 4);
+        let recorder = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&recorder);
+        let traced = word_error_rate_parallel_traced(Scheme::Dap, k, eps, trials, seed, 4, &tel);
+        assert_eq!(plain, traced, "telemetry must not disturb the estimate");
+        let labels = [("scheme", "DAP")];
+        assert_eq!(recorder.counter_value("mc.trials", &labels), trials);
+        assert_eq!(
+            recorder.counter_value("mc.failures", &labels),
+            traced.failures
+        );
+        assert_eq!(recorder.gauge_value("mc.rate", &labels), Some(traced.rate));
+        // One progress event per shard — emitted at merge, so the count
+        // and order are fixed by the decomposition, not the scheduler.
+        assert_eq!(
+            recorder.ring_stats().recorded,
+            mc_shards(trials, seed).len()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_analytic_rate() {
+        // The sharded estimator measures the same quantity as the
+        // single-stream one: check it against the analytic formula.
+        let (k, eps) = (8, 2e-3);
+        let m = word_error_rate_parallel(Scheme::Uncoded, k, eps, 200_000, 11, 4);
+        assert_close(&m, noise::word_error_uncoded_exact(k, eps), "parallel");
     }
 
     #[test]

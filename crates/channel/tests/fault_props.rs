@@ -14,6 +14,7 @@ proptest! {
     /// through hundreds of burst episodes, and the tolerance budgets the
     /// burst-correlated variance (the effective sample count is the
     /// number of independent burst episodes, not the cycle count).
+    #[test]
     fn avg_eps_matches_empirical_rate(
         eps_good in 0.0f64..0.02,
         eps_bad in 0.05f64..0.3,

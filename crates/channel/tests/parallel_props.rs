@@ -1,0 +1,59 @@
+//! Determinism properties for the sharded Monte-Carlo runner (ISSUE 4
+//! satellite): the thread count is a pure execution detail, so
+//! [`word_error_rate_parallel`] must return an identical
+//! [`WordErrorEstimate`] — rate, trials, and failures all equal — no
+//! matter how many workers execute the shard list.
+
+use proptest::prelude::*;
+use socbus_channel::{mc_shards, word_error_rate_parallel, WordErrorEstimate};
+use socbus_codes::Scheme;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For a random (scheme, ε, trials, root seed), running the sharded
+    /// estimator on 1, 2, and 7 threads yields the *same* estimate. The
+    /// trial range straddles the 65 536-trial shard size so single-shard,
+    /// exact-multiple, and ragged-remainder decompositions all appear.
+    #[test]
+    fn estimate_is_thread_count_invariant(
+        scheme_pick in any::<u64>(),
+        eps in 1e-4f64..0.05,
+        trials in 1u64..80_000,
+        root_seed in any::<u64>(),
+    ) {
+        let catalog = Scheme::catalog();
+        let scheme = catalog[(scheme_pick % catalog.len() as u64) as usize];
+        let one = word_error_rate_parallel(scheme, 16, eps, trials, root_seed, 1);
+        let two = word_error_rate_parallel(scheme, 16, eps, trials, root_seed, 2);
+        let seven = word_error_rate_parallel(scheme, 16, eps, trials, root_seed, 7);
+        prop_assert_eq!(one, two, "1 vs 2 threads diverged");
+        prop_assert_eq!(one, seven, "1 vs 7 threads diverged");
+        prop_assert_eq!(one.trials, trials, "merged trial count must be exact");
+        let expected: WordErrorEstimate = WordErrorEstimate {
+            rate: if trials == 0 { 0.0 } else { one.failures as f64 / trials as f64 },
+            trials,
+            failures: one.failures,
+        };
+        prop_assert_eq!(one, expected, "rate must be failures/trials of the merge");
+    }
+
+    /// The shard decomposition itself is a function of (trials, seed)
+    /// only: shard trial counts always sum to the request, and shard
+    /// seeds are distinct (SplitMix64 splitting), so no two shards ever
+    /// replay the same RNG stream.
+    #[test]
+    fn shard_decomposition_is_exact_and_streams_distinct(
+        trials in 1u64..500_000,
+        root_seed in any::<u64>(),
+    ) {
+        let shards = mc_shards(trials, root_seed);
+        let total: u64 = shards.iter().map(|(n, _)| n).sum();
+        prop_assert_eq!(total, trials, "shard trials must sum to the request");
+        prop_assert!(shards.iter().all(|(n, _)| *n > 0), "empty shard emitted");
+        let mut seeds: Vec<u64> = shards.iter().map(|(_, s)| *s).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), shards.len(), "duplicate shard seed");
+    }
+}

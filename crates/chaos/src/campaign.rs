@@ -1,0 +1,390 @@
+//! The soak campaign on the deterministic parallel engine.
+//!
+//! The campaign grid — every catalog scheme × every schedule family —
+//! is a *static shard list*: one cell is one shard, named and seeded by
+//! its grid position alone. Worker threads claim cells from the engine's
+//! atomic queue, each cell constructs its own `PathSim` (and, when
+//! tracing, its own private [`Recorder`]) *inside* the shard, and the
+//! outcomes merge in grid order. The rendered JSON is therefore
+//! byte-identical for `--threads 1` and `--threads N` — the property CI
+//! pins by running the bins at both and `cmp`-ing.
+//!
+//! This module is the single implementation behind both entry points:
+//! `cargo run --bin soak` and `cargo run --bin chaos -- run`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+
+use socbus_codes::Scheme;
+use socbus_exec::{default_threads, parse_threads, run_shards};
+use socbus_telemetry::{Recorder, Telemetry};
+
+use crate::cli::{build_case, write_repro, DEFAULT_DATA_BITS};
+use crate::monitor::InvariantKind;
+use crate::runner::{run_case, run_case_with, CaseOutcome};
+use crate::schedule::ScheduleFamily;
+
+/// Words per case in the default campaign.
+pub const FULL_WORDS: u64 = 2_000;
+/// Words per case in the `--smoke` campaign (CI).
+pub const SMOKE_WORDS: u64 = 300;
+/// Hops per case.
+pub const HOPS: usize = 3;
+
+/// Formats an `f64` for the JSON output (same convention as the
+/// reliability sweep: fixed-precision exponential, deterministic).
+fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+/// The static shard list: one campaign cell per (scheme, family) grid
+/// position, seeded deterministically from that position.
+#[must_use]
+pub fn campaign_cells(words: u64) -> Vec<(Scheme, ScheduleFamily, u64)> {
+    let mut cells = Vec::new();
+    for (si, scheme) in Scheme::catalog().into_iter().enumerate() {
+        for (fi, family) in ScheduleFamily::all().into_iter().enumerate() {
+            // The seed fixes the schedule AND the protocol flavour
+            // (correcting schemes alternate FEC / backoff-ARQ by parity).
+            let seed = (si * ScheduleFamily::all().len() + fi) as u64 + 1;
+            cells.push((scheme, family, seed));
+        }
+    }
+    debug_assert!(words > 0);
+    cells
+}
+
+/// Runs the whole campaign single-threaded, untraced — the legacy entry
+/// point; exactly [`run_campaign_parallel`] with one thread.
+#[must_use]
+pub fn run_campaign(words: u64) -> Vec<(String, CaseOutcome)> {
+    run_campaign_parallel(words, 1)
+}
+
+/// Runs the whole campaign on up to `threads` workers, cell outcomes
+/// returned in grid order — identical to the single-threaded run for
+/// every thread count (cells are independent and self-seeded; the merge
+/// order is the grid order).
+#[must_use]
+pub fn run_campaign_parallel(words: u64, threads: usize) -> Vec<(String, CaseOutcome)> {
+    let cells = campaign_cells(words);
+    run_shards(threads, &cells, |_, &(scheme, family, seed)| {
+        let cfg = build_case(scheme, family, seed, words, HOPS);
+        (cfg.name.clone(), run_case(&cfg))
+    })
+}
+
+/// Runs the campaign *sequentially* with one shared telemetry handle —
+/// the overhead-gate hook (`bench --bin overhead` times every
+/// instrumentation site dispatching into a single sink, which is
+/// inherently a one-thread measurement). Parallel runs use
+/// [`run_campaign_traced`] instead; its merged recording matches this
+/// one's.
+#[must_use]
+pub fn run_campaign_with(words: u64, tel: Telemetry) -> Vec<(String, CaseOutcome)> {
+    campaign_cells(words)
+        .into_iter()
+        .map(|(scheme, family, seed)| {
+            let cfg = build_case(scheme, family, seed, words, HOPS);
+            let name = cfg.name.clone();
+            (name, run_case_with(&cfg, tel.clone()))
+        })
+        .collect()
+}
+
+/// [`run_campaign_parallel`] with telemetry: every cell records into a
+/// **private, shard-constructed** [`Recorder`] (the `Rc`-based
+/// [`Telemetry`] handles never cross threads), and the per-cell
+/// recordings are absorbed into one combined recorder in grid order at
+/// merge time. The combined recording — and the outcomes — are
+/// byte-identical for every thread count, and match what a sequential
+/// run sharing a single recorder would have produced.
+#[must_use]
+pub fn run_campaign_traced(words: u64, threads: usize) -> (Vec<(String, CaseOutcome)>, Recorder) {
+    let cells = campaign_cells(words);
+    let sharded = run_shards(threads, &cells, |_, &(scheme, family, seed)| {
+        let cfg = build_case(scheme, family, seed, words, HOPS);
+        let name = cfg.name.clone();
+        let rec = Rc::new(Recorder::new());
+        let out = run_case_with(&cfg, Telemetry::from_recorder(&rec));
+        // The run dropped every Telemetry clone with the sims, so the
+        // recorder has a single owner again and can cross back Send-ly.
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("run_case_with released every telemetry handle");
+        (name, out, rec)
+    });
+    let combined = Recorder::new();
+    let outcomes = sharded
+        .into_iter()
+        .map(|(name, out, rec)| {
+            combined.absorb(&rec);
+            (name, out)
+        })
+        .collect();
+    (outcomes, combined)
+}
+
+/// Renders the campaign JSON.
+#[must_use]
+pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"data_bits\": {DEFAULT_DATA_BITS},");
+    let _ = writeln!(json, "  \"hops\": {HOPS},");
+    let _ = writeln!(json, "  \"words_per_case\": {words},");
+    json.push_str("  \"cases\": [\n");
+    let mut first = true;
+    for (name, out) in outcomes {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let retransmits: u64 = out.report.per_hop.iter().map(|h| h.retransmits).sum();
+        let transitions: usize = out.report.per_hop.iter().map(|h| h.transitions.len()).sum();
+        json.push_str("    {");
+        let _ = write!(json, "\"case\": \"{name}\", ");
+        let _ = write!(json, "\"violations\": {}, ", out.violations.len());
+        let _ = write!(json, "\"worst_word_cycles\": {}, ", out.worst_word_cycles);
+        let _ = write!(json, "\"budget_cycles\": {}, ", out.budget_cycles);
+        let _ = write!(json, "\"e2e_errors\": {}, ", out.report.end_to_end_errors);
+        let _ = write!(json, "\"retransmits\": {retransmits}, ");
+        let _ = write!(json, "\"transitions\": {transitions}, ");
+        let _ = write!(
+            json,
+            "\"cycles_per_word\": {}",
+            num(out.report.cycles_per_word())
+        );
+        json.push('}');
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"invariants\": {\n");
+    let mut first = true;
+    for kind in InvariantKind::all() {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let (checked, violated) = outcomes
+            .iter()
+            .flat_map(|(_, out)| out.stats.iter())
+            .filter(|(k, _)| *k == kind)
+            .fold((0u64, 0u64), |(c, v), (_, s)| {
+                (c + s.checked, v + s.violated)
+            });
+        let _ = write!(
+            json,
+            "    \"{}\": {{\"checked\": {checked}, \"violated\": {violated}}}",
+            kind.name()
+        );
+    }
+    json.push_str("\n  },\n");
+    let worst = outcomes
+        .iter()
+        .map(|(_, out)| out.worst_word_cycles)
+        .max()
+        .unwrap_or(0);
+    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
+    let _ = writeln!(json, "  \"worst_word_cycles\": {worst},");
+    let _ = writeln!(json, "  \"violations\": {violations}");
+    json.push_str("}\n");
+    json
+}
+
+/// The campaign entry point shared by `soak` and `chaos run`.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
+/// Returns the process exit code (nonzero iff any invariant violated).
+#[must_use]
+pub fn campaign_main(args: &[String]) -> i32 {
+    let mut smoke = false;
+    let mut threads = default_threads();
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_soak.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| parse_threads(v)) else {
+                    eprintln!("soak: --threads needs a positive integer");
+                    return 2;
+                };
+                threads = n;
+            }
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("soak: --trace-out needs a path");
+                    return 2;
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("soak: unknown flag {other}");
+                return 2;
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    let words = if smoke { SMOKE_WORDS } else { FULL_WORDS };
+    let started = std::time::Instant::now();
+    let (outcomes, recorder) = if trace_out.is_some() {
+        let (outcomes, rec) = run_campaign_traced(words, threads);
+        (outcomes, Some(rec))
+    } else {
+        (run_campaign_parallel(words, threads), None)
+    };
+    let wall = started.elapsed();
+    for (name, out) in &outcomes {
+        eprintln!(
+            "{name:<26} latency {:>3}/{:<3}  e2e {:>4}  violations {}",
+            out.worst_word_cycles,
+            out.budget_cycles,
+            out.report.end_to_end_errors,
+            out.violations.len()
+        );
+    }
+    let json = render_json(words, &outcomes);
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write soak output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "soak: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
+    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
+    eprintln!(
+        "soak: {} cases x {words} words on {threads} thread(s) in {:.2}s -> {out_path} ({violations} violation(s))",
+        outcomes.len(),
+        wall.as_secs_f64()
+    );
+    if violations == 0 {
+        return 0;
+    }
+    // Shrink the first violating cell to a reproducer for the artifact,
+    // then replay the shrunken case under telemetry so a Perfetto trace
+    // of the minimal failure lands next to it.
+    for ((scheme, family, seed), (name, out)) in campaign_cells(words).into_iter().zip(&outcomes) {
+        if let Some(v) = out.violations.first() {
+            eprintln!("soak: {name} violated: {}", v.detail);
+            let cfg = build_case(scheme, family, seed, words, HOPS);
+            match write_repro(&cfg, v, Path::new("results/repro")) {
+                Ok(file) => {
+                    eprintln!("soak: reproducer written to {}", file.display());
+                    let rec = Rc::new(Recorder::new());
+                    let replayed = std::fs::read_to_string(&file).ok().and_then(|text| {
+                        crate::cli::replay_text_with(&text, Telemetry::from_recorder(&rec)).ok()
+                    });
+                    if replayed.is_some() {
+                        let trace = format!("{}.trace.json", file.display());
+                        std::fs::write(&trace, rec.export_chrome_trace())
+                            .expect("write repro trace");
+                        eprintln!("soak: trace written to {trace}");
+                    }
+                }
+                Err(e) => eprintln!("soak: shrink failed: {e}"),
+            }
+            break;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Campaign shards cross threads: the cell descriptor and the cell
+    /// outcome must both be `Send` (the sims themselves are
+    /// shard-constructed and never cross).
+    #[test]
+    fn campaign_shard_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<(Scheme, ScheduleFamily, u64)>();
+        assert_send::<(String, CaseOutcome)>();
+    }
+
+    /// The tentpole property at campaign level: outcomes and rendered
+    /// JSON are identical across thread counts.
+    #[test]
+    fn campaign_json_is_thread_count_invariant() {
+        let one = run_campaign_parallel(SMOKE_WORDS, 1);
+        let many = run_campaign_parallel(SMOKE_WORDS, 8);
+        assert_eq!(
+            render_json(SMOKE_WORDS, &one),
+            render_json(SMOKE_WORDS, &many)
+        );
+    }
+
+    /// Traced campaign: identical outcomes, and the merged recording is
+    /// itself thread-count invariant (export byte-compare).
+    #[test]
+    fn traced_campaign_is_thread_count_invariant_and_matches_untraced() {
+        let plain = run_campaign_parallel(SMOKE_WORDS, 2);
+        let (traced_one, rec_one) = run_campaign_traced(SMOKE_WORDS, 1);
+        let (traced_many, rec_many) = run_campaign_traced(SMOKE_WORDS, 8);
+        for ((pn, po), (tn, to)) in plain.iter().zip(&traced_one) {
+            assert_eq!(pn, tn);
+            assert_eq!(po.report, to.report, "{pn}: telemetry must not perturb");
+            assert_eq!(po.violations, to.violations);
+        }
+        assert_eq!(
+            traced_one
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            traced_many
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(rec_one.export_jsonl(), rec_many.export_jsonl());
+        assert_eq!(
+            rec_one.export_chrome_trace(),
+            rec_many.export_chrome_trace()
+        );
+    }
+
+    /// ISSUE 4 satellite: every catalog scheme (the sabotage self-test
+    /// scheme stays excluded) appears in the soak campaign cell list, so
+    /// a newly cataloged scheme cannot silently skip the soak matrix.
+    #[test]
+    fn campaign_covers_every_catalog_scheme() {
+        let cells = campaign_cells(SMOKE_WORDS);
+        for scheme in Scheme::catalog() {
+            assert!(
+                ScheduleFamily::all()
+                    .iter()
+                    .all(|family| cells.iter().any(|&(s, f, _)| s == scheme && f == *family)),
+                "{} missing from the soak campaign",
+                scheme.name()
+            );
+        }
+        assert!(
+            cells.iter().all(|&(s, _, _)| s != Scheme::Sabotaged),
+            "the planted-fault scheme must stay out of the campaign"
+        );
+        assert_eq!(
+            cells.len(),
+            Scheme::catalog().len() * ScheduleFamily::all().len()
+        );
+    }
+}

@@ -7,6 +7,10 @@
 //! chaos replay <file>
 //!     Re-run a reproducer file; exit 0 iff the recorded violation
 //!     reproduces (byte-identical canonical form is re-checked first).
+//! chaos run [--smoke] [--threads N] [--trace-out <path>] [out]
+//!     Run the whole soak campaign on the deterministic parallel engine
+//!     (same implementation as the `soak` binary; the JSON is
+//!     byte-identical for any thread count).
 //! ```
 //!
 //! The logic lives here (not in `bin/chaos.rs`) so the root package can
@@ -166,6 +170,7 @@ pub fn replay_text_with(text: &str, tel: Telemetry) -> Result<Option<Violation>,
 #[must_use]
 pub fn main_with_args(args: &[String]) -> i32 {
     match args {
+        [cmd, rest @ ..] if cmd == "run" => crate::campaign::campaign_main(rest),
         [cmd, file] if cmd == "replay" => {
             let text = match std::fs::read_to_string(file) {
                 Ok(t) => t,
@@ -252,7 +257,8 @@ pub fn main_with_args(args: &[String]) -> i32 {
         _ => {
             eprintln!(
                 "usage:\n  chaos case <scheme> <family> <seed> [words] [hops]\n  \
-                 chaos replay <file>\n\nfamilies: {}",
+                 chaos replay <file>\n  \
+                 chaos run [--smoke] [--threads N] [--trace-out <path>] [out]\n\nfamilies: {}",
                 ScheduleFamily::all().map(|f| f.name()).join(", ")
             );
             2

@@ -45,6 +45,7 @@
 //! assert!(out.worst_word_cycles <= out.budget_cycles);
 //! ```
 
+pub mod campaign;
 pub mod cli;
 pub mod monitor;
 pub mod replay;
@@ -52,6 +53,10 @@ pub mod runner;
 pub mod schedule;
 pub mod shrink;
 
+pub use campaign::{
+    campaign_cells, run_campaign, run_campaign_parallel, run_campaign_traced, run_campaign_with,
+    FULL_WORDS, HOPS, SMOKE_WORDS,
+};
 pub use cli::{build_case, main_with_args, protocol_for, write_repro};
 pub use monitor::{InvariantKind, InvariantStats, Monitor, Violation};
 pub use replay::{ExpectedViolation, Repro};

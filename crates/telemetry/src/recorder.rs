@@ -106,6 +106,18 @@ impl Histogram {
     }
 }
 
+/// An empty metric of the same kind (and, for histograms, the same
+/// bounds) as `like` — the identity element [`Recorder::absorb`] merges
+/// into when this recorder has no entry for a key yet.
+fn empty_like(like: &Metric) -> Metric {
+    match like {
+        Metric::Counter(_) => Metric::Counter(0),
+        // Gauges are last-write-wins; the absorbed value overwrites this.
+        Metric::Gauge(_) => Metric::Gauge(0.0),
+        Metric::Histogram(h) => Metric::Histogram(Histogram::new(h.bounds.clone())),
+    }
+}
+
 /// One recorded span or instant event.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct EventRecord {
@@ -234,6 +246,74 @@ impl Recorder {
     #[must_use]
     pub fn kind_conflicts(&self) -> u64 {
         self.inner.borrow().kind_conflicts
+    }
+
+    /// Merges `other`'s whole recording into this recorder — the
+    /// shard-merge primitive of the parallel engine: worker shards
+    /// record into private recorders (a `Recorder` is `Send`, so it can
+    /// come back from a worker thread), and the coordinator absorbs them
+    /// **in shard order**, which keeps the combined recording
+    /// deterministic for any thread count.
+    ///
+    /// Counters add; gauges take `other`'s value (last write wins, and
+    /// "last" is absorb order, i.e. shard order); histograms with equal
+    /// bounds merge bucket-wise; a kind or bounds mismatch is tallied in
+    /// [`Recorder::kind_conflicts`] and skipped. Events append after the
+    /// ones already held, under this ring's capacity (evicting oldest
+    /// first); `other`'s drop tally carries over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `other` are the same recorder.
+    pub fn absorb(&self, other: &Recorder) {
+        let other = other.inner.borrow();
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        for ((name, labels), metric) in &other.metrics {
+            match inner
+                .metrics
+                .entry((name.clone(), labels.clone()))
+                .or_insert_with(|| empty_like(metric))
+            {
+                Metric::Counter(a) => {
+                    if let Metric::Counter(b) = metric {
+                        *a += b;
+                    } else {
+                        inner.kind_conflicts += 1;
+                    }
+                }
+                Metric::Gauge(a) => {
+                    if let Metric::Gauge(b) = metric {
+                        *a = *b;
+                    } else {
+                        inner.kind_conflicts += 1;
+                    }
+                }
+                Metric::Histogram(a) => match metric {
+                    Metric::Histogram(b) if a.bounds == b.bounds => {
+                        for (c, d) in a.counts.iter_mut().zip(&b.counts) {
+                            *c += d;
+                        }
+                        a.sum += b.sum;
+                        a.count += b.count;
+                    }
+                    _ => inner.kind_conflicts += 1,
+                },
+            }
+        }
+        inner.kind_conflicts += other.kind_conflicts;
+        inner.dropped += other.dropped;
+        for record in &other.events {
+            if inner.capacity == 0 {
+                inner.dropped += 1;
+                continue;
+            }
+            while inner.events.len() >= inner.capacity {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+            inner.events.push_back(record.clone());
+        }
     }
 
     fn push_event(&self, record: EventRecord) {
@@ -380,6 +460,91 @@ mod tests {
         assert_eq!(stats.capacity, 2);
         let inner = r.inner.borrow();
         assert_eq!(inner.events[0].begin, 1, "oldest event evicted first");
+    }
+
+    /// The shard-merge contract: a Recorder crosses threads (`Send`) and
+    /// absorbing per-shard recorders in shard order reproduces the
+    /// sequential recording exactly.
+    #[test]
+    fn recorder_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Recorder>();
+    }
+
+    #[test]
+    fn absorb_merges_metrics_by_kind() {
+        let main = Recorder::new();
+        main.counter_add("c", &[("shard", "x")], 2);
+        main.gauge_set("g", &[], 1.0);
+        main.observe("h", &[], 3.0);
+        let shard = Recorder::new();
+        shard.counter_add("c", &[("shard", "x")], 5);
+        shard.counter_add("c2", &[], 7);
+        shard.gauge_set("g", &[], 9.5);
+        shard.observe("h", &[], 100.0);
+        main.absorb(&shard);
+        assert_eq!(main.counter_value("c", &[("shard", "x")]), 7);
+        assert_eq!(main.counter_value("c2", &[]), 7, "new keys carry over");
+        assert_eq!(main.gauge_value("g", &[]), Some(9.5), "absorb order wins");
+        let h = main.histogram("h", &[]).expect("histogram exists");
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 103.0).abs() < 1e-12);
+        assert_eq!(main.kind_conflicts(), 0);
+    }
+
+    #[test]
+    fn absorb_order_reproduces_sequential_recording() {
+        // Recording A then B into one recorder == absorbing per-shard
+        // recorders for A and B in that order.
+        let record = |r: &Recorder, tag: &str, at: u64| {
+            r.counter_add("words", &[("cell", tag)], at + 1);
+            r.event("ev", &[], at);
+        };
+        let sequential = Recorder::new();
+        record(&sequential, "a", 0);
+        record(&sequential, "b", 1);
+        let (sa, sb) = (Recorder::new(), Recorder::new());
+        record(&sa, "a", 0);
+        record(&sb, "b", 1);
+        let merged = Recorder::new();
+        merged.absorb(&sa);
+        merged.absorb(&sb);
+        assert_eq!(merged.export_jsonl(), sequential.export_jsonl());
+        assert_eq!(
+            merged.export_chrome_trace(),
+            sequential.export_chrome_trace()
+        );
+    }
+
+    #[test]
+    fn absorb_respects_ring_capacity_and_counts_conflicts() {
+        let main = Recorder::with_capacity(2);
+        main.event("kept", &[], 0);
+        let shard = Recorder::new();
+        shard.event("s1", &[], 1);
+        shard.event("s2", &[], 2);
+        main.absorb(&shard);
+        let stats = main.ring_stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.dropped, 1, "oldest evicted on overflow");
+        // A histogram-bounds mismatch is a conflict, not a merge.
+        let a = Recorder::new();
+        a.set_histogram_bounds("h", vec![1.0]);
+        a.observe("h", &[], 0.5);
+        let b = Recorder::new();
+        b.set_histogram_bounds("h", vec![2.0]);
+        b.observe("h", &[], 0.5);
+        a.absorb(&b);
+        assert_eq!(a.kind_conflicts(), 1);
+        assert_eq!(a.histogram("h", &[]).expect("kept").count, 1);
+        // A kind mismatch likewise.
+        let c = Recorder::new();
+        c.counter_add("m", &[], 1);
+        let d = Recorder::new();
+        d.gauge_set("m", &[], 2.0);
+        c.absorb(&d);
+        assert_eq!(c.kind_conflicts(), 1);
+        assert_eq!(c.counter_value("m", &[]), 1);
     }
 
     #[test]
