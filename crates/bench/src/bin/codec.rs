@@ -1,0 +1,10 @@
+//! Thin wrapper over [`socbus_bench::codec`] — the codec-kernel
+//! microbenchmark. Writes the deterministic `results/BENCH_codec.json`
+//! (CI byte-compares two runs) plus the wall-clock
+//! `results/BENCH_codec_timing.json`, and asserts the ≥ 5× corrupted-
+//! decode speedup gate for the FPC/FTC kernel decoders.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_bench::codec::main_with_args(&args));
+}

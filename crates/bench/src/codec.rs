@@ -1,0 +1,339 @@
+//! `bench --bin codec` — the codec-kernel microbenchmark.
+//!
+//! Measures encode/decode cost per word for every catalog scheme (at the
+//! soak width) plus the two explicit FPC rows that pin both kernel
+//! regimes — `FPC(11)` (16 wires: the widest dense inverse table) and
+//! `FPC(16)` (23 wires: the sparse binary-search path) — on clean and
+//! single-flip-corrupted inputs, and compares the kernel decoders of the
+//! FPC/FTC family against their linear-scan baselines.
+//!
+//! Two output files, splitting determinism from wall-clock:
+//!
+//! * `results/BENCH_codec.json` — **byte-reproducible**: row identities,
+//!   FNV-1a checksums of every decoded stream (kernel and scan paths —
+//!   equal checksums are the end-to-end equivalence witness), codebook
+//!   build counts, and the speedup-gate verdict. CI runs the bin twice
+//!   and `cmp`s this file.
+//! * `results/BENCH_codec_timing.json` — wall-clock ns-per-word and the
+//!   measured kernel-vs-scan speedups; machine-dependent by nature (the
+//!   `BENCH_parallel.json` precedent) and not byte-compared.
+//!
+//! The bin *asserts* the ISSUE's acceptance gate before writing: every
+//! FPC/FTC scan-baseline row must decode corrupted words at least
+//! [`SPEEDUP_GATE`]× slower than its kernel decoder.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socbus_codes::{
+    codebook_builds, BusCode, ForbiddenPatternCode, ForbiddenTransitionCode, Scheme,
+};
+use socbus_model::Word;
+
+/// Data width of the catalog rows — the soak campaign's width.
+pub const DATA_BITS: usize = 16;
+/// Root seed for the input streams (split per row, so rows are
+/// independent of catalog order).
+pub const SEED: u64 = 0xC0DEC;
+/// Distinct words per input stream.
+pub const WORDS: usize = 2_048;
+/// Minimum corrupted-word decode speedup (scan time / kernel time)
+/// every FPC/FTC baseline row must show.
+pub const SPEEDUP_GATE: f64 = 5.0;
+/// Timing repetitions over the word stream (total decodes per
+/// measurement = `WORDS * REPS`).
+const REPS: usize = 64;
+
+/// How a row decodes: through the shared kernels or the scan baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodePath {
+    /// `BusCode::decode` — inverse-table kernels for the CAC family.
+    Kernel,
+    /// The reference `decode_scan` of FPC/FTC (linear codebook scan).
+    Scan,
+}
+
+/// One benchmark row: a codec, an input class, a decode path.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Scheme label (catalog name, or `FPC(k)` for the explicit rows).
+    pub label: String,
+    /// Data bits.
+    pub k: usize,
+    /// Bus wires.
+    pub wires: usize,
+    /// `clean` or `corrupted` input stream.
+    pub input: &'static str,
+    /// Kernel or scan decode.
+    pub path: DecodePath,
+    /// FNV-1a over every decoded data word (the determinism witness).
+    pub checksum: u64,
+    /// Nanoseconds per decoded word (wall clock; timing file only).
+    pub ns_per_word: f64,
+}
+
+/// FNV-1a over the low 64 bits of each word — a cheap, deterministic
+/// stream fingerprint.
+fn fnv1a(acc: u64, w: Word) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let x = w.bits() as u64;
+    let mut h = acc;
+    for byte in x.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the row's input stream: `WORDS` encoded data words, corrupted
+/// by one wire flip each when `corrupt` (weight 1 is the overwhelmingly
+/// common corruption in the simulated noise regimes, and the worst case
+/// for the scan fallback: no exact match, full nearest-neighbor pass).
+fn stream(code: &mut dyn BusCode, seed: u64, corrupt: bool) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = code.data_bits();
+    (0..WORDS)
+        .map(|_| {
+            let d = Word::from_bits(rng.gen::<u128>() & ((1u128 << k) - 1), k);
+            let mut bus = code.encode(d);
+            if corrupt {
+                let w = rng.gen::<usize>() % bus.width();
+                bus.set_bit(w, !bus.bit(w));
+            }
+            bus
+        })
+        .collect()
+}
+
+/// Times `decode` over the stream (`REPS` passes) and returns
+/// `(checksum, ns_per_word)`. The checksum folds every decoded word of
+/// the *first* pass, so it is timing-independent.
+fn run_row(stream: &[Word], mut decode: impl FnMut(Word) -> Word) -> (u64, f64) {
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+    for &bus in stream {
+        checksum = fnv1a(checksum, decode(bus));
+    }
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for &bus in stream {
+            std::hint::black_box(decode(std::hint::black_box(bus)));
+        }
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / (REPS * stream.len()) as f64;
+    (checksum, ns)
+}
+
+/// Per-row seed: split from [`SEED`] by label so adding a row never
+/// shifts another row's input stream.
+fn row_seed(label: &str) -> u64 {
+    label.bytes().fold(SEED, |acc, b| {
+        acc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(b)
+    })
+}
+
+/// Runs the full benchmark: every catalog scheme at [`DATA_BITS`] plus
+/// the explicit FPC regime rows, clean + corrupted inputs, kernel path
+/// for all and scan baseline for the FPC/FTC family.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut push = |label: &str,
+                    code: &mut dyn BusCode,
+                    input: &'static str,
+                    path: DecodePath,
+                    decode: &mut dyn FnMut(Word) -> Word| {
+        let s = stream(code, row_seed(label), input == "corrupted");
+        let (checksum, ns) = run_row(&s, decode);
+        rows.push(Row {
+            label: label.to_owned(),
+            k: code.data_bits(),
+            wires: code.wires(),
+            input,
+            path,
+            checksum,
+            ns_per_word: ns,
+        });
+    };
+
+    for scheme in Scheme::catalog() {
+        let label = scheme.name();
+        for input in ["clean", "corrupted"] {
+            let mut code = scheme.build(DATA_BITS);
+            let mut dec = scheme.build(DATA_BITS);
+            push(&label, code.as_mut(), input, DecodePath::Kernel, &mut |b| {
+                dec.decode(b)
+            });
+        }
+    }
+
+    // The FPC regime rows + scan baselines for the whole CAC LUT family.
+    for k in [11usize, 16] {
+        let label = format!("FPC({k})");
+        for input in ["clean", "corrupted"] {
+            let mut code = ForbiddenPatternCode::new(k);
+            let mut dec = ForbiddenPatternCode::new(k);
+            push(&label, &mut code, input, DecodePath::Kernel, &mut |b| {
+                dec.decode(b)
+            });
+            let mut code = ForbiddenPatternCode::new(k);
+            let scan = ForbiddenPatternCode::new(k);
+            push(&label, &mut code, input, DecodePath::Scan, &mut |b| {
+                scan.decode_scan(b)
+            });
+        }
+    }
+    for input in ["clean", "corrupted"] {
+        let mut code = ForbiddenTransitionCode::new(DATA_BITS);
+        let scan = ForbiddenTransitionCode::new(DATA_BITS);
+        push("FTC", &mut code, input, DecodePath::Scan, &mut |b| {
+            scan.decode_scan(b)
+        });
+    }
+    rows
+}
+
+/// The kernel-vs-scan speedups on corrupted inputs, `(label, speedup)`,
+/// for every row pair that has a scan baseline.
+#[must_use]
+pub fn corrupted_speedups(rows: &[Row]) -> Vec<(String, f64)> {
+    rows.iter()
+        .filter(|r| r.path == DecodePath::Scan && r.input == "corrupted")
+        .map(|scan| {
+            let kernel = rows
+                .iter()
+                .find(|r| {
+                    r.path == DecodePath::Kernel
+                        && r.input == "corrupted"
+                        && r.label == scan.label
+                        && r.k == scan.k
+                })
+                .expect("every scan row has a kernel partner");
+            assert_eq!(
+                kernel.checksum, scan.checksum,
+                "{}: kernel and scan decoders must agree",
+                scan.label
+            );
+            (scan.label.clone(), scan.ns_per_word / kernel.ns_per_word)
+        })
+        .collect()
+}
+
+/// Renders the **deterministic** benchmark JSON (`BENCH_codec.json`):
+/// everything except wall-clock — checksums, build counts, gate verdict.
+#[must_use]
+pub fn render_json(rows: &[Row], builds: u64, gate_passed: bool) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"data_bits\": {DATA_BITS},");
+    let _ = writeln!(json, "  \"words\": {WORDS},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"codebook_builds\": {builds},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_gate\": {{\"threshold\": {SPEEDUP_GATE}, \"passed\": {gate_passed}, \
+         \"measured_in\": \"BENCH_codec_timing.json\"}},"
+    );
+    json.push_str("  \"rows\": [\n");
+    render_rows(&mut json, rows, |json, r| {
+        let _ = write!(json, "\"checksum\": \"{:016x}\"", r.checksum);
+    });
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// Renders the **wall-clock** JSON (`BENCH_codec_timing.json`): the same
+/// rows with ns-per-word, plus the corrupted-decode speedups. Machine-
+/// dependent by design; never byte-compared.
+#[must_use]
+pub fn render_timing_json(rows: &[Row]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"note\": \"wall-clock; machine-dependent, not byte-reproducible\",\n");
+    json.push_str("  \"corrupted_decode_speedups\": [\n");
+    let mut first = true;
+    for (label, speedup) in corrupted_speedups(rows) {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{label}\", \"scan_over_kernel\": {speedup:.2}}}"
+        );
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"rows\": [\n");
+    render_rows(&mut json, rows, |json, r| {
+        let _ = write!(json, "\"ns_per_word\": {:.2}", r.ns_per_word);
+    });
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+fn render_rows(json: &mut String, rows: &[Row], tail: impl Fn(&mut String, &Row)) {
+    let mut first = true;
+    for r in rows {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let path = match r.path {
+            DecodePath::Kernel => "kernel",
+            DecodePath::Scan => "scan",
+        };
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{}\", \"k\": {}, \"wires\": {}, \"input\": \"{}\", \
+             \"path\": \"{path}\", ",
+            r.label, r.k, r.wires, r.input
+        );
+        tail(json, r);
+        json.push('}');
+    }
+}
+
+/// Writes `content` to `path`, creating parent directories.
+fn write_out(path: &str, content: &str) {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(path, content).expect("write results file");
+}
+
+/// Bin entry point: runs the benchmark, asserts the speedup gate, writes
+/// both JSON files. Args: `[BENCH_codec.json [BENCH_codec_timing.json]]`.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let out = args
+        .first()
+        .map_or("results/BENCH_codec.json", String::as_str);
+    let timing_out = args
+        .get(1)
+        .map_or("results/BENCH_codec_timing.json", String::as_str);
+    let before = codebook_builds();
+    let rows = run();
+    let builds = codebook_builds() - before;
+
+    let speedups = corrupted_speedups(&rows);
+    let mut gate_passed = true;
+    for (label, speedup) in &speedups {
+        eprintln!("{label:<10} corrupted decode: scan/kernel = {speedup:.1}x");
+        if *speedup < SPEEDUP_GATE {
+            gate_passed = false;
+        }
+    }
+    assert!(
+        gate_passed,
+        "speedup gate failed: every FPC/FTC corrupted-decode row must be \
+         >= {SPEEDUP_GATE}x faster than its scan baseline ({speedups:?})"
+    );
+
+    write_out(out, &render_json(&rows, builds, gate_passed));
+    write_out(timing_out, &render_timing_json(&rows));
+    eprintln!("codec benchmark written to {out} (timing: {timing_out})");
+    0
+}

@@ -6,6 +6,7 @@
 //! reproduces one table or figure; this library holds the shared design
 //! assembly ([`designs`]) and plain-text table formatting ([`fmt`]).
 
+pub mod codec;
 pub mod designs;
 pub mod fmt;
 pub mod reliability;

@@ -135,6 +135,12 @@ pub fn word_error_rate_traced(
     seed: u64,
     tel: &Telemetry,
 ) -> WordErrorEstimate {
+    // Two codec objects (endpoint state must stay independent for
+    // stateful codes like BI), but both route through the process-wide
+    // codebook cache in `socbus_codes::kernels`: building a shard's
+    // encoder + decoder shares the Fibonacci books and inverse decode
+    // tables with every other shard, so construction cost per sweep is
+    // O(schemes), not O(shards) — see `cache_makes_builds_o_schemes`.
     let mut enc = scheme.build(k);
     let mut dec = scheme.build(k);
     let mut ch = BitFlipChannel::new(eps, seed ^ 0x5EED);
@@ -542,5 +548,31 @@ mod tests {
         let m = word_error_rate(Scheme::Parity, k, eps, 200_000, 37);
         let expect = noise::word_error_uncoded_exact(k, eps);
         assert_close(&m, expect, "parity passthrough");
+    }
+
+    #[test]
+    fn cache_makes_builds_o_schemes() {
+        // A sharded FTC sweep constructs 2 codecs per shard (enc + dec),
+        // but the Fibonacci books and inverse decode tables come from the
+        // process-wide kernel cache, so *codebook construction* count per
+        // sweep stays O(schemes), not O(shards).
+        //
+        // `codebook_builds()` is a process-global counter and the test
+        // harness runs other tests concurrently, so measure deltas and
+        // bound them by the total number of distinct cache keys that can
+        // ever exist: 24 raw FP books + 6 raw FT books + 16 FPC kernels +
+        // 4 FTC group kernels = 50. Without the cache, *each* sweep below
+        // would add >= 2 builds x 2 codecs x 16 shards = 64 on its own.
+        let trials = 16 * MC_SHARD_TRIALS;
+        assert_eq!(mc_shards(trials, 99).len(), 16);
+        let before = socbus_codes::codebook_builds();
+        let _ = word_error_rate_parallel(Scheme::Ftc, 3, 1e-3, trials, 99, 4);
+        let _ = word_error_rate_parallel(Scheme::Ftc, 3, 1e-3, trials, 7, 4);
+        let delta = socbus_codes::codebook_builds() - before;
+        assert!(
+            delta <= 50,
+            "codebook builds must be bounded by distinct keys (50), \
+             not shards (>= 64 per sweep if uncached): got {delta}"
+        );
     }
 }

@@ -267,6 +267,27 @@ impl Monitor {
                 },
             );
 
+            // Earned detection: a decoder may report `Detected` only when
+            // the received word genuinely left its correction envelope. An
+            // honest `decode_checked` flags only non-codewords, and a
+            // non-codeword on the final attempt means the injected weight
+            // exceeded the correctable budget — so a `Detected` with
+            // `weight <= correctable` is a phantom detection (a decoder
+            // crying wolf on a word it was guaranteed to deliver exactly).
+            self.check(
+                InvariantKind::SilentCorruption,
+                Some(hop),
+                word,
+                t.final_status != DecodeStatus::Detected || !within_correction,
+                || {
+                    format!(
+                        "hop {hop} reported Detected inside its correction \
+                         guarantee: injected weight {} vs t={}",
+                        t.max_error_weight, t.correctable_errors,
+                    )
+                },
+            );
+
             // Latency bound.
             let budget = self.budget;
             self.check(

@@ -12,7 +12,10 @@
 //! into each other's absence), FP codebooks — unlike FT ones — compose
 //! with bus-invert low-power coding (paper §III-A).
 
-use crate::traits::BusCode;
+use std::sync::Arc;
+
+use crate::kernels::{codebook_kernel, BookKey, CodebookKernel};
+use crate::traits::{BusCode, DecodeStatus};
 use socbus_model::{DelayClass, Word};
 
 /// Whether `w` contains no `010` or `101` pattern.
@@ -27,13 +30,9 @@ pub fn fp_condition(w: Word) -> bool {
     true
 }
 
-/// All FP-condition words on `wires` wires, ascending.
-///
-/// # Panics
-///
-/// Panics if `wires == 0` or `wires > 24` (enumeration guard).
-#[must_use]
-pub fn fpc_codebook(wires: usize) -> Vec<Word> {
+/// The raw enumeration behind [`fpc_codebook`] — called through the
+/// process-wide cache in [`crate::kernels`], at most once per `wires`.
+pub(crate) fn enumerate_fp_book(wires: usize) -> Vec<Word> {
     assert!(
         (1..=24).contains(&wires),
         "fpc_codebook supports 1..=24 wires"
@@ -41,6 +40,18 @@ pub fn fpc_codebook(wires: usize) -> Vec<Word> {
     Word::enumerate_all(wires)
         .filter(|&w| fp_condition(w))
         .collect()
+}
+
+/// All FP-condition words on `wires` wires, ascending. Memoized: the
+/// enumeration runs once per process per wire count; repeated calls
+/// clone the cached book.
+///
+/// # Panics
+///
+/// Panics if `wires == 0` or `wires > 24` (enumeration guard).
+#[must_use]
+pub fn fpc_codebook(wires: usize) -> Vec<Word> {
+    crate::kernels::fp_book(wires).as_ref().clone()
 }
 
 /// Smallest wire count whose FP codebook holds `2^bits` codewords.
@@ -95,11 +106,13 @@ fn fpc_codebook_len(wires: usize) -> usize {
 pub struct ForbiddenPatternCode {
     k: usize,
     wires: usize,
-    book: Vec<Word>,
+    kernel: Arc<CodebookKernel>,
 }
 
 impl ForbiddenPatternCode {
-    /// FPC over `k` data bits (single group).
+    /// FPC over `k` data bits (single group). The codebook and its
+    /// inverse decode table come from the process-wide kernel cache:
+    /// constructing any number of codecs enumerates the book once.
     ///
     /// # Panics
     ///
@@ -110,15 +123,26 @@ impl ForbiddenPatternCode {
             (1..=16).contains(&k),
             "single-group FPC supports 1..=16 bits"
         );
-        let wires = fpc_wires_for_bits(k);
-        let book: Vec<Word> = fpc_codebook(wires).into_iter().take(1 << k).collect();
-        ForbiddenPatternCode { k, wires, book }
+        let kernel = codebook_kernel(BookKey::Fpc { k });
+        let wires = kernel.wires();
+        ForbiddenPatternCode { k, wires, kernel }
     }
 
     /// The codebook in data-index order.
     #[must_use]
     pub fn codebook(&self) -> &[Word] {
-        &self.book
+        self.kernel.book()
+    }
+
+    /// The reference linear-scan decoder (exact match, then first-
+    /// minimum nearest codeword — the same lowest-index tie-break as
+    /// [`BusCode::decode`]). Kept for the decode-equivalence tests and
+    /// the `bench --bin codec` scan baseline.
+    #[must_use]
+    pub fn decode_scan(&self, bus: Word) -> Word {
+        assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        let (idx, _) = self.kernel.decode_index_scan(bus);
+        Word::from_bits(idx as u128, self.k)
     }
 }
 
@@ -137,24 +161,35 @@ impl BusCode for ForbiddenPatternCode {
 
     fn encode(&mut self, data: Word) -> Word {
         assert_eq!(data.width(), self.k, "data width mismatch");
-        self.book[data.bits() as usize]
+        self.kernel.book()[data.bits() as usize]
     }
 
+    /// Decodes via the kernel's inverse table: the exact match when
+    /// `bus` is a codeword, else the **nearest codeword by Hamming
+    /// distance, lowest codebook index on ties** — the pinned fallback
+    /// contract (identical to a first-minimum linear scan, which the
+    /// equivalence tests verify exhaustively).
     fn decode(&mut self, bus: Word) -> Word {
         assert_eq!(bus.width(), self.wires, "bus width mismatch");
-        let idx = self
-            .book
-            .iter()
-            .position(|&cw| cw == bus)
-            .unwrap_or_else(|| {
-                self.book
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &cw)| cw.hamming_distance(bus))
-                    .map(|(i, _)| i)
-                    .expect("non-empty codebook")
-            });
+        let (idx, _) = self.kernel.decode_index(bus);
         Word::from_bits(idx as u128, self.k)
+    }
+
+    /// Like [`BusCode::decode`], but reports whether the received word
+    /// was a valid codeword: a non-codeword bus yields
+    /// [`DecodeStatus::Detected`] (best-effort nearest data) instead of
+    /// being silently mapped. FPC guarantees no minimum distance
+    /// ([`BusCode::detectable_errors`] stays 0) — the status is
+    /// best-effort membership checking, not a detection promise.
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        let (idx, exact) = self.kernel.decode_index(bus);
+        let status = if exact {
+            DecodeStatus::Clean
+        } else {
+            DecodeStatus::Detected
+        };
+        (Word::from_bits(idx as u128, self.k), status)
     }
 
     fn guaranteed_delay_class(&self) -> DelayClass {

@@ -12,7 +12,10 @@
 //! ten 3-bit groups (4 wires each) + one 2-bit group (3 wires) + ten
 //! shields.
 
-use crate::traits::BusCode;
+use std::sync::Arc;
+
+use crate::kernels::{codebook_kernel, BookKey, CodebookKernel};
+use crate::traits::{BusCode, DecodeStatus};
 use socbus_model::{DelayClass, Word};
 
 /// Whether the transition `u → v` satisfies the FT condition: at no wire
@@ -38,12 +41,21 @@ pub fn ft_compatible(u: Word, v: Word) -> bool {
 ///
 /// The size follows the Fibonacci sequence `F(wires+2)`.
 ///
+/// Memoized: the clique search runs once per process per wire count;
+/// repeated calls clone the cached book.
+///
 /// # Panics
 ///
 /// Panics if `wires == 0` or `wires > 6` (the clique search is exact and
 /// exponential; wider buses should be partitioned into groups).
 #[must_use]
 pub fn ftc_codebook(wires: usize) -> Vec<Word> {
+    crate::kernels::ft_book(wires).as_ref().clone()
+}
+
+/// The raw clique search behind [`ftc_codebook`] — called through the
+/// process-wide cache in [`crate::kernels`], at most once per `wires`.
+pub(crate) fn search_ft_book(wires: usize) -> Vec<Word> {
     assert!(
         (1..=6).contains(&wires),
         "ftc_codebook supports 1..=6 wires"
@@ -165,7 +177,11 @@ struct Group {
     bits: usize,
     wire_lo: usize,
     wires: usize,
-    book: Vec<Word>,
+    /// Shared decode kernel for this group's shape. Only four distinct
+    /// shapes ever occur (`group_sizes`), so every FTC instance in the
+    /// process — any width, encoder or decoder — shares the same four
+    /// cached kernels.
+    kernel: Arc<CodebookKernel>,
 }
 
 /// Partitioned forbidden-transition code over `k` data bits.
@@ -188,6 +204,9 @@ pub struct ForbiddenTransitionCode {
     k: usize,
     wires: usize,
     groups: Vec<Group>,
+    /// Set bits at the inter-group shield wires. Only meaningful on the
+    /// raw fast path (`wires <= 128`); zero otherwise.
+    shield_mask: u128,
 }
 
 impl ForbiddenTransitionCode {
@@ -205,19 +224,46 @@ impl ForbiddenTransitionCode {
         let mut data_lo = 0;
         let mut wire_lo = 0;
         for (bits, gw) in group_sizes(k) {
-            let book = ftc_codebook(gw);
-            assert!(book.len() >= 1 << bits, "codebook too small for group");
             groups.push(Group {
                 data_lo,
                 bits,
                 wire_lo,
                 wires: gw,
-                book: book.into_iter().take(1 << bits).collect(),
+                kernel: codebook_kernel(BookKey::FtcGroup { bits, wires: gw }),
             });
             data_lo += bits;
             wire_lo += gw + 1; // +1 shield after the group
         }
-        ForbiddenTransitionCode { k, wires, groups }
+        let mut shield_mask = 0u128;
+        if wires <= 128 {
+            for g in &groups[..groups.len() - 1] {
+                shield_mask |= 1u128 << (g.wire_lo + g.wires);
+            }
+        }
+        ForbiddenTransitionCode {
+            k,
+            wires,
+            groups,
+            shield_mask,
+        }
+    }
+
+    /// The reference linear-scan decoder (per group: exact match, then
+    /// first-minimum nearest codeword — the same lowest-index tie-break
+    /// as [`BusCode::decode`]). Kept for the decode-equivalence tests
+    /// and the `bench --bin codec` scan baseline.
+    #[must_use]
+    pub fn decode_scan(&self, bus: Word) -> Word {
+        assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        let mut out = Word::zero(self.k);
+        for g in &self.groups {
+            let recv = bus.slice(g.wire_lo, g.wires);
+            let (idx, _) = g.kernel.decode_index_scan(recv);
+            for b in 0..g.bits {
+                out.set_bit(g.data_lo + b, (idx >> b) & 1 == 1);
+            }
+        }
+        out
     }
 }
 
@@ -250,10 +296,23 @@ impl BusCode for ForbiddenTransitionCode {
 
     fn encode(&mut self, data: Word) -> Word {
         assert_eq!(data.width(), self.k, "data width mismatch");
+        if self.wires <= 128 {
+            // Raw fast path: assemble the bus in one u128, no per-bit
+            // Word mutation. Shields stay 0.
+            let raw = data.bits();
+            let mut out = 0u128;
+            for g in &self.groups {
+                #[allow(clippy::cast_possible_truncation)]
+                let idx = ((raw >> g.data_lo) & ((1u128 << g.bits) - 1)) as usize;
+                out |= g.kernel.codeword_bits(idx) << g.wire_lo;
+            }
+            return Word::from_bits(out, self.wires);
+        }
         let mut out = Word::zero(self.wires);
         for g in &self.groups {
+            #[allow(clippy::cast_possible_truncation)]
             let idx = data.slice(g.data_lo, g.bits).bits() as usize;
-            let cw = g.book[idx];
+            let cw = g.kernel.book()[idx];
             for b in 0..g.wires {
                 out.set_bit(g.wire_lo + b, cw.bit(b));
             }
@@ -261,25 +320,83 @@ impl BusCode for ForbiddenTransitionCode {
         out
     }
 
+    /// Decodes each group via its kernel's inverse table: the exact match
+    /// when the group slice is a codeword, else the **nearest codeword by
+    /// Hamming distance, lowest codebook index on ties** — the pinned
+    /// fallback contract (identical to a first-minimum linear scan, which
+    /// the equivalence tests verify exhaustively). Shield wires are
+    /// ignored here; [`BusCode::decode_checked`] inspects them.
     fn decode(&mut self, bus: Word) -> Word {
         assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        if self.wires <= 128 {
+            // Raw fast path: per group one shift-mask, one inverse-table
+            // load, one or-shift — no Word slicing.
+            let raw = bus.bits();
+            let mut out = 0u128;
+            for g in &self.groups {
+                let recv = (raw >> g.wire_lo) & ((1u128 << g.wires) - 1);
+                let (idx, _) = g.kernel.decode_index_raw(recv);
+                out |= (idx as u128) << g.data_lo;
+            }
+            return Word::from_bits(out, self.k);
+        }
         let mut out = Word::zero(self.k);
         for g in &self.groups {
             let recv = bus.slice(g.wire_lo, g.wires);
-            // Exact match, else nearest codeword (noise tolerance).
-            let idx = g.book.iter().position(|&cw| cw == recv).unwrap_or_else(|| {
-                g.book
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &cw)| cw.hamming_distance(recv))
-                    .map(|(i, _)| i)
-                    .expect("non-empty codebook")
-            });
+            let (idx, _) = g.kernel.decode_index(recv);
             for b in 0..g.bits {
                 out.set_bit(g.data_lo + b, (idx >> b) & 1 == 1);
             }
         }
         out
+    }
+
+    /// Like [`BusCode::decode`], but reports whether the received bus was
+    /// a valid codeword: every group slice must match its codebook exactly
+    /// **and** every inter-group shield wire must read 0, else the word is
+    /// [`DecodeStatus::Detected`] (best-effort nearest data per group).
+    /// FTC guarantees no minimum distance ([`BusCode::detectable_errors`]
+    /// stays 0) — the status is best-effort membership checking, not a
+    /// detection promise.
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        assert_eq!(bus.width(), self.wires, "bus width mismatch");
+        let mut valid;
+        let out;
+        if self.wires <= 128 {
+            let raw = bus.bits();
+            // Shield wires sit just past every group but the last; the
+            // encoder grounds them, so any set shield marks corruption.
+            valid = raw & self.shield_mask == 0;
+            let mut bits = 0u128;
+            for g in &self.groups {
+                let recv = (raw >> g.wire_lo) & ((1u128 << g.wires) - 1);
+                let (idx, exact) = g.kernel.decode_index_raw(recv);
+                valid &= exact;
+                bits |= (idx as u128) << g.data_lo;
+            }
+            out = Word::from_bits(bits, self.k);
+        } else {
+            let mut bits = Word::zero(self.k);
+            valid = true;
+            for g in &self.groups {
+                let recv = bus.slice(g.wire_lo, g.wires);
+                let (idx, exact) = g.kernel.decode_index(recv);
+                valid &= exact;
+                for b in 0..g.bits {
+                    bits.set_bit(g.data_lo + b, (idx >> b) & 1 == 1);
+                }
+            }
+            for g in &self.groups[..self.groups.len() - 1] {
+                valid &= !bus.bit(g.wire_lo + g.wires);
+            }
+            out = bits;
+        }
+        let status = if valid {
+            DecodeStatus::Clean
+        } else {
+            DecodeStatus::Detected
+        };
+        (out, status)
     }
 
     fn guaranteed_delay_class(&self) -> DelayClass {

@@ -1,6 +1,6 @@
 //! Half-shielding: a shield after every *pair* of wires.
 
-use crate::traits::BusCode;
+use crate::traits::{BusCode, DecodeStatus};
 use socbus_model::{DelayClass, Word};
 
 /// Half-shielding: data wires in pairs with a grounded shield between
@@ -69,6 +69,24 @@ impl BusCode for HalfShielding {
             out.set_bit(i, bus.bit(Self::wire_of(i)));
         }
         out
+    }
+
+    /// Like [`BusCode::decode`], but reports whether the received bus was
+    /// a valid codeword: shields sit at wires `≡ 2 (mod 3)` and the
+    /// encoder grounds them, so a set shield marks the word
+    /// [`DecodeStatus::Detected`]. Flips on data wires are invisible —
+    /// every data pattern is a codeword — so
+    /// [`BusCode::detectable_errors`] stays 0; the status is best-effort
+    /// membership checking, not a detection promise.
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        let out = self.decode(bus);
+        let shields_clear = (0..bus.width()).filter(|w| w % 3 == 2).all(|w| !bus.bit(w));
+        let status = if shields_clear {
+            DecodeStatus::Clean
+        } else {
+            DecodeStatus::Detected
+        };
+        (out, status)
     }
 
     fn guaranteed_delay_class(&self) -> DelayClass {

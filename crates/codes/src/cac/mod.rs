@@ -25,7 +25,9 @@ mod half_shielding;
 mod shielding;
 
 pub use duplication::Duplication;
+pub(crate) use fpc::enumerate_fp_book;
 pub use fpc::{fp_condition, fpc_codebook, fpc_wires_for_bits, ForbiddenPatternCode};
+pub(crate) use ftc::search_ft_book;
 pub use ftc::{
     ft_compatible, ftc_codebook, ftc_groups, ftc_wires_for_bits, ForbiddenTransitionCode,
 };

@@ -1,6 +1,6 @@
 //! Wire shielding: the trivial forbidden-transition code.
 
-use crate::traits::BusCode;
+use crate::traits::{BusCode, DecodeStatus};
 use socbus_model::{DelayClass, Word};
 
 /// Shielding: a grounded wire between every pair of data wires —
@@ -64,6 +64,23 @@ impl BusCode for Shielding {
             out.set_bit(i, bus.bit(2 * i));
         }
         out
+    }
+
+    /// Like [`BusCode::decode`], but reports whether the received bus was
+    /// a valid codeword: the encoder grounds every odd (shield) wire, so a
+    /// set shield marks the word [`DecodeStatus::Detected`]. Flips on data
+    /// wires are invisible — every data pattern is a codeword — so
+    /// [`BusCode::detectable_errors`] stays 0; the status is best-effort
+    /// membership checking, not a detection promise.
+    fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
+        let out = self.decode(bus);
+        let shields_clear = (0..self.k.saturating_sub(1)).all(|i| !bus.bit(2 * i + 1));
+        let status = if shields_clear {
+            DecodeStatus::Clean
+        } else {
+            DecodeStatus::Detected
+        };
+        (out, status)
     }
 
     fn guaranteed_delay_class(&self) -> DelayClass {

@@ -19,6 +19,8 @@
 //!   code (the numbers behind the paper's tables);
 //! * [`theory`] — executable Appendix I (no linear CAC beats shielding or
 //!   duplication);
+//! * [`kernels`] — the process-wide codebook cache and O(1) inverse
+//!   decode tables behind the FPC/FTC hot path;
 //! * [`catalog`] — every evaluated scheme constructible by name.
 //!
 //! # Example
@@ -42,6 +44,7 @@ pub mod catalog;
 pub mod ecc;
 pub mod framework;
 pub mod joint;
+pub mod kernels;
 pub mod lpc;
 pub mod sabotage;
 pub mod theory;
@@ -54,6 +57,7 @@ pub use catalog::Scheme;
 pub use ecc::{BchDec, ExtendedHamming, Hamming, ParityBit};
 pub use framework::{ComposedCode, CompositionError, Framework};
 pub use joint::{Bih, Bsc, Dap, Dapbi, Dapx, FtcHc, HammingX};
+pub use kernels::{codebook_builds, codebook_kernel, BookKey, CodebookKernel};
 pub use lpc::{BusInvert, CouplingBusInvert};
 pub use sabotage::SabotagedHamming;
 pub use traits::{BusCode, DecodeStatus, Uncoded};

@@ -1,0 +1,208 @@
+//! LUT-vs-scan decode equivalence and the pinned tie-break contract.
+//!
+//! The inverse decode tables in `socbus_codes::kernels` replace the
+//! linear scans in FPC and FTC; they must be *observationally identical*
+//! — same index for every possible received bus word, including the
+//! nearest-codeword fallback with its **lowest-codebook-index** tie-break
+//! (the first minimum a linear scan encounters). These tests pin that
+//! contract:
+//!
+//! * exhaustively over all `2^wires` received words for every bus that
+//!   fits in the dense-table regime (≤ 16 wires),
+//! * by regression on hand-picked *equidistant* corrupted words,
+//! * by proptest on the wide (sparse-path) buses where exhaustion is
+//!   impossible.
+
+use proptest::prelude::*;
+use socbus_codes::{BusCode, DecodeStatus, ForbiddenPatternCode, ForbiddenTransitionCode, Scheme};
+use socbus_model::Word;
+
+/// All received bus words for every dense-regime single-group FPC: the
+/// table decoder and the scan reference must agree bit for bit.
+#[test]
+fn fpc_lut_equals_scan_exhaustively() {
+    // k = 11 is the widest FPC on <= 16 wires (12 bits need 17).
+    for k in 1..=11 {
+        let mut c = ForbiddenPatternCode::new(k);
+        assert!(c.wires() <= 16, "k={k} left the dense regime");
+        for bus in Word::enumerate_all(c.wires()) {
+            assert_eq!(c.decode(bus), c.decode_scan(bus), "k={k} bus={bus}");
+        }
+    }
+}
+
+/// All received bus words for every FTC whose full bus (groups + shields)
+/// fits in 16 wires — this exercises the per-group kernels *and* the
+/// group/shield slicing around them.
+#[test]
+fn ftc_lut_equals_scan_exhaustively() {
+    for k in 1..=9 {
+        let mut c = ForbiddenTransitionCode::new(k);
+        if c.wires() > 16 {
+            continue;
+        }
+        for bus in Word::enumerate_all(c.wires()) {
+            assert_eq!(c.decode(bus), c.decode_scan(bus), "k={k} bus={bus}");
+        }
+    }
+}
+
+/// `decode_checked` must report `Clean` exactly on codebook membership
+/// and `Detected` otherwise, and its data word must equal `decode`'s.
+#[test]
+fn fpc_checked_status_is_membership() {
+    for k in 1..=8 {
+        let mut c = ForbiddenPatternCode::new(k);
+        let book: Vec<Word> = c.codebook().to_vec();
+        for bus in Word::enumerate_all(c.wires()) {
+            let (data, status) = c.decode_checked(bus);
+            assert_eq!(data, c.decode(bus), "k={k} bus={bus}");
+            let member = book.contains(&bus);
+            assert_eq!(
+                status,
+                if member {
+                    DecodeStatus::Clean
+                } else {
+                    DecodeStatus::Detected
+                },
+                "k={k} bus={bus}"
+            );
+        }
+    }
+}
+
+/// For FTC, "codeword" means every group slice is in its book *and*
+/// every shield wire is grounded.
+#[test]
+fn ftc_checked_status_is_membership() {
+    for k in [1usize, 2, 3, 4, 5, 6, 7] {
+        let mut c = ForbiddenTransitionCode::new(k);
+        if c.wires() > 16 {
+            continue;
+        }
+        // The valid codewords are exactly the encodings of all data words.
+        let valid: Vec<Word> = Word::enumerate_all(k).map(|d| c.encode(d)).collect();
+        for bus in Word::enumerate_all(c.wires()) {
+            let (data, status) = c.decode_checked(bus);
+            assert_eq!(data, c.decode(bus), "k={k} bus={bus}");
+            let member = valid.contains(&bus);
+            assert_eq!(
+                status,
+                if member {
+                    DecodeStatus::Clean
+                } else {
+                    DecodeStatus::Detected
+                },
+                "k={k} bus={bus}"
+            );
+        }
+    }
+}
+
+/// Tie-break regression, hand-computed: FPC(3) lives on 4 wires with
+/// codebook `[0000, 0001, 0011, 0110, 0111, 1000, 1001, 1100]` (the
+/// first 8 forbidden-pattern words, ascending; wire 0 is bit 0). The
+/// received word `0101` is at distance 1 from both index 1 (`0001`, flip
+/// wire 2) and index 4 (`0111`, flip wire 1); the pinned contract picks
+/// the **lowest index**, so it must decode to data `001`.
+#[test]
+fn fpc_equidistant_word_takes_lowest_index() {
+    let mut c = ForbiddenPatternCode::new(3);
+    assert_eq!(c.wires(), 4);
+    let book: Vec<u128> = c.codebook().iter().map(|w| w.bits()).collect();
+    assert_eq!(
+        book,
+        vec![0b0000, 0b0001, 0b0011, 0b0110, 0b0111, 0b1000, 0b1001, 0b1100]
+    );
+    let received = Word::from_bits(0b0101, 4);
+    assert_eq!(c.decode(received), Word::from_bits(1, 3));
+    assert_eq!(c.decode_scan(received), Word::from_bits(1, 3));
+    let (data, status) = c.decode_checked(received);
+    assert_eq!(data, Word::from_bits(1, 3));
+    assert_eq!(status, DecodeStatus::Detected);
+}
+
+/// The same property found mechanically for FTC: every received word
+/// whose nearest-codeword distance is attained by *several* codebook
+/// entries must resolve to the lowest such index — in both decoders.
+#[test]
+fn ftc_equidistant_words_take_lowest_index() {
+    let mut c = ForbiddenTransitionCode::new(3); // one (3, 4) group, no shields
+    assert_eq!(c.wires(), 4);
+    let book: Vec<Word> = Word::enumerate_all(3).map(|d| c.encode(d)).collect();
+    let mut saw_tie = false;
+    for bus in Word::enumerate_all(4) {
+        let dists: Vec<u32> = book.iter().map(|cw| cw.hamming_distance(bus)).collect();
+        let best = *dists.iter().min().expect("non-empty book");
+        let lowest = dists.iter().position(|&d| d == best).expect("has min");
+        if dists.iter().filter(|&&d| d == best).count() > 1 {
+            saw_tie = true;
+        }
+        let want = Word::from_bits(lowest as u128, 3);
+        assert_eq!(c.decode(bus), want, "bus={bus}");
+        assert_eq!(c.decode_scan(bus), want, "bus={bus}");
+    }
+    assert!(saw_tie, "the 4-wire bus must contain equidistant words");
+}
+
+/// Every catalog scheme whose bus fits the dense regime: `decode` must be
+/// a pure function (same word twice -> same answer) that agrees with a
+/// fresh instance's decoder, for clean and corrupted words alike. This
+/// catches any kernel-sharing bug that leaks state between instances.
+#[test]
+fn catalog_decoders_are_pure_and_instance_independent() {
+    // k = 8 keeps most of the catalog inside the 16-wire dense regime;
+    // k = 16 is the soak campaign's width (BI(8) needs k >= 8, so no 4).
+    for k in [8usize, 16] {
+        for scheme in Scheme::catalog() {
+            let mut a = scheme.build(k);
+            if a.wires() > 16 {
+                continue;
+            }
+            let mut b = scheme.build(k);
+            for d in Word::enumerate_all(k).step_by(3) {
+                let cw = a.encode(d);
+                for wire in 0..cw.width() {
+                    let bad = cw.with_bit(wire, !cw.bit(wire));
+                    let first = a.decode(bad);
+                    assert_eq!(a.decode(bad), first, "{scheme:?} k={k} repeat");
+                    assert_eq!(b.decode(bad), first, "{scheme:?} k={k} instance");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wide-bus FPC (23 wires at k = 16: the sparse kernel path): LUT and
+    /// scan agree on random codewords corrupted by 0..=3 random flips.
+    #[test]
+    fn fpc_sparse_matches_scan(idx in any::<u32>(), flips in prop::collection::vec(any::<usize>(), 0..=3)) {
+        let mut c = ForbiddenPatternCode::new(16);
+        prop_assert!(c.wires() > 16);
+        let cw = c.codebook()[idx as usize % (1 << 16)];
+        let mut bus = cw;
+        for f in flips {
+            let w = f % c.wires();
+            bus.set_bit(w, !bus.bit(w));
+        }
+        prop_assert_eq!(c.decode(bus), c.decode_scan(bus));
+    }
+
+    /// Full-width FTC (53 wires at k = 32, eleven groups): group slicing
+    /// plus kernels agree with the scan reference under random corruption.
+    #[test]
+    fn ftc_wide_matches_scan(data in any::<u64>(), flips in prop::collection::vec(any::<usize>(), 0..=4)) {
+        let mut c = ForbiddenTransitionCode::new(32);
+        prop_assert_eq!(c.wires(), 53);
+        let d = Word::from_bits(u128::from(data) & 0xFFFF_FFFF, 32);
+        let mut bus = c.encode(d);
+        for f in flips {
+            let w = f % c.wires();
+            bus.set_bit(w, !bus.bit(w));
+        }
+        prop_assert_eq!(c.decode(bus), c.decode_scan(bus));
+    }
+}
