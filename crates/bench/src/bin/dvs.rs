@@ -1,0 +1,7 @@
+//! Closed-loop DVS vs static worst-case margining. The implementation
+//! lives in [`socbus_bench::dvs`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_bench::dvs::main_with_args(&args));
+}

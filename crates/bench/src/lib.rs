@@ -8,6 +8,7 @@
 
 pub mod codec;
 pub mod designs;
+pub mod dvs;
 pub mod fmt;
 pub mod reliability;
 pub mod soak;

@@ -162,10 +162,12 @@ impl FaultSpec {
 
 /// Rescales a bit-error probability as if the wire swing were multiplied
 /// by `factor`, through the eq. (5) relation `ε = Q(swing/2σ)`:
-/// `ε' = Q(factor · Q⁻¹(ε))`. Degenerate ε (≤0 or ≥0.5) pass through.
+/// `ε' = Q(factor · Q⁻¹(ε))`. Degenerate ε (≤0 or ≥0.5) and degenerate
+/// factors (≤0 or non-finite, which would otherwise launder a NaN into
+/// every later corruption draw) pass ε through unchanged.
 #[must_use]
 pub fn rescale_eps(eps: f64, factor: f64) -> f64 {
-    if eps <= 0.0 || eps >= 0.5 || factor <= 0.0 {
+    if eps <= 0.0 || eps >= 0.5 || !factor.is_finite() || factor <= 0.0 {
         return eps;
     }
     q(factor * q_inv(eps))
@@ -675,6 +677,22 @@ impl FaultInjector {
         }
     }
 
+    /// Rescales the modeled swing on a single slot — used when a fault
+    /// process is pushed onto a bus that is already running away from
+    /// the nominal swing (its ε spec is nominal-referenced, so it must
+    /// be brought to the bus's current operating point). Hard-fault
+    /// slots ignore this, like [`FaultInjector::rescale_swing`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn rescale_swing_slot(&mut self, slot: usize, factor: f64) {
+        let s = &mut self.slots[slot];
+        if s.class == FaultClass::Soft {
+            s.model.rescale_swing(factor);
+        }
+    }
+
     /// Labels of the enabled sub-models, in application order.
     #[must_use]
     pub fn labels(&self) -> Vec<String> {
@@ -877,6 +895,62 @@ mod tests {
             (rate - expect).abs() / expect < 0.5,
             "rate {rate} vs {expect}"
         );
+    }
+
+    /// Satellite (degenerate operating points): a NaN/Inf or
+    /// non-positive swing factor must pass ε through unchanged instead
+    /// of poisoning every later corruption draw.
+    #[test]
+    fn degenerate_swing_factors_leave_eps_untouched() {
+        assert_eq!(rescale_eps(1e-3, f64::NAN), 1e-3);
+        assert_eq!(rescale_eps(1e-3, f64::INFINITY), 1e-3);
+        assert_eq!(rescale_eps(1e-3, f64::NEG_INFINITY), 1e-3);
+        assert_eq!(rescale_eps(1e-3, 0.0), 1e-3);
+        assert_eq!(rescale_eps(1e-3, -2.0), 1e-3);
+        // Degenerate ε still passes through under a sane factor.
+        assert_eq!(rescale_eps(0.0, 1.3), 0.0);
+        assert_eq!(rescale_eps(0.7, 1.3), 0.7);
+        // And the sane path stays sane.
+        let scaled = rescale_eps(1e-3, 1.3);
+        assert!(scaled.is_finite() && scaled > 0.0 && scaled < 1e-3);
+    }
+
+    /// A slot pushed onto an already-rescaled bus is brought to the
+    /// bus's swing via [`FaultInjector::rescale_swing_slot`] — and only
+    /// that slot moves; hard-fault slots ignore it.
+    #[test]
+    fn rescale_swing_slot_touches_only_the_named_soft_slot() {
+        let mut whole = FaultInjector::new(&[FaultSpec::Iid { eps: 1e-2 }], 5);
+        whole.rescale_swing(1.4);
+        let late = whole.push_spec(&FaultSpec::Iid { eps: 1e-2 }, 77);
+        whole.rescale_swing_slot(late, 1.4);
+        let mut fresh = FaultInjector::new(&[FaultSpec::Iid { eps: 1e-2 }], 5);
+        fresh.rescale_swing(1.4);
+        let l2 = fresh.push_spec(&FaultSpec::Iid { eps: 1e-2 }, 77);
+        // Same state either way: both slots sit at the 1.4-swing ε...
+        let w = Word::zero(64);
+        let a: u64 = (0..2000)
+            .map(|_| u64::from(whole.transmit(w).count_ones()))
+            .sum();
+        // ...whereas the un-rescaled late slot flips at the nominal rate.
+        let b: u64 = (0..2000)
+            .map(|_| u64::from(fresh.transmit(w).count_ones()))
+            .sum();
+        assert!(
+            b > a + a / 2,
+            "nominal-ε late slot must out-flip the rescaled one: {b} vs {a}"
+        );
+        // Hard slots ignore the per-slot rescale (no panic, no change).
+        let stuck = whole.push_spec(
+            &FaultSpec::StuckAt {
+                wire: 0,
+                value: true,
+            },
+            3,
+        );
+        whole.rescale_swing_slot(stuck, 1.4);
+        assert!(whole.transmit(Word::zero(64)).bit(0));
+        let _ = l2;
     }
 
     /// Droop boundary (ISSUE 2 satellite): the window is `[start,

@@ -40,4 +40,4 @@ pub use montecarlo::{
     mc_shards, word_error_rate, word_error_rate_parallel, word_error_rate_parallel_traced,
     word_error_rate_traced, WordErrorEstimate,
 };
-pub use scaling::{scale_voltage, ResidualModel, ScaledDesign};
+pub use scaling::{scale_voltage, try_scale_voltage, ResidualModel, ScaledDesign, ScalingError};

@@ -18,6 +18,39 @@
 use socbus_model::noise::{self, binomial};
 use socbus_model::q_inv;
 
+/// Why a voltage-scaling request describes no physical design point.
+/// Returned by the checked entry points instead of letting NaN/Inf (or
+/// a swing of zero) leak into downstream energy reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScalingError {
+    /// The target word-error probability is non-finite or outside
+    /// `(0, 1)` — at 0 no finite swing suffices, at 1 the solver would
+    /// hand back ε → 1 (a wire that is pure noise).
+    TargetOutOfRange(f64),
+    /// The residual model protects no wires (zero `wires`/`k`, or fewer
+    /// wires than the error weight it models), so its residual is
+    /// identically zero and no ε solves it.
+    DegenerateModel,
+    /// The nominal swing is non-finite, zero, or negative.
+    BadNominalVdd(f64),
+}
+
+impl std::fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalingError::TargetOutOfRange(p) => {
+                write!(f, "target word-error probability {p} outside (0, 1)")
+            }
+            ScalingError::DegenerateModel => {
+                write!(f, "residual model protects no wires")
+            }
+            ScalingError::BadNominalVdd(v) => write!(f, "nominal swing {v} is not positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
 /// Residual word-error model of a coding scheme, used to solve for the
 /// scaled swing.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,10 +97,42 @@ impl ResidualModel {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < p_target < 1`.
+    /// Panics when [`ResidualModel::try_solve_eps`] rejects the inputs.
     #[must_use]
     pub fn solve_eps(&self, p_target: f64) -> f64 {
-        assert!(p_target > 0.0 && p_target < 1.0, "target out of range");
+        match self.try_solve_eps(p_target) {
+            Ok(eps) => eps,
+            Err(e) => panic!("target out of range: {e}"),
+        }
+    }
+
+    /// [`ResidualModel::solve_eps`] with degenerate inputs rejected
+    /// instead of panicking or returning NaN/Inf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScalingError::TargetOutOfRange`] unless
+    /// `0 < p_target < 1` (finite), and
+    /// [`ScalingError::DegenerateModel`] when the model has fewer wires
+    /// than the error weight it counts (its residual is identically
+    /// zero, so no ε exists).
+    pub fn try_solve_eps(&self, p_target: f64) -> Result<f64, ScalingError> {
+        if !(p_target > 0.0 && p_target < 1.0) {
+            return Err(ScalingError::TargetOutOfRange(p_target));
+        }
+        let degenerate = match *self {
+            ResidualModel::Uncoded { wires } => wires == 0,
+            ResidualModel::DoubleError { wires } => wires < 2,
+            ResidualModel::Dap { k } => k == 0,
+            ResidualModel::TripleError { wires } => wires < 3,
+        };
+        if degenerate {
+            return Err(ScalingError::DegenerateModel);
+        }
+        Ok(self.solve_eps_unchecked(p_target))
+    }
+
+    fn solve_eps_unchecked(&self, p_target: f64) -> f64 {
         match *self {
             ResidualModel::Uncoded { wires } => {
                 // 1 - (1-eps)^w = p  =>  eps = 1 - (1-p)^(1/w), computed
@@ -110,6 +175,10 @@ impl ScaledDesign {
 /// coded bus with residual model `model` to meet the same target
 /// (eq. (11)). Codes whose residual at nominal swing is already above
 /// target keep the nominal swing.
+///
+/// # Panics
+///
+/// Panics when [`try_scale_voltage`] rejects the inputs.
 #[must_use]
 pub fn scale_voltage(
     model: ResidualModel,
@@ -117,18 +186,41 @@ pub fn scale_voltage(
     p_target: f64,
     nominal_vdd: f64,
 ) -> ScaledDesign {
-    let eps_ref = ResidualModel::Uncoded { wires: k_ref }.solve_eps(p_target);
+    match try_scale_voltage(model, k_ref, p_target, nominal_vdd) {
+        Ok(d) => d,
+        Err(e) => panic!("degenerate scaling request: {e}"),
+    }
+}
+
+/// [`scale_voltage`] with every degenerate operating point rejected up
+/// front, so no NaN, Inf, or zero swing can reach an energy report.
+///
+/// # Errors
+///
+/// Returns a [`ScalingError`] when `p_target` is outside `(0, 1)`, the
+/// reference bus has zero wires, the residual model is degenerate, or
+/// `nominal_vdd` is non-finite, zero, or negative.
+pub fn try_scale_voltage(
+    model: ResidualModel,
+    k_ref: usize,
+    p_target: f64,
+    nominal_vdd: f64,
+) -> Result<ScaledDesign, ScalingError> {
+    if !(nominal_vdd.is_finite() && nominal_vdd > 0.0) {
+        return Err(ScalingError::BadNominalVdd(nominal_vdd));
+    }
+    let eps_ref = ResidualModel::Uncoded { wires: k_ref }.try_solve_eps(p_target)?;
     let x_ref = q_inv(eps_ref);
     let sigma = nominal_vdd / (2.0 * x_ref);
-    let eps_scaled = model.solve_eps(p_target);
+    let eps_scaled = model.try_solve_eps(p_target)?;
     let x_scaled = q_inv(eps_scaled);
     let scaled = (nominal_vdd * x_scaled / x_ref).min(nominal_vdd);
-    ScaledDesign {
+    Ok(ScaledDesign {
         nominal_vdd,
         scaled_vdd: scaled,
         eps_scaled,
         sigma,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -216,6 +308,67 @@ mod tests {
         let expect = (d.scaled_vdd / 1.2).powi(2);
         assert!((d.energy_scale() - expect).abs() < 1e-12);
         assert!(d.energy_scale() < 0.6, "ECC should buy >40% bus energy");
+    }
+
+    /// Satellite (degenerate operating points): every edge that used to
+    /// produce NaN/Inf — or an assert with no recoverable path — is an
+    /// explicit error.
+    #[test]
+    fn degenerate_scaling_requests_are_explicit_errors() {
+        let model = ResidualModel::DoubleError { wires: 38 };
+        // eps → 1 territory and worse: targets outside (0, 1).
+        assert_eq!(
+            model.try_solve_eps(0.0),
+            Err(ScalingError::TargetOutOfRange(0.0))
+        );
+        assert_eq!(
+            model.try_solve_eps(1.0),
+            Err(ScalingError::TargetOutOfRange(1.0))
+        );
+        assert!(matches!(
+            model.try_solve_eps(f64::NAN),
+            Err(ScalingError::TargetOutOfRange(_))
+        ));
+        // Models that protect no wires have no solvable ε.
+        assert_eq!(
+            ResidualModel::Uncoded { wires: 0 }.try_solve_eps(P),
+            Err(ScalingError::DegenerateModel)
+        );
+        assert_eq!(
+            ResidualModel::DoubleError { wires: 1 }.try_solve_eps(P),
+            Err(ScalingError::DegenerateModel)
+        );
+        assert_eq!(
+            ResidualModel::Dap { k: 0 }.try_solve_eps(P),
+            Err(ScalingError::DegenerateModel)
+        );
+        assert_eq!(
+            ResidualModel::TripleError { wires: 2 }.try_solve_eps(P),
+            Err(ScalingError::DegenerateModel)
+        );
+        // Zero/negative/non-finite swings are rejected up front.
+        assert_eq!(
+            try_scale_voltage(model, 32, P, 0.0),
+            Err(ScalingError::BadNominalVdd(0.0))
+        );
+        assert_eq!(
+            try_scale_voltage(model, 32, P, -1.2),
+            Err(ScalingError::BadNominalVdd(-1.2))
+        );
+        assert!(matches!(
+            try_scale_voltage(model, 32, P, f64::INFINITY),
+            Err(ScalingError::BadNominalVdd(_))
+        ));
+        // A zero-wire reference bus cannot calibrate σ.
+        assert_eq!(
+            try_scale_voltage(model, 0, P, 1.2),
+            Err(ScalingError::DegenerateModel)
+        );
+        // The happy path agrees with the panicking wrapper, NaN-free.
+        let d = try_scale_voltage(model, 32, P, 1.2).expect("valid request");
+        assert_eq!(d, scale_voltage(model, 32, P, 1.2));
+        assert!(d.scaled_vdd.is_finite() && d.scaled_vdd > 0.0);
+        assert!(d.energy_scale().is_finite());
     }
 
     #[test]

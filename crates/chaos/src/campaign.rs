@@ -20,7 +20,7 @@ use socbus_codes::Scheme;
 use socbus_exec::{default_threads, parse_threads, run_shards};
 use socbus_telemetry::{Recorder, Telemetry};
 
-use crate::cli::{build_case, write_repro, DEFAULT_DATA_BITS};
+use crate::cli::{build_case, build_control_case, write_repro, DEFAULT_DATA_BITS};
 use crate::monitor::InvariantKind;
 use crate::runner::{run_case, run_case_with, CaseOutcome};
 use crate::schedule::ScheduleFamily;
@@ -153,8 +153,10 @@ pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
         let _ = write!(json, "\"worst_word_cycles\": {}, ", out.worst_word_cycles);
         let _ = write!(json, "\"budget_cycles\": {}, ", out.budget_cycles);
         let _ = write!(json, "\"e2e_errors\": {}, ", out.report.end_to_end_errors);
+        let control: usize = out.report.per_hop.iter().map(|h| h.control.len()).sum();
         let _ = write!(json, "\"retransmits\": {retransmits}, ");
         let _ = write!(json, "\"transitions\": {transitions}, ");
+        let _ = write!(json, "\"control_transitions\": {control}, ");
         let _ = write!(
             json,
             "\"cycles_per_word\": {}",
@@ -308,6 +310,201 @@ pub fn campaign_main(args: &[String]) -> i32 {
     1
 }
 
+/// The closed-loop controller campaign grid: every detecting scheme in
+/// the catalog × every schedule family, seeded by grid position (the
+/// non-detecting schemes give the controller no trouble signal and are
+/// exercised by the soak campaign instead).
+#[must_use]
+pub fn control_cells() -> Vec<(Scheme, ScheduleFamily, u64)> {
+    let mut cells = Vec::new();
+    for (si, scheme) in Scheme::detecting().into_iter().enumerate() {
+        for (fi, family) in ScheduleFamily::all().into_iter().enumerate() {
+            let seed = (si * ScheduleFamily::all().len() + fi) as u64 + 1;
+            cells.push((scheme, family, seed));
+        }
+    }
+    cells
+}
+
+/// The `--smoke` subset of [`control_cells`]: one cell per schedule
+/// family (each with a different detecting scheme), so CI covers all
+/// four fault families without running the full grid.
+#[must_use]
+pub fn control_smoke_cells() -> Vec<(Scheme, ScheduleFamily, u64)> {
+    let schemes = Scheme::detecting();
+    let families = ScheduleFamily::all();
+    families
+        .into_iter()
+        .enumerate()
+        .map(|(fi, family)| {
+            let si = fi % schemes.len();
+            let seed = (si * families.len() + fi) as u64 + 1;
+            (schemes[si], family, seed)
+        })
+        .collect()
+}
+
+/// Runs the controller campaign over an explicit cell list on up to
+/// `threads` workers; outcomes merge in grid order, so the rendered
+/// JSON is byte-identical for every thread count.
+#[must_use]
+pub fn run_control_parallel(
+    cells: &[(Scheme, ScheduleFamily, u64)],
+    words: u64,
+    threads: usize,
+) -> Vec<(String, CaseOutcome)> {
+    run_shards(threads, cells, |_, &(scheme, family, seed)| {
+        let cfg = build_control_case(scheme, family, seed, words, HOPS);
+        (cfg.name.clone(), run_case(&cfg))
+    })
+}
+
+/// [`run_control_parallel`] with per-cell private recorders merged in
+/// grid order (same discipline as [`run_campaign_traced`]).
+#[must_use]
+pub fn run_control_traced(
+    cells: &[(Scheme, ScheduleFamily, u64)],
+    words: u64,
+    threads: usize,
+) -> (Vec<(String, CaseOutcome)>, Recorder) {
+    let sharded = run_shards(threads, cells, |_, &(scheme, family, seed)| {
+        let cfg = build_control_case(scheme, family, seed, words, HOPS);
+        let name = cfg.name.clone();
+        let rec = Rc::new(Recorder::new());
+        let out = run_case_with(&cfg, Telemetry::from_recorder(&rec));
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("run_case_with released every telemetry handle");
+        (name, out, rec)
+    });
+    let combined = Recorder::new();
+    let outcomes = sharded
+        .into_iter()
+        .map(|(name, out, rec)| {
+            combined.absorb(&rec);
+            (name, out)
+        })
+        .collect();
+    (outcomes, combined)
+}
+
+/// The controller campaign entry point behind `chaos control`.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
+/// Returns the process exit code (nonzero iff any invariant violated).
+#[must_use]
+pub fn control_main(args: &[String]) -> i32 {
+    let mut smoke = false;
+    let mut threads = default_threads();
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_control.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| parse_threads(v)) else {
+                    eprintln!("chaos control: --threads needs a positive integer");
+                    return 2;
+                };
+                threads = n;
+            }
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("chaos control: --trace-out needs a path");
+                    return 2;
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("chaos control: unknown flag {other}");
+                return 2;
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    let (cells, words) = if smoke {
+        (control_smoke_cells(), SMOKE_WORDS)
+    } else {
+        (control_cells(), FULL_WORDS)
+    };
+    let started = std::time::Instant::now();
+    let (outcomes, recorder) = if trace_out.is_some() {
+        let (outcomes, rec) = run_control_traced(&cells, words, threads);
+        (outcomes, Some(rec))
+    } else {
+        (run_control_parallel(&cells, words, threads), None)
+    };
+    let wall = started.elapsed();
+    for (name, out) in &outcomes {
+        let control: usize = out.report.per_hop.iter().map(|h| h.control.len()).sum();
+        eprintln!(
+            "{name:<30} latency {:>3}/{:<3}  e2e {:>4}  control {:>3}  violations {}",
+            out.worst_word_cycles,
+            out.budget_cycles,
+            out.report.end_to_end_errors,
+            control,
+            out.violations.len()
+        );
+    }
+    let json = render_json(words, &outcomes);
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write control output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "chaos control: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
+    let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
+    eprintln!(
+        "chaos control: {} cases x {words} words on {threads} thread(s) in {:.2}s -> {out_path} ({violations} violation(s))",
+        outcomes.len(),
+        wall.as_secs_f64()
+    );
+    if violations == 0 {
+        return 0;
+    }
+    // Same artifact discipline as the soak campaign: shrink the first
+    // violating cell to a reproducer, then replay it under telemetry.
+    for (&(scheme, family, seed), (name, out)) in cells.iter().zip(&outcomes) {
+        if let Some(v) = out.violations.first() {
+            eprintln!("chaos control: {name} violated: {}", v.detail);
+            let cfg = build_control_case(scheme, family, seed, words, HOPS);
+            match write_repro(&cfg, v, Path::new("results/repro")) {
+                Ok(file) => {
+                    eprintln!("chaos control: reproducer written to {}", file.display());
+                    let rec = Rc::new(Recorder::new());
+                    let replayed = std::fs::read_to_string(&file).ok().and_then(|text| {
+                        crate::cli::replay_text_with(&text, Telemetry::from_recorder(&rec)).ok()
+                    });
+                    if replayed.is_some() {
+                        let trace = format!("{}.trace.json", file.display());
+                        std::fs::write(&trace, rec.export_chrome_trace())
+                            .expect("write repro trace");
+                        eprintln!("chaos control: trace written to {trace}");
+                    }
+                }
+                Err(e) => eprintln!("chaos control: shrink failed: {e}"),
+            }
+            break;
+        }
+    }
+    1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +558,37 @@ mod tests {
             rec_one.export_chrome_trace(),
             rec_many.export_chrome_trace()
         );
+    }
+
+    /// The control campaign: byte-identical JSON across thread counts,
+    /// full detecting-scheme coverage, and zero safe-state violations in
+    /// the smoke grid.
+    #[test]
+    fn control_campaign_is_thread_count_invariant_and_safe() {
+        let cells = control_smoke_cells();
+        assert_eq!(cells.len(), ScheduleFamily::all().len());
+        let one = run_control_parallel(&cells, SMOKE_WORDS, 1);
+        let many = run_control_parallel(&cells, SMOKE_WORDS, 8);
+        assert_eq!(
+            render_json(SMOKE_WORDS, &one),
+            render_json(SMOKE_WORDS, &many)
+        );
+        for (name, out) in &one {
+            assert_eq!(
+                out.violations,
+                vec![],
+                "{name} must hold every invariant: {:?}",
+                out.violations.first()
+            );
+        }
+        let full = control_cells();
+        assert_eq!(
+            full.len(),
+            Scheme::detecting().len() * ScheduleFamily::all().len()
+        );
+        for &(scheme, ..) in &full {
+            assert!(scheme.detects_errors());
+        }
     }
 
     /// ISSUE 4 satellite: every catalog scheme (the sabotage self-test

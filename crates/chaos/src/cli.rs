@@ -11,6 +11,10 @@
 //!     Run the whole soak campaign on the deterministic parallel engine
 //!     (same implementation as the `soak` binary; the JSON is
 //!     byte-identical for any thread count).
+//! chaos control [--smoke] [--threads N] [--trace-out <path>] [out]
+//!     Run the closed-loop controller campaign: every detecting scheme
+//!     under every schedule family with a per-hop DVS controller, all
+//!     five invariants armed (including control-safe-state).
 //! ```
 //!
 //! The logic lives here (not in `bin/chaos.rs`) so the root package can
@@ -21,7 +25,8 @@ use std::path::Path;
 use std::rc::Rc;
 
 use socbus_codes::Scheme;
-use socbus_noc::link::{DegradationAction, DegradationPolicy, Protocol};
+use socbus_noc::link::{DegradationAction, DegradationPolicy, PromotePolicy, Protocol};
+use socbus_noc::{ControlPolicy, OperatingPoint};
 use socbus_telemetry::{Recorder, Telemetry};
 
 use crate::monitor::Violation;
@@ -68,7 +73,9 @@ pub fn protocol_for(scheme: Scheme, seed: u64) -> Protocol {
 }
 
 /// The degradation ladder mixed-mayhem cases run with (other families
-/// run ladder-free so force-degrade events stay no-ops).
+/// run ladder-free so force-degrade events stay no-ops). The recovery
+/// clause re-promotes after four consecutive near-silent windows, so
+/// soak campaigns exercise the full deploy/undo episode machinery.
 #[must_use]
 pub fn mayhem_ladder() -> DegradationPolicy {
     DegradationPolicy {
@@ -78,6 +85,39 @@ pub fn mayhem_ladder() -> DegradationPolicy {
             DegradationAction::RaiseSwing { factor: 1.3 },
             DegradationAction::SwitchScheme(Scheme::ExtHamming),
         ],
+        promote: Some(PromotePolicy {
+            quiet_windows: 4,
+            trigger: 0.02,
+        }),
+    }
+}
+
+/// The operating-point ladder controller campaign cells run with:
+/// a guard-banded ExtHamming safe state on top, then the cell's own
+/// scheme at nominal and reduced swing. ExtHamming detects two errors —
+/// at least as many as any detecting scheme in the catalog — so the
+/// guarantee ladder is nonincreasing for every cell and the policy
+/// always validates.
+#[must_use]
+pub fn control_policy_for(scheme: Scheme) -> ControlPolicy {
+    ControlPolicy {
+        points: vec![
+            OperatingPoint {
+                swing: 1.3,
+                scheme: Scheme::ExtHamming,
+            },
+            OperatingPoint { swing: 1.0, scheme },
+            OperatingPoint {
+                swing: 0.85,
+                scheme,
+            },
+        ],
+        target_wer: 1e-2,
+        window: 50,
+        dwell: 2,
+        lower_trouble: 0.05,
+        raise_trouble: 0.2,
+        storm_trouble: 0.4,
     }
 }
 
@@ -103,11 +143,49 @@ pub fn build_case(
         eps: DEFAULT_EPS,
         protocol: protocol_for(scheme, seed),
         degradation: (family == ScheduleFamily::MixedMayhem).then(mayhem_ladder),
+        controller: None,
         words,
         traffic_seed: seed ^ 0xA5A5,
         sim_seed: seed,
         schedule,
     }
+}
+
+/// Assembles the closed-loop controller cell for one `(scheme, family,
+/// seed)` — the same schedule grid as [`build_case`], but with a per-hop
+/// DVS controller instead of a degradation ladder and a retransmitting
+/// protocol (the controller's trouble signal needs retries or detected
+/// words to observe).
+///
+/// # Panics
+///
+/// Panics if the scheme cannot detect errors (the controller has no
+/// trouble signal to observe) or the policy fails to validate.
+#[must_use]
+pub fn build_control_case(
+    scheme: Scheme,
+    family: ScheduleFamily,
+    seed: u64,
+    words: u64,
+    hops: usize,
+) -> CaseConfig {
+    assert!(
+        scheme.detects_errors(),
+        "controller cells need a detecting scheme, got {scheme:?}"
+    );
+    let policy = control_policy_for(scheme);
+    policy
+        .validate(DEFAULT_DATA_BITS)
+        .expect("campaign control policy must validate");
+    let mut cfg = build_case(scheme, family, seed, words, hops);
+    cfg.name = format!("{}+ctl/{}", scheme.name(), family.name());
+    cfg.protocol = Protocol::DetectRetransmit {
+        rtt_cycles: 3,
+        max_retries: 3,
+    };
+    cfg.degradation = None;
+    cfg.controller = Some(policy);
+    cfg
 }
 
 /// Shrinks a violating case and writes the reproducer file. Returns the
@@ -171,6 +249,7 @@ pub fn replay_text_with(text: &str, tel: Telemetry) -> Result<Option<Violation>,
 pub fn main_with_args(args: &[String]) -> i32 {
     match args {
         [cmd, rest @ ..] if cmd == "run" => crate::campaign::campaign_main(rest),
+        [cmd, rest @ ..] if cmd == "control" => crate::campaign::control_main(rest),
         [cmd, file] if cmd == "replay" => {
             let text = match std::fs::read_to_string(file) {
                 Ok(t) => t,
@@ -258,7 +337,8 @@ pub fn main_with_args(args: &[String]) -> i32 {
             eprintln!(
                 "usage:\n  chaos case <scheme> <family> <seed> [words] [hops]\n  \
                  chaos replay <file>\n  \
-                 chaos run [--smoke] [--threads N] [--trace-out <path>] [out]\n\nfamilies: {}",
+                 chaos run [--smoke] [--threads N] [--trace-out <path>] [out]\n  \
+                 chaos control [--smoke] [--threads N] [--trace-out <path>] [out]\n\nfamilies: {}",
                 ScheduleFamily::all().map(|f| f.name()).join(", ")
             );
             2
@@ -276,6 +356,16 @@ mod tests {
         let b = build_case(Scheme::Dap, ScheduleFamily::BurstTrain, 7, 500, 3);
         assert_eq!(a, b);
         assert_eq!(a.name, "DAP/burst_train");
+    }
+
+    #[test]
+    fn control_policies_validate_for_every_detecting_scheme() {
+        for scheme in Scheme::detecting() {
+            let cfg = build_control_case(scheme, ScheduleFamily::DroopStorm, 3, 400, 2);
+            assert!(cfg.controller.is_some());
+            assert!(cfg.degradation.is_none());
+            assert!(cfg.name.contains("+ctl/"));
+        }
     }
 
     #[test]

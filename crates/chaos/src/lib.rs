@@ -10,7 +10,7 @@
 //! *sequences* of fault regimes — burst trains, droop storms, hard
 //! defects that appear and heal, degradation ladders firing mid-flight.
 //! This crate soak-tests the whole stack under such sequences and holds
-//! it to four invariants no schedule may break:
+//! it to five invariants no schedule may break:
 //!
 //! * **silent-corruption** — no wrong word delivered inside a decoder's
 //!   advertised detection/correction guarantees;
@@ -18,8 +18,13 @@
 //!   aggregates must all re-derive from the per-word traces;
 //! * **latency-bound** — no word exceeds
 //!   [`Protocol::worst_case_word_cycles`](socbus_noc::link::Protocol::worst_case_word_cycles);
-//! * **ladder-monotonic** — degradation transitions replay the
-//!   configured ladder as an in-order, justified prefix.
+//! * **ladder-monotonic** — degradation transitions walk the configured
+//!   ladder one justified rung at a time, demotions in order and
+//!   promotions only undoing the most recent rung after a quiet window;
+//! * **control-safe-state** — a closed-loop DVS controller never
+//!   selects an operating point whose advertised guarantee is below the
+//!   observed error weight, and every transition is justified by its
+//!   window's trouble rate (see [`socbus_noc::control`]).
 //!
 //! Module map: [`schedule`] (the event grammar and random families),
 //! [`runner`] (schedule interpreter over [`socbus_noc::PathSim`]),
@@ -54,10 +59,13 @@ pub mod schedule;
 pub mod shrink;
 
 pub use campaign::{
-    campaign_cells, run_campaign, run_campaign_parallel, run_campaign_traced, run_campaign_with,
-    FULL_WORDS, HOPS, SMOKE_WORDS,
+    campaign_cells, control_cells, control_smoke_cells, run_campaign, run_campaign_parallel,
+    run_campaign_traced, run_campaign_with, run_control_parallel, run_control_traced, FULL_WORDS,
+    HOPS, SMOKE_WORDS,
 };
-pub use cli::{build_case, main_with_args, protocol_for, write_repro};
+pub use cli::{
+    build_case, build_control_case, control_policy_for, main_with_args, protocol_for, write_repro,
+};
 pub use monitor::{InvariantKind, InvariantStats, Monitor, Violation};
 pub use replay::{ExpectedViolation, Repro};
 pub use runner::{reproduces, run_case, run_case_with, CaseConfig, CaseOutcome};

@@ -1,7 +1,7 @@
 //! Online invariant monitors for chaos runs.
 //!
 //! The monitor watches every word cross the path ([`Monitor::observe`])
-//! and audits the final accounting ([`Monitor::finish`]). Four invariant
+//! and audits the final accounting ([`Monitor::finish`]). Five invariant
 //! families:
 //!
 //! * **silent-corruption** — a decoder may never hand up a wrong word
@@ -20,14 +20,23 @@
 //! * **latency-bound** — no word may consume more bus cycles at one hop
 //!   than [`Protocol::worst_case_word_cycles`] allows, no matter what the
 //!   fault schedule does.
-//! * **ladder-monotonic** — degradation transitions must replay the
-//!   configured ladder as an in-order prefix, at nondecreasing word
-//!   indices, and non-forced transitions must actually have exceeded the
-//!   trigger.
+//! * **ladder-monotonic** — degradation transitions must walk the
+//!   configured ladder one rung at a time: demotions replay it in order
+//!   at nondecreasing word indices, non-forced demotions must actually
+//!   have exceeded the trigger, and promotions may only undo the rung
+//!   most recently deployed, only when a recovery policy exists and the
+//!   closing window was quiet.
+//! * **control-safe-state** — closed-loop controller transitions must
+//!   form a contiguous, justified walk over the configured operating
+//!   points: relaxations step down exactly one point, only from a quiet
+//!   window, and never onto a point whose advertised guarantee is below
+//!   the observed error weight; retreats and emergencies must have
+//!   earned their trouble rates; emergencies always land on the
+//!   worst-case safe state (index 0).
 
 use socbus_codes::DecodeStatus;
 use socbus_noc::link::{DegradationPolicy, Protocol};
-use socbus_noc::{PathReport, PathStep};
+use socbus_noc::{ControlCause, ControlPolicy, ControlTransition, PathReport, PathStep};
 use socbus_telemetry::Telemetry;
 
 /// The invariant families the monitor checks.
@@ -41,17 +50,21 @@ pub enum InvariantKind {
     LatencyBound,
     /// Degradation transitions out of ladder order or unjustified.
     LadderMonotonic,
+    /// Controller left the safe envelope: an unjustified transition, or
+    /// an operating point whose guarantee is below the observed weight.
+    ControlSafeState,
 }
 
 impl InvariantKind {
     /// All kinds, in reporting order.
     #[must_use]
-    pub fn all() -> [InvariantKind; 4] {
+    pub fn all() -> [InvariantKind; 5] {
         [
             InvariantKind::SilentCorruption,
             InvariantKind::Conservation,
             InvariantKind::LatencyBound,
             InvariantKind::LadderMonotonic,
+            InvariantKind::ControlSafeState,
         ]
     }
 
@@ -63,6 +76,7 @@ impl InvariantKind {
             InvariantKind::Conservation => "conservation",
             InvariantKind::LatencyBound => "latency-bound",
             InvariantKind::LadderMonotonic => "ladder-monotonic",
+            InvariantKind::ControlSafeState => "control-safe-state",
         }
     }
 
@@ -118,13 +132,14 @@ struct HopTally {
 pub struct Monitor {
     budget: u64,
     policy: Option<DegradationPolicy>,
+    control: Option<(ControlPolicy, Vec<u32>)>,
     words: u64,
     tallies: Vec<HopTally>,
     violations: Vec<Violation>,
-    stats: [InvariantStats; 4],
+    stats: [InvariantStats; 5],
     /// `stats[i].checked` already reported as a `monitor.checks`
     /// counter, so [`Monitor::flush_telemetry`] emits only the delta.
-    checks_flushed: [u64; 4],
+    checks_flushed: [u64; 5],
     tel: Telemetry,
     /// Worst per-hop word latency observed (cycles).
     pub worst_word_cycles: u64,
@@ -138,14 +153,27 @@ impl Monitor {
         Monitor {
             budget: protocol.worst_case_word_cycles(),
             policy,
+            control: None,
             words: 0,
             tallies: vec![HopTally::default(); hops],
             violations: Vec::new(),
-            stats: [InvariantStats::default(); 4],
-            checks_flushed: [0; 4],
+            stats: [InvariantStats::default(); 5],
+            checks_flushed: [0; 5],
             tel: Telemetry::off(),
             worst_word_cycles: 0,
         }
+    }
+
+    /// Arms the control-safe-state invariant: `policy` is the controller
+    /// policy the links run (or `None` for open-loop links, in which case
+    /// any recorded controller transition is itself a violation), and
+    /// `data_bits` recomputes each operating point's advertised guarantee
+    /// independently of what the report claims.
+    pub fn set_control(&mut self, policy: Option<ControlPolicy>, data_bits: usize) {
+        self.control = policy.map(|p| {
+            let guarantees = p.guarantees(data_bits);
+            (p, guarantees)
+        });
     }
 
     /// Attaches a telemetry handle: check tallies batch locally and
@@ -386,6 +414,22 @@ impl Monitor {
                     )
                 },
             );
+
+            // Controller safe state.
+            let control_err = self.control_error(link.control.as_slice());
+            self.check(
+                InvariantKind::ControlSafeState,
+                Some(hop),
+                words,
+                control_err.is_none(),
+                || {
+                    format!(
+                        "hop {hop} controller left the safe envelope: {} (transitions {:?})",
+                        control_err.unwrap_or_default(),
+                        link.control
+                    )
+                },
+            );
         }
 
         let hop_cycles: u64 = report.per_hop.iter().map(|l| l.cycles).sum();
@@ -417,30 +461,142 @@ impl Monitor {
         );
     }
 
-    /// Transitions must form an in-order prefix of the ladder, at
-    /// nondecreasing word indices, and non-forced ones must have earned
-    /// their trigger.
+    /// Transitions must walk the ladder one rung at a time, at
+    /// nondecreasing word indices. Demotions deploy rungs in ladder
+    /// order and non-forced ones must have earned their trigger;
+    /// promotions undo exactly the most recently deployed rung, require
+    /// a recovery policy, and must close on a quiet window.
     fn ladder_ok(&self, transitions: &[socbus_noc::link::LinkTransition]) -> bool {
         let Some(policy) = &self.policy else {
             return transitions.is_empty();
         };
-        if transitions.len() > policy.ladder.len() {
-            return false;
-        }
+        let mut rung = 0usize;
         let mut last_word = 0u64;
-        for (i, t) in transitions.iter().enumerate() {
-            if t.action != policy.ladder[i] {
-                return false;
-            }
+        for t in transitions {
             if t.at_word < last_word {
                 return false;
             }
             last_word = t.at_word;
-            if !t.forced && t.trouble_rate <= policy.trigger {
-                return false;
+            if t.promoted {
+                let Some(promote) = policy.promote else {
+                    return false;
+                };
+                if rung == 0
+                    || t.action != policy.ladder[rung - 1]
+                    || t.forced
+                    || t.trouble_rate > promote.trigger
+                {
+                    return false;
+                }
+                rung -= 1;
+            } else {
+                if rung >= policy.ladder.len() || t.action != policy.ladder[rung] {
+                    return false;
+                }
+                if !t.forced && t.trouble_rate <= policy.trigger {
+                    return false;
+                }
+                rung += 1;
             }
         }
         true
+    }
+
+    /// Audits a recorded controller transition chain against the armed
+    /// control policy. Returns `None` when every safe-state clause
+    /// holds, or a description of the first broken clause.
+    fn control_error(&self, transitions: &[ControlTransition]) -> Option<String> {
+        let Some((policy, guarantees)) = &self.control else {
+            return if transitions.is_empty() {
+                None
+            } else {
+                Some("controller transitions recorded without a control policy".to_owned())
+            };
+        };
+        let points = policy.points.len();
+        let mut prev_index = 0usize;
+        let mut last_word = 0u64;
+        for (i, t) in transitions.iter().enumerate() {
+            if t.from >= points || t.to >= points {
+                return Some(format!(
+                    "transition {i} indexes out of range: {} -> {} with {points} points",
+                    t.from, t.to
+                ));
+            }
+            if t.from != prev_index {
+                return Some(format!(
+                    "transition {i} breaks the chain: from {} but the controller was at {prev_index}",
+                    t.from
+                ));
+            }
+            if t.at_word < last_word {
+                return Some(format!(
+                    "transition {i} runs time backwards: word {} after {last_word}",
+                    t.at_word
+                ));
+            }
+            if t.guarantee != guarantees[t.to] {
+                return Some(format!(
+                    "transition {i} misstates the guarantee of point {}: {} vs {}",
+                    t.to, t.guarantee, guarantees[t.to]
+                ));
+            }
+            match t.cause {
+                ControlCause::Relax => {
+                    if t.to != t.from + 1 {
+                        return Some(format!(
+                            "transition {i} relaxes by more than one point: {} -> {}",
+                            t.from, t.to
+                        ));
+                    }
+                    if t.trouble_rate > policy.lower_trouble {
+                        return Some(format!(
+                            "transition {i} relaxed out of a noisy window: rate {} > lower {}",
+                            t.trouble_rate, policy.lower_trouble
+                        ));
+                    }
+                    if guarantees[t.to] < t.observed_weight {
+                        return Some(format!(
+                            "transition {i} relaxed below the observed weight: \
+                             guarantee {} < weight {}",
+                            guarantees[t.to], t.observed_weight
+                        ));
+                    }
+                }
+                ControlCause::Retreat => {
+                    if t.to + 1 != t.from {
+                        return Some(format!(
+                            "transition {i} retreats by more than one point: {} -> {}",
+                            t.from, t.to
+                        ));
+                    }
+                    if t.trouble_rate <= policy.raise_trouble {
+                        return Some(format!(
+                            "transition {i} retreated without trouble: rate {} <= raise {}",
+                            t.trouble_rate, policy.raise_trouble
+                        ));
+                    }
+                }
+                ControlCause::Emergency => {
+                    if t.to != 0 {
+                        return Some(format!(
+                            "transition {i} declared an emergency but landed on point {}",
+                            t.to
+                        ));
+                    }
+                    if t.trouble_rate < policy.storm_trouble {
+                        return Some(format!(
+                            "transition {i} declared an emergency without a storm: \
+                             rate {} < storm {}",
+                            t.trouble_rate, policy.storm_trouble
+                        ));
+                    }
+                }
+            }
+            prev_index = t.to;
+            last_word = t.at_word;
+        }
+        None
     }
 }
 
@@ -530,6 +686,7 @@ mod tests {
                 DegradationAction::RaiseSwing { factor: 1.3 },
                 DegradationAction::SwitchScheme(Scheme::Dap),
             ],
+            promote: None,
         };
         let monitor = Monitor::new(1, Protocol::Fec, Some(policy.clone()));
         use socbus_noc::link::LinkTransition;
@@ -538,12 +695,14 @@ mod tests {
             trouble_rate: 0.5,
             action: DegradationAction::RaiseSwing { factor: 1.3 },
             forced: false,
+            promoted: false,
         };
         let switch = LinkTransition {
             at_word: 20,
             trouble_rate: 0.0,
             action: DegradationAction::SwitchScheme(Scheme::Dap),
             forced: true,
+            promoted: false,
         };
         assert!(monitor.ladder_ok(&[]));
         assert!(monitor.ladder_ok(&[raise]));
@@ -563,5 +722,163 @@ mod tests {
             ..switch
         };
         assert!(!monitor.ladder_ok(&[raise, early_switch]));
+        // A promotion against a policy with no recovery clause is illegal.
+        let promote_back = LinkTransition {
+            at_word: 30,
+            trouble_rate: 0.0,
+            action: DegradationAction::SwitchScheme(Scheme::Dap),
+            forced: false,
+            promoted: true,
+        };
+        assert!(!monitor.ladder_ok(&[raise, switch, promote_back]));
+    }
+
+    #[test]
+    fn promotions_must_undo_the_last_deployed_rung() {
+        use socbus_noc::link::{LinkTransition, PromotePolicy};
+        let policy = DegradationPolicy {
+            window: 100,
+            trigger: 0.2,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.3 },
+                DegradationAction::SwitchScheme(Scheme::Dap),
+            ],
+            promote: Some(PromotePolicy {
+                quiet_windows: 2,
+                trigger: 0.05,
+            }),
+        };
+        let monitor = Monitor::new(1, Protocol::Fec, Some(policy));
+        let raise = LinkTransition {
+            at_word: 10,
+            trouble_rate: 0.5,
+            action: DegradationAction::RaiseSwing { factor: 1.3 },
+            forced: false,
+            promoted: false,
+        };
+        let switch = LinkTransition {
+            at_word: 20,
+            trouble_rate: 0.5,
+            action: DegradationAction::SwitchScheme(Scheme::Dap),
+            forced: false,
+            promoted: false,
+        };
+        let undo_switch = LinkTransition {
+            at_word: 40,
+            trouble_rate: 0.0,
+            action: DegradationAction::SwitchScheme(Scheme::Dap),
+            forced: false,
+            promoted: true,
+        };
+        let undo_raise = LinkTransition {
+            at_word: 60,
+            trouble_rate: 0.0,
+            action: DegradationAction::RaiseSwing { factor: 1.3 },
+            forced: false,
+            promoted: true,
+        };
+        // Full deploy, full recovery, and a re-deploy are all legal.
+        assert!(monitor.ladder_ok(&[raise, switch, undo_switch, undo_raise]));
+        let redeploy = LinkTransition {
+            at_word: 80,
+            ..switch
+        };
+        assert!(monitor.ladder_ok(&[raise, switch, undo_switch, redeploy]));
+        // Promoting a rung that is not the most recently deployed is not.
+        assert!(!monitor.ladder_ok(&[raise, switch, undo_raise]));
+        // Promoting below the base is not.
+        assert!(!monitor.ladder_ok(&[undo_raise]));
+        // Promoting out of a noisy window is not.
+        let noisy_undo = LinkTransition {
+            trouble_rate: 0.5,
+            ..undo_switch
+        };
+        assert!(!monitor.ladder_ok(&[raise, switch, noisy_undo]));
+    }
+
+    #[test]
+    fn control_chain_clauses_are_each_enforced() {
+        use socbus_noc::{ControlCause, ControlPolicy, ControlTransition, OperatingPoint};
+        let policy = ControlPolicy {
+            points: vec![
+                OperatingPoint {
+                    swing: 1.4,
+                    scheme: Scheme::ExtHamming,
+                },
+                OperatingPoint {
+                    swing: 1.0,
+                    scheme: Scheme::Parity,
+                },
+            ],
+            target_wer: 1e-2,
+            window: 10,
+            dwell: 2,
+            lower_trouble: 0.1,
+            raise_trouble: 0.3,
+            storm_trouble: 0.6,
+        };
+        let mut monitor = Monitor::new(1, Protocol::Fec, None);
+        monitor.set_control(Some(policy), 16);
+        let relax = ControlTransition {
+            at_word: 20,
+            from: 0,
+            to: 1,
+            trouble_rate: 0.0,
+            observed_weight: 0,
+            guarantee: 1,
+            cause: ControlCause::Relax,
+        };
+        let retreat = ControlTransition {
+            at_word: 40,
+            from: 1,
+            to: 0,
+            trouble_rate: 0.5,
+            observed_weight: 2,
+            guarantee: 2,
+            cause: ControlCause::Retreat,
+        };
+        let emergency = ControlTransition {
+            at_word: 60,
+            from: 1,
+            to: 0,
+            trouble_rate: 0.8,
+            observed_weight: 3,
+            guarantee: 2,
+            cause: ControlCause::Emergency,
+        };
+        assert_eq!(monitor.control_error(&[]), None);
+        assert_eq!(monitor.control_error(&[relax, retreat]), None);
+        assert_eq!(monitor.control_error(&[relax, emergency]), None);
+        // Chain continuity: the controller starts at index 0.
+        assert!(monitor.control_error(&[retreat]).is_some());
+        // A relax out of a noisy window is unjustified.
+        let noisy_relax = ControlTransition {
+            trouble_rate: 0.2,
+            ..relax
+        };
+        assert!(monitor.control_error(&[noisy_relax]).is_some());
+        // A relax below the observed error weight breaks the safe state.
+        let reckless = ControlTransition {
+            observed_weight: 2,
+            ..relax
+        };
+        assert!(monitor.control_error(&[reckless]).is_some());
+        // The recorded guarantee must match the recomputed one.
+        let liar = ControlTransition {
+            guarantee: 9,
+            ..relax
+        };
+        assert!(monitor.control_error(&[liar]).is_some());
+        // An emergency must land on the safe state with a storm rate.
+        let mild = ControlTransition {
+            trouble_rate: 0.4,
+            ..emergency
+        };
+        assert!(monitor.control_error(&[relax, mild]).is_some());
+        // Without a policy, any recorded transition is a violation.
+        let mut bare = Monitor::new(1, Protocol::Fec, None);
+        bare.set_control(None, 16);
+        assert!(bare.control_error(&[relax]).is_some());
+        assert_eq!(bare.control_error(&[]), None);
     }
 }

@@ -19,6 +19,7 @@
 //! degradation window=200 trigger=0.2
 //! rung raise-swing factor=1.3
 //! rung switch-scheme ExtHamming
+//! promote quiet_windows=3 trigger=0.02
 //! words 9
 //! traffic_seed 1
 //! sim_seed 2
@@ -32,7 +33,8 @@ use std::fmt::Write as _;
 
 use socbus_channel::{BridgeMode, FaultSpec};
 use socbus_codes::Scheme;
-use socbus_noc::link::{DegradationAction, DegradationPolicy, Protocol};
+use socbus_noc::link::{DegradationAction, DegradationPolicy, PromotePolicy, Protocol};
+use socbus_noc::{ControlPolicy, OperatingPoint};
 
 use crate::monitor::{InvariantKind, Violation};
 use crate::runner::CaseConfig;
@@ -129,6 +131,28 @@ impl Repro {
                     }
                 }
             }
+            if let Some(promote) = policy.promote {
+                let _ = writeln!(
+                    out,
+                    "promote quiet_windows={} trigger={:?}",
+                    promote.quiet_windows, promote.trigger
+                );
+            }
+        }
+        if let Some(policy) = &c.controller {
+            let _ = writeln!(
+                out,
+                "controller target={:?} window={} dwell={} lower={:?} raise={:?} storm={:?}",
+                policy.target_wer,
+                policy.window,
+                policy.dwell,
+                policy.lower_trouble,
+                policy.raise_trouble,
+                policy.storm_trouble
+            );
+            for p in &policy.points {
+                let _ = writeln!(out, "point swing={:?} scheme={}", p.swing, p.scheme.name());
+            }
         }
         let _ = writeln!(out, "words {}", c.words);
         let _ = writeln!(out, "traffic_seed {}", c.traffic_seed);
@@ -177,6 +201,7 @@ impl Repro {
         let mut eps = None;
         let mut protocol = None;
         let mut degradation: Option<DegradationPolicy> = None;
+        let mut controller: Option<ControlPolicy> = None;
         let mut words = None;
         let mut traffic_seed = None;
         let mut sim_seed = None;
@@ -209,6 +234,7 @@ impl Repro {
                         window,
                         trigger,
                         ladder: Vec::new(),
+                        promote: None,
                     });
                 }
                 "rung" => {
@@ -216,6 +242,54 @@ impl Repro {
                         .as_mut()
                         .ok_or_else(|| at("rung before degradation".into()))?;
                     policy.ladder.push(parse_rung(rest).map_err(&at)?);
+                }
+                "promote" => {
+                    let policy = degradation
+                        .as_mut()
+                        .ok_or_else(|| at("promote before degradation".into()))?;
+                    let mut toks = rest.split_whitespace();
+                    let quiet_windows = kv(toks.next(), "quiet_windows")
+                        .and_then(parse_num)
+                        .map_err(&at)?;
+                    let trigger = kv(toks.next(), "trigger")
+                        .and_then(parse_f64)
+                        .map_err(&at)?;
+                    policy.promote = Some(PromotePolicy {
+                        quiet_windows,
+                        trigger,
+                    });
+                }
+                "controller" => {
+                    let mut toks = rest.split_whitespace();
+                    let target_wer = kv(toks.next(), "target").and_then(parse_f64).map_err(&at)?;
+                    let window = kv(toks.next(), "window").and_then(parse_num).map_err(&at)?;
+                    let dwell = kv(toks.next(), "dwell").and_then(parse_num).map_err(&at)?;
+                    let lower_trouble =
+                        kv(toks.next(), "lower").and_then(parse_f64).map_err(&at)?;
+                    let raise_trouble =
+                        kv(toks.next(), "raise").and_then(parse_f64).map_err(&at)?;
+                    let storm_trouble =
+                        kv(toks.next(), "storm").and_then(parse_f64).map_err(&at)?;
+                    controller = Some(ControlPolicy {
+                        points: Vec::new(),
+                        target_wer,
+                        window,
+                        dwell,
+                        lower_trouble,
+                        raise_trouble,
+                        storm_trouble,
+                    });
+                }
+                "point" => {
+                    let policy = controller
+                        .as_mut()
+                        .ok_or_else(|| at("point before controller".into()))?;
+                    let mut toks = rest.split_whitespace();
+                    let swing = kv(toks.next(), "swing").and_then(parse_f64).map_err(&at)?;
+                    let name = kv(toks.next(), "scheme").map_err(&at)?;
+                    let scheme = Scheme::from_name(&name)
+                        .ok_or_else(|| at(format!("unknown scheme {name:?}")))?;
+                    policy.points.push(OperatingPoint { swing, scheme });
                 }
                 "words" => words = Some(parse_num(rest).map_err(&at)?),
                 "traffic_seed" => traffic_seed = Some(parse_num(rest).map_err(&at)?),
@@ -235,6 +309,7 @@ impl Repro {
                 eps: eps.ok_or_else(|| missing("eps"))?,
                 protocol: protocol.ok_or_else(|| missing("protocol"))?,
                 degradation,
+                controller,
                 words: words.ok_or_else(|| missing("words"))?,
                 traffic_seed: traffic_seed.ok_or_else(|| missing("traffic_seed"))?,
                 sim_seed: sim_seed.ok_or_else(|| missing("sim_seed"))?,
@@ -456,7 +531,12 @@ mod tests {
                         DegradationAction::RaiseSwing { factor: 1.3 },
                         DegradationAction::SwitchScheme(Scheme::ExtHamming),
                     ],
+                    promote: Some(PromotePolicy {
+                        quiet_windows: 3,
+                        trigger: 0.02,
+                    }),
                 }),
+                controller: None,
                 words: 500,
                 traffic_seed: 11,
                 sim_seed: 7,
@@ -553,6 +633,41 @@ mod tests {
         let back = Repro::parse(&text).expect("parses");
         assert_eq!(back, repro);
         assert_eq!(back.serialize(), text);
+    }
+
+    #[test]
+    fn controller_cases_round_trip_byte_identically() {
+        let mut repro = sample_repro();
+        repro.case.degradation = None;
+        repro.case.controller = Some(ControlPolicy {
+            points: vec![
+                OperatingPoint {
+                    swing: 1.4,
+                    scheme: Scheme::ExtHamming,
+                },
+                OperatingPoint {
+                    swing: 1.0,
+                    scheme: Scheme::Parity,
+                },
+                OperatingPoint {
+                    swing: 0.85,
+                    scheme: Scheme::Parity,
+                },
+            ],
+            target_wer: 1e-2,
+            window: 32,
+            dwell: 3,
+            lower_trouble: 0.05,
+            raise_trouble: 0.15,
+            storm_trouble: 0.3,
+        });
+        repro.expect.kind = InvariantKind::ControlSafeState;
+        let text = repro.serialize();
+        assert!(text.contains("controller target=0.01 window=32 dwell=3"));
+        assert!(text.contains("point swing=1.4 scheme=ExtHamming"));
+        let back = Repro::parse(&text).expect("parses");
+        assert_eq!(back, repro);
+        assert_eq!(back.serialize(), text, "canonical form must be stable");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use socbus_channel::FaultSpec;
 use socbus_noc::link::{DegradationPolicy, LinkConfig, Protocol};
 use socbus_noc::traffic::UniformTraffic;
-use socbus_noc::{PathConfig, PathReport, PathSim};
+use socbus_noc::{ControlPolicy, PathConfig, PathReport, PathSim};
 use socbus_telemetry::Telemetry;
 
 use crate::monitor::{InvariantKind, InvariantStats, Monitor, Violation};
@@ -34,6 +34,9 @@ pub struct CaseConfig {
     pub protocol: Protocol,
     /// Optional degradation ladder on every hop.
     pub degradation: Option<DegradationPolicy>,
+    /// Optional closed-loop DVS controller on every hop (mutually
+    /// exclusive with `degradation`).
+    pub controller: Option<ControlPolicy>,
     /// Words to carry.
     pub words: u64,
     /// Seed of the traffic generator.
@@ -53,6 +56,9 @@ impl CaseConfig {
         if let Some(policy) = &self.degradation {
             link = link.with_degradation(policy.clone());
         }
+        if let Some(policy) = &self.controller {
+            link = link.with_controller(policy.clone());
+        }
         PathConfig::new(self.hops, link)
     }
 }
@@ -69,7 +75,7 @@ pub struct CaseOutcome {
     /// The protocol's worst-case single-word budget (cycles).
     pub budget_cycles: u64,
     /// Pass/fail tallies, one per [`InvariantKind::all`] entry.
-    pub stats: [(InvariantKind, InvariantStats); 4],
+    pub stats: [(InvariantKind, InvariantStats); 5],
 }
 
 /// Runs one case to completion. Deterministic in the config.
@@ -98,6 +104,7 @@ pub fn run_case(cfg: &CaseConfig) -> CaseOutcome {
 pub fn run_case_with(cfg: &CaseConfig, tel: Telemetry) -> CaseOutcome {
     let mut sim = PathSim::new_with_telemetry(&cfg.path_config(), cfg.sim_seed, tel.clone());
     let mut monitor = Monitor::new(cfg.hops, cfg.protocol, cfg.degradation.clone());
+    monitor.set_control(cfg.controller.clone(), cfg.data_bits);
     monitor.set_telemetry(tel.clone());
     // id -> (hop, slot) of the live activation for that handle.
     let mut live: HashMap<u32, (usize, usize)> = HashMap::new();
@@ -204,6 +211,13 @@ fn apply_event(
             let slot = engine
                 .injector_mut()
                 .push_spec(&spec, activation_seed(sim_seed, *id));
+            // Faults arriving after the link moved off nominal swing see
+            // the wire as it is now, not as it was at reset: fold the
+            // current swing into the new slot's soft-error rate.
+            let swing = engine.swing();
+            if swing != 1.0 {
+                engine.injector_mut().rescale_swing_slot(slot, swing);
+            }
             live.insert(*id, (*hop, slot));
         }
         ScheduleAction::Deactivate { id } => {
@@ -236,6 +250,7 @@ mod tests {
                 max_retries: 3,
             },
             degradation: None,
+            controller: None,
             words: 1_500,
             traffic_seed: 11,
             sim_seed: 7,
@@ -374,6 +389,60 @@ mod tests {
             recorder.counter_value("link.words", &[("scheme", "DAP"), ("hop", "0")]),
             cfg.words,
             "hop 0 engine reports on its own track"
+        );
+    }
+
+    #[test]
+    fn controlled_case_keeps_the_safe_state_under_every_family() {
+        use socbus_noc::OperatingPoint;
+        let policy = ControlPolicy {
+            points: vec![
+                OperatingPoint {
+                    swing: 1.25,
+                    scheme: Scheme::ExtHamming,
+                },
+                OperatingPoint {
+                    swing: 1.0,
+                    scheme: Scheme::ExtHamming,
+                },
+                OperatingPoint {
+                    swing: 0.85,
+                    scheme: Scheme::ExtHamming,
+                },
+            ],
+            target_wer: 1e-2,
+            window: 50,
+            dwell: 2,
+            lower_trouble: 0.05,
+            raise_trouble: 0.2,
+            storm_trouble: 0.4,
+        };
+        let wires = Scheme::ExtHamming.build(16).wires();
+        let mut saw_transitions = false;
+        for family in ScheduleFamily::all() {
+            let params = ScheduleParams {
+                words: 1_500,
+                hops: 3,
+                wires,
+            };
+            let schedule = FaultSchedule::random(family, &params, 5);
+            let mut cfg = base_case(Scheme::ExtHamming, schedule);
+            cfg.controller = Some(policy.clone());
+            let out = run_case(&cfg);
+            assert_eq!(
+                out.violations,
+                vec![],
+                "{family:?} must not break the safe state: {:?}",
+                out.violations.first()
+            );
+            let (kind, stats) = out.stats[4];
+            assert_eq!(kind, InvariantKind::ControlSafeState);
+            assert_eq!(stats.checked, 3, "one safe-state audit per hop");
+            saw_transitions |= out.report.per_hop.iter().any(|l| !l.control.is_empty());
+        }
+        assert!(
+            saw_transitions,
+            "at least one family must drive the controller off its start point"
         );
     }
 

@@ -169,6 +169,7 @@ mod tests {
             eps: 0.0,
             protocol: Protocol::Fec,
             degradation: None,
+            controller: None,
             words: 1_200,
             traffic_seed: 1,
             sim_seed: 2,
@@ -203,6 +204,7 @@ mod tests {
             eps: 1e-3,
             protocol: Protocol::Fec,
             degradation: None,
+            controller: None,
             words: 200,
             traffic_seed: 1,
             sim_seed: 2,

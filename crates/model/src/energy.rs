@@ -22,6 +22,46 @@
 use crate::transition::TransitionVector;
 use crate::word::Word;
 
+/// Why a requested operating point is energetically meaningless.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EnergyError {
+    /// The swing is NaN or infinite.
+    NonFiniteSwing(f64),
+    /// The swing is zero or negative — a bus with no (or inverted)
+    /// drive is not an operating point, and squaring it would silently
+    /// launder the sign away.
+    NonPositiveSwing(f64),
+}
+
+impl std::fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnergyError::NonFiniteSwing(s) => write!(f, "swing {s} is not finite"),
+            EnergyError::NonPositiveSwing(s) => write!(f, "swing {s} is not positive"),
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
+/// Energy multiplier of running the bus at `swing` times the nominal
+/// voltage: `swing²` (energy goes as `V²`). Degenerate swings are
+/// rejected instead of leaking NaN/Inf/0 into downstream reports.
+///
+/// # Errors
+///
+/// Returns an [`EnergyError`] when `swing` is non-finite, zero, or
+/// negative.
+pub fn swing_energy_scale(swing: f64) -> Result<f64, EnergyError> {
+    if !swing.is_finite() {
+        return Err(EnergyError::NonFiniteSwing(swing));
+    }
+    if swing <= 0.0 {
+        return Err(EnergyError::NonPositiveSwing(swing));
+    }
+    Ok(swing * swing)
+}
+
 /// Normalized bus energy of one transfer, split into self and coupling
 /// components. The physical energy is
 /// `(self_coeff + λ·coupling_coeff) · C · Vdd²`, with `C` the total bulk
@@ -65,6 +105,18 @@ impl EnergyCoeff {
             self_coeff: self.self_coeff * s,
             coupling_coeff: self.coupling_coeff * s,
         }
+    }
+
+    /// The coefficient rescaled to a bus driven at `swing` times the
+    /// nominal voltage (energy goes as `swing²`), rejecting degenerate
+    /// swings instead of propagating NaN/Inf.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnergyError`] when `swing` fails
+    /// [`swing_energy_scale`].
+    pub fn at_swing(self, swing: f64) -> Result<EnergyCoeff, EnergyError> {
+        Ok(self.scale(swing_energy_scale(swing)?))
     }
 }
 
@@ -273,6 +325,38 @@ mod tests {
             .sum::<f64>()
             / (words.len() - 1) as f64;
         assert!((trace - quad).abs() < 1e-9, "trace {trace} vs quad {quad}");
+    }
+
+    #[test]
+    fn degenerate_swings_are_rejected_not_squared() {
+        assert_eq!(
+            swing_energy_scale(0.0),
+            Err(EnergyError::NonPositiveSwing(0.0))
+        );
+        assert_eq!(
+            swing_energy_scale(-1.2),
+            Err(EnergyError::NonPositiveSwing(-1.2))
+        );
+        assert!(matches!(
+            swing_energy_scale(f64::NAN),
+            Err(EnergyError::NonFiniteSwing(_))
+        ));
+        assert_eq!(
+            swing_energy_scale(f64::INFINITY),
+            Err(EnergyError::NonFiniteSwing(f64::INFINITY))
+        );
+        let s = swing_energy_scale(0.7).expect("valid swing");
+        assert!((s - 0.49).abs() < 1e-15);
+        let e = EnergyCoeff {
+            self_coeff: 2.0,
+            coupling_coeff: 4.0,
+        };
+        let scaled = e.at_swing(0.5).expect("valid swing");
+        assert_eq!(scaled.self_coeff, 0.5);
+        assert_eq!(scaled.coupling_coeff, 1.0);
+        assert!(e.at_swing(-0.5).is_err());
+        // No NaN ever escapes into a coefficient.
+        assert!(e.at_swing(f64::NAN).is_err());
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod transition;
 pub mod word;
 
 pub use delay::{bus_delay_factor, wire_delay_factor, DelayClass};
-pub use energy::{transition_energy_coeff, word_transition_energy, EnergyCoeff};
+pub use energy::{
+    swing_energy_scale, transition_energy_coeff, word_transition_energy, EnergyCoeff, EnergyError,
+};
 pub use noise::{bit_error_probability, ln_q, q, q_inv};
 pub use perf::{
     area_overhead, energy_savings, speedup, CodePerf, Environment, RepeaterConfig, TimingPath,

@@ -9,8 +9,13 @@
 //!   address-ramp word generators plus byte packing;
 //! * [`link`] — a coded point-to-point link over a faulty bus with FEC,
 //!   detect-and-retransmit, or timeout/backoff ARQ protocols, plus an
-//!   adaptive degradation ladder, reporting residual errors, cycles
-//!   (latency), corrections, and switched wire energy;
+//!   adaptive degradation ladder (with guarded recovery), reporting
+//!   residual errors, cycles (latency), corrections, and switched wire
+//!   energy billed at `swing²`;
+//! * [`control`] — a closed-loop DVS + adaptive-coding controller that
+//!   trades wire swing and scheme strength against observed trouble,
+//!   with hysteresis, anti-flap dwell, an emergency fallback, and a
+//!   monitored safe-state contract;
 //! * [`path`] — multi-hop paths of coded links with per-hop decode and
 //!   re-encode, per-hop fault domains, and per-hop statistics, where
 //!   residual errors accumulate.
@@ -41,13 +46,17 @@
 //! assert!(report.residual_rate() < 0.05);
 //! ```
 
+pub mod control;
 pub mod link;
 pub mod path;
 pub mod traffic;
 
+pub use control::{
+    ControlCause, ControlError, ControlPolicy, ControlTransition, Controller, OperatingPoint,
+};
 pub use link::{
     simulate_link, simulate_link_with, DegradationAction, DegradationPolicy, FaultLedger,
-    LinkConfig, LinkEngine, LinkReport, LinkTransition, Protocol, WordTrace,
+    LinkConfig, LinkEngine, LinkReport, LinkTransition, PromotePolicy, Protocol, WordTrace,
 };
 pub use path::{simulate_path, HopStep, PathConfig, PathReport, PathSim, PathStep};
 pub use traffic::{words_from_bytes, CorrelatedTraffic, RampTraffic, UniformTraffic};

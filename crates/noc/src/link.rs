@@ -19,14 +19,27 @@
 //! that needed correction, retransmission, or were flagged
 //! uncorrectable) and, past a threshold, walks a configured ladder of
 //! fallbacks: raise the wire swing (lowering ε via the eq. (5) relation)
-//! or switch to a stronger scheme from the catalog. Every transition is
-//! recorded in the [`LinkReport`].
+//! or switch to a stronger scheme from the catalog. With a
+//! [`PromotePolicy`], the ladder also *recovers*: a long enough streak
+//! of quiet windows undoes the most recent rung again. Every transition
+//! is recorded in the [`LinkReport`].
+//!
+//! Alternatively a link runs under a **closed-loop DVS controller**
+//! ([`crate::control::ControlPolicy`], mutually exclusive with the
+//! ladder): the same trouble observations drive an operating-point
+//! state machine that trades wire swing (and scheme) against observed
+//! reliability, with the safe-state guarantees documented in
+//! [`crate::control`]. Controller decisions land in
+//! [`LinkReport::control`] and on the telemetry stream, and the
+//! wire-energy accounting scales with `swing²` so the energy the loop
+//! saves (or spends) is visible in the report.
 //!
 //! The simulator tracks delivered words, residual word errors, cycle
 //! counts (including retransmission round trips and backoff), corrected
 //! and detected-uncorrectable events, and the wire-energy coefficient
 //! actually switched — multiply by `C·V̂dd²` for joules.
 
+use crate::control::{ControlPolicy, ControlTransition, Controller};
 use socbus_channel::{FaultInjector, FaultSpec};
 use socbus_codes::{BusCode, DecodeStatus, Scheme};
 use socbus_model::{word_transition_energy, EnergyCoeff, Word};
@@ -118,6 +131,22 @@ pub enum DegradationAction {
     SwitchScheme(Scheme),
 }
 
+/// Guarded re-promotion after the trouble subsides: once the link has
+/// degraded, a streak of `quiet_windows` consecutive windows with
+/// trouble rate at or below `trigger` undoes the most recent ladder
+/// rung (swing raises are rescaled back; scheme switches revert to the
+/// scheme that rung replaced). Any window above `trigger` — and any
+/// forced degradation — resets the streak, so promotion has the same
+/// dwell-style hysteresis as the closed-loop controller's relax path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PromotePolicy {
+    /// Consecutive quiet windows required to undo one rung.
+    pub quiet_windows: u64,
+    /// Trouble rate at or below which a window counts as quiet (usually
+    /// well below the degradation trigger).
+    pub trigger: f64,
+}
+
 /// Windowed-monitoring policy for adaptive degradation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DegradationPolicy {
@@ -127,6 +156,8 @@ pub struct DegradationPolicy {
     pub trigger: f64,
     /// Fallback actions, applied in order, at most one per window.
     pub ladder: Vec<DegradationAction>,
+    /// Optional guarded recovery path back up the ladder.
+    pub promote: Option<PromotePolicy>,
 }
 
 /// A recorded degradation-ladder transition.
@@ -137,12 +168,16 @@ pub struct LinkTransition {
     /// Trouble rate of the window that triggered it (for a forced
     /// transition, the rate of the partial window at that moment).
     pub trouble_rate: f64,
-    /// The action taken.
+    /// The action taken — for a promotion, the ladder action that was
+    /// *undone*.
     pub action: DegradationAction,
     /// Whether the transition was forced externally
     /// ([`LinkEngine::force_degrade`]) rather than triggered by the
     /// windowed monitor — forced transitions need not exceed the trigger.
     pub forced: bool,
+    /// Whether this transition undid `action` (a [`PromotePolicy`]
+    /// recovery) instead of applying it.
+    pub promoted: bool,
 }
 
 /// Configuration of one link.
@@ -160,8 +195,12 @@ pub struct LinkConfig {
     /// Additional fault processes stacked on the baseline (bursts,
     /// stuck-at wires, bridges, droop windows).
     pub faults: Vec<FaultSpec>,
-    /// Optional adaptive degradation ladder.
+    /// Optional adaptive degradation ladder (mutually exclusive with
+    /// `controller`).
     pub degradation: Option<DegradationPolicy>,
+    /// Optional closed-loop DVS controller (mutually exclusive with
+    /// `degradation`).
+    pub controller: Option<ControlPolicy>,
 }
 
 impl LinkConfig {
@@ -175,6 +214,7 @@ impl LinkConfig {
             protocol: Protocol::Fec,
             faults: Vec::new(),
             degradation: None,
+            controller: None,
         }
     }
 
@@ -196,6 +236,15 @@ impl LinkConfig {
     #[must_use]
     pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
         self.degradation = Some(policy);
+        self
+    }
+
+    /// Installs a closed-loop DVS controller. The link starts at the
+    /// policy's safe state (operating point 0), whatever `scheme` and
+    /// the nominal swing say.
+    #[must_use]
+    pub fn with_controller(mut self, policy: ControlPolicy) -> Self {
+        self.controller = Some(policy);
         self
     }
 
@@ -257,6 +306,12 @@ pub struct LinkReport {
     pub delivered: u64,
     /// Delivered words that differ from what was sent.
     pub residual_errors: u64,
+    /// The subset of `residual_errors` whose final decode status was
+    /// `Detected`: retry-exhausted words force-delivered with an
+    /// explicit bad-data flag, so the upstream protocol knows not to
+    /// trust them. `residual_errors - detected_residuals` is the
+    /// *silent* (undetected) error count — the paper's residual WER.
+    pub detected_residuals: u64,
     /// Total bus cycles consumed, including retransmissions and backoff.
     pub cycles: u64,
     /// Number of retransmissions performed.
@@ -268,6 +323,8 @@ pub struct LinkReport {
     pub detected: u64,
     /// Degradation-ladder transitions, in firing order.
     pub transitions: Vec<LinkTransition>,
+    /// Closed-loop controller transitions, in firing order.
+    pub control: Vec<ControlTransition>,
     /// Accumulated wire-energy coefficient (units of `C·Vdd²`),
     /// self and coupling parts kept separate so callers can apply their λ.
     pub energy: EnergyCoeff,
@@ -284,6 +341,21 @@ impl LinkReport {
             0.0
         } else {
             self.residual_errors as f64 / self.delivered as f64
+        }
+    }
+
+    /// Silent (undetected) residual word-error rate: wrong deliveries
+    /// that arrived claiming `Clean`/`Unchecked`/`Corrected`. Wrong
+    /// words force-delivered after retry exhaustion carry `Detected`
+    /// and are excluded — the receiver was warned. This matches the
+    /// paper's notion of residual WER (errors that escape the code).
+    #[must_use]
+    pub fn undetected_rate(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.residual_errors.saturating_sub(self.detected_residuals) as f64
+                / self.delivered as f64
         }
     }
 
@@ -352,9 +424,18 @@ pub struct LinkEngine {
     data_bits: usize,
     protocol: Protocol,
     policy: Option<DegradationPolicy>,
+    controller: Option<Controller>,
     rung: usize,
     window_words: u64,
     window_trouble: u64,
+    /// Consecutive quiet windows accumulated toward a ladder promotion.
+    quiet_windows: u64,
+    /// The scheme the link was configured with, restored when a
+    /// promotion undoes the ladder's first scheme switch.
+    base_scheme: Scheme,
+    /// Current wire swing relative to the nominal design point; energy
+    /// is billed at `swing²`.
+    swing: f64,
     words_done: u64,
     tel: Telemetry,
     scheme_label: String,
@@ -383,26 +464,52 @@ struct LinkTelemetryBatch {
 impl LinkEngine {
     /// Builds the engine for `cfg` with `extra` fault processes stacked
     /// on top of the config's own (used for per-hop fault domains).
+    /// With a controller configured, the link is provisioned at the
+    /// policy's safe state: operating point 0's scheme and swing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a degradation ladder and a controller are
+    /// configured, or if the control policy fails
+    /// [`ControlPolicy::validate`].
     #[must_use]
     pub fn new(cfg: &LinkConfig, extra: &[FaultSpec], seed: u64) -> Self {
-        let enc = cfg.scheme.build(cfg.data_bits);
+        assert!(
+            cfg.degradation.is_none() || cfg.controller.is_none(),
+            "a link runs either a degradation ladder or a closed-loop controller, not both"
+        );
+        let controller = cfg.controller.as_ref().map(|p| {
+            Controller::new(p.clone(), cfg.data_bits).expect("control policy must validate")
+        });
+        let start = controller.as_ref().map(Controller::current);
+        let scheme = start.map_or(cfg.scheme, |p| p.scheme);
+        let swing = start.map_or(1.0, |p| p.swing);
+        let enc = scheme.build(cfg.data_bits);
         let bus_state = Word::zero(enc.wires());
         let mut specs = cfg.fault_stack();
         specs.extend(extra.iter().cloned());
+        let mut injector = FaultInjector::new(&specs, seed);
+        if swing != 1.0 {
+            injector.rescale_swing(swing);
+        }
         LinkEngine {
             enc,
-            dec: cfg.scheme.build(cfg.data_bits),
-            injector: FaultInjector::new(&specs, seed),
+            dec: scheme.build(cfg.data_bits),
+            injector,
             bus_state,
             data_bits: cfg.data_bits,
             protocol: cfg.protocol,
             policy: cfg.degradation.clone(),
+            controller,
             rung: 0,
             window_words: 0,
             window_trouble: 0,
+            quiet_windows: 0,
+            base_scheme: cfg.scheme,
+            swing,
             words_done: 0,
             tel: Telemetry::off(),
-            scheme_label: cfg.scheme.name(),
+            scheme_label: scheme.name(),
             hop_label: "0".to_owned(),
             tel_batches: Vec::new(),
         }
@@ -489,7 +596,7 @@ impl LinkEngine {
             let sent = self.enc.encode(data);
             report.energy = report
                 .energy
-                .add(word_transition_energy(self.bus_state, sent));
+                .add(word_transition_energy(self.bus_state, sent).scale(self.swing * self.swing));
             self.bus_state = sent;
             report.cycles += 1;
             let received = self.injector.transmit(sent);
@@ -520,6 +627,9 @@ impl LinkEngine {
             }
             if decoded != data {
                 report.ledger.residual += 1;
+                if status == DecodeStatus::Detected {
+                    report.detected_residuals += 1;
+                }
             } else if corrupt_attempts == 0 {
                 report.ledger.clean += 1;
             } else if tries == 0 {
@@ -551,7 +661,7 @@ impl LinkEngine {
             }
             let trouble =
                 tries > 0 || matches!(status, DecodeStatus::Corrected | DecodeStatus::Detected);
-            self.finish_word(trouble, report);
+            self.finish_word(trouble, max_error_weight, report);
             return WordTrace {
                 delivered: decoded,
                 retries: tries,
@@ -597,11 +707,13 @@ impl LinkEngine {
         };
         self.apply(action);
         self.rung += 1;
+        self.quiet_windows = 0;
         let transition = LinkTransition {
             at_word: self.words_done,
             trouble_rate,
             action,
             forced: true,
+            promoted: false,
         };
         report.transitions.push(transition);
         self.emit_degrade(&transition, report.cycles);
@@ -628,16 +740,36 @@ impl LinkEngine {
         self.tel.counter("link.degrades", &labels[1..3], 1);
     }
 
-    /// The ladder rung the engine will apply next (also the number of
-    /// transitions fired so far).
+    /// The ladder rung the engine will apply next (demotions minus
+    /// promotions so far).
     #[must_use]
     pub fn rung(&self) -> usize {
         self.rung
     }
 
-    /// Window bookkeeping + degradation-ladder stepping, once per word.
-    fn finish_word(&mut self, trouble: bool, report: &mut LinkReport) {
+    /// Current wire swing relative to the nominal design point (1.0
+    /// without a controller or swing-raising ladder action). Energy is
+    /// billed at `swing²`.
+    #[must_use]
+    pub fn swing(&self) -> f64 {
+        self.swing
+    }
+
+    /// Current controller operating-point index, when a controller is
+    /// configured.
+    #[must_use]
+    pub fn control_index(&self) -> Option<usize> {
+        self.controller.as_ref().map(Controller::index)
+    }
+
+    /// Window bookkeeping + adaptation stepping (degradation ladder or
+    /// closed-loop controller), once per word.
+    fn finish_word(&mut self, trouble: bool, weight: u32, report: &mut LinkReport) {
         self.words_done += 1;
+        if self.controller.is_some() {
+            self.step_controller(trouble, weight, report);
+            return;
+        }
         let Some((window, trigger)) = self.policy.as_ref().map(|p| (p.window, p.trigger)) else {
             return;
         };
@@ -648,16 +780,18 @@ impl LinkEngine {
         if self.window_words < window {
             return;
         }
+        #[allow(clippy::cast_precision_loss)]
         let rate = self.window_trouble as f64 / self.window_words as f64;
         self.window_words = 0;
         self.window_trouble = 0;
-        let next = self
-            .policy
-            .as_ref()
-            .and_then(|p| p.ladder.get(self.rung))
-            .copied();
-        if let Some(action) = next {
-            if rate > trigger {
+        if rate > trigger {
+            self.quiet_windows = 0;
+            let next = self
+                .policy
+                .as_ref()
+                .and_then(|p| p.ladder.get(self.rung))
+                .copied();
+            if let Some(action) = next {
                 self.apply(action);
                 self.rung += 1;
                 let transition = LinkTransition {
@@ -665,10 +799,76 @@ impl LinkEngine {
                     trouble_rate: rate,
                     action,
                     forced: false,
+                    promoted: false,
                 };
                 report.transitions.push(transition);
                 self.emit_degrade(&transition, report.cycles);
             }
+            return;
+        }
+        // The window stayed at or below the trigger — maybe promote.
+        let Some(promote) = self.policy.as_ref().and_then(|p| p.promote) else {
+            return;
+        };
+        if self.rung == 0 || rate > promote.trigger {
+            self.quiet_windows = 0;
+            return;
+        }
+        self.quiet_windows += 1;
+        if self.quiet_windows < promote.quiet_windows {
+            return;
+        }
+        self.quiet_windows = 0;
+        let undone = self.unapply(self.rung - 1);
+        self.rung -= 1;
+        let transition = LinkTransition {
+            at_word: self.words_done,
+            trouble_rate: rate,
+            action: undone,
+            forced: false,
+            promoted: true,
+        };
+        report.transitions.push(transition);
+        self.emit_degrade(&transition, report.cycles);
+    }
+
+    /// Applies the controller's decision for this word, if any:
+    /// rescale the swing and/or re-provision the codec, then record the
+    /// transition.
+    fn step_controller(&mut self, trouble: bool, weight: u32, report: &mut LinkReport) {
+        let (transition, from_point, to_point) = {
+            let Some(ctl) = self.controller.as_mut() else {
+                return;
+            };
+            let from = ctl.current();
+            match ctl.observe(trouble, weight, self.words_done) {
+                Some(t) => {
+                    let to = ctl.point(t.to);
+                    (t, from, to)
+                }
+                None => return,
+            }
+        };
+        if to_point.swing != from_point.swing {
+            self.injector
+                .rescale_swing(to_point.swing / from_point.swing);
+            self.swing = to_point.swing;
+        }
+        if to_point.scheme != from_point.scheme {
+            self.enc = to_point.scheme.build(self.data_bits);
+            self.dec = to_point.scheme.build(self.data_bits);
+            self.bus_state = Word::zero(self.enc.wires());
+            self.scheme_label = to_point.scheme.name();
+        }
+        report.control.push(transition);
+        if self.tel.is_enabled() {
+            let labels = [
+                ("scheme", self.scheme_label.as_str()),
+                ("hop", self.hop_label.as_str()),
+                ("cause", transition.cause.name()),
+            ];
+            self.tel.event("control.transition", &labels, report.cycles);
+            self.tel.counter("control.transitions", &labels[1..], 1);
         }
     }
 
@@ -676,6 +876,7 @@ impl LinkEngine {
         match action {
             DegradationAction::RaiseSwing { factor } => {
                 self.injector.rescale_swing(factor);
+                self.swing *= factor;
             }
             DegradationAction::SwitchScheme(scheme) => {
                 self.enc = scheme.build(self.data_bits);
@@ -684,6 +885,42 @@ impl LinkEngine {
                 self.scheme_label = scheme.name();
             }
         }
+    }
+
+    /// Undoes ladder rung `rung_index` (a promotion): a swing raise is
+    /// rescaled back, a scheme switch reverts to the scheme that rung
+    /// replaced (the previous switch on the ladder, else the configured
+    /// base scheme). Returns the action that was undone.
+    fn unapply(&mut self, rung_index: usize) -> DegradationAction {
+        let action = self
+            .policy
+            .as_ref()
+            .expect("promotion requires a policy")
+            .ladder[rung_index];
+        match action {
+            DegradationAction::RaiseSwing { factor } => {
+                self.injector.rescale_swing(1.0 / factor);
+                self.swing /= factor;
+            }
+            DegradationAction::SwitchScheme(_) => {
+                let scheme = {
+                    let policy = self.policy.as_ref().expect("promotion requires a policy");
+                    policy.ladder[..rung_index]
+                        .iter()
+                        .rev()
+                        .find_map(|a| match a {
+                            DegradationAction::SwitchScheme(s) => Some(*s),
+                            DegradationAction::RaiseSwing { .. } => None,
+                        })
+                        .unwrap_or(self.base_scheme)
+                };
+                self.enc = scheme.build(self.data_bits);
+                self.dec = scheme.build(self.data_bits);
+                self.bus_state = Word::zero(self.enc.wires());
+                self.scheme_label = scheme.name();
+            }
+        }
+        action
     }
 }
 
@@ -907,6 +1144,7 @@ mod tests {
                 DegradationAction::RaiseSwing { factor: 1.25 },
                 DegradationAction::SwitchScheme(Scheme::Dap),
             ],
+            promote: None,
         };
         let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0).with_degradation(policy);
         let mut engine = LinkEngine::new(&cfg, &[], 0);
@@ -1078,6 +1316,7 @@ mod tests {
                 DegradationAction::RaiseSwing { factor: 1.25 },
                 DegradationAction::SwitchScheme(Scheme::Dap),
             ],
+            promote: None,
         };
         let cfg = LinkConfig::new(Scheme::Parity, 8, 1e-4)
             .with_protocol(Protocol::DetectRetransmit {
@@ -1126,6 +1365,7 @@ mod tests {
                 DegradationAction::RaiseSwing { factor: 1.5 },
                 DegradationAction::SwitchScheme(Scheme::ExtHamming),
             ],
+            promote: None,
         };
         let cfg = LinkConfig::new(Scheme::Parity, 8, 2e-2)
             .with_protocol(Protocol::DetectRetransmit {
@@ -1147,5 +1387,213 @@ mod tests {
             r.transitions[0].action,
             DegradationAction::RaiseSwing { .. }
         ));
+    }
+
+    /// Satellite (ladder recovery): quiet windows undo the ladder rung
+    /// by rung — swing raises rescale back and scheme switches revert to
+    /// the scheme they replaced.
+    #[test]
+    fn promotion_undoes_the_ladder_rung_by_rung() {
+        let policy = DegradationPolicy {
+            window: 50,
+            trigger: 0.5,
+            ladder: vec![
+                DegradationAction::RaiseSwing { factor: 1.3 },
+                DegradationAction::SwitchScheme(Scheme::Dap),
+            ],
+            promote: Some(PromotePolicy {
+                quiet_windows: 2,
+                trigger: 0.02,
+            }),
+        };
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0).with_degradation(policy);
+        let mut engine = LinkEngine::new(&cfg, &[], 3);
+        let mut report = LinkReport::default();
+        engine.force_degrade(&mut report).expect("rung 0");
+        engine.force_degrade(&mut report).expect("rung 1");
+        assert_eq!(engine.rung(), 2);
+        assert!((engine.swing() - 1.3).abs() < 1e-12);
+        // Two quiet 50-word windows undo the scheme switch, two more the
+        // swing raise.
+        for data in UniformTraffic::new(8, 8).take(100) {
+            engine.transfer(data, &mut report);
+        }
+        assert_eq!(engine.rung(), 1);
+        let undo_switch = report.transitions[2];
+        assert!(undo_switch.promoted);
+        assert!(!undo_switch.forced);
+        assert!(matches!(
+            undo_switch.action,
+            DegradationAction::SwitchScheme(Scheme::Dap)
+        ));
+        for data in UniformTraffic::new(8, 9).take(100) {
+            engine.transfer(data, &mut report);
+        }
+        assert_eq!(engine.rung(), 0);
+        let undo_raise = report.transitions[3];
+        assert!(undo_raise.promoted);
+        assert!(matches!(
+            undo_raise.action,
+            DegradationAction::RaiseSwing { .. }
+        ));
+        assert_eq!(engine.swing(), 1.0, "swing must rescale back exactly");
+        // Fully promoted: the link transfers correctly on the base scheme.
+        let w = Word::from_bits(0x2B, 8);
+        assert_eq!(engine.transfer(w, &mut report), w);
+        assert_eq!(report.residual_errors, 0);
+    }
+
+    /// A window with any trouble above the promote trigger resets the
+    /// quiet streak — a stuck wire therefore pins the ladder down.
+    #[test]
+    fn promotion_streak_resets_on_trouble() {
+        let policy = DegradationPolicy {
+            window: 50,
+            trigger: 0.9,
+            ladder: vec![DegradationAction::RaiseSwing { factor: 1.3 }],
+            promote: Some(PromotePolicy {
+                quiet_windows: 2,
+                trigger: 0.02,
+            }),
+        };
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 1,
+            })
+            .with_fault(FaultSpec::StuckAt {
+                wire: 0,
+                value: false,
+            })
+            .with_degradation(policy);
+        let mut engine = LinkEngine::new(&cfg, &[], 5);
+        let mut report = LinkReport::default();
+        engine.force_degrade(&mut report).expect("rung 0");
+        // Half the ramp words hit the stuck wire: every window's trouble
+        // rate is ~0.5, far above the promote trigger.
+        for data in RampTraffic::new(8, 1, 0.0, 1).take(500) {
+            engine.transfer(data, &mut report);
+        }
+        assert_eq!(engine.rung(), 1, "the ladder must stay deployed");
+        assert_eq!(report.transitions.len(), 1);
+    }
+
+    /// A configured controller provisions the link at its safe state
+    /// and bills energy at `swing²`.
+    #[test]
+    fn controller_starts_at_the_safe_state_and_scales_energy() {
+        use crate::control::{ControlPolicy, OperatingPoint};
+        let half_swing = ControlPolicy {
+            points: vec![OperatingPoint {
+                swing: 0.5,
+                scheme: Scheme::Parity,
+            }],
+            target_wer: 1e-2,
+            window: 64,
+            dwell: 2,
+            lower_trouble: 0.05,
+            raise_trouble: 0.2,
+            storm_trouble: 0.5,
+        };
+        let plain = LinkConfig::new(Scheme::Parity, 8, 0.0);
+        let controlled = plain.clone().with_controller(half_swing);
+        let rp = simulate_link(&plain, UniformTraffic::new(8, 21).take(1_000), 7);
+        let rc = simulate_link(&controlled, UniformTraffic::new(8, 21).take(1_000), 7);
+        assert!(rc.control.is_empty(), "a single point can never move");
+        // 0.5² = 0.25 is a power of two, so the scaling is bit-exact.
+        assert_eq!(rc.energy.self_coeff, rp.energy.self_coeff * 0.25);
+        assert_eq!(rc.energy.coupling_coeff, rp.energy.coupling_coeff * 0.25);
+        assert_eq!(rc.residual_errors, 0);
+    }
+
+    /// Closed-loop acceptance: the controller relaxes off the safe
+    /// state when the channel is quiet, slams back on a droop storm,
+    /// and every recorded transition chains correctly.
+    #[test]
+    fn controller_relaxes_when_quiet_and_slams_on_storms() {
+        use crate::control::{ControlCause, ControlPolicy, OperatingPoint};
+        let policy = ControlPolicy {
+            points: vec![
+                OperatingPoint {
+                    swing: 1.25,
+                    scheme: Scheme::ExtHamming,
+                },
+                OperatingPoint {
+                    swing: 1.0,
+                    scheme: Scheme::Parity,
+                },
+            ],
+            target_wer: 1e-2,
+            window: 50,
+            dwell: 2,
+            lower_trouble: 0.05,
+            raise_trouble: 0.2,
+            storm_trouble: 0.4,
+        };
+        // The droop erupts mid-window (start 2_025 with 50-word windows)
+        // so the emergency detector, not a window-end retreat, must
+        // catch it.
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_protocol(Protocol::DetectRetransmit {
+                rtt_cycles: 2,
+                max_retries: 3,
+            })
+            .with_fault(FaultSpec::Droop {
+                eps: 1e-6,
+                scale: 3e5,
+                start: 2_025,
+                duration: 300,
+            })
+            .with_controller(policy);
+        let r = simulate_link(&cfg, UniformTraffic::new(8, 12).take(5_000), 19);
+        assert!(
+            r.control.len() >= 2,
+            "expected relax + emergency at least: {:?}",
+            r.control
+        );
+        assert_eq!(r.control[0].cause, ControlCause::Relax);
+        assert_eq!((r.control[0].from, r.control[0].to), (0, 1));
+        assert!(
+            r.control
+                .iter()
+                .any(|t| t.cause == ControlCause::Emergency && t.to == 0),
+            "the droop storm must slam the link to the safe state: {:?}",
+            r.control
+        );
+        let mut index = 0;
+        let mut word = 0;
+        for t in &r.control {
+            assert_eq!(t.from, index, "transition chain must be continuous");
+            assert!(t.at_word >= word);
+            index = t.to;
+            word = t.at_word;
+        }
+        assert!(r.residual_rate() < 0.05, "rate {}", r.residual_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "not both")]
+    fn ladder_and_controller_are_mutually_exclusive() {
+        use crate::control::{ControlPolicy, OperatingPoint};
+        let cfg = LinkConfig::new(Scheme::Parity, 8, 0.0)
+            .with_degradation(DegradationPolicy {
+                window: 100,
+                trigger: 0.5,
+                ladder: vec![],
+                promote: None,
+            })
+            .with_controller(ControlPolicy {
+                points: vec![OperatingPoint {
+                    swing: 1.0,
+                    scheme: Scheme::Parity,
+                }],
+                target_wer: 1e-2,
+                window: 64,
+                dwell: 2,
+                lower_trouble: 0.05,
+                raise_trouble: 0.2,
+                storm_trouble: 0.5,
+            });
+        let _ = LinkEngine::new(&cfg, &[], 1);
     }
 }
