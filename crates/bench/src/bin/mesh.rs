@@ -1,0 +1,8 @@
+//! Thin wrapper over [`socbus_bench::mesh`] — the benchmark runs on
+//! the deterministic parallel engine; see that module for the shard
+//! decomposition and the byte-determinism argument.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_bench::mesh::main_with_args(&args));
+}

@@ -1,0 +1,487 @@
+//! Mesh NoC benchmark: saturation throughput and per-flow latency
+//! distributions for every catalog scheme under a small fault catalog.
+//!
+//! The paper's evaluation prices one coded *link*; this benchmark asks
+//! what the coding schemes cost at the *fabric* level, where retries
+//! occupy routers, poisoned words trigger end-to-end recovery, and a
+//! downed link forces the fault-aware fallback route. Each cell runs a
+//! 4×4 mesh with uniform traffic twice — once at a light injection rate
+//! (the latency-distribution run) and once at the fabric's carrying
+//! capacity (the saturation-throughput run) — under one fault scenario
+//! at a time:
+//!
+//! * `clean` — fault-free links (the routing/protocol baseline);
+//! * `iid` — i.i.d. wire flips on every link (the paper's model);
+//! * `burst_link` — Gilbert–Elliott burst noise on a fixed subset of
+//!   links (hot spots of correlated noise);
+//! * `link_down` — one permanent link failure from cycle zero (clean
+//!   links otherwise; measures the pure rerouting cost).
+//!
+//! A separate section sweeps the traffic pattern (uniform, hotspot,
+//! transpose) at the light rate on clean links for a representative
+//! scheme subset, isolating the pattern's effect on latency from the
+//! coding scheme's.
+//!
+//! One (scheme, scenario) cell is one shard on the deterministic
+//! parallel engine: everything a cell needs is constructed inside the
+//! shard from the cell's own seeds, and results merge in grid order —
+//! so `results/BENCH_mesh.json` is byte-identical for `--threads 1`
+//! and `--threads N`, which CI `cmp`s.
+//!
+//! Run with `cargo run --release -p socbus-bench --bin mesh`
+//! (add `--threads N` to override the worker count, `--trace-out
+//! <path>` for a telemetry event log plus a Perfetto trace with
+//! per-router and per-link tracks).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+
+use socbus_channel::FaultSpec;
+use socbus_chaos::protocol_for;
+use socbus_codes::Scheme;
+use socbus_exec::{default_threads, parse_threads, run_shards};
+use socbus_noc::link::LinkConfig;
+use socbus_noc::mesh::{MeshConfig, MeshPattern, MeshReport, MeshSim};
+use socbus_telemetry::{Recorder, Telemetry};
+
+/// Data bits per transferred word.
+pub const DATA_BITS: usize = 16;
+/// Mesh side length.
+pub const WIDTH: usize = 4;
+/// Mesh side length.
+pub const HEIGHT: usize = 4;
+/// Injection cycles per run.
+pub const CYCLES: u64 = 600;
+/// Drain budget after injection stops (the end-to-end give-up path
+/// needs a few thousand cycles at the default knobs).
+pub const DRAIN_CYCLES: u64 = 8_000;
+/// Per-node injection rate of the latency-distribution run: light
+/// enough that queueing is rare and the histogram shows the fabric's
+/// intrinsic latency under each scheme.
+pub const LATENCY_RATE: f64 = 0.08;
+/// Per-node injection rate of the saturation run: 16 nodes at 0.9
+/// offer ~14.4 packets/cycle, which puts ~7.2 packets/cycle across the
+/// 8-link bisection — right at the single-cycle-link carrying capacity.
+/// A scheme whose codec (or retries) stretches a hop past one cycle
+/// proportionally shrinks link capacity and drops below this load, so
+/// delivered packets per cycle (over the whole run including the drain)
+/// measures each scheme's sustained saturation throughput.
+pub const SATURATION_RATE: f64 = 0.9;
+/// Root seed of the benchmark (traffic seed is `SEED ^ 0xA5`).
+pub const SEED: u64 = 23;
+/// ε of the `iid` scenario.
+pub const IID_EPS: f64 = 1e-3;
+
+/// The fault scenarios, named for the JSON.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Fault-free links.
+    Clean,
+    /// i.i.d. wire flips on every link.
+    Iid,
+    /// Burst noise on every eighth directed link.
+    BurstLink,
+    /// Directed link 0 permanently down.
+    LinkDown,
+}
+
+impl Scenario {
+    /// All scenarios, in reporting order.
+    #[must_use]
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::Clean,
+            Scenario::Iid,
+            Scenario::BurstLink,
+            Scenario::LinkDown,
+        ]
+    }
+
+    /// Stable name (used in the JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Clean => "clean",
+            Scenario::Iid => "iid",
+            Scenario::BurstLink => "burst_link",
+            Scenario::LinkDown => "link_down",
+        }
+    }
+}
+
+/// The burst process of the `burst_link` scenario.
+#[must_use]
+fn burst_spec() -> FaultSpec {
+    FaultSpec::Burst {
+        eps_good: 1e-4,
+        eps_bad: 0.05,
+        p_enter: 0.01,
+        p_exit: 0.2,
+    }
+}
+
+/// Both runs of one (scheme, scenario) cell.
+pub struct MeshRun {
+    /// The light-rate latency-distribution run.
+    pub latency: MeshReport,
+    /// The past-saturation throughput run.
+    pub saturation: MeshReport,
+}
+
+fn mesh_config(scheme: Scheme, rate: f64, pattern: MeshPattern, eps: f64) -> MeshConfig {
+    let link = LinkConfig::new(scheme, DATA_BITS, eps).with_protocol(protocol_for(scheme, SEED));
+    MeshConfig::new(WIDTH, HEIGHT, link)
+        .with_pattern(pattern)
+        .with_rate(rate)
+}
+
+/// Runs one simulation of one cell: builds the mesh, applies the
+/// scenario's static faults, and drives injection plus drain.
+fn run_sim(scheme: Scheme, scenario: Scenario, rate: f64, tel: Telemetry) -> MeshReport {
+    let eps = if scenario == Scenario::Iid {
+        IID_EPS
+    } else {
+        0.0
+    };
+    let cfg = mesh_config(scheme, rate, MeshPattern::Uniform, eps);
+    let mut sim = MeshSim::new_with_telemetry(&cfg, SEED, SEED ^ 0xA5, tel);
+    match scenario {
+        Scenario::Clean | Scenario::Iid => {}
+        Scenario::BurstLink => {
+            // A fixed, spread-out subset of directed links carries the
+            // burst process (seeded per link, so shards stay
+            // self-contained).
+            for link in (0..sim.link_count()).step_by(8) {
+                let _ = sim
+                    .engine_mut(link)
+                    .injector_mut()
+                    .push_spec(&burst_spec(), SEED ^ (link as u64 + 1));
+            }
+        }
+        Scenario::LinkDown => sim.set_link_down(0, true),
+    }
+    for _ in 0..CYCLES {
+        let _ = sim.step(true);
+    }
+    let mut drained = 0;
+    while !sim.idle() && drained < DRAIN_CYCLES {
+        let _ = sim.step(false);
+        drained += 1;
+    }
+    sim.finish()
+}
+
+/// Runs one (scheme, scenario) cell: the latency run and the
+/// saturation run.
+#[must_use]
+pub fn run_cell(scheme: Scheme, scenario: Scenario, tel: Telemetry) -> MeshRun {
+    MeshRun {
+        latency: run_sim(scheme, scenario, LATENCY_RATE, tel.clone()),
+        saturation: run_sim(scheme, scenario, SATURATION_RATE, tel),
+    }
+}
+
+/// The static shard list: every catalog scheme × every scenario.
+#[must_use]
+pub fn bench_cells() -> Vec<(Scheme, Scenario)> {
+    let mut cells = Vec::new();
+    for scheme in Scheme::catalog() {
+        for scenario in Scenario::all() {
+            cells.push((scheme, scenario));
+        }
+    }
+    cells
+}
+
+/// Runs the whole grid on up to `threads` workers; results come back in
+/// grid order, identically for every thread count.
+#[must_use]
+pub fn run_bench_parallel(threads: usize) -> Vec<(Scheme, Scenario, MeshRun)> {
+    let cells = bench_cells();
+    run_shards(threads, &cells, |_, &(scheme, scenario)| {
+        (
+            scheme,
+            scenario,
+            run_cell(scheme, scenario, Telemetry::off()),
+        )
+    })
+}
+
+/// [`run_bench_parallel`] with telemetry: per-shard recorders, absorbed
+/// in grid order at merge, so the combined recording is thread-count
+/// invariant too.
+#[must_use]
+pub fn run_bench_traced(threads: usize) -> (Vec<(Scheme, Scenario, MeshRun)>, Recorder) {
+    let cells = bench_cells();
+    let sharded = run_shards(threads, &cells, |_, &(scheme, scenario)| {
+        let rec = Rc::new(Recorder::new());
+        let run = run_cell(scheme, scenario, Telemetry::from_recorder(&rec));
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("run_cell released every telemetry handle");
+        (scheme, scenario, run, rec)
+    });
+    let combined = Recorder::new();
+    let runs = sharded
+        .into_iter()
+        .map(|(scheme, scenario, run, rec)| {
+            combined.absorb(&rec);
+            (scheme, scenario, run)
+        })
+        .collect();
+    (runs, combined)
+}
+
+/// The pattern-sweep rows: a representative scheme subset × every
+/// traffic pattern, clean links at the light rate.
+#[must_use]
+pub fn pattern_cells() -> Vec<(Scheme, MeshPattern)> {
+    let mut cells = Vec::new();
+    for scheme in [Scheme::Parity, Scheme::Dap, Scheme::ExtHamming] {
+        for pattern in [
+            MeshPattern::Uniform,
+            MeshPattern::Hotspot {
+                node: (HEIGHT / 2) * WIDTH + WIDTH / 2,
+                fraction: 0.5,
+            },
+            MeshPattern::Transpose,
+        ] {
+            cells.push((scheme, pattern));
+        }
+    }
+    cells
+}
+
+/// Runs the pattern sweep on up to `threads` workers.
+#[must_use]
+pub fn run_patterns_parallel(threads: usize) -> Vec<(Scheme, MeshPattern, MeshReport)> {
+    let cells = pattern_cells();
+    run_shards(threads, &cells, |_, &(scheme, pattern)| {
+        let cfg = mesh_config(scheme, LATENCY_RATE, pattern, 0.0);
+        let report = socbus_noc::mesh::simulate_mesh(&cfg, CYCLES, DRAIN_CYCLES, SEED, SEED ^ 0xA5);
+        (scheme, pattern, report)
+    })
+}
+
+/// Formats an `f64` for the JSON output. Exponential with fixed
+/// precision keeps the rendering deterministic and diff-friendly.
+fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+fn write_report_fields(json: &mut String, r: &MeshReport) {
+    let _ = write!(json, "\"injected\": {}, ", r.injected);
+    let _ = write!(json, "\"delivered\": {}, ", r.delivered);
+    let _ = write!(json, "\"flagged_lost\": {}, ", r.flagged_lost);
+    let _ = write!(json, "\"e2e_retransmits\": {}, ", r.e2e_retransmits);
+    let _ = write!(json, "\"dropped_poisoned\": {}, ", r.dropped_poisoned);
+    let _ = write!(json, "\"throughput\": {}, ", num(r.throughput()));
+    let _ = write!(json, "\"p50_latency\": {}, ", r.latency_quantile(0.5));
+    let _ = write!(json, "\"p95_latency\": {}, ", r.latency_quantile(0.95));
+    let _ = write!(json, "\"p99_latency\": {}, ", r.latency_quantile(0.99));
+    let _ = write!(json, "\"max_latency\": {}", r.max_latency());
+}
+
+fn pattern_name(pattern: MeshPattern) -> &'static str {
+    match pattern {
+        MeshPattern::Uniform => "uniform",
+        MeshPattern::Hotspot { .. } => "hotspot",
+        MeshPattern::Transpose => "transpose",
+    }
+}
+
+/// Renders the benchmark JSON (the `results/BENCH_mesh.json` format).
+#[must_use]
+pub fn render_json(
+    runs: &[(Scheme, Scenario, MeshRun)],
+    patterns: &[(Scheme, MeshPattern, MeshReport)],
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"data_bits\": {DATA_BITS},");
+    let _ = writeln!(json, "  \"mesh\": \"{WIDTH}x{HEIGHT}\",");
+    let _ = writeln!(json, "  \"cycles\": {CYCLES},");
+    let _ = writeln!(json, "  \"latency_rate\": {LATENCY_RATE},");
+    let _ = writeln!(json, "  \"saturation_rate\": {SATURATION_RATE},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    json.push_str("  \"runs\": [\n");
+    let mut first = true;
+    for (scheme, scenario, run) in runs {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str("    {");
+        let _ = write!(json, "\"scheme\": \"{}\", ", scheme.name());
+        let _ = write!(json, "\"scenario\": \"{}\", ", scenario.name());
+        json.push_str("\"latency_run\": {");
+        write_report_fields(&mut json, &run.latency);
+        json.push_str("}, \"saturation_run\": {");
+        write_report_fields(&mut json, &run.saturation);
+        json.push_str("}}");
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"patterns\": [\n");
+    let mut first = true;
+    for (scheme, pattern, report) in patterns {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str("    {");
+        let _ = write!(json, "\"scheme\": \"{}\", ", scheme.name());
+        let _ = write!(json, "\"pattern\": \"{}\", ", pattern_name(*pattern));
+        write_report_fields(&mut json, report);
+        json.push('}');
+    }
+    json.push_str("\n  ]\n}\n");
+    json
+}
+
+/// The `mesh` benchmark binary's entry point.
+/// Args: `[--threads N] [--trace-out <path>] [out_path]`.
+/// Returns the process exit code.
+#[must_use]
+pub fn main_with_args(args: &[String]) -> i32 {
+    let mut threads = default_threads();
+    let mut trace_out: Option<String> = None;
+    let mut out_path = "results/BENCH_mesh.json".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| parse_threads(v)) else {
+                    eprintln!("mesh: --threads needs a positive integer");
+                    return 2;
+                };
+                threads = n;
+            }
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("mesh: --trace-out needs a path");
+                    return 2;
+                };
+                trace_out = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("mesh: unknown flag {other}");
+                return 2;
+            }
+            other => out_path = other.to_owned(),
+        }
+    }
+    let started = std::time::Instant::now();
+    let (runs, recorder) = if trace_out.is_some() {
+        let (runs, rec) = run_bench_traced(threads);
+        (runs, Some(rec))
+    } else {
+        (run_bench_parallel(threads), None)
+    };
+    let patterns = run_patterns_parallel(threads);
+    let wall = started.elapsed();
+    for (scheme, scenario, run) in &runs {
+        eprintln!(
+            "{:<14} {:<10} p50 {:>3}  p99 {:>4}  lost {:>3}  saturation {:>8} pkt/cycle",
+            scheme.name(),
+            scenario.name(),
+            run.latency.latency_quantile(0.5),
+            run.latency.latency_quantile(0.99),
+            run.latency.flagged_lost,
+            num(run.saturation.throughput()),
+        );
+    }
+    let json = render_json(&runs, &patterns);
+    if let Some(dir) = Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write mesh benchmark output");
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace directory");
+            }
+        }
+        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+        let perfetto = format!("{path}.trace.json");
+        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let stats = rec.ring_stats();
+        eprintln!(
+            "mesh: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
+            stats.recorded, stats.dropped
+        );
+    }
+    eprintln!(
+        "mesh: {} cells x 2 runs + {} pattern rows on {threads} thread(s) in {:.2}s -> {out_path}",
+        runs.len(),
+        patterns.len(),
+        wall.as_secs_f64()
+    );
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_scheme_and_scenario() {
+        let cells = bench_cells();
+        assert_eq!(cells.len(), Scheme::catalog().len() * Scenario::all().len());
+        assert_eq!(pattern_cells().len(), 9);
+    }
+
+    #[test]
+    fn json_is_thread_count_invariant() {
+        // A sub-grid run through the real shard path at 1 vs 8 workers.
+        let cells: Vec<(Scheme, Scenario)> = bench_cells().into_iter().take(3).collect();
+        let run = |threads| {
+            run_shards(threads, &cells, |_, &(scheme, scenario)| {
+                (
+                    scheme,
+                    scenario,
+                    run_cell(scheme, scenario, Telemetry::off()),
+                )
+            })
+        };
+        let one = run(1);
+        let many = run(8);
+        assert_eq!(render_json(&one, &[]), render_json(&many, &[]));
+    }
+
+    #[test]
+    fn clean_and_link_down_runs_deliver_everything() {
+        for scenario in [Scenario::Clean, Scenario::LinkDown] {
+            let run = run_cell(Scheme::Dap, scenario, Telemetry::off());
+            assert!(run.latency.injected > 0);
+            assert_eq!(
+                run.latency.flagged_lost,
+                0,
+                "{}: clean links must not lose packets",
+                scenario.name()
+            );
+            assert_eq!(run.latency.delivered, run.latency.injected);
+        }
+    }
+
+    #[test]
+    fn saturation_run_shows_the_load_response() {
+        // The heavy-rate run must deliver more per cycle than the light
+        // run (the fabric is not already saturated at 8%), stay at or
+        // below the offered load, and show queueing in its latency
+        // distribution — the three properties that make the two-rate
+        // comparison meaningful.
+        let run = run_cell(Scheme::Parity, Scenario::Clean, Telemetry::off());
+        let offered = 16.0 * SATURATION_RATE;
+        assert!(run.saturation.throughput() <= offered);
+        assert!(run.saturation.throughput() > run.latency.throughput());
+        assert!(run.latency.latency_quantile(0.5) <= run.saturation.latency_quantile(0.5));
+        assert!(run.latency.max_latency() < run.saturation.max_latency());
+    }
+}

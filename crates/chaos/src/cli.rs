@@ -7,6 +7,8 @@
 //! chaos replay <file>
 //!     Re-run a reproducer file; exit 0 iff the recorded violation
 //!     reproduces (byte-identical canonical form is re-checked first).
+//!     Accepts both path (`socbus-chaos-repro v1`) and mesh
+//!     (`socbus-mesh-repro v1`) files, dispatched on the header.
 //! chaos run [--smoke] [--threads N] [--trace-out <path>] [out]
 //!     Run the whole soak campaign on the deterministic parallel engine
 //!     (same implementation as the `soak` binary; the JSON is
@@ -15,6 +17,11 @@
 //!     Run the closed-loop controller campaign: every detecting scheme
 //!     under every schedule family with a per-hop DVS controller, all
 //!     five invariants armed (including control-safe-state).
+//! chaos mesh [--smoke] [--threads N] [--trace-out <path>] [out]
+//!     Run the mesh campaign: every catalog scheme under every mesh
+//!     fault family on a 3x3 mesh, the four mesh invariants armed
+//!     (packet-conservation, reroute-delivers, bounded-progress,
+//!     mesh-silent-corruption). See [`crate::mesh`].
 //! ```
 //!
 //! The logic lives here (not in `bin/chaos.rs`) so the root package can
@@ -250,6 +257,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
     match args {
         [cmd, rest @ ..] if cmd == "run" => crate::campaign::campaign_main(rest),
         [cmd, rest @ ..] if cmd == "control" => crate::campaign::control_main(rest),
+        [cmd, rest @ ..] if cmd == "mesh" => crate::mesh::mesh_main(rest),
         [cmd, file] if cmd == "replay" => {
             let text = match std::fs::read_to_string(file) {
                 Ok(t) => t,
@@ -258,6 +266,42 @@ pub fn main_with_args(args: &[String]) -> i32 {
                     return 2;
                 }
             };
+            // Mesh reproducers replay through the same subcommand,
+            // dispatched on the header line.
+            if text.starts_with("socbus-mesh-repro") {
+                let recorder = Rc::new(Recorder::new());
+                let outcome =
+                    crate::mesh::replay_mesh_text_with(&text, Telemetry::from_recorder(&recorder));
+                if outcome.is_ok() {
+                    let trace_path = format!("{file}.trace.json");
+                    match std::fs::write(&trace_path, recorder.export_chrome_trace()) {
+                        Ok(()) => {
+                            eprintln!("trace written to {trace_path} (load in ui.perfetto.dev)");
+                        }
+                        Err(e) => eprintln!("chaos: cannot write {trace_path}: {e}"),
+                    }
+                }
+                return match outcome {
+                    Ok(Some(v)) => {
+                        println!(
+                            "reproduced: {} at link {} cycle {} — {}",
+                            v.kind.name(),
+                            v.link.map_or_else(|| "e2e".into(), |l| l.to_string()),
+                            v.cycle,
+                            v.detail
+                        );
+                        0
+                    }
+                    Ok(None) => {
+                        println!("did NOT reproduce (the bug may be fixed)");
+                        1
+                    }
+                    Err(e) => {
+                        eprintln!("chaos: {e}");
+                        2
+                    }
+                };
+            }
             let recorder = Rc::new(Recorder::new());
             let outcome = replay_text_with(&text, Telemetry::from_recorder(&recorder));
             if outcome.is_ok() {
@@ -338,8 +382,11 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 "usage:\n  chaos case <scheme> <family> <seed> [words] [hops]\n  \
                  chaos replay <file>\n  \
                  chaos run [--smoke] [--threads N] [--trace-out <path>] [out]\n  \
-                 chaos control [--smoke] [--threads N] [--trace-out <path>] [out]\n\nfamilies: {}",
-                ScheduleFamily::all().map(|f| f.name()).join(", ")
+                 chaos control [--smoke] [--threads N] [--trace-out <path>] [out]\n  \
+                 chaos mesh [--smoke] [--threads N] [--trace-out <path>] [out]\n\n\
+                 families: {}\nmesh families: {}",
+                ScheduleFamily::all().map(|f| f.name()).join(", "),
+                crate::mesh::MeshFamily::all().map(|f| f.name()).join(", ")
             );
             2
         }

@@ -26,11 +26,25 @@
 //!   observed error weight, and every transition is justified by its
 //!   window's trouble rate (see [`socbus_noc::control`]).
 //!
+//! The mesh campaign ([`mesh`]) extends the same discipline from a
+//! single path to the whole 2D fabric ([`socbus_noc::mesh`]), with four
+//! invariants of its own:
+//!
+//! * **packet-conservation** — injected = delivered plus flagged lost,
+//!   exactly once, never silently;
+//! * **reroute-delivers** — a single permanent link failure must not
+//!   lose anything;
+//! * **bounded-progress** — every forward strictly approaches the
+//!   destination over the live topology, and the mesh drains to idle;
+//! * **mesh-silent-corruption** — the per-link guarantee scoping of
+//!   the path rule.
+//!
 //! Module map: [`schedule`] (the event grammar and random families),
 //! [`runner`] (schedule interpreter over [`socbus_noc::PathSim`]),
 //! [`monitor`] (the invariants), [`shrink`] (ddmin + word truncation),
-//! [`replay`] (the `socbus-chaos-repro v1` file format), [`cli`] (the
-//! `chaos` binary's entry point).
+//! [`replay`] (the `socbus-chaos-repro v1` file format), [`mesh`] (the
+//! mesh campaign: families, invariants, `socbus-mesh-repro v1`),
+//! [`cli`] (the `chaos` binary's entry point).
 //!
 //! The harness self-test is [`socbus_codes::SabotagedHamming`] (scheme
 //! name `Sabotaged`): a decoder that deliberately mis-corrects while
@@ -52,6 +66,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod mesh;
 pub mod monitor;
 pub mod replay;
 pub mod runner;
@@ -65,6 +80,12 @@ pub use campaign::{
 };
 pub use cli::{
     build_case, build_control_case, control_policy_for, main_with_args, protocol_for, write_repro,
+};
+pub use mesh::{
+    build_mesh_case, mesh_cells, mesh_smoke_cells, mesh_topology, replay_mesh_text,
+    run_mesh_campaign_parallel, run_mesh_campaign_traced, run_mesh_case, run_mesh_case_with,
+    shrink_mesh, write_mesh_repro, MeshCaseConfig, MeshCaseOutcome, MeshFamily, MeshInvariant,
+    MeshMonitor, MeshRepro, MeshSchedule, MeshViolation,
 };
 pub use monitor::{InvariantKind, InvariantStats, Monitor, Violation};
 pub use replay::{ExpectedViolation, Repro};

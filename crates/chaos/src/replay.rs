@@ -28,6 +28,14 @@
 //! event at=5 force-degrade hop=1
 //! expect invariant=silent-corruption hop=0 word=8
 //! ```
+//!
+//! The mesh campaign writes a sibling format with the header
+//! `socbus-mesh-repro v1` (see [`crate::mesh::MeshRepro`]): same
+//! line-based canonical discipline and the same `spec=` / `protocol`
+//! grammars, but with mesh geometry, an `e2e` line, link-indexed
+//! events (`link-down link=N`, `link-up link=N`), and mesh invariant
+//! names in the `expect` line. `chaos replay` dispatches on the header
+//! line, so both kinds of file replay through the same subcommand.
 
 use std::fmt::Write as _;
 
@@ -320,7 +328,7 @@ impl Repro {
     }
 }
 
-fn spec_str(spec: &FaultSpec) -> String {
+pub(crate) fn spec_str(spec: &FaultSpec) -> String {
     match *spec {
         FaultSpec::Iid { eps } => format!("iid eps={eps:?}"),
         FaultSpec::Burst {
@@ -351,7 +359,7 @@ fn spec_str(spec: &FaultSpec) -> String {
 }
 
 /// Extracts the value of a `key=value` token, checking the key.
-fn kv(tok: Option<&str>, key: &str) -> Result<String, String> {
+pub(crate) fn kv(tok: Option<&str>, key: &str) -> Result<String, String> {
     let tok = tok.ok_or_else(|| format!("missing {key}=..."))?;
     let (k, v) = tok
         .split_once('=')
@@ -362,17 +370,17 @@ fn kv(tok: Option<&str>, key: &str) -> Result<String, String> {
     Ok(v.to_owned())
 }
 
-fn parse_num<T: std::str::FromStr>(s: impl AsRef<str>) -> Result<T, String> {
+pub(crate) fn parse_num<T: std::str::FromStr>(s: impl AsRef<str>) -> Result<T, String> {
     let s = s.as_ref();
     s.parse().map_err(|_| format!("bad integer {s:?}"))
 }
 
-fn parse_f64(s: impl AsRef<str>) -> Result<f64, String> {
+pub(crate) fn parse_f64(s: impl AsRef<str>) -> Result<f64, String> {
     let s = s.as_ref();
     s.parse().map_err(|_| format!("bad float {s:?}"))
 }
 
-fn parse_protocol(rest: &str) -> Result<Protocol, String> {
+pub(crate) fn parse_protocol(rest: &str) -> Result<Protocol, String> {
     let mut toks = rest.split_whitespace();
     match toks.next() {
         Some("fec") => Ok(Protocol::Fec),
@@ -406,7 +414,7 @@ fn parse_rung(rest: &str) -> Result<DegradationAction, String> {
     }
 }
 
-fn parse_spec(toks: &mut std::str::SplitWhitespace<'_>) -> Result<FaultSpec, String> {
+pub(crate) fn parse_spec(toks: &mut std::str::SplitWhitespace<'_>) -> Result<FaultSpec, String> {
     match toks.next() {
         Some("iid") => Ok(FaultSpec::Iid {
             eps: kv(toks.next(), "eps").and_then(parse_f64)?,

@@ -18,7 +18,12 @@
 //!   monitored safe-state contract;
 //! * [`path`] — multi-hop paths of coded links with per-hop decode and
 //!   re-encode, per-hop fault domains, and per-hop statistics, where
-//!   residual errors accumulate.
+//!   residual errors accumulate;
+//! * [`mesh`] — a fault-tolerant 2D-mesh NoC over per-link engines:
+//!   XY routing with a deadlock-free fault-aware fallback, and
+//!   exactly-once end-to-end delivery at the network interfaces
+//!   (sequence numbers, timeout/retransmit with capped backoff,
+//!   duplicate suppression).
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@
 
 pub mod control;
 pub mod link;
+pub mod mesh;
 pub mod path;
 pub mod traffic;
 
@@ -57,6 +63,10 @@ pub use control::{
 pub use link::{
     simulate_link, simulate_link_with, DegradationAction, DegradationPolicy, FaultLedger,
     LinkConfig, LinkEngine, LinkReport, LinkTransition, PromotePolicy, Protocol, WordTrace,
+};
+pub use mesh::{
+    simulate_mesh, AcceptRecord, CycleReport, Direction, EndToEnd, MeshConfig, MeshPattern,
+    MeshReport, MeshSim, PacketKey, TransferRecord,
 };
 pub use path::{simulate_path, HopStep, PathConfig, PathReport, PathSim, PathStep};
 pub use traffic::{words_from_bytes, CorrelatedTraffic, RampTraffic, UniformTraffic};

@@ -79,13 +79,21 @@ impl Protocol {
     /// protocol: the first transmission plus, for every allowed retry,
     /// its penalty and the retransmission itself. This is the latency
     /// budget the chaos monitors hold [`LinkEngine`] to — no fault
-    /// schedule may push one word past it.
+    /// schedule may push one word past it. Saturates at `u64::MAX` for
+    /// pathological configurations (huge timeouts or retry budgets)
+    /// instead of wrapping.
     #[must_use]
     pub fn worst_case_word_cycles(&self) -> u64 {
-        let mut total = 1;
+        let mut total: u64 = 1;
         let mut retry = 0;
         while let Some(penalty) = self.retry_penalty(retry) {
-            total += 1 + penalty;
+            total = total.saturating_add(1).saturating_add(penalty);
+            if total == u64::MAX {
+                // Already saturated: further retries cannot raise the
+                // bound, and a u32::MAX retry budget would otherwise
+                // spin here for four billion iterations.
+                break;
+            }
             retry += 1;
         }
         total
@@ -110,7 +118,9 @@ impl Protocol {
                 let backoff = backoff_base
                     .checked_shl(tries)
                     .map_or(backoff_cap, |b| b.min(backoff_cap));
-                timeout_cycles + backoff
+                // Saturating: a near-MAX timeout plus a capped backoff
+                // must clamp, not wrap the cycle budget around zero.
+                timeout_cycles.saturating_add(backoff)
             }),
         }
     }
@@ -972,6 +982,46 @@ mod tests {
     fn run(scheme: Scheme, eps: f64, protocol: Protocol, n: usize) -> LinkReport {
         let cfg = LinkConfig::new(scheme, 8, eps).with_protocol(protocol);
         simulate_link(&cfg, UniformTraffic::new(8, 42).take(n), 7)
+    }
+
+    #[test]
+    fn arq_backoff_cycle_arithmetic_saturates_instead_of_wrapping() {
+        // Regression: retry penalties near u64::MAX used to wrap the
+        // cycle budget around zero, making the chaos latency invariant
+        // vacuous (budget ~0) or falsely violated.
+        let proto = Protocol::ArqBackoff {
+            timeout_cycles: u64::MAX - 2,
+            backoff_base: u64::MAX / 2,
+            backoff_cap: u64::MAX,
+            max_retries: 3,
+        };
+        assert_eq!(proto.retry_penalty(0), Some(u64::MAX));
+        assert_eq!(proto.retry_penalty(2), Some(u64::MAX));
+        assert_eq!(proto.retry_penalty(3), None);
+        assert_eq!(proto.worst_case_word_cycles(), u64::MAX);
+    }
+
+    #[test]
+    fn worst_case_cycles_terminates_on_huge_retry_budgets() {
+        // A u32::MAX retry budget with saturated penalties must return
+        // promptly (the loop breaks at saturation) rather than iterate
+        // four billion times.
+        let proto = Protocol::ArqBackoff {
+            timeout_cycles: u64::MAX,
+            backoff_base: 1,
+            backoff_cap: 8,
+            max_retries: u32::MAX,
+        };
+        assert_eq!(proto.worst_case_word_cycles(), u64::MAX);
+        // Sane configurations are unchanged by the guard.
+        let proto = Protocol::ArqBackoff {
+            timeout_cycles: 3,
+            backoff_base: 1,
+            backoff_cap: 8,
+            max_retries: 3,
+        };
+        // 1 + (1+3+1) + (1+3+2) + (1+3+4) = 20
+        assert_eq!(proto.worst_case_word_cycles(), 20);
     }
 
     #[test]

@@ -19,8 +19,14 @@ pub struct UniformTraffic {
 
 impl UniformTraffic {
     /// Uniform traffic of the given word width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 128` (a [`Word`] holds at most 128
+    /// bits, and a width-0 generator would emit empty words forever).
     #[must_use]
     pub fn new(width: usize, seed: u64) -> Self {
+        assert!((1..=128).contains(&width), "width out of range");
         UniformTraffic {
             width,
             rng: StdRng::seed_from_u64(seed),
@@ -51,9 +57,10 @@ impl CorrelatedTraffic {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 <= alpha <= 1`.
+    /// Panics unless `0 <= alpha <= 1` and `1 <= width <= 128`.
     #[must_use]
     pub fn new(width: usize, alpha: f64, seed: u64) -> Self {
+        assert!((1..=128).contains(&width), "width out of range");
         assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
         let mut rng = StdRng::seed_from_u64(seed);
         let state = Word::from_bits(rng.gen::<u128>(), width);
@@ -90,8 +97,13 @@ pub struct RampTraffic {
 
 impl RampTraffic {
     /// A ramp with the given stride and per-cycle jump probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 128`.
     #[must_use]
     pub fn new(width: usize, stride: u128, jump_probability: f64, seed: u64) -> Self {
+        assert!((1..=128).contains(&width), "width out of range");
         RampTraffic {
             width,
             value: 0,
@@ -116,19 +128,29 @@ impl Iterator for RampTraffic {
 }
 
 /// Packs a byte stream into `width`-bit words (zero-padded tail).
+///
+/// # Panics
+///
+/// Panics unless `1 <= width <= 128`.
 #[must_use]
 pub fn words_from_bytes(bytes: &[u8], width: usize) -> Vec<Word> {
     assert!((1..=128).contains(&width), "width out of range");
+    // Accumulate bit by bit: a byte-at-a-time accumulator needs shifts
+    // of up to 128 (UB) and loses carry bits for widths above 120.
     let mut out = Vec::new();
     let mut acc: u128 = 0;
     let mut bits = 0usize;
     for &b in bytes {
-        acc |= u128::from(b) << bits;
-        bits += 8;
-        while bits >= width {
-            out.push(Word::from_bits(acc, width));
-            acc >>= width;
-            bits -= width;
+        for i in 0..8 {
+            if (b >> i) & 1 == 1 {
+                acc |= 1u128 << bits;
+            }
+            bits += 1;
+            if bits == width {
+                out.push(Word::from_bits(acc, width));
+                acc = 0;
+                bits = 0;
+            }
         }
     }
     if bits > 0 {
@@ -174,6 +196,77 @@ mod tests {
         for (i, w) in words.iter().enumerate() {
             assert_eq!(w.bits(), (i + 1) as u128);
         }
+    }
+
+    #[test]
+    fn generators_accept_the_full_word_width() {
+        // Width 128 is the Word ceiling; all generators must take it.
+        let w = UniformTraffic::new(128, 1).next().unwrap();
+        assert_eq!(w.width(), 128);
+        let w = CorrelatedTraffic::new(128, 0.1, 1).next().unwrap();
+        assert_eq!(w.width(), 128);
+        let w = RampTraffic::new(128, 3, 0.0, 1).next().unwrap();
+        assert_eq!(w.width(), 128);
+        let words = words_from_bytes(&[0xAA; 16], 128);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0].width(), 128);
+        assert_eq!(words[0].bits(), u128::from_le_bytes([0xAA; 16]));
+    }
+
+    #[test]
+    fn words_from_bytes_carries_across_wide_word_boundaries() {
+        // Regression: widths above 120 used to lose the carry bits of a
+        // byte straddling the word boundary (and width 128 panicked on
+        // a 128-bit shift). 17 bytes at width 127 straddle at bit 127.
+        let mut bytes = [0u8; 17];
+        bytes[15] = 0x80; // stream bit 127 — the first bit of word 1
+        bytes[16] = 0xFF; // stream bits 128..136 — word 1 bits 1..9
+        let words = words_from_bytes(&bytes, 127);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].bits(), 0, "word 0 is stream bits 0..127, all zero");
+        assert_eq!(words[1].bits(), 0b1_1111_1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn uniform_rejects_width_zero() {
+        let _ = UniformTraffic::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn uniform_rejects_width_beyond_word() {
+        let _ = UniformTraffic::new(129, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn correlated_rejects_width_zero() {
+        let _ = CorrelatedTraffic::new(0, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn correlated_rejects_width_beyond_word() {
+        let _ = CorrelatedTraffic::new(129, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn ramp_rejects_width_zero() {
+        let _ = RampTraffic::new(0, 1, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn ramp_rejects_width_beyond_word() {
+        let _ = RampTraffic::new(129, 1, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn words_from_bytes_rejects_width_zero() {
+        let _ = words_from_bytes(&[1, 2], 0);
     }
 
     #[test]
