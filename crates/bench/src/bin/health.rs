@@ -1,0 +1,7 @@
+//! Health-monitor overhead gate over the chaos mesh smoke campaign —
+//! see [`socbus_bench::health`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_bench::health::main_with_args(&args));
+}

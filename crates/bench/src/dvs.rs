@@ -37,7 +37,8 @@
 //!
 //! Run with `cargo run --release -p socbus-bench --bin dvs` (add
 //! `--threads N` to override the worker count, `--trace-out <path>` for
-//! a telemetry log plus Perfetto trace).
+//! a telemetry log plus Perfetto trace, `--health-out <path>` for a
+//! `socbus-incident v1` report with one scope per variant run).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -50,7 +51,7 @@ use socbus_codes::Scheme;
 use socbus_exec::{default_threads, parse_threads, run_shards};
 use socbus_noc::link::Protocol;
 use socbus_noc::{ControlPolicy, OperatingPoint};
-use socbus_telemetry::{Recorder, Telemetry};
+use socbus_telemetry::{HealthAggregator, HealthConfig, HealthReport, Recorder, Telemetry};
 
 /// Data bits per transferred word.
 pub const DATA_BITS: usize = 16;
@@ -324,6 +325,65 @@ pub fn run_bench_traced(threads: usize) -> (Vec<CellRow>, Recorder) {
     (rows, combined)
 }
 
+/// [`run_bench_traced`] with the health monitor folded over every run:
+/// each cell keeps two private recorders — one per variant — so the
+/// static and closed runs each get their own incident-report scope
+/// (`scheme/family/static` and `scheme/family/closed`). Scopes are
+/// pushed and recorders absorbed in variant order within grid order, so
+/// the incident report and the merged recorder are byte-identical for
+/// every thread count.
+#[must_use]
+pub fn run_bench_health(
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<CellRow>, HealthReport, Recorder) {
+    run_health_cells(&bench_cells(), threads, health_cfg)
+}
+
+/// [`run_bench_health`] over an explicit cell list (the tests use a
+/// sub-grid; the binary runs the full grid).
+#[must_use]
+pub fn run_health_cells(
+    cells: &[(Scheme, ScheduleFamily, u64)],
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<CellRow>, HealthReport, Recorder) {
+    let sharded = run_shards(threads, cells, |_, &(scheme, family, seed)| {
+        let run_traced = |policy: ControlPolicy, variant: &str| {
+            let cfg = cell_case(scheme, family, seed, policy, variant);
+            let rec = Rc::new(Recorder::new());
+            let out = run_case_with(&cfg, Telemetry::from_recorder(&rec));
+            let rec = Rc::try_unwrap(rec)
+                .ok()
+                .expect("run_case_with released every telemetry handle");
+            let scope = HealthAggregator::scope_from_recorder(&cfg.name, health_cfg, &rec);
+            (out, scope, rec)
+        };
+        let (fixed, fixed_scope, fixed_rec) = run_traced(static_policy(scheme), "static");
+        let (closed, closed_scope, closed_rec) = run_traced(closed_policy(scheme), "closed");
+        let row = CellRow {
+            scheme,
+            family,
+            fixed,
+            closed,
+        };
+        (row, [fixed_scope, closed_scope], [fixed_rec, closed_rec])
+    });
+    let combined = Recorder::new();
+    let mut health = HealthReport::new();
+    let rows = sharded
+        .into_iter()
+        .map(|(row, scopes, recs)| {
+            for (scope, rec) in scopes.into_iter().zip(recs.iter()) {
+                combined.absorb(rec);
+                health.push_scope(scope);
+            }
+            row
+        })
+        .collect();
+    (rows, health, combined)
+}
+
 /// Formats an `f64` for the JSON output (deterministic fixed-precision
 /// exponential, same convention as the other benches).
 fn num(x: f64) -> String {
@@ -422,12 +482,14 @@ pub fn gate_passed(rows: &[CellRow]) -> bool {
 }
 
 /// The `dvs` binary's entry point.
-/// Args: `[--threads N] [--trace-out <path>] [out_path]`.
+/// Args: `[--threads N] [--trace-out <path>] [--health-out <path>]
+/// [out_path]`.
 /// Returns the process exit code (nonzero iff the gate fails).
 #[must_use]
 pub fn main_with_args(args: &[String]) -> i32 {
     let mut threads = default_threads();
     let mut trace_out: Option<String> = None;
+    let mut health_out: Option<String> = None;
     let mut out_path = "results/BENCH_dvs.json".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -446,6 +508,13 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 };
                 trace_out = Some(path.clone());
             }
+            "--health-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("dvs: --health-out needs a path");
+                    return 2;
+                };
+                health_out = Some(path.clone());
+            }
             other if other.starts_with("--") => {
                 eprintln!("dvs: unknown flag {other}");
                 return 2;
@@ -454,11 +523,14 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
     }
     let started = std::time::Instant::now();
-    let (rows, recorder) = if trace_out.is_some() {
+    let (rows, health, recorder) = if health_out.is_some() {
+        let (rows, health, rec) = run_bench_health(threads, &HealthConfig::default());
+        (rows, Some(health), Some(rec))
+    } else if trace_out.is_some() {
         let (rows, rec) = run_bench_traced(threads);
-        (rows, Some(rec))
+        (rows, None, Some(rec))
     } else {
-        (run_bench_parallel(threads), None)
+        (run_bench_parallel(threads), None, None)
     };
     let wall = started.elapsed();
     for row in &rows {
@@ -480,6 +552,20 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
     }
     std::fs::write(&out_path, &json).expect("write dvs output");
+    if let (Some(path), Some(health)) = (&health_out, &health) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create health directory");
+            }
+        }
+        std::fs::write(path, health.serialize()).expect("write incident report");
+        let incidents: usize = health.scopes.iter().map(|s| s.incidents.len()).sum();
+        let alerts: usize = health.scopes.iter().map(|s| s.alerts.len()).sum();
+        eprintln!(
+            "dvs: incidents -> {path} ({} scope(s), {incidents} incident(s), {alerts} alert(s))",
+            health.scopes.len()
+        );
+    }
     if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         if let Some(dir) = Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -488,12 +574,22 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
         std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
         let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        // When the health monitor ran, its scores and budget burn ride
+        // along as Perfetto counter tracks.
+        let counters = health
+            .as_ref()
+            .map(HealthReport::counter_samples)
+            .unwrap_or_default();
+        std::fs::write(&perfetto, rec.export_chrome_trace_with_counters(&counters))
+            .expect("write Perfetto trace");
         let stats = rec.ring_stats();
         eprintln!(
             "dvs: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
             stats.recorded, stats.dropped
         );
+        if let Some(warning) = stats.overflow_warning() {
+            eprintln!("dvs: {warning}");
+        }
     }
     let saving = rows.iter().filter(|r| r.saved()).count();
     let gate = gate_passed(&rows);
@@ -533,6 +629,26 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<(Scheme, ScheduleFamily, u64)>();
         assert_send::<CellRow>();
+    }
+
+    /// One cell through the health runner at 1 vs 8 workers: the
+    /// incident report, the merged recording, and the bench JSON must
+    /// all come back byte-identical, and each variant must get its own
+    /// scope.
+    #[test]
+    fn health_report_is_thread_count_invariant() {
+        let cells = vec![(Scheme::Parity, ScheduleFamily::DroopStorm, 2u64)];
+        let cfg = HealthConfig::default();
+        let (rows1, health1, rec1) = run_health_cells(&cells, 1, &cfg);
+        let (rows8, health8, rec8) = run_health_cells(&cells, 8, &cfg);
+        assert_eq!(health1.serialize(), health8.serialize());
+        assert_eq!(rec1.export_jsonl(), rec8.export_jsonl());
+        assert_eq!(render_json(&rows1), render_json(&rows8));
+        let scopes: Vec<&str> = health1.scopes.iter().map(|s| s.scope.as_str()).collect();
+        assert_eq!(
+            scopes,
+            ["Parity/droop_storm/static", "Parity/droop_storm/closed"]
+        );
     }
 
     /// One full cell, both variants: the closed loop must save energy,

@@ -10,6 +10,7 @@ pub mod codec;
 pub mod designs;
 pub mod dvs;
 pub mod fmt;
+pub mod health;
 pub mod mesh;
 pub mod reliability;
 pub mod soak;

@@ -31,7 +31,8 @@
 //! Run with `cargo run --release -p socbus-bench --bin mesh`
 //! (add `--threads N` to override the worker count, `--trace-out
 //! <path>` for a telemetry event log plus a Perfetto trace with
-//! per-router and per-link tracks).
+//! per-router and per-link tracks, `--health-out <path>` for a
+//! `socbus-incident v1` report with one scope per sub-run).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -43,7 +44,7 @@ use socbus_codes::Scheme;
 use socbus_exec::{default_threads, parse_threads, run_shards};
 use socbus_noc::link::LinkConfig;
 use socbus_noc::mesh::{MeshConfig, MeshPattern, MeshReport, MeshSim};
-use socbus_telemetry::{Recorder, Telemetry};
+use socbus_telemetry::{HealthAggregator, HealthConfig, HealthReport, Recorder, Telemetry};
 
 /// Data bits per transferred word.
 pub const DATA_BITS: usize = 16;
@@ -233,6 +234,69 @@ pub fn run_bench_traced(threads: usize) -> (Vec<(Scheme, Scenario, MeshRun)>, Re
     (runs, combined)
 }
 
+/// [`run_bench_traced`] with the health monitor folded over every run:
+/// each cell keeps *two* private recorders — one per sub-run — so the
+/// latency and saturation runs each get their own incident-report scope
+/// (`scheme/scenario/latency` and `scheme/scenario/saturation`). Scopes
+/// are pushed and recorders absorbed in run order within grid order, so
+/// the incident report and the merged recorder are byte-identical for
+/// every thread count.
+#[must_use]
+pub fn run_bench_health(
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<(Scheme, Scenario, MeshRun)>, HealthReport, Recorder) {
+    run_health_cells(&bench_cells(), threads, health_cfg)
+}
+
+/// [`run_bench_health`] over an explicit cell list (the tests use a
+/// sub-grid; the binary runs the full grid).
+#[must_use]
+pub fn run_health_cells(
+    cells: &[(Scheme, Scenario)],
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<(Scheme, Scenario, MeshRun)>, HealthReport, Recorder) {
+    let sharded = run_shards(threads, cells, |_, &(scheme, scenario)| {
+        let run_traced = |rate: f64, sub: &str| {
+            let rec = Rc::new(Recorder::new());
+            let report = run_sim(scheme, scenario, rate, Telemetry::from_recorder(&rec));
+            let rec = Rc::try_unwrap(rec)
+                .ok()
+                .expect("run_sim released every telemetry handle");
+            let scope_name = format!("{}/{}/{sub}", scheme.name(), scenario.name());
+            let scope = HealthAggregator::scope_from_recorder(&scope_name, health_cfg, &rec);
+            (report, scope, rec)
+        };
+        let (latency, lat_scope, lat_rec) = run_traced(LATENCY_RATE, "latency");
+        let (saturation, sat_scope, sat_rec) = run_traced(SATURATION_RATE, "saturation");
+        let run = MeshRun {
+            latency,
+            saturation,
+        };
+        (
+            scheme,
+            scenario,
+            run,
+            [lat_scope, sat_scope],
+            [lat_rec, sat_rec],
+        )
+    });
+    let combined = Recorder::new();
+    let mut health = HealthReport::new();
+    let runs = sharded
+        .into_iter()
+        .map(|(scheme, scenario, run, scopes, recs)| {
+            for (scope, rec) in scopes.into_iter().zip(recs.iter()) {
+                combined.absorb(rec);
+                health.push_scope(scope);
+            }
+            (scheme, scenario, run)
+        })
+        .collect();
+    (runs, health, combined)
+}
+
 /// The pattern-sweep rows: a representative scheme subset × every
 /// traffic pattern, clean links at the light rate.
 #[must_use]
@@ -344,12 +408,14 @@ pub fn render_json(
 }
 
 /// The `mesh` benchmark binary's entry point.
-/// Args: `[--threads N] [--trace-out <path>] [out_path]`.
+/// Args: `[--threads N] [--trace-out <path>] [--health-out <path>]
+/// [out_path]`.
 /// Returns the process exit code.
 #[must_use]
 pub fn main_with_args(args: &[String]) -> i32 {
     let mut threads = default_threads();
     let mut trace_out: Option<String> = None;
+    let mut health_out: Option<String> = None;
     let mut out_path = "results/BENCH_mesh.json".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -368,6 +434,13 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 };
                 trace_out = Some(path.clone());
             }
+            "--health-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("mesh: --health-out needs a path");
+                    return 2;
+                };
+                health_out = Some(path.clone());
+            }
             other if other.starts_with("--") => {
                 eprintln!("mesh: unknown flag {other}");
                 return 2;
@@ -376,11 +449,14 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
     }
     let started = std::time::Instant::now();
-    let (runs, recorder) = if trace_out.is_some() {
+    let (runs, health, recorder) = if health_out.is_some() {
+        let (runs, health, rec) = run_bench_health(threads, &HealthConfig::default());
+        (runs, Some(health), Some(rec))
+    } else if trace_out.is_some() {
         let (runs, rec) = run_bench_traced(threads);
-        (runs, Some(rec))
+        (runs, None, Some(rec))
     } else {
-        (run_bench_parallel(threads), None)
+        (run_bench_parallel(threads), None, None)
     };
     let patterns = run_patterns_parallel(threads);
     let wall = started.elapsed();
@@ -402,6 +478,20 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
     }
     std::fs::write(&out_path, &json).expect("write mesh benchmark output");
+    if let (Some(path), Some(health)) = (&health_out, &health) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create health directory");
+            }
+        }
+        std::fs::write(path, health.serialize()).expect("write incident report");
+        let incidents: usize = health.scopes.iter().map(|s| s.incidents.len()).sum();
+        let alerts: usize = health.scopes.iter().map(|s| s.alerts.len()).sum();
+        eprintln!(
+            "mesh: incidents -> {path} ({} scope(s), {incidents} incident(s), {alerts} alert(s))",
+            health.scopes.len()
+        );
+    }
     if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         if let Some(dir) = Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -410,12 +500,22 @@ pub fn main_with_args(args: &[String]) -> i32 {
         }
         std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
         let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        // When the health monitor ran, its scores and budget burn ride
+        // along as Perfetto counter tracks.
+        let counters = health
+            .as_ref()
+            .map(HealthReport::counter_samples)
+            .unwrap_or_default();
+        std::fs::write(&perfetto, rec.export_chrome_trace_with_counters(&counters))
+            .expect("write Perfetto trace");
         let stats = rec.ring_stats();
         eprintln!(
             "mesh: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
             stats.recorded, stats.dropped
         );
+        if let Some(warning) = stats.overflow_warning() {
+            eprintln!("mesh: {warning}");
+        }
     }
     eprintln!(
         "mesh: {} cells x 2 runs + {} pattern rows on {threads} thread(s) in {:.2}s -> {out_path}",
@@ -453,6 +553,23 @@ mod tests {
         let one = run(1);
         let many = run(8);
         assert_eq!(render_json(&one, &[]), render_json(&many, &[]));
+    }
+
+    #[test]
+    fn health_report_is_thread_count_invariant() {
+        // One cell through the health runner at 1 vs 8 workers: the
+        // incident report, the merged recording, and the bench JSON must
+        // all come back byte-identical, and every sub-run must get its
+        // own scope.
+        let cells = vec![(Scheme::Parity, Scenario::Iid)];
+        let cfg = HealthConfig::default();
+        let (runs1, health1, rec1) = run_health_cells(&cells, 1, &cfg);
+        let (runs8, health8, rec8) = run_health_cells(&cells, 8, &cfg);
+        assert_eq!(health1.serialize(), health8.serialize());
+        assert_eq!(rec1.export_jsonl(), rec8.export_jsonl());
+        assert_eq!(render_json(&runs1, &[]), render_json(&runs8, &[]));
+        let scopes: Vec<&str> = health1.scopes.iter().map(|s| s.scope.as_str()).collect();
+        assert_eq!(scopes, ["Parity/iid/latency", "Parity/iid/saturation"]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use socbus_codes::Scheme;
 use socbus_exec::{default_threads, parse_threads, run_shards};
-use socbus_telemetry::{Recorder, Telemetry};
+use socbus_telemetry::{HealthAggregator, HealthConfig, HealthReport, Recorder, Telemetry};
 
 use crate::cli::{build_case, build_control_case, write_repro, DEFAULT_DATA_BITS};
 use crate::monitor::InvariantKind;
@@ -130,6 +130,41 @@ pub fn run_campaign_traced(words: u64, threads: usize) -> (Vec<(String, CaseOutc
     (outcomes, combined)
 }
 
+/// [`run_campaign_traced`] with the health monitor folded over every
+/// cell's private stream: one incident-report scope per cell, pushed in
+/// grid order, so the `socbus-incident v1` document is byte-identical
+/// for every thread count.
+#[must_use]
+pub fn run_campaign_health(
+    words: u64,
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<(String, CaseOutcome)>, HealthReport, Recorder) {
+    let cells = campaign_cells(words);
+    let sharded = run_shards(threads, &cells, |_, &(scheme, family, seed)| {
+        let cfg = build_case(scheme, family, seed, words, HOPS);
+        let name = cfg.name.clone();
+        let rec = Rc::new(Recorder::new());
+        let out = run_case_with(&cfg, Telemetry::from_recorder(&rec));
+        let scope = HealthAggregator::scope_from_recorder(&name, health_cfg, &rec);
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("run_case_with released every telemetry handle");
+        (name, out, scope, rec)
+    });
+    let combined = Recorder::new();
+    let mut health = HealthReport::new();
+    let outcomes = sharded
+        .into_iter()
+        .map(|(name, out, scope, rec)| {
+            combined.absorb(&rec);
+            health.push_scope(scope);
+            (name, out)
+        })
+        .collect();
+    (outcomes, health, combined)
+}
+
 /// Renders the campaign JSON.
 #[must_use]
 pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
@@ -199,13 +234,15 @@ pub fn render_json(words: u64, outcomes: &[(String, CaseOutcome)]) -> String {
 }
 
 /// The campaign entry point shared by `soak` and `chaos run`.
-/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>]
+/// [--health-out <path>] [out_path]`.
 /// Returns the process exit code (nonzero iff any invariant violated).
 #[must_use]
 pub fn campaign_main(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut threads = default_threads();
     let mut trace_out: Option<String> = None;
+    let mut health_out: Option<String> = None;
     let mut out_path = "results/BENCH_soak.json".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -225,6 +262,13 @@ pub fn campaign_main(args: &[String]) -> i32 {
                 };
                 trace_out = Some(path.clone());
             }
+            "--health-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("soak: --health-out needs a path");
+                    return 2;
+                };
+                health_out = Some(path.clone());
+            }
             other if other.starts_with("--") => {
                 eprintln!("soak: unknown flag {other}");
                 return 2;
@@ -234,11 +278,14 @@ pub fn campaign_main(args: &[String]) -> i32 {
     }
     let words = if smoke { SMOKE_WORDS } else { FULL_WORDS };
     let started = std::time::Instant::now();
-    let (outcomes, recorder) = if trace_out.is_some() {
+    let (outcomes, health, recorder) = if health_out.is_some() {
+        let (outcomes, health, rec) = run_campaign_health(words, threads, &HealthConfig::default());
+        (outcomes, Some(health), Some(rec))
+    } else if trace_out.is_some() {
         let (outcomes, rec) = run_campaign_traced(words, threads);
-        (outcomes, Some(rec))
+        (outcomes, None, Some(rec))
     } else {
-        (run_campaign_parallel(words, threads), None)
+        (run_campaign_parallel(words, threads), None, None)
     };
     let wall = started.elapsed();
     for (name, out) in &outcomes {
@@ -257,6 +304,20 @@ pub fn campaign_main(args: &[String]) -> i32 {
         }
     }
     std::fs::write(&out_path, &json).expect("write soak output");
+    if let (Some(path), Some(health)) = (&health_out, &health) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create health directory");
+            }
+        }
+        std::fs::write(path, health.serialize()).expect("write incident report");
+        let incidents: usize = health.scopes.iter().map(|s| s.incidents.len()).sum();
+        let alerts: usize = health.scopes.iter().map(|s| s.alerts.len()).sum();
+        eprintln!(
+            "soak: incidents -> {path} ({} scope(s), {incidents} incident(s), {alerts} alert(s))",
+            health.scopes.len()
+        );
+    }
     if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         if let Some(dir) = Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -265,12 +326,20 @@ pub fn campaign_main(args: &[String]) -> i32 {
         }
         std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
         let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let counters = health
+            .as_ref()
+            .map(HealthReport::counter_samples)
+            .unwrap_or_default();
+        std::fs::write(&perfetto, rec.export_chrome_trace_with_counters(&counters))
+            .expect("write Perfetto trace");
         let stats = rec.ring_stats();
         eprintln!(
             "soak: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
             stats.recorded, stats.dropped
         );
+        if let Some(warning) = stats.overflow_warning() {
+            eprintln!("soak: {warning}");
+        }
     }
     let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
     eprintln!(
@@ -388,14 +457,49 @@ pub fn run_control_traced(
     (outcomes, combined)
 }
 
+/// [`run_control_traced`] with per-cell health scopes (same discipline
+/// as [`run_campaign_health`]).
+#[must_use]
+pub fn run_control_health(
+    cells: &[(Scheme, ScheduleFamily, u64)],
+    words: u64,
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<(String, CaseOutcome)>, HealthReport, Recorder) {
+    let sharded = run_shards(threads, cells, |_, &(scheme, family, seed)| {
+        let cfg = build_control_case(scheme, family, seed, words, HOPS);
+        let name = cfg.name.clone();
+        let rec = Rc::new(Recorder::new());
+        let out = run_case_with(&cfg, Telemetry::from_recorder(&rec));
+        let scope = HealthAggregator::scope_from_recorder(&name, health_cfg, &rec);
+        let rec = Rc::try_unwrap(rec)
+            .ok()
+            .expect("run_case_with released every telemetry handle");
+        (name, out, scope, rec)
+    });
+    let combined = Recorder::new();
+    let mut health = HealthReport::new();
+    let outcomes = sharded
+        .into_iter()
+        .map(|(name, out, scope, rec)| {
+            combined.absorb(&rec);
+            health.push_scope(scope);
+            (name, out)
+        })
+        .collect();
+    (outcomes, health, combined)
+}
+
 /// The controller campaign entry point behind `chaos control`.
-/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>]
+/// [--health-out <path>] [out_path]`.
 /// Returns the process exit code (nonzero iff any invariant violated).
 #[must_use]
 pub fn control_main(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut threads = default_threads();
     let mut trace_out: Option<String> = None;
+    let mut health_out: Option<String> = None;
     let mut out_path = "results/BENCH_control.json".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -415,6 +519,13 @@ pub fn control_main(args: &[String]) -> i32 {
                 };
                 trace_out = Some(path.clone());
             }
+            "--health-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("chaos control: --health-out needs a path");
+                    return 2;
+                };
+                health_out = Some(path.clone());
+            }
             other if other.starts_with("--") => {
                 eprintln!("chaos control: unknown flag {other}");
                 return 2;
@@ -428,11 +539,15 @@ pub fn control_main(args: &[String]) -> i32 {
         (control_cells(), FULL_WORDS)
     };
     let started = std::time::Instant::now();
-    let (outcomes, recorder) = if trace_out.is_some() {
+    let (outcomes, health, recorder) = if health_out.is_some() {
+        let (outcomes, health, rec) =
+            run_control_health(&cells, words, threads, &HealthConfig::default());
+        (outcomes, Some(health), Some(rec))
+    } else if trace_out.is_some() {
         let (outcomes, rec) = run_control_traced(&cells, words, threads);
-        (outcomes, Some(rec))
+        (outcomes, None, Some(rec))
     } else {
-        (run_control_parallel(&cells, words, threads), None)
+        (run_control_parallel(&cells, words, threads), None, None)
     };
     let wall = started.elapsed();
     for (name, out) in &outcomes {
@@ -453,6 +568,21 @@ pub fn control_main(args: &[String]) -> i32 {
         }
     }
     std::fs::write(&out_path, &json).expect("write control output");
+    if let (Some(path), Some(health)) = (&health_out, &health) {
+        if let Some(dir) = Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create health directory");
+            }
+        }
+        std::fs::write(path, health.serialize()).expect("write incident report");
+        let incidents: usize = health.scopes.iter().map(|s| s.incidents.len()).sum();
+        let alerts: usize = health.scopes.iter().map(|s| s.alerts.len()).sum();
+        eprintln!(
+            "chaos control: incidents -> {path} ({} scope(s), {incidents} incident(s), \
+             {alerts} alert(s))",
+            health.scopes.len()
+        );
+    }
     if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         if let Some(dir) = Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
@@ -461,12 +591,20 @@ pub fn control_main(args: &[String]) -> i32 {
         }
         std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
         let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
+        let counters = health
+            .as_ref()
+            .map(HealthReport::counter_samples)
+            .unwrap_or_default();
+        std::fs::write(&perfetto, rec.export_chrome_trace_with_counters(&counters))
+            .expect("write Perfetto trace");
         let stats = rec.ring_stats();
         eprintln!(
             "chaos control: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
             stats.recorded, stats.dropped
         );
+        if let Some(warning) = stats.overflow_warning() {
+            eprintln!("chaos control: {warning}");
+        }
     }
     let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
     eprintln!(

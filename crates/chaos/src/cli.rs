@@ -9,19 +9,27 @@
 //!     reproduces (byte-identical canonical form is re-checked first).
 //!     Accepts both path (`socbus-chaos-repro v1`) and mesh
 //!     (`socbus-mesh-repro v1`) files, dispatched on the header.
-//! chaos run [--smoke] [--threads N] [--trace-out <path>] [out]
+//! chaos run [--smoke] [--threads N] [--trace-out <path>]
+//!           [--health-out <path>] [out]
 //!     Run the whole soak campaign on the deterministic parallel engine
 //!     (same implementation as the `soak` binary; the JSON is
-//!     byte-identical for any thread count).
-//! chaos control [--smoke] [--threads N] [--trace-out <path>] [out]
+//!     byte-identical for any thread count). `--health-out` folds every
+//!     cell's stream through the health monitor and writes a
+//!     `socbus-incident v1` report with one scope per cell.
+//! chaos control [--smoke] [--threads N] [--trace-out <path>]
+//!               [--health-out <path>] [out]
 //!     Run the closed-loop controller campaign: every detecting scheme
 //!     under every schedule family with a per-hop DVS controller, all
 //!     five invariants armed (including control-safe-state).
-//! chaos mesh [--smoke] [--threads N] [--trace-out <path>] [out]
+//! chaos mesh [--smoke] [--threads N] [--trace-out <path>]
+//!            [--health-out <path>] [out]
 //!     Run the mesh campaign: every catalog scheme under every mesh
-//!     fault family on a 3x3 mesh, the four mesh invariants armed
+//!     fault family on a 3x3 mesh, the five mesh invariants armed
 //!     (packet-conservation, reroute-delivers, bounded-progress,
-//!     mesh-silent-corruption). See [`crate::mesh`].
+//!     mesh-silent-corruption, health-consistent). Every cell runs
+//!     under the health monitor and the campaign writes a
+//!     `socbus-incident v1` timeline (`--health-out`, default
+//!     `results/BENCH_mesh_chaos.health.json`). See [`crate::mesh`].
 //! ```
 //!
 //! The logic lives here (not in `bin/chaos.rs`) so the root package can
@@ -273,8 +281,24 @@ pub fn main_with_args(args: &[String]) -> i32 {
                 let outcome =
                     crate::mesh::replay_mesh_text_with(&text, Telemetry::from_recorder(&recorder));
                 if outcome.is_ok() {
+                    // The replay's health pass: incident report next to
+                    // the repro, and its counter tracks in the trace.
+                    let mut health = socbus_telemetry::HealthReport::new();
+                    health.push_scope(socbus_telemetry::HealthAggregator::scope_from_recorder(
+                        file,
+                        &socbus_telemetry::HealthConfig::default(),
+                        &recorder,
+                    ));
+                    let health_path = format!("{file}.health.json");
+                    match std::fs::write(&health_path, health.serialize()) {
+                        Ok(()) => eprintln!("incident report written to {health_path}"),
+                        Err(e) => eprintln!("chaos: cannot write {health_path}: {e}"),
+                    }
                     let trace_path = format!("{file}.trace.json");
-                    match std::fs::write(&trace_path, recorder.export_chrome_trace()) {
+                    match std::fs::write(
+                        &trace_path,
+                        recorder.export_chrome_trace_with_counters(&health.counter_samples()),
+                    ) {
                         Ok(()) => {
                             eprintln!("trace written to {trace_path} (load in ui.perfetto.dev)");
                         }
@@ -381,9 +405,12 @@ pub fn main_with_args(args: &[String]) -> i32 {
             eprintln!(
                 "usage:\n  chaos case <scheme> <family> <seed> [words] [hops]\n  \
                  chaos replay <file>\n  \
-                 chaos run [--smoke] [--threads N] [--trace-out <path>] [out]\n  \
-                 chaos control [--smoke] [--threads N] [--trace-out <path>] [out]\n  \
-                 chaos mesh [--smoke] [--threads N] [--trace-out <path>] [out]\n\n\
+                 chaos run [--smoke] [--threads N] [--trace-out <path>] \
+                 [--health-out <path>] [out]\n  \
+                 chaos control [--smoke] [--threads N] [--trace-out <path>] \
+                 [--health-out <path>] [out]\n  \
+                 chaos mesh [--smoke] [--threads N] [--trace-out <path>] \
+                 [--health-out <path>] [out]\n\n\
                  families: {}\nmesh families: {}",
                 ScheduleFamily::all().map(|f| f.name()).join(", "),
                 crate::mesh::MeshFamily::all().map(|f| f.name()).join(", ")

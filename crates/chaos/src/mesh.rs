@@ -4,7 +4,7 @@
 //! multi-hop path; this module soaks the whole fabric. A mesh case runs
 //! a [`MeshSim`] for a fixed number of injection cycles plus a drain
 //! phase, while a cycle-domain fault schedule activates link faults and
-//! takes links down/up, and a [`MeshMonitor`] holds the run to four
+//! takes links down/up, and a [`MeshMonitor`] holds the run to five
 //! invariants no schedule may break:
 //!
 //! * **packet-conservation** — every injected packet is delivered
@@ -22,6 +22,10 @@
 //!   word to the next router while the injected weight was within the
 //!   decoder's advertised guarantees, and may never *drop as poisoned*
 //!   a word whose weight was within the correction guarantee.
+//! * **health-consistent** — the online health monitor's verdicts agree
+//!   with the ledger: every auto-retired link is `Down` in the incident
+//!   report and blamed by an incident, and no link is reported `Down`
+//!   that the simulator never retired.
 //!
 //! Violating cells shrink to `socbus-mesh-repro v1` files (see
 //! [`MeshRepro`]) with the same byte-canonical replay discipline as the
@@ -41,7 +45,9 @@ use socbus_noc::link::{LinkConfig, Protocol};
 use socbus_noc::mesh::{
     CycleReport, EndToEnd, MeshConfig, MeshPattern, MeshReport, MeshSim, PacketKey,
 };
-use socbus_telemetry::{Recorder, Telemetry};
+use socbus_telemetry::{
+    HealthAggregator, HealthConfig, HealthReport, Recorder, ScopeReport, Telemetry,
+};
 
 use crate::cli::{protocol_for, DEFAULT_DATA_BITS, SHRINK_BUDGET};
 use crate::monitor::InvariantStats;
@@ -371,17 +377,23 @@ pub enum MeshInvariant {
     /// Per-link guarantee scoping of delivered-changed / dropped-clean
     /// words.
     MeshSilentCorruption,
+    /// The health monitor's verdicts agree with the simulator's ledger:
+    /// the health report's `Down` links are exactly the auto-retired
+    /// links, and every one of them is blamed by an incident — no
+    /// silently downed link.
+    HealthConsistent,
 }
 
 impl MeshInvariant {
     /// All kinds, in reporting order.
     #[must_use]
-    pub fn all() -> [MeshInvariant; 4] {
+    pub fn all() -> [MeshInvariant; 5] {
         [
             MeshInvariant::PacketConservation,
             MeshInvariant::RerouteDelivers,
             MeshInvariant::BoundedProgress,
             MeshInvariant::MeshSilentCorruption,
+            MeshInvariant::HealthConsistent,
         ]
     }
 
@@ -393,6 +405,7 @@ impl MeshInvariant {
             MeshInvariant::RerouteDelivers => "reroute-delivers",
             MeshInvariant::BoundedProgress => "bounded-progress",
             MeshInvariant::MeshSilentCorruption => "mesh-silent-corruption",
+            MeshInvariant::HealthConsistent => "health-consistent",
         }
     }
 
@@ -466,9 +479,13 @@ pub struct MeshMonitor {
     accepted: BTreeSet<PacketKey>,
     gave_up: BTreeSet<PacketKey>,
     duplicates: u64,
+    /// Links the simulator auto-retired (reported via
+    /// [`CycleReport::downed`]) — the ground truth the health monitor's
+    /// `Down` verdicts are checked against.
+    auto_downed: BTreeSet<usize>,
     violations: Vec<MeshViolation>,
-    stats: [InvariantStats; 4],
-    checks_flushed: [u64; 4],
+    stats: [InvariantStats; 5],
+    checks_flushed: [u64; 5],
     tel: Telemetry,
 }
 
@@ -494,9 +511,10 @@ impl MeshMonitor {
             accepted: BTreeSet::new(),
             gave_up: BTreeSet::new(),
             duplicates: 0,
+            auto_downed: BTreeSet::new(),
             violations: Vec::new(),
-            stats: [InvariantStats::default(); 4],
-            checks_flushed: [0; 4],
+            stats: [InvariantStats::default(); 5],
+            checks_flushed: [0; 5],
             tel: Telemetry::off(),
         }
     }
@@ -676,7 +694,56 @@ impl MeshMonitor {
             self.gave_up.insert(*key);
         }
         for &link in &report.downed {
+            self.auto_downed.insert(link);
             self.set_link_down(link, true);
+        }
+    }
+
+    /// Cross-checks the health monitor's verdicts for this run against
+    /// the monitor's own ledger (the **health-consistent** invariant):
+    ///
+    /// * every link the simulator auto-retired must be `Down` in the
+    ///   health report *and* blamed by at least one incident — a downed
+    ///   link no one was paged about is a silent failure of the
+    ///   observability layer;
+    /// * every link the health report claims `Down` must actually have
+    ///   been auto-retired — no phantom outages.
+    ///
+    /// Scheduled `link-down` chaos actions are invisible to telemetry
+    /// by design (they model an external hard fault, not a simulator
+    /// decision), so only auto-retired links participate.
+    pub fn check_health_agreement(&mut self, health: &ScopeReport) {
+        let cycle = health.cycles;
+        let health_down: BTreeSet<String> = health
+            .down_entities()
+            .into_iter()
+            .filter(|e| e.starts_with("link:"))
+            .collect();
+        let blamed: BTreeSet<String> = health.blamed_entities().into_iter().collect();
+        for link in self.auto_downed.clone() {
+            let name = format!("link:{link}");
+            let is_down = health_down.contains(&name);
+            let is_blamed = blamed.contains(&name);
+            self.check(
+                MeshInvariant::HealthConsistent,
+                Some(link),
+                cycle,
+                is_down && is_blamed,
+                || {
+                    if is_down {
+                        format!("auto-retired link {link} is Down but no incident blames it")
+                    } else {
+                        format!("auto-retired link {link} is not Down in the health report")
+                    }
+                },
+            );
+        }
+        for name in &health_down {
+            let link: Option<usize> = name.strip_prefix("link:").and_then(|s| s.parse().ok());
+            let agreed = link.is_some_and(|l| self.auto_downed.contains(&l));
+            self.check(MeshInvariant::HealthConsistent, link, cycle, agreed, || {
+                format!("health reports {name} Down but the simulator never auto-retired it")
+            });
         }
     }
 
@@ -860,7 +927,7 @@ pub struct MeshCaseOutcome {
     /// The simulator's final report.
     pub report: MeshReport,
     /// Pass/fail tallies per invariant.
-    pub stats: [(MeshInvariant, InvariantStats); 4],
+    pub stats: [(MeshInvariant, InvariantStats); 5],
 }
 
 fn apply_mesh_event(
@@ -922,10 +989,11 @@ pub fn run_mesh_case(cfg: &MeshCaseConfig) -> MeshCaseOutcome {
     run_mesh_case_with(cfg, Telemetry::off())
 }
 
-/// Runs one mesh case with a telemetry handle wired through both the
-/// simulator (per-link and per-router tracks) and the monitor.
-#[must_use]
-pub fn run_mesh_case_with(cfg: &MeshCaseConfig, tel: Telemetry) -> MeshCaseOutcome {
+/// Drives one mesh case to completion and returns the monitor (still
+/// open for post-run cross-checks) and the final report. Every
+/// telemetry handle the drive created is released on return: only the
+/// monitor's own handle survives.
+fn drive_mesh_case(cfg: &MeshCaseConfig, tel: Telemetry) -> (MeshMonitor, MeshReport) {
     let mesh_cfg = cfg.mesh_config();
     let mut sim =
         MeshSim::new_with_telemetry(&mesh_cfg, cfg.sim_seed, cfg.traffic_seed, tel.clone());
@@ -961,12 +1029,50 @@ pub fn run_mesh_case_with(cfg: &MeshCaseConfig, tel: Telemetry) -> MeshCaseOutco
     let report = sim.finish();
     monitor.finish(&report, drained_clean);
     monitor.flush_telemetry();
+    (monitor, report)
+}
+
+/// Consumes a finished monitor into the case outcome.
+fn finish_outcome(monitor: MeshMonitor, report: MeshReport) -> MeshCaseOutcome {
     let stats = MeshInvariant::all().map(|k| (k, monitor.stats(k)));
     MeshCaseOutcome {
         violations: monitor.into_violations(),
         report,
         stats,
     }
+}
+
+/// Runs one mesh case with a telemetry handle wired through both the
+/// simulator (per-link and per-router tracks) and the monitor.
+#[must_use]
+pub fn run_mesh_case_with(cfg: &MeshCaseConfig, tel: Telemetry) -> MeshCaseOutcome {
+    let (monitor, report) = drive_mesh_case(cfg, tel);
+    finish_outcome(monitor, report)
+}
+
+/// Runs one mesh case under a private recorder, folds the recorder's
+/// stream through the health aggregator, and cross-checks the health
+/// verdicts against the monitor's ledger (the **health-consistent**
+/// invariant). Returns the outcome, the case's incident-report scope
+/// (named after the case), and the recorder for trace export.
+#[must_use]
+pub fn run_mesh_case_health(
+    cfg: &MeshCaseConfig,
+    health_cfg: &HealthConfig,
+) -> (MeshCaseOutcome, ScopeReport, Recorder) {
+    let rec = Rc::new(Recorder::new());
+    let (mut monitor, report) = drive_mesh_case(cfg, Telemetry::from_recorder(&rec));
+    // The health pass reads the recorder *before* the agreement check
+    // runs, so the scope reflects exactly what the run emitted; the
+    // agreement check's own monitor.* counters land after the snapshot.
+    let scope = HealthAggregator::scope_from_recorder(&cfg.name, health_cfg, &rec);
+    monitor.check_health_agreement(&scope);
+    monitor.flush_telemetry();
+    let outcome = finish_outcome(monitor, report);
+    let rec = Rc::try_unwrap(rec)
+        .ok()
+        .expect("drive_mesh_case released every telemetry handle");
+    (outcome, scope, rec)
 }
 
 /// Whether `cfg` produces at least one violation with the given key —
@@ -1547,6 +1653,39 @@ pub fn run_mesh_campaign_traced(
     (outcomes, combined)
 }
 
+/// [`run_mesh_campaign_traced`] with the health monitor in the loop:
+/// every cell runs under its own recorder, its stream folds through the
+/// health aggregator into one incident-report scope per cell, and the
+/// health-consistent invariant is checked cell by cell. Scopes are
+/// pushed and recorders absorbed in grid order, so both the incident
+/// report and the merged recorder are byte-identical for every thread
+/// count.
+#[must_use]
+pub fn run_mesh_campaign_health(
+    cells: &[(Scheme, MeshFamily, u64)],
+    cycles: u64,
+    threads: usize,
+    health_cfg: &HealthConfig,
+) -> (Vec<(String, MeshCaseOutcome)>, HealthReport, Recorder) {
+    let sharded = run_shards(threads, cells, |_, &(scheme, family, seed)| {
+        let cfg = build_mesh_case(scheme, family, seed, cycles);
+        let name = cfg.name.clone();
+        let (out, scope, rec) = run_mesh_case_health(&cfg, health_cfg);
+        (name, out, scope, rec)
+    });
+    let combined = Recorder::new();
+    let mut health = HealthReport::new();
+    let outcomes = sharded
+        .into_iter()
+        .map(|(name, out, scope, rec)| {
+            combined.absorb(&rec);
+            health.push_scope(scope);
+            (name, out)
+        })
+        .collect();
+    (outcomes, health, combined)
+}
+
 /// Renders the mesh campaign JSON.
 #[must_use]
 pub fn render_mesh_json(cycles: u64, outcomes: &[(String, MeshCaseOutcome)]) -> String {
@@ -1621,14 +1760,27 @@ pub fn render_mesh_json(cycles: u64, outcomes: &[(String, MeshCaseOutcome)]) -> 
     json
 }
 
-/// The mesh campaign entry point behind `chaos mesh`.
-/// Args: `[--smoke] [--threads N] [--trace-out <path>] [out_path]`.
+/// Creates the parent directory of `path` if it has one.
+fn ensure_parent(path: &str) {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+}
+
+/// The mesh campaign entry point behind `chaos mesh`. Every cell runs
+/// under the health monitor, so the campaign always produces an
+/// incident timeline and always checks the health-consistent invariant.
+/// Args: `[--smoke] [--threads N] [--trace-out <path>]
+/// [--health-out <path>] [out_path]`.
 /// Returns the process exit code (nonzero iff any invariant violated).
 #[must_use]
 pub fn mesh_main(args: &[String]) -> i32 {
     let mut smoke = false;
     let mut threads = default_threads();
     let mut trace_out: Option<String> = None;
+    let mut health_out = "results/BENCH_mesh_chaos.health.json".to_owned();
     let mut out_path = "results/BENCH_mesh_chaos.json".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1648,6 +1800,13 @@ pub fn mesh_main(args: &[String]) -> i32 {
                 };
                 trace_out = Some(path.clone());
             }
+            "--health-out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("chaos mesh: --health-out needs a path");
+                    return 2;
+                };
+                health_out = path.clone();
+            }
             other if other.starts_with("--") => {
                 eprintln!("chaos mesh: unknown flag {other}");
                 return 2;
@@ -1660,45 +1819,53 @@ pub fn mesh_main(args: &[String]) -> i32 {
     } else {
         (mesh_cells(), FULL_MESH_CYCLES)
     };
+    let health_cfg = HealthConfig::default();
     let started = std::time::Instant::now();
-    let (outcomes, recorder) = if trace_out.is_some() {
-        let (outcomes, rec) = run_mesh_campaign_traced(&cells, cycles, threads);
-        (outcomes, Some(rec))
-    } else {
-        (run_mesh_campaign_parallel(&cells, cycles, threads), None)
-    };
+    let (outcomes, health, recorder) =
+        run_mesh_campaign_health(&cells, cycles, threads, &health_cfg);
     let wall = started.elapsed();
-    for (name, out) in &outcomes {
+    for ((name, out), scope) in outcomes.iter().zip(&health.scopes) {
         eprintln!(
-            "{name:<26} injected {:>4}  delivered {:>4}  lost {:>2}  retx {:>4}  violations {}",
+            "{name:<26} injected {:>4}  delivered {:>4}  lost {:>2}  retx {:>4}  \
+             incidents {}  violations {}",
             out.report.injected,
             out.report.delivered,
             out.report.flagged_lost,
             out.report.e2e_retransmits,
+            scope.incidents.len(),
             out.violations.len()
         );
     }
     let json = render_mesh_json(cycles, &outcomes);
-    if let Some(dir) = Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
+    ensure_parent(&out_path);
     std::fs::write(&out_path, &json).expect("write mesh campaign output");
-    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
-        if let Some(dir) = Path::new(path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("create trace directory");
-            }
-        }
-        std::fs::write(path, rec.export_jsonl()).expect("write telemetry JSONL");
+    ensure_parent(&health_out);
+    std::fs::write(&health_out, health.serialize()).expect("write incident report");
+    let incidents: usize = health.scopes.iter().map(|s| s.incidents.len()).sum();
+    let alerts: usize = health.scopes.iter().map(|s| s.alerts.len()).sum();
+    eprintln!(
+        "chaos mesh: incidents -> {health_out} ({} scope(s), {incidents} incident(s), \
+         {alerts} alert(s))",
+        health.scopes.len()
+    );
+    if let Some(path) = &trace_out {
+        ensure_parent(path);
+        std::fs::write(path, recorder.export_jsonl()).expect("write telemetry JSONL");
         let perfetto = format!("{path}.trace.json");
-        std::fs::write(&perfetto, rec.export_chrome_trace()).expect("write Perfetto trace");
-        let stats = rec.ring_stats();
+        // Health scores and budget burn ride along as counter tracks.
+        std::fs::write(
+            &perfetto,
+            recorder.export_chrome_trace_with_counters(&health.counter_samples()),
+        )
+        .expect("write Perfetto trace");
+        let stats = recorder.ring_stats();
         eprintln!(
             "chaos mesh: telemetry -> {path} + {perfetto} ({} recorded, {} dropped)",
             stats.recorded, stats.dropped
         );
+        if let Some(warning) = stats.overflow_warning() {
+            eprintln!("chaos mesh: {warning}");
+        }
     }
     let violations: usize = outcomes.iter().map(|(_, out)| out.violations.len()).sum();
     eprintln!(
@@ -1711,7 +1878,8 @@ pub fn mesh_main(args: &[String]) -> i32 {
     }
     // Same artifact discipline as the soak campaign: shrink the first
     // violating cell to a reproducer, then replay it under telemetry so
-    // a Perfetto trace of the minimal failure lands next to it.
+    // a Perfetto trace and an incident report of the minimal failure
+    // land next to it.
     for (&(scheme, family, seed), (name, out)) in cells.iter().zip(&outcomes) {
         if let Some(v) = out.violations.first() {
             eprintln!("chaos mesh: {name} violated: {}", v.detail);
@@ -1728,6 +1896,16 @@ pub fn mesh_main(args: &[String]) -> i32 {
                         std::fs::write(&trace, rec.export_chrome_trace())
                             .expect("write repro trace");
                         eprintln!("chaos mesh: trace written to {trace}");
+                        let mut repro_health = HealthReport::new();
+                        repro_health.push_scope(HealthAggregator::scope_from_recorder(
+                            name,
+                            &health_cfg,
+                            &rec,
+                        ));
+                        let health_path = format!("{}.health.json", file.display());
+                        std::fs::write(&health_path, repro_health.serialize())
+                            .expect("write repro incident report");
+                        eprintln!("chaos mesh: incident report written to {health_path}");
                     }
                 }
                 Err(e) => eprintln!("chaos mesh: shrink failed: {e}"),
@@ -1742,6 +1920,7 @@ pub fn mesh_main(args: &[String]) -> i32 {
 mod tests {
     use super::*;
     use socbus_noc::mesh::Direction;
+    use socbus_telemetry::health::EntitySummary;
 
     #[test]
     fn mesh_schedules_are_deterministic_per_seed() {
@@ -1861,6 +2040,100 @@ mod tests {
                 cfg.name
             );
         }
+    }
+
+    #[test]
+    fn auto_retired_links_page_and_agree_with_health() {
+        // An always-detected fault on link 0 (every wire flips, odd
+        // weight, parity always sees it) retires the link after three
+        // consecutive poisoned transfers; the health monitor must mark
+        // it Down and open an incident that blames it.
+        let mut cfg = quick_case(5);
+        cfg.scheme = Scheme::Parity;
+        cfg.protocol = Protocol::Fec;
+        cfg.rate = 0.5;
+        cfg.auto_down_after = Some(3);
+        cfg.expect_full_delivery = false;
+        cfg.schedule = MeshSchedule {
+            events: vec![MeshEvent {
+                at_cycle: 0,
+                action: MeshAction::Activate {
+                    id: 0,
+                    link: 0,
+                    spec: FaultSpec::Iid { eps: 1.0 },
+                },
+            }],
+        };
+        let (out, scope, _rec) = run_mesh_case_health(&cfg, &HealthConfig::default());
+        assert!(out.report.links_down >= 1, "the storm must retire link 0");
+        let hc = out
+            .stats
+            .iter()
+            .find(|(k, _)| *k == MeshInvariant::HealthConsistent)
+            .expect("stats cover every invariant")
+            .1;
+        assert!(hc.checked >= 1, "agreement must actually be checked");
+        assert_eq!(hc.violated, 0, "{:?}", out.violations);
+        assert!(
+            scope.down_entities().iter().any(|e| e == "link:0"),
+            "health must mark link 0 Down: {:?}",
+            scope.entities
+        );
+        assert!(
+            scope.blamed_entities().iter().any(|e| e == "link:0"),
+            "an incident must blame link 0: {:?}",
+            scope.incidents
+        );
+    }
+
+    #[test]
+    fn health_agreement_rejects_silent_and_phantom_downs() {
+        let scope = |entities: Vec<EntitySummary>, incidents| ScopeReport {
+            scope: "t".into(),
+            cycles: 10,
+            events: 0,
+            ring_dropped: 0,
+            entities,
+            incidents,
+            alerts: vec![],
+            slos: vec![],
+            samples: vec![],
+        };
+        let down_entity = |name: &str| EntitySummary {
+            entity: name.to_owned(),
+            kind: "link".into(),
+            state: socbus_telemetry::health::HealthState::Down,
+            strain: 9,
+            last_cycle: 10,
+        };
+        // Phantom: health says link 3 is Down, simulator never retired it.
+        let mut m = MeshMonitor::new(3, 3, false);
+        m.check_health_agreement(&scope(vec![down_entity("link:3")], vec![]));
+        assert_eq!(m.violations.len(), 1);
+        assert!(m.violations[0].detail.contains("never auto-retired"));
+        // Silent: link 2 auto-retired but health never marked it Down.
+        let mut m = MeshMonitor::new(3, 3, false);
+        m.auto_downed.insert(2);
+        m.check_health_agreement(&scope(vec![], vec![]));
+        assert_eq!(m.violations.len(), 1);
+        assert!(m.violations[0].detail.contains("not Down"));
+        // Unblamed: Down in the report, but no incident pages anyone.
+        let mut m = MeshMonitor::new(3, 3, false);
+        m.auto_downed.insert(2);
+        m.check_health_agreement(&scope(vec![down_entity("link:2")], vec![]));
+        assert_eq!(m.violations.len(), 1);
+        assert!(m.violations[0].detail.contains("no incident blames"));
+    }
+
+    #[test]
+    fn mesh_health_campaign_is_thread_count_invariant() {
+        let cells: Vec<_> = mesh_smoke_cells().into_iter().take(2).collect();
+        let cfg = HealthConfig::default();
+        let (o1, h1, r1) = run_mesh_campaign_health(&cells, 40, 1, &cfg);
+        let (o8, h8, r8) = run_mesh_campaign_health(&cells, 40, 8, &cfg);
+        assert_eq!(h1.serialize(), h8.serialize());
+        assert_eq!(r1.export_jsonl(), r8.export_jsonl());
+        assert_eq!(render_mesh_json(40, &o1), render_mesh_json(40, &o8));
     }
 
     #[test]

@@ -466,6 +466,11 @@ struct LinkTelemetryBatch {
     corrected: u64,
     detected: u64,
     residual: u64,
+    /// The subset of `residual` whose final decode status was *not*
+    /// `Detected` — silent wrong deliveries, the numerator of the
+    /// paper's undetected WER and of the health monitor's
+    /// `undetected_wer` SLO.
+    silent: u64,
     /// Word-latency histogram as (cycles, occurrences) — word latencies
     /// are small integers, so this stays a handful of entries.
     cycles_hist: std::collections::BTreeMap<u64, u64>,
@@ -564,6 +569,9 @@ impl LinkEngine {
             }
             if b.residual > 0 {
                 tel.counter("link.residual", &labels, b.residual);
+            }
+            if b.silent > 0 {
+                tel.counter("link.silent", &labels, b.silent);
             }
             for (&cycles, &n) in &b.cycles_hist {
                 #[allow(clippy::cast_precision_loss)]
@@ -666,6 +674,9 @@ impl LinkEngine {
                 }
                 if residual {
                     b.residual += 1;
+                    if status != DecodeStatus::Detected {
+                        b.silent += 1;
+                    }
                 }
                 *b.cycles_hist.entry(word_cycles).or_insert(0) += 1;
             }
@@ -745,6 +756,14 @@ impl LinkEngine {
             ("hop", self.hop_label.as_str()),
             ("action", action),
             ("forced", if transition.forced { "true" } else { "false" }),
+            (
+                "dir",
+                if transition.promoted {
+                    "promote"
+                } else {
+                    "demote"
+                },
+            ),
         ];
         self.tel.event("link.degrade", &labels, at_cycle);
         self.tel.counter("link.degrades", &labels[1..3], 1);

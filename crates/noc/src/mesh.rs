@@ -393,24 +393,14 @@ impl MeshReport {
     }
 
     /// The latency (cycles) below which `quantile` of delivered packets
-    /// arrived (0 when nothing was delivered).
+    /// arrived (0 when nothing was delivered). Nearest-rank over the
+    /// exact per-latency histogram, via the shared telemetry helper.
     #[must_use]
     pub fn latency_quantile(&self, quantile: f64) -> u64 {
-        let total: u64 = self.latency_hist.values().sum();
-        if total == 0 {
-            return 0;
-        }
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let target = ((total as f64) * quantile.clamp(0.0, 1.0)).ceil() as u64;
-        let target = target.max(1);
-        let mut seen = 0;
-        for (&latency, &count) in &self.latency_hist {
-            seen += count;
-            if seen >= target {
-                return latency;
-            }
-        }
-        *self.latency_hist.keys().next_back().unwrap_or(&0)
+        socbus_telemetry::quantile::nearest_rank(
+            self.latency_hist.iter().map(|(&l, &c)| (l, c)),
+            quantile,
+        )
     }
 
     /// Worst first-accept latency (cycles).
@@ -475,6 +465,10 @@ pub struct MeshSim {
     dist: Vec<u32>,
     dist_dirty: bool,
     queues: Vec<VecDeque<Copy>>,
+    /// Per-node backpressure flag for `mesh.queue_high` hysteresis: set
+    /// (and the event emitted) when the input queue reaches
+    /// [`QUEUE_HIGH_DEPTH`], cleared at [`QUEUE_HIGH_CLEAR`].
+    queue_pressure: Vec<bool>,
     /// Per-source outstanding packets keyed `(dst, seq)`.
     outstanding: Vec<BTreeMap<(usize, u64), Outstanding>>,
     /// `next_seq[src * n + dst]`.
@@ -503,6 +497,14 @@ pub struct MeshSim {
     latency_hist: BTreeMap<u64, u64>,
     flows: BTreeMap<(usize, usize), FlowStats>,
 }
+
+/// Input-queue depth at which a router NI reports sustained
+/// backpressure (`mesh.queue_high` on the router's track).
+const QUEUE_HIGH_DEPTH: usize = 8;
+/// Depth at which the backpressure flag clears; the gap to
+/// [`QUEUE_HIGH_DEPTH`] is hysteresis, so one congestion episode emits
+/// one event instead of flapping every cycle.
+const QUEUE_HIGH_CLEAR: usize = 2;
 
 impl MeshSim {
     /// Builds the mesh: one [`LinkEngine`] per directed link, seeded by
@@ -594,6 +596,7 @@ impl MeshSim {
             dist: vec![0; n * n],
             dist_dirty: true,
             queues: vec![VecDeque::new(); n],
+            queue_pressure: vec![false; n],
             outstanding: vec![BTreeMap::new(); n],
             next_seq: vec![0; n * n],
             accepted: vec![HashSet::new(); n * n],
@@ -965,6 +968,19 @@ impl MeshSim {
                 }
             }
             self.queues[node] = kept;
+            let depth = self.queues[node].len();
+            if self.queue_pressure[node] {
+                if depth <= QUEUE_HIGH_CLEAR {
+                    self.queue_pressure[node] = false;
+                }
+            } else if depth >= QUEUE_HIGH_DEPTH {
+                self.queue_pressure[node] = true;
+                if self.tel.is_enabled() {
+                    let track = self.router_track(node).to_string();
+                    self.tel
+                        .event("mesh.queue_high", &[("hop", track.as_str())], cycle);
+                }
+            }
         }
 
         self.cycle += 1;
@@ -1221,6 +1237,51 @@ mod tests {
             );
             assert_eq!(report.delivered, report.injected);
         }
+    }
+
+    #[test]
+    fn queue_pressure_events_use_hysteresis() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let recorder = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&recorder);
+        let mut sim = MeshSim::new_with_telemetry(&base_cfg().with_rate(0.0), 1, 2, tel);
+        // Copies with a far-future arrival are kept in the queue every
+        // cycle without being routed, so the depth is fully controlled.
+        fn fill(sim: &mut MeshSim, n: usize) {
+            for seq in 0..n as u64 {
+                sim.queues[0].push_back(Copy {
+                    key: PacketKey {
+                        src: 0,
+                        dst: 8,
+                        seq,
+                    },
+                    payload: Word::zero(16),
+                    arrival: u64::MAX,
+                    born: 0,
+                });
+            }
+        }
+        fn fired(recorder: &Recorder) -> usize {
+            recorder
+                .export_jsonl()
+                .lines()
+                .filter(|l| l.contains("mesh.queue_high"))
+                .count()
+        }
+        fill(&mut sim, QUEUE_HIGH_DEPTH);
+        let _ = sim.step(false);
+        assert_eq!(fired(&recorder), 1, "crossing the high mark fires once");
+        let _ = sim.step(false);
+        assert_eq!(fired(&recorder), 1, "staying deep does not re-fire");
+        sim.queues[0].truncate(QUEUE_HIGH_CLEAR + 1);
+        let _ = sim.step(false);
+        assert_eq!(fired(&recorder), 1, "above the clear mark the flag holds");
+        sim.queues[0].truncate(QUEUE_HIGH_CLEAR);
+        let _ = sim.step(false);
+        fill(&mut sim, QUEUE_HIGH_DEPTH);
+        let _ = sim.step(false);
+        assert_eq!(fired(&recorder), 2, "a fresh episode fires again");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Validates `socbus-incident v1` reports against the checked-in schema.
+//!
+//! ```text
+//! validate_incident <report.json>...            # embedded schema
+//! validate_incident --schema <schema> <file>…   # explicit schema file
+//! ```
+//!
+//! Exits 0 iff every file validates; prints one line per file.
+
+use socbus_telemetry::{incident_schema, validate_incident};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (schema_text, files) = match args.split_first() {
+        Some((flag, rest)) if flag == "--schema" => match rest.split_first() {
+            Some((path, files)) if !files.is_empty() => match std::fs::read_to_string(path) {
+                Ok(text) => (text, files.to_vec()),
+                Err(e) => {
+                    eprintln!("validate_incident: cannot read schema {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            _ => usage(),
+        },
+        Some(_) => (incident_schema().to_owned(), args.clone()),
+        None => usage(),
+    };
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("validate_incident: cannot read {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_incident(&schema_text, &text) {
+            Ok(records) => println!("{file}: {records} records OK"),
+            Err(e) => {
+                eprintln!("{file}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
+fn usage() -> ! {
+    eprintln!("usage: validate_incident [--schema <schema.json>] <report.json>...");
+    std::process::exit(2);
+}

@@ -41,6 +41,20 @@ pub fn jsonl_schema() -> &'static str {
 /// The `tid` non-hop events are mapped to in the Chrome trace.
 const CONTROL_TID: u64 = 1000;
 
+/// One sample on a Perfetto counter track (`ph:"C"`), e.g. a health
+/// score or an SLO burn rate. Samples render in slice order on track
+/// `track` of the `socbus` process; Perfetto draws the track as a step
+/// function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSample {
+    /// Track (counter) name.
+    pub track: String,
+    /// Simulated cycle of the sample.
+    pub at: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 fn labels_json(labels: &[(String, String)]) -> String {
     let mut out = String::from("{");
     for (i, (k, v)) in labels.iter().enumerate() {
@@ -140,6 +154,15 @@ impl Recorder {
     /// Renders the Chrome `trace_event` JSON (Perfetto-loadable).
     #[must_use]
     pub fn export_chrome_trace(&self) -> String {
+        self.export_chrome_trace_with_counters(&[])
+    }
+
+    /// Renders the Chrome trace with additional `ph:"C"` counter tracks
+    /// appended after the ring events (health scores, SLO burn rates).
+    /// With an empty `counters` slice the output is byte-identical to
+    /// [`Recorder::export_chrome_trace`].
+    #[must_use]
+    pub fn export_chrome_trace_with_counters(&self, counters: &[CounterSample]) -> String {
         let inner = self.inner.borrow();
         let mut tids: Vec<u64> = inner.events.iter().map(|e| hop_tid(&e.labels)).collect();
         tids.sort_unstable();
@@ -177,6 +200,18 @@ impl Recorder {
         for e in &inner.events {
             push(chrome_event(e), &mut first);
         }
+        for c in counters {
+            push(
+                format!(
+                    "{{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"name\": \"{}\", \"ts\": {}, \
+                     \"args\": {{\"value\": {}}}}}",
+                    escape(&c.track),
+                    c.at,
+                    json::num(c.value)
+                ),
+                &mut first,
+            );
+        }
         out.push_str("\n]}\n");
         out
     }
@@ -193,6 +228,14 @@ impl Recorder {
             inner.dropped,
             inner.capacity
         );
+        if inner.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} events dropped (ring full) — counters are complete, \
+                 the event log is not",
+                inner.dropped
+            );
+        }
         if inner.kind_conflicts > 0 {
             let _ = writeln!(
                 out,
@@ -416,6 +459,77 @@ mod tests {
         assert!(summary.contains("gauges:"));
         assert!(summary.contains("histograms:"));
         assert!(summary.contains("events: 2 recorded, 0 dropped"));
+    }
+
+    #[test]
+    fn counter_tracks_append_as_ph_c_events() {
+        let r = sample();
+        assert_eq!(
+            r.export_chrome_trace(),
+            r.export_chrome_trace_with_counters(&[]),
+            "no counters => byte-identical to the plain export"
+        );
+        let counters = vec![
+            CounterSample {
+                track: "health/link:0".to_owned(),
+                at: 5,
+                value: 100.0,
+            },
+            CounterSample {
+                track: "slo/delivery_burn".to_owned(),
+                at: 256,
+                value: 12.5,
+            },
+        ];
+        let trace = r.export_chrome_trace_with_counters(&counters);
+        let doc = json::parse(&trace).expect("trace parses");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(
+            samples[0].get("name").and_then(Json::as_str),
+            Some("health/link:0")
+        );
+        assert_eq!(
+            samples[1]
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_num),
+            Some(12.5)
+        );
+    }
+
+    /// The ring-overflow satellite: forcing the ring over capacity must
+    /// surface in the summary, the JSONL trailer, and the bin-facing
+    /// [`crate::recorder::RingStats::overflow_warning`] line.
+    #[test]
+    fn forced_ring_overflow_is_loudly_reported() {
+        let r = Recorder::with_capacity(2);
+        for at in 0..5 {
+            r.event("e", &[], at);
+        }
+        let summary = r.render_summary();
+        assert!(
+            summary.contains("WARNING: 3 events dropped (ring full)"),
+            "{summary}"
+        );
+        let jsonl = r.export_jsonl();
+        let trailer = jsonl.lines().last().unwrap();
+        let doc = json::parse(trailer).expect("ring trailer parses");
+        assert_eq!(doc.get("dropped").unwrap().as_num(), Some(3.0));
+        let warning = r.ring_stats().overflow_warning().expect("warns");
+        assert!(
+            warning.contains("dropped 3 of 5 events (capacity 2)"),
+            "{warning}"
+        );
+        // ... and a quiet recorder stays quiet.
+        let quiet = Recorder::new();
+        quiet.event("e", &[], 0);
+        assert!(quiet.ring_stats().overflow_warning().is_none());
+        assert!(!quiet.render_summary().contains("WARNING"));
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Online health monitoring over the deterministic telemetry stream:
+//! per-entity health scoring, SLO error budgets, and byte-canonical
+//! incident reports.
+//!
+//! The paper's framework trades energy against residual word-error rate
+//! per link; this module is the operator-facing layer that *watches*
+//! that trade fabric-wide. It consumes the recorder's metric/event
+//! stream (simulated cycles, fully deterministic) and produces:
+//!
+//! 1. **Per-entity health state machines** ([`state`]): every link,
+//!    router, and path endpoint walks `Healthy → Degraded → Critical →
+//!    Down` driven by retry storms, degradation-ladder position,
+//!    controller emergencies, queue depth, and auto-down events.
+//! 2. **SLO tracking** ([`slo`]): a streaming delivery-ratio error
+//!    budget with multi-window burn-rate alerts, plus final p99-latency
+//!    and undetected-WER objectives (the paper's 1e-2 target).
+//! 3. **Incident reports** ([`incident`]): the `socbus-incident v1`
+//!    byte-canonical JSON document (checked-in schema, dependency-free
+//!    validator, `parse ∘ serialize = id`) capturing alert open/close
+//!    cycles, blamed entities, and evidence counters — and Perfetto
+//!    counter tracks for health scores and budget burn.
+//!
+//! The aggregator ([`aggregator`]) is a pure fold over the stream, so
+//! online analysis of a live recorder and offline replay of its
+//! exported JSONL produce byte-identical reports, and multi-scope
+//! reports folded in shard order are byte-identical for any
+//! `--threads` value.
+
+pub mod aggregator;
+pub mod incident;
+pub mod slo;
+pub mod state;
+
+pub use aggregator::HealthAggregator;
+pub use incident::{
+    incident_schema, validate_incident, EntitySummary, HealthReport, Incident, ScopeReport,
+    Severity,
+};
+pub use slo::{Alert, SloResult};
+pub use state::{EntityHealth, EntityKind, Evidence, HealthState, Signal, StrainThresholds};
+
+/// Full aggregator configuration. The defaults are the ones every bin
+/// ships: tuned so a healthy run is all-green and the chaos campaigns'
+/// planted storms reliably page.
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Per-entity strain windows and escalation thresholds.
+    pub thresholds: StrainThresholds,
+    /// Delivery-ratio objective (fraction of packets delivered).
+    pub delivery_objective: f64,
+    /// Burn-rate multiple of the error budget at which an alert opens
+    /// (both short and long window must reach it).
+    pub burn_threshold: f64,
+    /// Short-window bucket length in mesh cycles.
+    pub burn_bucket_cycles: u64,
+    /// Long window length in buckets.
+    pub long_buckets: usize,
+    /// p99 budget for `link.word_cycles`, in cycles per word.
+    pub latency_budget: f64,
+    /// Undetected word-error-rate objective (the paper's 1e-2 target).
+    pub undetected_wer_objective: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            thresholds: StrainThresholds::default(),
+            delivery_objective: 0.99,
+            burn_threshold: 10.0,
+            burn_bucket_cycles: 256,
+            long_buckets: 4,
+            latency_budget: 64.0,
+            undetected_wer_objective: 1e-2,
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! SLO tracking: error budgets, multi-window burn-rate alerts, and
+//! final-verdict objectives.
+//!
+//! Three objectives are tracked per scope:
+//!
+//! * **`delivery`** — streaming. Good events are end-to-end accepts
+//!   (`mesh.accept`), bad events are give-ups (`mesh.give_up`). Events
+//!   land in fixed buckets of the mesh clock; when a bucket completes,
+//!   its *burn rate* is `bad_fraction / error_budget` (budget = `1 -
+//!   objective`). An alert opens when both the short window (the
+//!   completed bucket) and the long window (the last
+//!   [`super::HealthConfig::long_buckets`] buckets) burn at or above the
+//!   threshold, and closes when both fall back under a burn of 1 (fully
+//!   inside budget). The entities that contributed bad events while the
+//!   alert was burning are blamed.
+//! * **`latency_p99`** — final-only. The p99 of the merged
+//!   `link.word_cycles` histogram (via [`crate::quantile::bucket_quantile`])
+//!   must not exceed the budget. A p99 in the `+Inf` overflow bucket has
+//!   no finite value and fails the objective outright.
+//! * **`undetected_wer`** — final-only. `Σ link.silent / Σ link.words`
+//!   must stay at or under the paper's 1e-2 undetected-WER target.
+//!
+//! Final-only SLOs have no burn-rate stream (their inputs are end-of-run
+//! counters); they contribute a verdict line, not alerts.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use crate::quantile::bucket_quantile;
+
+/// One open/closed burn-rate alert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alert {
+    /// SLO name (`delivery`).
+    pub slo: String,
+    /// Cycle of the bucket boundary that opened the alert.
+    pub opened_at: u64,
+    /// Cycle of the bucket boundary that closed it; `None` if still open.
+    pub closed_at: Option<u64>,
+    /// Highest short-window burn observed while open.
+    pub peak_burn: f64,
+    /// Entities that contributed bad events while the alert was burning,
+    /// sorted.
+    pub blamed: Vec<String>,
+}
+
+/// Final verdict for one objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloResult {
+    /// Objective name.
+    pub name: String,
+    /// The target (a ratio for `delivery`/`undetected_wer`, cycles for
+    /// `latency_p99`).
+    pub objective: f64,
+    /// The measured value; `None` when there was no traffic to measure
+    /// (vacuously ok) or the p99 saturated the top bucket (not ok).
+    pub measured: Option<f64>,
+    /// Whether the objective held.
+    pub ok: bool,
+}
+
+/// Streaming delivery-ratio tracker with multi-window burn alerts.
+#[derive(Clone, Debug)]
+pub struct DeliverySlo {
+    objective: f64,
+    threshold: f64,
+    bucket_cycles: u64,
+    long_buckets: usize,
+    started: bool,
+    bucket_start: u64,
+    good_in_bucket: u64,
+    bad_in_bucket: u64,
+    bad_entities: BTreeSet<String>,
+    recent: VecDeque<(u64, u64)>,
+    good_total: u64,
+    bad_total: u64,
+    open: Option<Alert>,
+    alerts: Vec<Alert>,
+    /// `(bucket_end_cycle, short_burn)` samples for the Perfetto track.
+    pub burn_samples: Vec<(u64, f64)>,
+}
+
+impl DeliverySlo {
+    /// A tracker targeting `objective` delivered fraction, alerting at
+    /// `threshold`× budget burn over `bucket_cycles`-cycle buckets.
+    #[must_use]
+    pub fn new(objective: f64, threshold: f64, bucket_cycles: u64, long_buckets: usize) -> Self {
+        DeliverySlo {
+            objective,
+            threshold,
+            bucket_cycles: bucket_cycles.max(1),
+            long_buckets: long_buckets.max(1),
+            started: false,
+            bucket_start: 0,
+            good_in_bucket: 0,
+            bad_in_bucket: 0,
+            bad_entities: BTreeSet::new(),
+            recent: VecDeque::new(),
+            good_total: 0,
+            bad_total: 0,
+            open: None,
+            alerts: Vec::new(),
+            burn_samples: Vec::new(),
+        }
+    }
+
+    fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(f64::MIN_POSITIVE)
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn burn(&self, good: u64, bad: u64) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.budget()
+    }
+
+    fn roll_to(&mut self, cycle: u64) {
+        if !self.started {
+            self.started = true;
+            self.bucket_start = cycle - cycle % self.bucket_cycles;
+            return;
+        }
+        while cycle >= self.bucket_start + self.bucket_cycles {
+            self.complete_bucket();
+        }
+    }
+
+    fn complete_bucket(&mut self) {
+        let end = self.bucket_start + self.bucket_cycles;
+        let bucket = (self.good_in_bucket, self.bad_in_bucket);
+        self.recent.push_back(bucket);
+        while self.recent.len() > self.long_buckets {
+            self.recent.pop_front();
+        }
+        let short = self.burn(bucket.0, bucket.1);
+        let (lg, lb) = self
+            .recent
+            .iter()
+            .fold((0, 0), |(g, b), &(bg, bb)| (g + bg, b + bb));
+        let long = self.burn(lg, lb);
+        self.burn_samples.push((end, short));
+        match &mut self.open {
+            None => {
+                if short >= self.threshold && long >= self.threshold {
+                    let mut alert = Alert {
+                        slo: "delivery".to_owned(),
+                        opened_at: end,
+                        closed_at: None,
+                        peak_burn: short,
+                        blamed: Vec::new(),
+                    };
+                    alert.blamed = self.bad_entities.iter().cloned().collect();
+                    self.open = Some(alert);
+                }
+            }
+            Some(alert) => {
+                if short > alert.peak_burn {
+                    alert.peak_burn = short;
+                }
+                for entity in &self.bad_entities {
+                    if !alert.blamed.contains(entity) {
+                        alert.blamed.push(entity.clone());
+                    }
+                }
+                alert.blamed.sort();
+                if short < 1.0 && long < 1.0 {
+                    alert.closed_at = Some(end);
+                    self.alerts.push(self.open.take().expect("alert open"));
+                }
+            }
+        }
+        self.good_in_bucket = 0;
+        self.bad_in_bucket = 0;
+        self.bad_entities.clear();
+        self.bucket_start = end;
+    }
+
+    /// Records a successful end-to-end delivery at `cycle`.
+    pub fn good(&mut self, cycle: u64) {
+        self.roll_to(cycle);
+        self.good_in_bucket += 1;
+        self.good_total += 1;
+    }
+
+    /// Records a failed delivery at `cycle`, blaming `entity`.
+    pub fn bad(&mut self, cycle: u64, entity: &str) {
+        self.roll_to(cycle);
+        self.bad_in_bucket += 1;
+        self.bad_total += 1;
+        self.bad_entities.insert(entity.to_owned());
+    }
+
+    /// Completes the trailing bucket and returns `(alerts, verdict)`.
+    /// A still-open alert is reported with `closed_at: None`.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<Alert>, SloResult, Vec<(u64, f64)>) {
+        if self.started && self.good_in_bucket + self.bad_in_bucket > 0 {
+            self.complete_bucket();
+        }
+        if let Some(alert) = self.open.take() {
+            self.alerts.push(alert);
+        }
+        let total = self.good_total + self.bad_total;
+        #[allow(clippy::cast_precision_loss)]
+        let measured = if total == 0 {
+            None
+        } else {
+            Some(self.good_total as f64 / total as f64)
+        };
+        let ok = measured.is_none_or(|m| m >= self.objective);
+        let result = SloResult {
+            name: "delivery".to_owned(),
+            objective: self.objective,
+            measured,
+            ok,
+        };
+        (self.alerts, result, self.burn_samples)
+    }
+}
+
+/// Final verdict for the `latency_p99` objective over a merged
+/// fixed-bucket histogram of per-word cycle counts.
+#[must_use]
+pub fn latency_slo(bounds: &[f64], counts: &[u64], budget: f64) -> SloResult {
+    let total: u64 = counts.iter().sum();
+    let measured = bucket_quantile(bounds, counts, 0.99);
+    let ok = if total == 0 {
+        true
+    } else {
+        measured.is_some_and(|p99| p99 <= budget)
+    };
+    SloResult {
+        name: "latency_p99".to_owned(),
+        objective: budget,
+        measured,
+        ok,
+    }
+}
+
+/// Final verdict for the `undetected_wer` objective.
+#[must_use]
+pub fn undetected_wer_slo(silent: u64, words: u64, objective: f64) -> SloResult {
+    #[allow(clippy::cast_precision_loss)]
+    let measured = if words == 0 {
+        None
+    } else {
+        Some(silent as f64 / words as f64)
+    };
+    let ok = measured.is_none_or(|m| m <= objective);
+    SloResult {
+        name: "undetected_wer".to_owned(),
+        objective,
+        measured,
+        ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> DeliverySlo {
+        // 0.99 objective, alert at 10x burn, 256-cycle buckets, 4-bucket
+        // long window — the HealthConfig defaults.
+        DeliverySlo::new(0.99, 10.0, 256, 4)
+    }
+
+    #[test]
+    fn clean_traffic_never_alerts() {
+        let mut d = tracker();
+        for c in 0..2000 {
+            d.good(c);
+        }
+        let (alerts, verdict, _) = d.finish();
+        assert!(alerts.is_empty());
+        assert!(verdict.ok);
+        assert_eq!(verdict.measured, Some(1.0));
+    }
+
+    #[test]
+    fn give_up_storm_opens_then_closes_an_alert() {
+        let mut d = tracker();
+        // Bucket 0: heavy give-ups (burn 50: 50% bad / 1% budget).
+        for c in 0..20 {
+            d.good(c);
+            d.bad(c, "path:20");
+        }
+        // Buckets 1..: clean again.
+        for c in 256..2048 {
+            d.good(c);
+        }
+        let (alerts, verdict, samples) = d.finish();
+        assert_eq!(alerts.len(), 1);
+        let a = &alerts[0];
+        assert_eq!(a.opened_at, 256, "opened at the storm bucket's end");
+        assert_eq!(a.blamed, vec!["path:20".to_owned()]);
+        assert!(a.peak_burn > 10.0);
+        // Long window (4 buckets) still burns >= 1 until the storm ages
+        // out: closes at the boundary where both windows are clean.
+        assert_eq!(a.closed_at, Some(1280));
+        assert!(!verdict.ok, "20 of 1812 lost blows a 1% budget");
+        assert_eq!(samples.first().map(|&(at, _)| at), Some(256));
+    }
+
+    #[test]
+    fn alert_needs_both_windows_burning() {
+        let mut d = tracker();
+        // Seed three clean buckets so the long window dilutes the storm.
+        for c in 0..768 {
+            for _ in 0..4 {
+                d.good(c);
+            }
+        }
+        // A burst in bucket 3: short burn ~10, long burn < 1.
+        for _ in 0..25 {
+            d.bad(800, "path:9");
+        }
+        for c in 801..1024 {
+            d.good(c);
+        }
+        // Force bucket completion.
+        d.good(1025);
+        let (alerts, _, _) = d.finish();
+        assert!(alerts.is_empty(), "single-window spikes do not page");
+    }
+
+    #[test]
+    fn no_traffic_is_vacuously_ok() {
+        let (alerts, verdict, samples) = tracker().finish();
+        assert!(alerts.is_empty());
+        assert!(verdict.ok);
+        assert_eq!(verdict.measured, None);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn latency_slo_uses_the_shared_quantile() {
+        let bounds = [1.0, 2.0, 4.0];
+        // p99 in the <=4 bucket.
+        let r = latency_slo(&bounds, &[90, 8, 2, 0], 4.0);
+        assert_eq!(r.measured, Some(4.0));
+        assert!(r.ok);
+        let r = latency_slo(&bounds, &[90, 8, 2, 0], 2.0);
+        assert!(!r.ok, "p99 of 4 blows a budget of 2");
+        // Saturated top bucket: no finite p99, objective fails.
+        let r = latency_slo(&bounds, &[0, 0, 0, 10], 100.0);
+        assert_eq!(r.measured, None);
+        assert!(!r.ok);
+        // No data: vacuous pass.
+        let r = latency_slo(&bounds, &[0, 0, 0, 0], 1.0);
+        assert!(r.ok);
+    }
+
+    #[test]
+    fn undetected_wer_divides_silent_by_words() {
+        let r = undetected_wer_slo(1, 1000, 1e-2);
+        assert_eq!(r.measured, Some(1e-3));
+        assert!(r.ok);
+        let r = undetected_wer_slo(50, 1000, 1e-2);
+        assert!(!r.ok);
+        let r = undetected_wer_slo(0, 0, 1e-2);
+        assert_eq!(r.measured, None);
+        assert!(r.ok);
+    }
+}

@@ -1,0 +1,446 @@
+//! Per-entity health state machines.
+//!
+//! Every monitored entity (one link, one router, one path endpoint) owns
+//! a tiny state machine over the ladder `Healthy → Degraded → Critical →
+//! Down`. Strain signals (retries, ladder demotions, emergency
+//! controller transitions, queue pressure, end-to-end give-ups) are
+//! weighted and accumulated over fixed windows of the entity's own cycle
+//! clock; crossing a threshold escalates the state. Recovery is
+//! evidence-based only: a fully quiet window, or an observed ladder
+//! re-promotion, steps one level back toward `Healthy`. Silence is *not*
+//! recovery — an entity that stops emitting events keeps its last state,
+//! so incidents without an observed recovery stay open.
+//!
+//! `Down` is terminal: it is only entered on an explicit auto-down event
+//! (`mesh.link_down`), and the mesh never revives a downed link.
+
+/// What kind of fabric entity a health machine watches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntityKind {
+    /// One directed link (keyed by link id — the `hop` label of `link.*`
+    /// and `control.*` telemetry).
+    Link,
+    /// One router (keyed by its `router_track` number).
+    Router,
+    /// One path / NI endpoint (keyed by its `router_track` number for
+    /// mesh sources, 0 for single-path runs).
+    Path,
+}
+
+impl EntityKind {
+    /// Lowercase name used in entity ids and reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntityKind::Link => "link",
+            EntityKind::Router => "router",
+            EntityKind::Path => "path",
+        }
+    }
+}
+
+/// Health ladder, ordered best-to-worst (`Ord`: `Healthy < Down`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// No meaningful strain in the current window.
+    Healthy,
+    /// Strain crossed the degraded threshold.
+    Degraded,
+    /// Strain crossed the critical threshold.
+    Critical,
+    /// Auto-downed; terminal.
+    Down,
+}
+
+impl HealthState {
+    /// Lowercase name used in reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Critical => "critical",
+            HealthState::Down => "down",
+        }
+    }
+
+    /// The Perfetto counter-track score: 100 / 60 / 25 / 0.
+    #[must_use]
+    pub fn score(self) -> u64 {
+        match self {
+            HealthState::Healthy => 100,
+            HealthState::Degraded => 60,
+            HealthState::Critical => 25,
+            HealthState::Down => 0,
+        }
+    }
+
+    fn one_step_healthier(self) -> HealthState {
+        match self {
+            HealthState::Healthy | HealthState::Degraded => HealthState::Healthy,
+            HealthState::Critical => HealthState::Degraded,
+            // Down is terminal.
+            HealthState::Down => HealthState::Down,
+        }
+    }
+}
+
+/// One weighted strain (or recovery) observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Signal {
+    /// `link.retry` — a word needed an ARQ retransmit. Weight 1.
+    Retry,
+    /// `link.degrade` demotion (raise-swing / switch-scheme). Weight 3.
+    Demote,
+    /// `link.degrade` re-promotion — observed recovery.
+    Promote,
+    /// `control.transition` with `cause=emergency`. Weight 3.
+    Emergency,
+    /// `control.transition` with `cause=retreat`. Weight 1.
+    Retreat,
+    /// `mesh.queue_high` — input queue crossed the pressure mark. Weight 2.
+    QueueHigh,
+    /// `mesh.give_up` — an end-to-end retransmit budget exhausted. Weight 3.
+    GiveUp,
+    /// `path.e2e_error` — an end-to-end residual error. Weight 2.
+    E2eError,
+    /// `mesh.link_down` — auto-down; terminal.
+    Down,
+    /// Weight-0 liveness (e.g. `mesh.accept`): advances the entity's
+    /// clock (rolling quiet windows) without adding strain.
+    Activity,
+}
+
+impl Signal {
+    fn weight(self) -> u64 {
+        match self {
+            Signal::Retry | Signal::Retreat => 1,
+            Signal::QueueHigh | Signal::E2eError => 2,
+            Signal::Demote | Signal::Emergency | Signal::GiveUp => 3,
+            Signal::Promote | Signal::Down | Signal::Activity => 0,
+        }
+    }
+}
+
+/// Thresholds for the per-entity machines (see [`super::HealthConfig`]
+/// for the full aggregator configuration that embeds this).
+#[derive(Clone, Copy, Debug)]
+pub struct StrainThresholds {
+    /// Window length in entity-local cycles.
+    pub window: u64,
+    /// Weighted strain per window at which an entity turns `Degraded`.
+    pub degraded_strain: u64,
+    /// Weighted strain per window at which an entity turns `Critical`.
+    pub critical_strain: u64,
+}
+
+impl Default for StrainThresholds {
+    fn default() -> Self {
+        StrainThresholds {
+            window: 256,
+            degraded_strain: 4,
+            critical_strain: 12,
+        }
+    }
+}
+
+/// One state change, stamped with the entity-local cycle it took effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Entity-local cycle of the change (window boundary for quiet-window
+    /// recoveries).
+    pub cycle: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+}
+
+/// Cumulative per-entity evidence counters, snapshotted into incidents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Evidence {
+    /// ARQ retransmits.
+    pub retries: u64,
+    /// Ladder demotions.
+    pub demotes: u64,
+    /// Ladder re-promotions.
+    pub promotes: u64,
+    /// Emergency controller transitions.
+    pub emergencies: u64,
+    /// Retreat controller transitions.
+    pub retreats: u64,
+    /// Queue-pressure crossings.
+    pub queue_highs: u64,
+    /// End-to-end give-ups.
+    pub give_ups: u64,
+    /// End-to-end residual errors.
+    pub e2e_errors: u64,
+}
+
+impl Evidence {
+    fn bump(&mut self, signal: Signal) {
+        match signal {
+            Signal::Retry => self.retries += 1,
+            Signal::Demote => self.demotes += 1,
+            Signal::Promote => self.promotes += 1,
+            Signal::Emergency => self.emergencies += 1,
+            Signal::Retreat => self.retreats += 1,
+            Signal::QueueHigh => self.queue_highs += 1,
+            Signal::GiveUp => self.give_ups += 1,
+            Signal::E2eError => self.e2e_errors += 1,
+            Signal::Down | Signal::Activity => {}
+        }
+    }
+}
+
+/// The health machine for one entity.
+#[derive(Clone, Debug)]
+pub struct EntityHealth {
+    /// Entity kind.
+    pub kind: EntityKind,
+    /// Entity key (link id or `router_track` number).
+    pub hop: u64,
+    /// Current state.
+    pub state: HealthState,
+    /// First observed entity-local cycle.
+    pub first_cycle: u64,
+    /// Last observed entity-local cycle.
+    pub last_cycle: u64,
+    /// Weighted strain over the entity's lifetime.
+    pub strain_total: u64,
+    /// Cumulative evidence counters.
+    pub evidence: Evidence,
+    window_start: u64,
+    strain_in_window: u64,
+}
+
+impl EntityHealth {
+    /// A fresh `Healthy` machine first sighted at `cycle`.
+    #[must_use]
+    pub fn new(kind: EntityKind, hop: u64, cycle: u64) -> Self {
+        EntityHealth {
+            kind,
+            hop,
+            state: HealthState::Healthy,
+            first_cycle: cycle,
+            last_cycle: cycle,
+            strain_total: 0,
+            evidence: Evidence::default(),
+            window_start: cycle,
+            strain_in_window: 0,
+        }
+    }
+
+    /// The report id, e.g. `link:3`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("{}:{}", self.kind.as_str(), self.hop)
+    }
+
+    fn set_state(&mut self, to: HealthState, cycle: u64, out: &mut Vec<Transition>) {
+        if self.state != to {
+            out.push(Transition {
+                cycle,
+                from: self.state,
+                to,
+            });
+            self.state = to;
+        }
+    }
+
+    /// Rolls fully-elapsed windows up to (not including) the one holding
+    /// `cycle`. A window that closed with zero strain steps the state one
+    /// level toward `Healthy`.
+    fn roll_windows(&mut self, cycle: u64, cfg: &StrainThresholds, out: &mut Vec<Transition>) {
+        let window = cfg.window.max(1);
+        while cycle >= self.window_start + window {
+            let quiet = self.strain_in_window == 0;
+            self.strain_in_window = 0;
+            self.window_start += window;
+            if quiet {
+                let to = self.state.one_step_healthier();
+                self.set_state(to, self.window_start, out);
+                if self.state == HealthState::Healthy {
+                    // Further quiet windows change nothing; jump.
+                    let gap = cycle - self.window_start;
+                    self.window_start += gap - gap % window;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Feeds one signal at entity-local `cycle`, appending any state
+    /// transitions (including quiet-window recoveries rolled on the way)
+    /// to `out` in the order they took effect.
+    pub fn observe(
+        &mut self,
+        cycle: u64,
+        signal: Signal,
+        cfg: &StrainThresholds,
+        out: &mut Vec<Transition>,
+    ) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.evidence.bump(signal);
+        if self.state == HealthState::Down {
+            return;
+        }
+        self.roll_windows(cycle, cfg, out);
+        match signal {
+            Signal::Down => self.set_state(HealthState::Down, cycle, out),
+            Signal::Promote => {
+                self.strain_in_window = 0;
+                let to = self.state.one_step_healthier();
+                self.set_state(to, cycle, out);
+            }
+            _ => {
+                let weight = signal.weight();
+                if weight > 0 {
+                    self.strain_in_window += weight;
+                    self.strain_total += weight;
+                    if self.strain_in_window >= cfg.critical_strain {
+                        let worse = self.state.max(HealthState::Critical);
+                        self.set_state(worse, cycle, out);
+                    } else if self.strain_in_window >= cfg.degraded_strain {
+                        let worse = self.state.max(HealthState::Degraded);
+                        self.set_state(worse, cycle, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StrainThresholds {
+        StrainThresholds::default()
+    }
+
+    fn feed(e: &mut EntityHealth, cycle: u64, s: Signal) -> Vec<Transition> {
+        let mut out = Vec::new();
+        e.observe(cycle, s, &cfg(), &mut out);
+        out
+    }
+
+    #[test]
+    fn strain_escalates_through_the_ladder() {
+        let mut e = EntityHealth::new(EntityKind::Link, 0, 0);
+        // 3 retries: strain 3 < 4, still healthy.
+        for c in 0..3 {
+            assert!(feed(&mut e, c, Signal::Retry).is_empty());
+        }
+        assert_eq!(e.state, HealthState::Healthy);
+        // 4th retry crosses degraded.
+        let t = feed(&mut e, 3, Signal::Retry);
+        assert_eq!(
+            t,
+            vec![Transition {
+                cycle: 3,
+                from: HealthState::Healthy,
+                to: HealthState::Degraded
+            }]
+        );
+        // A demote storm crosses critical (strain 4 + 3 + 3 + 3 = 13 >= 12).
+        feed(&mut e, 4, Signal::Demote);
+        feed(&mut e, 5, Signal::Demote);
+        let t = feed(&mut e, 6, Signal::Demote);
+        assert_eq!(t.len(), 1);
+        assert_eq!(e.state, HealthState::Critical);
+        assert_eq!(e.strain_total, 13);
+        assert_eq!(e.evidence.retries, 4);
+        assert_eq!(e.evidence.demotes, 3);
+    }
+
+    #[test]
+    fn quiet_windows_step_back_toward_healthy() {
+        let mut e = EntityHealth::new(EntityKind::Link, 1, 0);
+        for c in 0..12 {
+            feed(&mut e, c, Signal::Retry);
+        }
+        assert_eq!(e.state, HealthState::Critical);
+        // The window holding the storm closes with strain, the next two
+        // are quiet: Critical -> Degraded -> Healthy at window boundaries.
+        let t = feed(&mut e, 256 * 3 + 5, Signal::Activity);
+        assert_eq!(
+            t,
+            vec![
+                Transition {
+                    cycle: 512,
+                    from: HealthState::Critical,
+                    to: HealthState::Degraded
+                },
+                Transition {
+                    cycle: 768,
+                    from: HealthState::Degraded,
+                    to: HealthState::Healthy
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn long_quiet_gaps_roll_in_constant_steps() {
+        let mut e = EntityHealth::new(EntityKind::Router, 20, 0);
+        feed(&mut e, 0, Signal::QueueHigh);
+        // A huge gap must not loop per window.
+        feed(&mut e, u64::from(u32::MAX) * 256, Signal::Activity);
+        assert_eq!(e.state, HealthState::Healthy);
+        // Strain window restarts aligned after the jump: escalation still works.
+        let base = u64::from(u32::MAX) * 256;
+        for c in 0..4 {
+            feed(&mut e, base + c, Signal::Retry);
+        }
+        assert_eq!(e.state, HealthState::Degraded);
+    }
+
+    #[test]
+    fn promotion_is_observed_recovery() {
+        let mut e = EntityHealth::new(EntityKind::Link, 2, 0);
+        for c in 0..12 {
+            feed(&mut e, c, Signal::Retry);
+        }
+        assert_eq!(e.state, HealthState::Critical);
+        let t = feed(&mut e, 20, Signal::Promote);
+        assert_eq!(t[0].to, HealthState::Degraded);
+        let t = feed(&mut e, 21, Signal::Promote);
+        assert_eq!(t[0].to, HealthState::Healthy);
+        assert_eq!(e.evidence.promotes, 2);
+    }
+
+    #[test]
+    fn down_is_terminal() {
+        let mut e = EntityHealth::new(EntityKind::Link, 3, 10);
+        let t = feed(&mut e, 11, Signal::Down);
+        assert_eq!(t[0].to, HealthState::Down);
+        // Nothing un-downs it, not even long quiet gaps or promotions.
+        assert!(feed(&mut e, 100_000, Signal::Promote).is_empty());
+        assert!(feed(&mut e, 200_000, Signal::Activity).is_empty());
+        assert_eq!(e.state, HealthState::Down);
+        assert_eq!(e.state.score(), 0);
+    }
+
+    #[test]
+    fn silence_is_not_recovery() {
+        let mut e = EntityHealth::new(EntityKind::Link, 4, 0);
+        for c in 0..12 {
+            feed(&mut e, c, Signal::Retry);
+        }
+        // No further events: state stays Critical (callers do not roll
+        // windows past the last observation).
+        assert_eq!(e.state, HealthState::Critical);
+        assert_eq!(e.last_cycle, 11);
+    }
+
+    #[test]
+    fn states_order_best_to_worst() {
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Critical);
+        assert!(HealthState::Critical < HealthState::Down);
+        assert_eq!(HealthState::Healthy.score(), 100);
+        assert_eq!(HealthState::Degraded.score(), 60);
+        assert_eq!(HealthState::Critical.score(), 25);
+    }
+}

@@ -22,11 +22,22 @@
 //! * [`export`] — three renderers over a [`Recorder`]: a JSONL event
 //!   log (validated by the checked-in schema, see
 //!   [`export::jsonl_schema`]), a Chrome `trace_event` JSON loadable in
-//!   `ui.perfetto.dev`, and a human-readable summary table.
+//!   `ui.perfetto.dev` (optionally with `ph:"C"` counter tracks), and a
+//!   human-readable summary table.
+//!
+//! Two layers sit on top of the raw stream:
+//!
+//! * [`health`] — the online health monitor: per-entity
+//!   Healthy/Degraded/Critical/Down state machines, SLO error budgets
+//!   with multi-window burn-rate alerts, and the byte-canonical
+//!   `socbus-incident v1` report (schema + validator + Perfetto counter
+//!   tracks for scores and budget burn).
+//! * [`quantile`] — the shared histogram-quantile helpers (nearest-rank
+//!   p50/p95/p99/max) used by both the mesh bench and the health SLOs.
 //!
 //! [`json`] is a minimal self-contained JSON parser used by the schema
-//! validator (`validate_jsonl` binary) and the exporter tests; the build
-//! environment has no serde.
+//! validators (`validate_jsonl` / `validate_incident` binaries) and the
+//! exporter tests; the build environment has no serde.
 //!
 //! # Example
 //!
@@ -49,11 +60,17 @@
 //! ```
 
 pub mod export;
+pub mod health;
 pub mod json;
+pub mod quantile;
 pub mod recorder;
 pub mod sink;
 
-pub use export::{jsonl_schema, validate_jsonl};
+pub use export::{jsonl_schema, validate_jsonl, CounterSample};
+pub use health::{
+    incident_schema, validate_incident, HealthAggregator, HealthConfig, HealthReport, ScopeReport,
+};
 pub use json::Json;
+pub use quantile::Quantiles;
 pub use recorder::{Recorder, RingStats};
 pub use sink::{Labels, NoopSink, Telemetry, TelemetrySink};

@@ -1,0 +1,178 @@
+//! Shared histogram-quantile helpers.
+//!
+//! Two histogram shapes exist in the workspace and both need quantiles:
+//!
+//! * **Exact-value histograms** — `value → occurrences` maps (the mesh
+//!   latency histogram). [`nearest_rank`] implements the nearest-rank
+//!   method with *no interpolation*: the q-quantile is the smallest
+//!   recorded value whose cumulative count reaches `ceil(q · total)`
+//!   (at least 1). The result is always a value that actually occurred,
+//!   which is the honest choice for integer cycle counts.
+//! * **Fixed-bucket histograms** — the telemetry recorder's
+//!   [`crate::recorder::Histogram`] (`counts[i]` tallies observations
+//!   `<= bounds[i]`, final slot is the `+Inf` overflow bucket).
+//!   [`bucket_quantile`] applies the same nearest-rank rule over
+//!   buckets and reports the *upper bound* of the bucket holding the
+//!   target rank — an upper bound on the true quantile, again with no
+//!   interpolation (bucket interiors are not assumed uniform).
+//!
+//! Both helpers clamp `q` into `0.0..=1.0`. They are the single source
+//! of quantile math for `bench::mesh`'s latency tables
+//! (via `MeshReport::latency_quantile`) and the health monitor's
+//! latency SLO, so the two can never drift apart.
+
+/// Nearest-rank quantile over an exact-value histogram, iterated in
+/// ascending value order (a `BTreeMap` iteration qualifies).
+///
+/// Returns 0 for an empty histogram. The target rank is
+/// `max(1, ceil(q · total))`; the result is the first value whose
+/// cumulative count reaches it (falling back to the largest value, which
+/// can only happen through floating-point edge cases at `q == 1.0`).
+#[must_use]
+pub fn nearest_rank<I>(hist: I, q: f64) -> u64
+where
+    I: IntoIterator<Item = (u64, u64)>,
+{
+    let entries: Vec<(u64, u64)> = hist.into_iter().collect();
+    let total: u64 = entries.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+    let target = target.max(1);
+    let mut seen = 0;
+    for &(value, count) in &entries {
+        seen += count;
+        if seen >= target {
+            return value;
+        }
+    }
+    entries.last().map_or(0, |&(value, _)| value)
+}
+
+/// Nearest-rank quantile over a fixed-bucket histogram
+/// (`counts.len() == bounds.len() + 1`, final slot = `+Inf` overflow).
+///
+/// Returns the upper bound of the bucket containing the target rank.
+/// Returns `None` when the histogram is empty **or** the rank lands in
+/// the overflow bucket (the quantile exceeds every finite bound, so no
+/// honest number exists — callers treat this as "budget exceeded").
+#[must_use]
+pub fn bucket_quantile(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+    let target = target.max(1);
+    let mut seen = 0;
+    for (i, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return bounds.get(i).copied();
+        }
+    }
+    None
+}
+
+/// The standard latency summary: p50 / p95 / p99 / max over an
+/// exact-value histogram, all by [`nearest_rank`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Quantiles {
+    /// Computes the summary from `(value, count)` pairs in ascending
+    /// value order.
+    #[must_use]
+    pub fn from_hist<I>(hist: I) -> Quantiles
+    where
+        I: IntoIterator<Item = (u64, u64)> + Clone,
+    {
+        Quantiles {
+            p50: nearest_rank(hist.clone(), 0.5),
+            p95: nearest_rank(hist.clone(), 0.95),
+            p99: nearest_rank(hist.clone(), 0.99),
+            max: nearest_rank(hist, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_histograms_yield_zero_or_none() {
+        assert_eq!(nearest_rank(std::iter::empty(), 0.5), 0);
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[0, 0, 0], 0.5), None);
+        assert_eq!(Quantiles::from_hist(Vec::new()), Quantiles::default());
+    }
+
+    #[test]
+    fn single_entry_answers_every_quantile() {
+        let hist = vec![(7u64, 3u64)];
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(hist.clone(), q), 7, "q={q}");
+        }
+        // Single finite bucket holds everything.
+        assert_eq!(bucket_quantile(&[8.0], &[5, 0], 0.99), Some(8.0));
+    }
+
+    #[test]
+    fn nearest_rank_walks_the_cumulative_counts() {
+        let mut hist = BTreeMap::new();
+        hist.insert(1u64, 50u64);
+        hist.insert(10u64, 45u64);
+        hist.insert(100u64, 5u64);
+        let at = |q| nearest_rank(hist.iter().map(|(&v, &c)| (v, c)), q);
+        assert_eq!(at(0.5), 1, "rank 50 is the last count of value 1");
+        assert_eq!(at(0.51), 10);
+        assert_eq!(at(0.95), 10, "rank 95 is the last count of value 10");
+        assert_eq!(at(0.96), 100);
+        assert_eq!(at(1.0), 100);
+        assert_eq!(at(0.0), 1, "q=0 clamps to rank 1");
+        assert_eq!(at(-3.0), 1, "q clamps into 0..=1");
+        assert_eq!(at(9.0), 100);
+    }
+
+    #[test]
+    fn bucket_quantile_reports_bucket_upper_bounds() {
+        // counts: <=1: 6, <=4: 3, overflow: 1
+        let bounds = [1.0, 4.0];
+        let counts = [6, 3, 1];
+        assert_eq!(bucket_quantile(&bounds, &counts, 0.5), Some(1.0));
+        assert_eq!(bucket_quantile(&bounds, &counts, 0.9), Some(4.0));
+    }
+
+    #[test]
+    fn saturated_top_bucket_has_no_finite_quantile() {
+        // Every observation overflowed the largest bound.
+        assert_eq!(bucket_quantile(&[1.0, 2.0], &[0, 0, 9], 0.5), None);
+        // p99 rank (10 of 10) lands in the overflow bucket.
+        assert_eq!(bucket_quantile(&[1.0], &[9, 1], 0.99), None);
+        // ... but p50 stays finite.
+        assert_eq!(bucket_quantile(&[1.0], &[9, 1], 0.5), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_summary_matches_individual_calls() {
+        let hist: Vec<(u64, u64)> = (1..=100).map(|v| (v, 1)).collect();
+        let q = Quantiles::from_hist(hist.clone());
+        assert_eq!(q.p50, 50);
+        assert_eq!(q.p95, 95);
+        assert_eq!(q.p99, 99);
+        assert_eq!(q.max, 100);
+    }
+}

@@ -139,6 +139,27 @@ pub struct RingStats {
     pub capacity: usize,
 }
 
+impl RingStats {
+    /// A one-line operator warning when events were dropped, `None`
+    /// otherwise. Bins print this next to their telemetry footer so a
+    /// truncated event log is never silent: metrics (counters, gauges,
+    /// histograms) are unaffected by ring overflow, but JSONL event
+    /// lines and Perfetto slices cover only the surviving suffix.
+    #[must_use]
+    pub fn overflow_warning(&self) -> Option<String> {
+        if self.dropped == 0 {
+            return None;
+        }
+        Some(format!(
+            "WARNING: telemetry ring dropped {} of {} events (capacity {}); \
+             JSONL/Perfetto event logs are truncated, metrics are complete",
+            self.dropped,
+            self.dropped + self.recorded as u64,
+            self.capacity
+        ))
+    }
+}
+
 pub(crate) struct Inner {
     pub metrics: BTreeMap<(String, OwnedLabels), Metric>,
     pub events: VecDeque<EventRecord>,

@@ -1,0 +1,129 @@
+//! Online/offline equivalence of the health aggregator (ISSUE 8
+//! satellite): folding a live [`Recorder`] through
+//! [`HealthAggregator::scope_from_recorder`] and replaying that same
+//! recorder's exported JSONL through
+//! [`HealthAggregator::scope_from_jsonl`] must produce byte-identical
+//! incident reports, for *any* stream — including events the monitor
+//! ignores (unknown names, missing labels, spans, gauges).
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use socbus_telemetry::{HealthAggregator, HealthConfig, HealthReport, Recorder, Telemetry};
+
+/// Decodes one packed op: record kind, entity, and cycle step (the
+/// vendored proptest has no tuple strategies, so each op travels as one
+/// `u64`).
+fn decode(op: u64) -> (u8, u8, u64) {
+    #[allow(clippy::cast_possible_truncation)]
+    let kind = (op % 17) as u8;
+    #[allow(clippy::cast_possible_truncation)]
+    let ent = ((op >> 8) % 4) as u8;
+    let step = (op >> 16) % 4;
+    (kind, ent, step)
+}
+
+/// Emits one randomized telemetry record. `kind` selects the record
+/// shape, `ent` the entity, `cycle` the timestamp. Labels are passed
+/// pre-sorted by key, matching every real emission site.
+fn emit(tel: &Telemetry, kind: u8, ent: u8, cycle: u64) {
+    let hop = ent.to_string();
+    match kind {
+        0 => tel.event("link.retry", &[("hop", hop.as_str())], cycle),
+        1 => tel.event(
+            "link.degrade",
+            &[("dir", "promote"), ("hop", hop.as_str())],
+            cycle,
+        ),
+        2 => tel.event(
+            "link.degrade",
+            &[("dir", "demote"), ("hop", hop.as_str())],
+            cycle,
+        ),
+        3 => tel.event(
+            "control.transition",
+            &[("cause", "emergency"), ("hop", hop.as_str())],
+            cycle,
+        ),
+        4 => tel.event(
+            "control.transition",
+            &[("cause", "retreat"), ("hop", hop.as_str())],
+            cycle,
+        ),
+        5 => tel.event("mesh.link_down", &[("hop", hop.as_str())], cycle),
+        6 => tel.event("mesh.accept", &[("hop", hop.as_str())], cycle),
+        7 => tel.event("mesh.queue_high", &[("hop", hop.as_str())], cycle),
+        8 => tel.event("mesh.give_up", &[("hop", hop.as_str())], cycle),
+        9 => tel.event("path.e2e_error", &[("hop", hop.as_str())], cycle),
+        10 => tel.counter("link.words", &[("hop", hop.as_str())], u64::from(ent) + 1),
+        11 => tel.counter("link.silent", &[("hop", hop.as_str())], u64::from(ent)),
+        12 => tel.observe(
+            "link.word_cycles",
+            &[("hop", hop.as_str())],
+            f64::from(ent) * 3.0 + 1.0,
+        ),
+        // Records the monitor must ignore identically on both paths:
+        13 => tel.span("link.transfer", &[("hop", hop.as_str())], cycle, cycle + 2),
+        14 => tel.event("mesh.accept", &[("node", hop.as_str())], cycle),
+        15 => tel.event("bench.unknown", &[("hop", hop.as_str())], cycle),
+        _ => tel.gauge("link.swing", &[("hop", hop.as_str())], 1.1),
+    }
+}
+
+/// Wraps one scope so the byte-level comparison covers the full
+/// `socbus-incident v1` rendering, not a field subset.
+fn rendered(scope: socbus_telemetry::ScopeReport) -> String {
+    let mut report = HealthReport::new();
+    report.push_scope(scope);
+    report.serialize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The offline JSONL replay is byte-equivalent to the online fold.
+    #[test]
+    fn offline_jsonl_replay_matches_online_aggregation(
+        ops in prop::collection::vec(any::<u64>(), 0..250),
+    ) {
+        let rec = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&rec);
+        let mut cycle = 0u64;
+        for &op in &ops {
+            let (kind, ent, step) = decode(op);
+            cycle += step;
+            emit(&tel, kind, ent, cycle);
+        }
+        drop(tel);
+        let rec = Rc::try_unwrap(rec).ok().expect("sole recorder handle");
+        let cfg = HealthConfig::default();
+        let online = HealthAggregator::scope_from_recorder("prop", &cfg, &rec);
+        let offline = HealthAggregator::scope_from_jsonl("prop", &cfg, &rec.export_jsonl())
+            .expect("exported JSONL must replay");
+        prop_assert_eq!(rendered(online), rendered(offline));
+    }
+
+    /// The incident report itself round-trips: parse ∘ serialize is the
+    /// identity on any aggregator output.
+    #[test]
+    fn incident_report_round_trips(
+        ops in prop::collection::vec(any::<u64>(), 0..250),
+    ) {
+        let rec = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&rec);
+        let mut cycle = 0u64;
+        for &op in &ops {
+            let (kind, ent, step) = decode(op);
+            cycle += step;
+            emit(&tel, kind, ent, cycle);
+        }
+        drop(tel);
+        let rec = Rc::try_unwrap(rec).ok().expect("sole recorder handle");
+        let cfg = HealthConfig::default();
+        let mut report = HealthReport::new();
+        report.push_scope(HealthAggregator::scope_from_recorder("prop", &cfg, &rec));
+        let text = report.serialize();
+        let reparsed = HealthReport::parse(&text).expect("own output must parse");
+        prop_assert_eq!(text, reparsed.serialize());
+    }
+}
