@@ -1,0 +1,8 @@
+//! Thin wrapper over [`socbus_bench::rare`] — the rare-event WER
+//! certification sweep; see that module (and DESIGN.md §17) for the
+//! estimator math and the byte-determinism argument.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(socbus_bench::rare::main_with_args(&args));
+}

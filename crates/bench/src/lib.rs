@@ -12,6 +12,7 @@ pub mod dvs;
 pub mod fmt;
 pub mod health;
 pub mod mesh;
+pub mod rare;
 pub mod reliability;
 pub mod soak;
 pub mod sweeps;

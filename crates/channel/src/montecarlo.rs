@@ -42,12 +42,18 @@ pub struct WordErrorEstimate {
 }
 
 impl WordErrorEstimate {
-    /// Approximate 95% confidence half-width (normal approximation).
+    /// Approximate 95% confidence half-width (normal approximation),
+    /// with a one-sided *rule-of-three* bound at the degenerate edges.
     ///
-    /// Degenerate shapes stay finite-friendly: zero trials yields
-    /// `INFINITY` (no information), and an all-failures or zero-failures
-    /// run yields `0.0` (the normal approximation collapses; the true
-    /// interval is one-sided). The result is never NaN.
+    /// A zero-failure run used to report a width-0 interval — which
+    /// claims the rate is *exactly* 0 no matter how few trials ran. The
+    /// honest statement is the Clopper–Pearson-style upper bound: with 0
+    /// failures in `n` trials, the exact one-sided 95% bound is
+    /// `1 - 0.05^(1/n) ≈ 3/n` (the "rule of three"), so this returns
+    /// `min(3/n, 1)` as the half-width of the one-sided interval
+    /// `[0, 3/n]`. An all-failures run is the mirror image
+    /// (`[1 - 3/n, 1]`). Zero trials yields `INFINITY` (no information).
+    /// The result is never NaN.
     #[must_use]
     pub fn confidence95(&self) -> f64 {
         if self.trials == 0 {
@@ -59,7 +65,8 @@ impl WordErrorEstimate {
         }
         let var = p * (1.0 - p) / self.trials as f64;
         if var <= 0.0 {
-            return 0.0;
+            // 0 failures (or all failures): rule-of-three upper bound.
+            return (3.0 / self.trials as f64).min(1.0);
         }
         1.96 * var.sqrt()
     }
@@ -84,6 +91,168 @@ impl WordErrorEstimate {
             trials,
             failures,
         }
+    }
+
+    /// This estimate as a weighted tally: a plain Monte-Carlo run is the
+    /// special case of likelihood-ratio weighting where every trial has
+    /// weight exactly 1, so the sums are the raw counts.
+    #[must_use]
+    pub fn weighted(&self) -> WeightedTally {
+        WeightedTally {
+            sum: self.failures as f64,
+            sum_sq: self.failures as f64,
+            weighted_trials: self.trials as f64,
+            trials: self.trials,
+            failures: self.failures,
+        }
+    }
+}
+
+/// Streaming moments of a *weighted* word-error measurement — the
+/// accumulator behind the importance-sampled estimators in
+/// [`crate::rare`].
+///
+/// Each trial `i` contributes a likelihood-ratio weight `w_i` (the
+/// nominal-measure probability of the drawn noise divided by its
+/// probability under the biased sampling measure) and a failure
+/// indicator `f_i ∈ {0, 1}`. The tally tracks exactly the sums that
+/// shard-merge associatively:
+///
+/// * `sum`   = Σ `w_i·f_i`  — the unnormalized failure mass;
+/// * `sum_sq` = Σ `(w_i·f_i)²` — its second moment, for the variance;
+/// * `weighted_trials` = Σ `w_i` over **all** trials — under the nominal
+///   measure `E[w] = 1`, so this should concentrate near `trials` (the
+///   self-normalization sanity check the rare-event suite asserts);
+/// * `trials`, `failures` — raw counts.
+///
+/// The estimator is `rate() = sum / trials`, which is **provably
+/// unbiased** for the true failure probability whenever the sampling
+/// measure dominates the failure set (every noise draw that can fail has
+/// nonzero probability under the biased measure): `E[w·f] = Σ_e q(e) ·
+/// (p(e)/q(e)) · f(e) = Σ_e p(e) f(e) = p_fail`.
+///
+/// Plain (unweighted) runs embed via [`WordErrorEstimate::weighted`]
+/// with every `w_i = 1`, and the two merge paths agree exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedTally {
+    /// Σ of `weight × failure-indicator` over all trials.
+    pub sum: f64,
+    /// Σ of `(weight × failure-indicator)²` over all trials.
+    pub sum_sq: f64,
+    /// Σ of the likelihood-ratio weight over all trials (failing or not).
+    pub weighted_trials: f64,
+    /// Number of simulated word transfers.
+    pub trials: u64,
+    /// Raw count of failing trials (unweighted).
+    pub failures: u64,
+}
+
+impl WeightedTally {
+    /// The empty tally (identity of [`WeightedTally::merged`]).
+    #[must_use]
+    pub fn zero() -> WeightedTally {
+        WeightedTally {
+            sum: 0.0,
+            sum_sq: 0.0,
+            weighted_trials: 0.0,
+            trials: 0,
+            failures: 0,
+        }
+    }
+
+    /// Adds one trial with likelihood-ratio weight `w`, failing or not.
+    pub fn record(&mut self, w: f64, failed: bool) {
+        self.trials += 1;
+        self.weighted_trials += w;
+        if failed {
+            self.failures += 1;
+            self.sum += w;
+            self.sum_sq += w * w;
+        }
+    }
+
+    /// The unbiased rate estimate `sum / trials` (0 for an empty tally).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.sum / self.trials as f64
+        }
+    }
+
+    /// Mean likelihood-ratio weight over all trials; ≈ 1 when sampling
+    /// under the nominal measure (the self-normalization check).
+    #[must_use]
+    pub fn mean_weight(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.weighted_trials / self.trials as f64
+        }
+    }
+
+    /// Sample variance of the per-trial contribution `w·f` (0 when the
+    /// tally holds fewer than two trials).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.trials < 2 {
+            return 0.0;
+        }
+        let n = self.trials as f64;
+        let mean = self.sum / n;
+        // E[X²] - E[X]² with the n/(n-1) Bessel correction; clamp the
+        // cancellation error at 0.
+        ((self.sum_sq / n - mean * mean) * (n / (n - 1.0))).max(0.0)
+    }
+
+    /// 95% confidence half-width of [`WeightedTally::rate`] (normal
+    /// approximation on the weighted mean). A tally with zero observed
+    /// failures falls back to the weight-free rule-of-three bound `3/n`,
+    /// mirroring [`WordErrorEstimate::confidence95`]; zero trials yields
+    /// `INFINITY`.
+    #[must_use]
+    pub fn confidence95(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::INFINITY;
+        }
+        if self.failures == 0 {
+            return (3.0 / self.trials as f64).min(1.0);
+        }
+        let n = self.trials as f64;
+        1.96 * (self.sample_variance() / n).sqrt()
+    }
+
+    /// Relative 95% half-width `confidence95 / rate`; `INFINITY` when the
+    /// rate is 0 (no failure mass — nothing to be relative to).
+    #[must_use]
+    pub fn relative_ci95(&self) -> f64 {
+        let r = self.rate();
+        if r > 0.0 {
+            self.confidence95() / r
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Merges per-shard tallies in iteration order: every field is a
+    /// plain sum, so the merge is exact for the integer fields and
+    /// *order-deterministic* for the float fields — merging in shard
+    /// order is what keeps the sharded estimators byte-identical across
+    /// thread counts (the float sums are associative only in a fixed
+    /// order). Mirrors [`WordErrorEstimate::merged`]; rates are never
+    /// averaged, always recomputed from the merged sums.
+    #[must_use]
+    pub fn merged(shards: impl IntoIterator<Item = WeightedTally>) -> WeightedTally {
+        let mut out = WeightedTally::zero();
+        for s in shards {
+            out.sum += s.sum;
+            out.sum_sq += s.sum_sq;
+            out.weighted_trials += s.weighted_trials;
+            out.trials += s.trials;
+            out.failures += s.failures;
+        }
+        out
     }
 }
 
@@ -341,7 +510,9 @@ mod tests {
     }
 
     /// Edge cases (ISSUE satellite): zero trials, zero errors, all
-    /// errors — every field stays well-defined, never NaN.
+    /// errors — every field stays well-defined, never NaN, and the
+    /// degenerate 0-failure/all-failure shapes report the rule-of-three
+    /// upper bound instead of a width-0 interval.
     #[test]
     fn confidence95_edge_cases_stay_finite() {
         // Zero trials: rate 0 (not 0/0 = NaN), infinite half-width.
@@ -349,16 +520,18 @@ mod tests {
         assert_eq!(empty.rate, 0.0, "zero-trial rate must not be NaN");
         assert!(empty.rate.is_finite());
         assert_eq!(empty.confidence95(), f64::INFINITY);
-        // Zero errors: p=0 collapses the normal interval to zero width.
+        // Zero errors: a clean run does NOT prove rate 0 — it bounds it
+        // by the rule of three, 3/n.
         let clean = word_error_rate(Scheme::Uncoded, 8, 0.0, 1000, 1);
         assert_eq!(clean.failures, 0);
         assert_eq!(clean.rate, 0.0);
-        assert_eq!(clean.confidence95(), 0.0);
-        // All errors: eps=1 flips every wire, every word fails.
+        assert_eq!(clean.confidence95(), 3.0 / 1000.0);
+        // All errors: eps=1 flips every wire, every word fails; the
+        // interval mirrors to [1 - 3/n, 1].
         let dirty = word_error_rate(Scheme::Uncoded, 8, 1.0, 1000, 1);
         assert_eq!(dirty.failures, 1000);
         assert_eq!(dirty.rate, 1.0);
-        assert_eq!(dirty.confidence95(), 0.0);
+        assert_eq!(dirty.confidence95(), 3.0 / 1000.0);
         // A hand-built NaN rate is caught by the guard too.
         let nan = WordErrorEstimate {
             rate: f64::NAN,
@@ -366,6 +539,109 @@ mod tests {
             failures: 0,
         };
         assert!(!nan.confidence95().is_nan());
+    }
+
+    /// ISSUE 9 satellite: the rule-of-three bound at the degenerate
+    /// edges — 0 failures, all failures, and the 1-trial extreme (where
+    /// 3/n > 1 must clamp to 1, a probability half-width can't exceed 1).
+    #[test]
+    fn confidence95_zero_failure_rule_of_three() {
+        let zero_fail = WordErrorEstimate {
+            rate: 0.0,
+            trials: 1_000_000,
+            failures: 0,
+        };
+        // The exact one-sided bound is 1 - 0.05^(1/n); 3/n approximates
+        // it to within ~0.2% at this n. Never again a degenerate 0.
+        let exact = 1.0 - 0.05f64.powf(1e-6);
+        assert!(zero_fail.confidence95() > 0.0, "0-failure CI must not be 0");
+        assert!((zero_fail.confidence95() - exact).abs() / exact < 5e-3);
+        let all_fail = WordErrorEstimate {
+            rate: 1.0,
+            trials: 64,
+            failures: 64,
+        };
+        assert_eq!(all_fail.confidence95(), 3.0 / 64.0);
+        let one_trial = WordErrorEstimate {
+            rate: 0.0,
+            trials: 1,
+            failures: 0,
+        };
+        assert_eq!(
+            one_trial.confidence95(),
+            1.0,
+            "a single clean trial knows nothing: half-width clamps to 1"
+        );
+        let one_trial_fail = WordErrorEstimate {
+            rate: 1.0,
+            trials: 1,
+            failures: 1,
+        };
+        assert_eq!(one_trial_fail.confidence95(), 1.0);
+    }
+
+    /// ISSUE 9 tentpole: the weighted tally embeds plain runs exactly
+    /// (weight 1 per trial) and its merge recomputes, never averages.
+    #[test]
+    fn weighted_tally_embeds_plain_runs() {
+        let plain = word_error_rate(Scheme::Uncoded, 8, 0.05, 10_000, 3);
+        let w = plain.weighted();
+        assert_eq!(w.trials, plain.trials);
+        assert_eq!(w.failures, plain.failures);
+        assert_eq!(w.rate(), plain.rate, "weight-1 tally is the plain rate");
+        assert_eq!(w.mean_weight(), 1.0);
+        // The unit-weight binomial variance matches the plain normal CI
+        // up to the n/(n-1) Bessel correction.
+        let n = plain.trials as f64;
+        let ratio = w.confidence95() / plain.confidence95();
+        assert!((ratio * ratio - n / (n - 1.0)).abs() < 1e-9);
+    }
+
+    /// ISSUE 9 satellite (shard-merge-order): weighted merge sums every
+    /// field exactly in iteration order and equals the monolithic tally —
+    /// mirroring `merged_preserves_tallies_and_recomputes_rate`.
+    #[test]
+    fn weighted_merge_preserves_sums_and_recomputes_rate() {
+        let mut a = WeightedTally::zero();
+        a.record(0.5, true);
+        a.record(2.0, false);
+        let mut b = WeightedTally::zero();
+        b.record(0.25, true);
+        b.record(1.0, true);
+        b.record(1.0, false);
+        let m = WeightedTally::merged([a, b]);
+        assert_eq!(m.trials, 5);
+        assert_eq!(m.failures, 3);
+        assert_eq!(m.sum, 0.5 + 0.25 + 1.0);
+        assert_eq!(m.sum_sq, 0.25 + 0.0625 + 1.0);
+        assert_eq!(m.weighted_trials, 4.75);
+        // Recomputed from merged sums, not averaged shard rates.
+        assert_eq!(m.rate(), 1.75 / 5.0);
+        // Monolithic tally recording the same stream agrees exactly.
+        let mut mono = WeightedTally::zero();
+        for (w, f) in [
+            (0.5, true),
+            (2.0, false),
+            (0.25, true),
+            (1.0, true),
+            (1.0, false),
+        ] {
+            mono.record(w, f);
+        }
+        assert_eq!(m, mono);
+        assert_eq!(m.confidence95(), mono.confidence95());
+        // Identity and edge shapes.
+        assert_eq!(WeightedTally::merged([]), WeightedTally::zero());
+        assert_eq!(WeightedTally::zero().confidence95(), f64::INFINITY);
+        let mut clean = WeightedTally::zero();
+        clean.record(1.0, false);
+        clean.record(1.0, false);
+        assert_eq!(
+            clean.confidence95(),
+            1.0,
+            "0 failures in 2 trials: 3/2 clamps to 1"
+        );
+        assert_eq!(clean.relative_ci95(), f64::INFINITY);
     }
 
     /// The traced variant is estimate-identical to the plain one and
@@ -451,7 +727,7 @@ mod tests {
         let m = WordErrorEstimate::merged([empty, real, empty]);
         assert_eq!(m, real);
         // An all-failure shard merges to the exact failure count and the
-        // p=1 degenerate interval when alone.
+        // one-sided rule-of-three interval when alone.
         let all_fail = WordErrorEstimate {
             rate: 1.0,
             trials: 16,
@@ -459,7 +735,7 @@ mod tests {
         };
         let solo = WordErrorEstimate::merged([all_fail]);
         assert_eq!(solo.rate, 1.0);
-        assert_eq!(solo.confidence95(), 0.0);
+        assert_eq!(solo.confidence95(), 3.0 / 16.0);
         let mixed = WordErrorEstimate::merged([all_fail, real]);
         assert_eq!(mixed.trials, 24);
         assert_eq!(mixed.failures, 18);

@@ -1,0 +1,389 @@
+//! The adaptive driver: per-`(scheme, ε)` estimator selection and
+//! relative-error-controlled certification.
+//!
+//! The right twist θ depends on which error weights dominate a scheme's
+//! failure set — a single-error-correcting code at ε = 1e-6 wants the
+//! tilt that makes weight-2 patterns common, a DEC code wants weight-3,
+//! and an uncoded bus wants barely any tilt at all. Rather than encode
+//! per-scheme analysis, [`plan`] runs a short **pilot** at each
+//! candidate twist and keeps the one with the smallest pilot relative
+//! CI; when *no* candidate reaches the failure set at pilot effort, the
+//! cell falls back to [multilevel splitting](super::split), whose level
+//! cascade reaches any failure set the decode contract bounds.
+//!
+//! [`certify`] then drives the chosen estimator in geometrically growing
+//! batches, merging tallies in batch order (deterministic at any thread
+//! count), until the 95% CI half-width is within the requested fraction
+//! of the estimate or the word budget is exhausted — the loop behind
+//! every `BENCH_rare.json` cell.
+
+use super::split::{split_word_error_parallel, SplitConfig, SplitEstimate};
+use super::twist::{is_parallel_occ, is_word_error, Twist};
+use super::RareChannel;
+use crate::montecarlo::WeightedTally;
+use socbus_codes::Scheme;
+use socbus_exec::shard_seed;
+use socbus_telemetry::Telemetry;
+
+/// Pilot trials per candidate twist.
+pub const PILOT_TRIALS: u64 = 2_048;
+
+/// Twisted-ε targets the pilot sweeps. Candidates are defined by where
+/// the tilt *lands* (`ε_θ`), not by absolute θ — at ε = 1e-12 the tilt
+/// needed to make errors common is θ ≈ 27, at ε = 1e-3 it is θ ≈ 6; a
+/// fixed θ grid can't serve both, a target grid serves any ε.
+const TWISTED_EPS_TARGETS: [f64; 7] = [0.02, 0.05, 0.1, 0.15, 0.25, 0.35, 0.5];
+
+/// Candidate burst-occupancy odds boosts (burst channels only).
+const BOOST_GRID: [f64; 3] = [1.0, 10.0, 100.0];
+
+/// The tilt θ that maps flip probability `eps` to `target` under
+/// exponential twisting: θ = logit(target) − logit(eps).
+fn theta_for(eps: f64, target: f64) -> f64 {
+    (target / (1.0 - target)).ln() - (eps / (1.0 - eps)).ln()
+}
+
+/// The pilot's candidate twists for `channel`: the identity twist plus
+/// one tilt per [`TWISTED_EPS_TARGETS`] entry meaningfully above the
+/// channel's base ε, each crossed with the burst boosts when the
+/// channel has a burst state.
+fn candidate_twists(channel: RareChannel) -> Vec<Twist> {
+    let eps = channel.base_eps();
+    let boosts: &[f64] = match channel {
+        RareChannel::Iid { .. } => &BOOST_GRID[..1],
+        RareChannel::Burst { .. } => &BOOST_GRID[..],
+    };
+    let mut out = Vec::new();
+    for &burst_boost in boosts {
+        out.push(Twist {
+            theta: 0.0,
+            burst_boost,
+        });
+        if eps > 0.0 && eps < 0.5 {
+            for &target in &TWISTED_EPS_TARGETS {
+                if target > 2.0 * eps {
+                    out.push(Twist {
+                        theta: theta_for(eps, target),
+                        burst_boost,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The estimator a pilot run selected for one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Method {
+    /// Importance sampling at the given twist.
+    Twist(Twist),
+    /// Multilevel splitting with the given schedule (chosen when no
+    /// pilot twist reached the failure set).
+    Split(SplitConfig),
+}
+
+/// Result of [`plan`]: the chosen estimator plus the pilot evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Data bits per transfer.
+    pub k: usize,
+    /// Channel the cell integrates over.
+    pub channel: RareChannel,
+    /// The selected estimator.
+    pub method: Method,
+    /// Pilot estimate of the rate under the winning candidate (0 when
+    /// the pilot never failed and splitting was selected).
+    pub pilot_rate: f64,
+    /// Total pilot words simulated across all candidates.
+    pub pilot_words: u64,
+}
+
+/// Pilot-selects the estimator for `(scheme, k, channel)`: runs
+/// [`PILOT_TRIALS`] importance-sampled words at every candidate twist,
+/// keeps the candidate with the smallest pilot relative CI among those
+/// that observed at least one failure, and falls back to
+/// [`SplitConfig::for_scheme`] splitting when none did. Fully
+/// deterministic in `seed` (each candidate gets a split sub-seed).
+#[must_use]
+pub fn plan(scheme: Scheme, k: usize, channel: RareChannel, seed: u64) -> Plan {
+    let mut pilot_words = 0u64;
+    let mut best: Option<(Twist, WeightedTally, f64)> = None;
+    for (candidate, twist) in candidate_twists(channel).into_iter().enumerate() {
+        let tally = is_word_error(
+            scheme,
+            k,
+            channel,
+            twist,
+            PILOT_TRIALS,
+            shard_seed(seed, candidate as u64),
+        );
+        pilot_words += PILOT_TRIALS;
+        if tally.failures == 0 {
+            continue;
+        }
+        let score = tally.relative_ci95();
+        let better = match &best {
+            None => true,
+            Some((_, _, best_score)) => score < *best_score,
+        };
+        if better {
+            best = Some((twist, tally, score));
+        }
+    }
+    match best {
+        Some((twist, tally, _)) => Plan {
+            scheme,
+            k,
+            channel,
+            method: Method::Twist(twist),
+            pilot_rate: tally.rate(),
+            pilot_words,
+        },
+        None => Plan {
+            scheme,
+            k,
+            channel,
+            // No twist reached the failure set at pilot effort: the
+            // weight cascade will.
+            method: Method::Split(SplitConfig::for_scheme(scheme, k, 4_096, 8)),
+            pilot_rate: 0.0,
+            pilot_words,
+        },
+    }
+}
+
+/// A certified word-error rate: estimate, CI, and the work that bought
+/// it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certification {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Data bits per transfer.
+    pub k: usize,
+    /// Channel the estimate integrates over.
+    pub channel: RareChannel,
+    /// The estimator that produced the numbers.
+    pub method: Method,
+    /// The word-error estimate.
+    pub rate: f64,
+    /// 95% CI half-width.
+    pub ci95: f64,
+    /// `ci95 / rate` (`INFINITY` when the rate is 0).
+    pub rel_ci95: f64,
+    /// Total simulated words, pilot included.
+    pub words: u64,
+    /// Whether the relative-CI target was met within the word budget.
+    pub converged: bool,
+}
+
+/// Certifies the WER of `(scheme, k, channel)` to relative 95% CI
+/// half-width `target_rel` using at most `max_words` simulated words
+/// (pilot included): plans via [`plan`], then drives the chosen
+/// estimator in geometrically growing batches merged in batch order —
+/// so the stopping decision depends only on thread-count-invariant
+/// merged tallies and the result is byte-identical at any `threads`.
+#[must_use]
+pub fn certify(
+    scheme: Scheme,
+    k: usize,
+    channel: RareChannel,
+    target_rel: f64,
+    max_words: u64,
+    seed: u64,
+    threads: usize,
+) -> Certification {
+    certify_traced(
+        scheme,
+        k,
+        channel,
+        target_rel,
+        max_words,
+        seed,
+        threads,
+        &Telemetry::off(),
+    )
+}
+
+/// [`certify`] with `mc.rare.*` telemetry: one `mc.rare.certify.batch`
+/// event per batch (value = words done) and final rate/CI gauges, all
+/// emitted from the merge path in batch order.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn certify_traced(
+    scheme: Scheme,
+    k: usize,
+    channel: RareChannel,
+    target_rel: f64,
+    max_words: u64,
+    seed: u64,
+    threads: usize,
+    tel: &Telemetry,
+) -> Certification {
+    let plan = plan(scheme, k, channel, seed);
+    let mut words = plan.pilot_words;
+    let scheme_name = if tel.is_enabled() {
+        scheme.name()
+    } else {
+        String::new()
+    };
+    let labels = [("scheme", scheme_name.as_str())];
+    // Every batch targets the occupancy of the full-budget horizon so
+    // the merged burst estimate has a single well-defined target.
+    let occupancy = channel.occupancy(max_words);
+    let mut batch_words = 65_536u64.min(max_words.saturating_sub(words).max(1));
+    let mut batch_index = 0u64;
+    let (rate, ci95) = match &plan.method {
+        Method::Twist(twist) => {
+            let mut merged = WeightedTally::zero();
+            while words < max_words {
+                let trials = batch_words.min(max_words - words);
+                let batch = is_parallel_occ(
+                    scheme,
+                    k,
+                    channel,
+                    *twist,
+                    occupancy,
+                    trials,
+                    shard_seed(seed ^ 0xCE87, batch_index),
+                    threads,
+                    &Telemetry::off(),
+                );
+                merged = WeightedTally::merged([merged, batch]);
+                words += trials;
+                batch_index += 1;
+                if tel.is_enabled() {
+                    tel.event("mc.rare.certify.batch", &labels, words);
+                }
+                if merged.failures > 0 && merged.relative_ci95() <= target_rel {
+                    break;
+                }
+                batch_words = batch_words.saturating_mul(2);
+            }
+            (merged.rate(), merged.confidence95())
+        }
+        Method::Split(config) => {
+            let mut merged = SplitEstimate::zero();
+            let per_replica = config.words_per_replica();
+            while words < max_words {
+                let budget = (max_words - words).min(batch_words);
+                let replicas = (budget / per_replica).max(2);
+                let batch_config = SplitConfig {
+                    levels: config.levels.clone(),
+                    effort: config.effort,
+                    replicas,
+                };
+                let batch = split_word_error_parallel(
+                    scheme,
+                    k,
+                    channel,
+                    &batch_config,
+                    shard_seed(seed ^ 0xCE87, batch_index),
+                    threads,
+                );
+                merged = SplitEstimate::merged([merged, batch]);
+                words += batch.trials;
+                batch_index += 1;
+                if tel.is_enabled() {
+                    tel.event("mc.rare.certify.batch", &labels, words);
+                }
+                if merged.failures > 0 && merged.relative_ci95() <= target_rel {
+                    break;
+                }
+                batch_words = batch_words.saturating_mul(2);
+            }
+            (merged.rate(), merged.confidence95())
+        }
+    };
+    let rel = if rate > 0.0 {
+        ci95 / rate
+    } else {
+        f64::INFINITY
+    };
+    if tel.is_enabled() {
+        tel.gauge("mc.rare.rate", &labels, rate);
+        tel.gauge("mc.rare.ci95", &labels, ci95);
+    }
+    Certification {
+        scheme,
+        k,
+        channel,
+        method: plan.method,
+        rate,
+        ci95,
+        rel_ci95: rel,
+        words,
+        converged: rel <= target_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_picks_plain_sampling_at_high_eps() {
+        // At ε = 0.05 an uncoded bus fails constantly: the untwisted
+        // pilot has the best relative CI, or near it — the chosen theta
+        // must be small.
+        let p = plan(Scheme::Uncoded, 8, RareChannel::Iid { eps: 0.05 }, 1);
+        match p.method {
+            Method::Twist(t) => assert!(t.theta <= 3.0, "chose theta {}", t.theta),
+            Method::Split(_) => panic!("high-eps cell must not need splitting"),
+        }
+        assert!(p.pilot_rate > 0.1);
+        assert!(p.pilot_words >= PILOT_TRIALS);
+    }
+
+    #[test]
+    fn plan_picks_aggressive_twist_at_low_eps() {
+        // At ε = 1e-6 a DEC code fails only at weight >= 3 — untwisted
+        // pilots see nothing; the target-grid tilt reaches in anyway.
+        let p = plan(Scheme::BchDec, 4, RareChannel::Iid { eps: 1e-6 }, 2);
+        match p.method {
+            Method::Twist(t) => assert!(t.theta >= 5.0, "chose theta {}", t.theta),
+            Method::Split(_) => panic!("target-grid pilot must reach the failure set"),
+        }
+        assert!(p.pilot_rate > 0.0);
+    }
+
+    #[test]
+    fn theta_for_lands_on_target() {
+        for eps in [1e-12, 1e-6, 1e-3, 0.01] {
+            for target in TWISTED_EPS_TARGETS {
+                let got = crate::rare::twist::twisted_eps(eps, theta_for(eps, target));
+                assert!(
+                    (got - target).abs() < 1e-9,
+                    "eps={eps} target={target}: landed {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certify_meets_target_within_budget() {
+        let cert = certify(
+            Scheme::Dap,
+            8,
+            RareChannel::Iid { eps: 1e-4 },
+            0.3,
+            2_000_000,
+            7,
+            2,
+        );
+        assert!(cert.converged, "rel ci {}", cert.rel_ci95);
+        assert!(cert.rel_ci95 <= 0.3);
+        assert!(cert.words <= 2_000_000);
+        assert!(cert.rate > 0.0);
+    }
+
+    #[test]
+    fn certify_is_thread_count_invariant() {
+        let ch = RareChannel::Iid { eps: 1e-3 };
+        let a = certify(Scheme::Hamming, 8, ch, 0.3, 500_000, 11, 1);
+        let b = certify(Scheme::Hamming, 8, ch, 0.3, 500_000, 11, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,359 @@
+//! Rare-event estimator verification suite (ISSUE 9 satellites).
+//!
+//! An unbiased-but-wrong importance sampler fails *silently*: its CI is
+//! tight around the wrong number and every downstream voltage-scaling
+//! decision inherits the error. This suite is what makes it fail
+//! loudly, in three layers:
+//!
+//! 1. **Oracle cross-checks** — for every catalog scheme narrow enough
+//!    to enumerate (`rare::exact::oracle_catalog`, all wires ≤ 12), the
+//!    adaptively-driven IS estimate and the multilevel-splitting
+//!    estimate must be statistically consistent with the *exact* WER
+//!    from exhaustive pattern enumeration.
+//! 2. **Coverage** — the claimed 95% CI must actually cover: across 100
+//!    independent estimator runs, the empirical coverage of the exact
+//!    rate is ≥ 90% (proptest over scheme, ε, and seed; the vendored
+//!    proptest is deterministic per test name, so green stays green).
+//! 3. **Exact degenerations** — zero twist reproduces the plain
+//!    Monte-Carlo estimator byte for byte, a level-free splitting
+//!    schedule is plain MC, weights self-normalize to 1, and every
+//!    estimator is byte-identical at any thread count, traced included.
+
+use proptest::prelude::*;
+use socbus_channel::montecarlo::{word_error_rate, word_error_rate_parallel};
+use socbus_channel::rare::{
+    certify, failure_profile, is_word_error, is_word_error_parallel, is_word_error_parallel_traced,
+    oracle_catalog, plan, split_word_error, split_word_error_parallel,
+    split_word_error_parallel_traced, Method, RareChannel, SplitConfig, Twist,
+};
+use socbus_codes::Scheme;
+use socbus_exec::shard_seed;
+use socbus_telemetry::{Recorder, Telemetry};
+use std::rc::Rc;
+
+/// The headline oracle cross-check: for every enumerable catalog scheme
+/// and ε ∈ {1e-1, 1e-2, 1e-3}, the pilot-planned, relative-error-driven
+/// IS estimate must land within 2 CI half-widths of the exhaustive
+/// truth (97.7% two-sided per cell; all seeds fixed, so this is a
+/// regression pin, not a coin flip).
+#[test]
+fn oracle_cross_check_importance_sampling_covers_exact() {
+    for (scheme, k) in oracle_catalog() {
+        let profile = failure_profile(scheme, k);
+        for (i, eps) in [1e-1, 1e-2, 1e-3].into_iter().enumerate() {
+            let exact = profile.wer(eps);
+            assert!(
+                exact > 0.0,
+                "{} k={k}: exact WER 0 at eps={eps}",
+                scheme.name()
+            );
+            let cert = certify(
+                scheme,
+                k,
+                RareChannel::Iid { eps },
+                0.3,
+                400_000,
+                1000 + i as u64,
+                2,
+            );
+            assert!(
+                cert.rate > 0.0,
+                "{} k={k} eps={eps}: estimator never reached the failure set",
+                scheme.name()
+            );
+            let gap = (cert.rate - exact).abs();
+            assert!(
+                gap <= 2.0 * cert.ci95,
+                "{} k={k} eps={eps}: estimate {} (±{}) vs exact {exact} — gap {gap}",
+                scheme.name(),
+                cert.rate,
+                cert.ci95
+            );
+        }
+    }
+}
+
+/// Splitting consistency: the weight-cascade estimator agrees with the
+/// oracle on a correcting-scheme sample (where its level schedule is
+/// nontrivial), within 3 replica-CI half-widths.
+#[test]
+fn oracle_cross_check_splitting_covers_exact() {
+    for (scheme, k) in [(Scheme::Dap, 4), (Scheme::Hamming, 6), (Scheme::BchDec, 4)] {
+        let exact = failure_profile(scheme, k).wer(1e-3);
+        let config = SplitConfig::for_scheme(scheme, k, 4_096, 16);
+        let est =
+            split_word_error_parallel(scheme, k, RareChannel::Iid { eps: 1e-3 }, &config, 42, 2);
+        assert!(
+            est.failures > 0,
+            "{}: cascade never reached the failure set",
+            scheme.name()
+        );
+        let gap = (est.rate() - exact).abs();
+        assert!(
+            gap <= 3.0 * est.confidence95(),
+            "{} k={k}: split {} (±{}) vs exact {exact}",
+            scheme.name(),
+            est.rate(),
+            est.confidence95()
+        );
+    }
+}
+
+/// The burst channel's estimator and oracle target the *same* quantity
+/// (chain-average WER over the run, transient included): cross-check
+/// through the Gilbert–Elliott marginalization path.
+#[test]
+fn oracle_cross_check_burst_channel() {
+    let (scheme, k) = (Scheme::Dap, 4);
+    let ch = RareChannel::Burst {
+        eps_good: 1e-4,
+        eps_bad: 2e-2,
+        p_enter: 0.02,
+        p_exit: 0.3,
+    };
+    let trials = 400_000u64;
+    let exact = failure_profile(scheme, k).wer_channel(ch, trials);
+    let tally = is_word_error_parallel(
+        scheme,
+        k,
+        ch,
+        Twist {
+            theta: 2.0,
+            burst_boost: 10.0,
+        },
+        trials,
+        9,
+        2,
+    );
+    assert!(tally.failures > 0);
+    let gap = (tally.rate() - exact).abs();
+    assert!(
+        gap <= 2.0 * tally.confidence95(),
+        "burst: {} (±{}) vs exact {exact}",
+        tally.rate(),
+        tally.confidence95()
+    );
+}
+
+/// ISSUE 9 satellite: likelihood-ratio weights are self-normalizing —
+/// under the twisted measure `E[w] = 1` exactly, so the mean weight
+/// over a long run must concentrate near 1 even at an aggressive tilt.
+#[test]
+fn likelihood_ratio_weights_sum_to_one_under_nominal() {
+    for theta in [0.0, 1.5, 3.0] {
+        let tally = is_word_error(
+            Scheme::Hamming,
+            8,
+            RareChannel::Iid { eps: 5e-3 },
+            Twist::theta(theta),
+            200_000,
+            5,
+        );
+        let mw = tally.mean_weight();
+        assert!(
+            (mw - 1.0).abs() < 0.05,
+            "theta={theta}: mean weight {mw} drifted from 1"
+        );
+        assert!((tally.weighted_trials - tally.trials as f64).abs() < 0.05 * tally.trials as f64);
+    }
+}
+
+/// ISSUE 9 satellite: zero-twist IS **is** the plain estimator — same
+/// RNG streams, same failure stream, weights exactly 1 — byte for byte,
+/// in both the single-stream and sharded forms.
+#[test]
+fn zero_twist_reproduces_plain_estimator_byte_for_byte() {
+    let (scheme, k, eps, seed) = (Scheme::Dap, 8, 5e-3, 41);
+    let trials = 70_000u64;
+    let plain = word_error_rate(scheme, k, eps, trials, seed);
+    let is = is_word_error(
+        scheme,
+        k,
+        RareChannel::Iid { eps },
+        Twist::NONE,
+        trials,
+        seed,
+    );
+    assert_eq!(is, plain.weighted(), "single-stream zero-twist diverged");
+    assert_eq!(
+        is.rate().to_bits(),
+        plain.rate.to_bits(),
+        "rate bit-identical"
+    );
+    let plain_par = word_error_rate_parallel(scheme, k, eps, trials, seed, 4);
+    let is_par = is_word_error_parallel(
+        scheme,
+        k,
+        RareChannel::Iid { eps },
+        Twist::NONE,
+        trials,
+        seed,
+        4,
+    );
+    assert_eq!(is_par, plain_par.weighted(), "sharded zero-twist diverged");
+}
+
+/// ISSUE 9 satellite: splitting with a trivial (level-free) schedule
+/// degrades to plain Monte-Carlo exactly — the replica at shard seed 0
+/// replays the plain estimator's streams.
+#[test]
+fn trivial_splitting_schedule_is_plain_monte_carlo() {
+    let (scheme, k, eps, seed) = (Scheme::Hamming, 8, 1e-2, 23);
+    let config = SplitConfig::direct(30_000, 1);
+    let split = split_word_error(scheme, k, RareChannel::Iid { eps }, &config, seed);
+    let plain = word_error_rate(scheme, k, eps, 30_000, shard_seed(seed, 0));
+    assert_eq!(split.failures, plain.failures);
+    assert_eq!(split.rate().to_bits(), plain.rate.to_bits());
+    // And zero-valued levels are the same trivial schedule.
+    let zeroed = SplitConfig::new(vec![0], 30_000, 1);
+    let split0 = split_word_error(scheme, k, RareChannel::Iid { eps }, &zeroed, seed);
+    assert_eq!(split0, split);
+}
+
+/// The pilot planner is deterministic and picks a failure-reaching
+/// method for every oracle cell at ε = 1e-3 (where plain MC at pilot
+/// effort often sees nothing).
+#[test]
+fn planner_always_returns_a_viable_method() {
+    for (scheme, k) in oracle_catalog() {
+        let p = plan(scheme, k, RareChannel::Iid { eps: 1e-3 }, 77);
+        let p2 = plan(scheme, k, RareChannel::Iid { eps: 1e-3 }, 77);
+        assert_eq!(p, p2, "{}: plan must be deterministic", scheme.name());
+        if let Method::Twist(t) = &p.method {
+            assert!(
+                p.pilot_rate > 0.0,
+                "{}: twist {t:?} chosen without evidence",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// ISSUE 9 satellite (determinism, untraced): every rare estimator is
+/// byte-identical at `--threads 1` vs `--threads 8`.
+#[test]
+fn estimators_are_thread_count_invariant_untraced() {
+    let ch = RareChannel::Iid { eps: 1e-3 };
+    let tw = Twist::theta(3.0);
+    let is1 = is_word_error_parallel(Scheme::Dapbi, 4, ch, tw, 150_000, 3, 1);
+    let is8 = is_word_error_parallel(Scheme::Dapbi, 4, ch, tw, 150_000, 3, 8);
+    assert_eq!(is1, is8, "IS estimator diverged across thread counts");
+    let config = SplitConfig::for_scheme(Scheme::Dap, 8, 2_048, 8);
+    let sp1 = split_word_error_parallel(Scheme::Dap, 8, ch, &config, 3, 1);
+    let sp8 = split_word_error_parallel(Scheme::Dap, 8, ch, &config, 3, 8);
+    assert_eq!(sp1, sp8, "splitting diverged across thread counts");
+    let c1 = certify(Scheme::Hamming, 8, ch, 0.3, 300_000, 3, 1);
+    let c8 = certify(Scheme::Hamming, 8, ch, 0.3, 300_000, 3, 8);
+    assert_eq!(c1, c8, "certify diverged across thread counts");
+}
+
+/// ISSUE 9 satellite (determinism, traced): the traced estimators emit
+/// merge-time telemetry in shard order, so the *entire recording* —
+/// exported JSONL, byte for byte — is thread-count invariant too.
+#[test]
+fn estimators_are_thread_count_invariant_traced() {
+    let run_is = |threads: usize| {
+        let rec = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&rec);
+        let tally = is_word_error_parallel_traced(
+            Scheme::Dap,
+            8,
+            RareChannel::Iid { eps: 1e-3 },
+            Twist::theta(3.0),
+            150_000,
+            7,
+            threads,
+            &tel,
+        );
+        (tally, rec.export_jsonl())
+    };
+    let (t1, j1) = run_is(1);
+    let (t8, j8) = run_is(8);
+    assert_eq!(t1, t8);
+    assert_eq!(j1, j8, "traced IS telemetry diverged across thread counts");
+    assert!(j1.contains("mc.rare.progress"), "rare telemetry missing");
+    let run_split = |threads: usize| {
+        let rec = Rc::new(Recorder::new());
+        let tel = Telemetry::from_recorder(&rec);
+        let config = SplitConfig::for_scheme(Scheme::Dap, 8, 2_048, 8);
+        let est = split_word_error_parallel_traced(
+            Scheme::Dap,
+            8,
+            RareChannel::Iid { eps: 1e-3 },
+            &config,
+            7,
+            threads,
+            &tel,
+        );
+        (est, rec.export_jsonl())
+    };
+    let (s1, k1) = run_split(1);
+    let (s8, k8) = run_split(8);
+    assert_eq!(s1, s8);
+    assert_eq!(
+        k1, k8,
+        "traced split telemetry diverged across thread counts"
+    );
+    assert!(k1.contains("mc.rare.split.replica"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// ISSUE 9 satellite: CI coverage. Across 100 independent IS runs
+    /// (fresh derived seed each), the claimed 95% CI must cover the
+    /// exact WER at least 90 times.
+    #[test]
+    fn ci_coverage_is_at_least_90_percent(
+        scheme_pick in any::<u64>(),
+        eps in 5e-3f64..0.03,
+        base_seed in any::<u64>(),
+    ) {
+        let cells = [(Scheme::Dap, 4usize), (Scheme::Hamming, 6), (Scheme::Uncoded, 8)];
+        let (scheme, k) = cells[(scheme_pick % cells.len() as u64) as usize];
+        let exact = failure_profile(scheme, k).wer(eps);
+        let mut covered = 0u32;
+        for run in 0..100u64 {
+            let tally = is_word_error_parallel(
+                scheme,
+                k,
+                RareChannel::Iid { eps },
+                Twist::theta(1.5),
+                10_000,
+                shard_seed(base_seed, run),
+                2,
+            );
+            if (tally.rate() - exact).abs() <= tally.confidence95() {
+                covered += 1;
+            }
+        }
+        prop_assert!(
+            covered >= 90,
+            "{} k={k} eps={eps}: CI covered exact WER only {covered}/100 times",
+            scheme.name()
+        );
+    }
+
+    /// Weighted determinism across a random grid: thread counts 1, 2,
+    /// and 7 agree on the IS tally for any (scheme, eps, trials, seed),
+    /// the rare-event mirror of PR 4's plain-MC determinism proptest.
+    #[test]
+    fn is_tally_is_thread_count_invariant(
+        scheme_pick in any::<u64>(),
+        eps in 1e-4f64..0.05,
+        theta in 0.0f64..5.0,
+        trials in 1u64..80_000,
+        root_seed in any::<u64>(),
+    ) {
+        let catalog = oracle_catalog();
+        let (scheme, k) = catalog[(scheme_pick % catalog.len() as u64) as usize];
+        let ch = RareChannel::Iid { eps };
+        let tw = Twist::theta(theta);
+        let one = is_word_error_parallel(scheme, k, ch, tw, trials, root_seed, 1);
+        let two = is_word_error_parallel(scheme, k, ch, tw, trials, root_seed, 2);
+        let seven = is_word_error_parallel(scheme, k, ch, tw, trials, root_seed, 7);
+        prop_assert_eq!(one, two, "1 vs 2 threads diverged");
+        prop_assert_eq!(one, seven, "1 vs 7 threads diverged");
+        prop_assert_eq!(one.trials, trials);
+    }
+}

@@ -60,4 +60,4 @@ pub use joint::{Bih, Bsc, Dap, Dapbi, Dapx, FtcHc, HammingX};
 pub use kernels::{codebook_builds, codebook_kernel, BookKey, CodebookKernel};
 pub use lpc::{BusInvert, CouplingBusInvert};
 pub use sabotage::SabotagedHamming;
-pub use traits::{BusCode, DecodeStatus, Uncoded};
+pub use traits::{BusCode, CloneBusCode, DecodeStatus, Uncoded};

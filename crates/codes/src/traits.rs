@@ -27,7 +27,7 @@ use socbus_model::{DelayClass, Word};
 /// If [`correctable_errors`](BusCode::correctable_errors) is `t`, the same
 /// holds when up to `t` arbitrary wires of the encoded word are flipped
 /// before decoding.
-pub trait BusCode {
+pub trait BusCode: CloneBusCode {
     /// Scheme name as used in the paper's tables (e.g. `"DAP"`, `"BI(8)"`).
     fn name(&self) -> String;
 
@@ -95,6 +95,33 @@ pub trait BusCode {
     /// (detect-and-retransmit) consume the status.
     fn decode_checked(&mut self, bus: Word) -> (Word, DecodeStatus) {
         (self.decode(bus), DecodeStatus::Unchecked)
+    }
+}
+
+/// Object-safe cloning for boxed codecs.
+///
+/// Every concrete codec is `Clone` (their state is plain data: previous
+/// word, phase, cached codebook handles), but `Box<dyn BusCode>` cannot
+/// use derive-cloning directly. This supertrait — blanket-implemented
+/// for every `Clone` codec — restores it: `clone_box` snapshots a codec
+/// *including its memory*, which is what lets the rare-event oracle in
+/// `socbus_channel::rare::exact` enumerate all error patterns against a
+/// stateful decoder without perturbing the decoder state the stream is
+/// advancing (clone, decode once, drop — the stream codec never moves).
+pub trait CloneBusCode {
+    /// A boxed deep copy of this codec, state included.
+    fn clone_box(&self) -> Box<dyn BusCode>;
+}
+
+impl<T: BusCode + Clone + 'static> CloneBusCode for T {
+    fn clone_box(&self) -> Box<dyn BusCode> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn BusCode> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
