@@ -18,9 +18,13 @@
 //!   measured kernel-vs-scan speedups; machine-dependent by nature (the
 //!   `BENCH_parallel.json` precedent) and not byte-compared.
 //!
-//! The bin *asserts* the ISSUE's acceptance gate before writing: every
-//! FPC/FTC scan-baseline row must decode corrupted words at least
-//! [`SPEEDUP_GATE`]× slower than its kernel decoder.
+//! The bin *asserts* the acceptance gates before writing: every FPC/FTC
+//! scan-baseline row must decode corrupted words at least
+//! [`SPEEDUP_GATE`]× slower than its kernel decoder, the bit-sliced
+//! batch rows must beat the scalar kernels by [`BATCH_GATE`]× on the
+//! linear schemes (parity, Hamming, bus-invert), and the batch and
+//! scalar Monte-Carlo engines must return byte-identical estimates at
+//! 1 and 8 threads over an odd trial count.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -28,8 +32,13 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use socbus_channel::montecarlo::{
+    word_error_rate_parallel, word_error_rate_parallel_scalar, WordErrorEstimate,
+};
+use socbus_codes::batch::BatchFpc;
 use socbus_codes::{
-    codebook_builds, BusCode, ForbiddenPatternCode, ForbiddenTransitionCode, Scheme,
+    batch_build, codebook_builds, BatchCode, BusCode, ForbiddenPatternCode,
+    ForbiddenTransitionCode, Scheme, WordBlock, BLOCK_WORDS,
 };
 use socbus_model::Word;
 
@@ -43,6 +52,13 @@ pub const WORDS: usize = 2_048;
 /// Minimum corrupted-word decode speedup (scan time / kernel time)
 /// every FPC/FTC baseline row must show.
 pub const SPEEDUP_GATE: f64 = 5.0;
+/// Minimum corrupted-word decode speedup (scalar time / batch time) the
+/// bit-sliced batch path must show on the gated linear schemes (parity,
+/// Hamming, bus-invert) — the ISSUE 10 acceptance gate.
+pub const BATCH_GATE: f64 = 10.0;
+/// Trials of the embedded Monte-Carlo batch-vs-scalar equivalence check:
+/// odd on purpose, leaving a remainder shard that itself ends mid-block.
+pub const MC_EQUIV_TRIALS: u64 = 65_537;
 /// Timing repetitions over the word stream (total decodes per
 /// measurement = `WORDS * REPS`).
 const REPS: usize = 64;
@@ -54,6 +70,8 @@ pub enum DecodePath {
     Kernel,
     /// The reference `decode_scan` of FPC/FTC (linear codebook scan).
     Scan,
+    /// The bit-sliced `BatchCode::decode` over 64-word blocks.
+    Batch,
 }
 
 /// One benchmark row: a codec, an input class, a decode path.
@@ -76,10 +94,11 @@ pub struct Row {
 }
 
 /// FNV-1a over the low 64 bits of each word — a cheap, deterministic
-/// stream fingerprint.
+/// stream fingerprint. Reads the low limb directly (never
+/// `Word::bits()`, which refuses words with wires ≥ 128 set), so the
+/// fingerprint works at every bus width up to 256.
 fn fnv1a(acc: u64, w: Word) -> u64 {
-    #[allow(clippy::cast_possible_truncation)]
-    let x = w.bits() as u64;
+    let x = w.limb(0);
     let mut h = acc;
     for byte in x.to_le_bytes() {
         h ^= u64::from(byte);
@@ -132,6 +151,33 @@ fn row_seed(label: &str) -> u64 {
     label.bytes().fold(SEED, |acc, b| {
         acc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(b)
     })
+}
+
+/// Times a batch decoder over the same stream, pre-transposed into
+/// [`BLOCK_WORDS`]-sized blocks. The checksum folds every decoded word
+/// of the first pass in stream order — it must equal the scalar kernel
+/// row's checksum on the same stream (the batch equivalence witness).
+/// The timed loop decodes blocks without untransposing, which is how the
+/// Monte-Carlo hot loop consumes them (failure masks read the lanes).
+fn run_batch_row(stream: &[Word], dec: &mut dyn BatchCode) -> (u64, f64) {
+    let blocks: Vec<WordBlock> = stream
+        .chunks(BLOCK_WORDS)
+        .map(WordBlock::from_words)
+        .collect();
+    let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+    for b in &blocks {
+        for w in dec.decode(b).to_words() {
+            checksum = fnv1a(checksum, w);
+        }
+    }
+    let start = Instant::now();
+    for _ in 0..REPS {
+        for b in &blocks {
+            std::hint::black_box(dec.decode(std::hint::black_box(b)));
+        }
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / (REPS * stream.len()) as f64;
+    (checksum, ns)
 }
 
 /// Runs the full benchmark: every catalog scheme at [`DATA_BITS`] plus
@@ -192,6 +238,40 @@ pub fn run() -> Vec<Row> {
             scan.decode_scan(b)
         });
     }
+
+    // The bit-sliced batch rows: same label, same stream, same seed as
+    // the scalar kernel rows, so the checksums are directly comparable
+    // (and asserted equal — the end-to-end batch equivalence witness).
+    let mut push_batch =
+        |label: &str, code: &mut dyn BusCode, input: &'static str, dec: &mut dyn BatchCode| {
+            let s = stream(code, row_seed(label), input == "corrupted");
+            let (checksum, ns) = run_batch_row(&s, dec);
+            rows.push(Row {
+                label: label.to_owned(),
+                k: code.data_bits(),
+                wires: code.wires(),
+                input,
+                path: DecodePath::Batch,
+                checksum,
+                ns_per_word: ns,
+            });
+        };
+    for scheme in Scheme::catalog() {
+        let label = scheme.name();
+        for input in ["clean", "corrupted"] {
+            let mut code = scheme.build(DATA_BITS);
+            let mut dec = batch_build(scheme, DATA_BITS);
+            push_batch(&label, code.as_mut(), input, dec.as_mut());
+        }
+    }
+    for k in [11usize, 16] {
+        let label = format!("FPC({k})");
+        for input in ["clean", "corrupted"] {
+            let mut code = ForbiddenPatternCode::new(k);
+            let mut dec = BatchFpc::new(k);
+            push_batch(&label, &mut code, input, &mut dec);
+        }
+    }
     rows
 }
 
@@ -221,10 +301,90 @@ pub fn corrupted_speedups(rows: &[Row]) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Renders the **deterministic** benchmark JSON (`BENCH_codec.json`):
-/// everything except wall-clock — checksums, build counts, gate verdict.
+/// The batch-vs-scalar decode speedups on corrupted inputs,
+/// `(label, speedup)`, for every batch row. Asserts every batch row's
+/// checksum (clean and corrupted) equals its scalar kernel partner's —
+/// the bit-sliced decoders must produce the identical data stream.
 #[must_use]
-pub fn render_json(rows: &[Row], builds: u64, gate_passed: bool) -> String {
+pub fn batch_speedups(rows: &[Row]) -> Vec<(String, f64)> {
+    let partner = |batch: &Row, input: &str| -> Row {
+        rows.iter()
+            .find(|r| {
+                r.path == DecodePath::Kernel
+                    && r.input == input
+                    && r.label == batch.label
+                    && r.k == batch.k
+            })
+            .expect("every batch row has a kernel partner")
+            .clone()
+    };
+    rows.iter()
+        .filter(|r| r.path == DecodePath::Batch)
+        .for_each(|batch| {
+            let kernel = partner(batch, batch.input);
+            assert_eq!(
+                kernel.checksum, batch.checksum,
+                "{} ({}): batch and scalar decoders must agree",
+                batch.label, batch.input
+            );
+        });
+    rows.iter()
+        .filter(|r| r.path == DecodePath::Batch && r.input == "corrupted")
+        .map(|batch| {
+            let kernel = partner(batch, "corrupted");
+            (batch.label.clone(), kernel.ns_per_word / batch.ns_per_word)
+        })
+        .collect()
+}
+
+/// Whether `label` is one of the linear schemes the [`BATCH_GATE`]
+/// applies to (parity, Hamming, and the bus-invert family).
+#[must_use]
+pub fn batch_gated(label: &str) -> bool {
+    label == "Parity" || label == "Hamming" || label.starts_with("BI(")
+}
+
+/// The embedded Monte-Carlo equivalence check: batch and scalar sharded
+/// estimates of the same run, at 1 and 8 threads.
+#[derive(Clone, Copy, Debug)]
+pub struct McEquiv {
+    /// Batch-path estimate (the default engine), measured at 1 thread.
+    pub batch: WordErrorEstimate,
+    /// Scalar-path estimate at 1 thread.
+    pub scalar: WordErrorEstimate,
+    /// Whether batch == scalar byte-for-byte at both 1 and 8 threads.
+    pub agree: bool,
+}
+
+/// Runs the batch and scalar Monte-Carlo engines over the identical
+/// `(scheme, k, eps, trials, seed)` at `--threads 1` and `8` and reports
+/// whether all four estimates are byte-identical. [`MC_EQUIV_TRIALS`] is
+/// odd, so the check crosses both a shard and a block remainder.
+#[must_use]
+pub fn montecarlo_equivalence() -> McEquiv {
+    let (scheme, k, eps, seed) = (Scheme::Dap, DATA_BITS, 1e-2, SEED);
+    let batch = word_error_rate_parallel(scheme, k, eps, MC_EQUIV_TRIALS, seed, 1);
+    let scalar = word_error_rate_parallel_scalar(scheme, k, eps, MC_EQUIV_TRIALS, seed, 1);
+    let batch8 = word_error_rate_parallel(scheme, k, eps, MC_EQUIV_TRIALS, seed, 8);
+    let scalar8 = word_error_rate_parallel_scalar(scheme, k, eps, MC_EQUIV_TRIALS, seed, 8);
+    McEquiv {
+        batch,
+        scalar,
+        agree: batch == scalar && batch == batch8 && scalar == scalar8,
+    }
+}
+
+/// Renders the **deterministic** benchmark JSON (`BENCH_codec.json`):
+/// everything except wall-clock — checksums, build counts, gate
+/// verdicts, and the exact-integer Monte-Carlo equivalence tallies.
+#[must_use]
+pub fn render_json(
+    rows: &[Row],
+    builds: u64,
+    gate_passed: bool,
+    batch_gate_passed: bool,
+    mc: &McEquiv,
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"data_bits\": {DATA_BITS},");
@@ -236,6 +396,17 @@ pub fn render_json(rows: &[Row], builds: u64, gate_passed: bool) -> String {
         "  \"speedup_gate\": {{\"threshold\": {SPEEDUP_GATE}, \"passed\": {gate_passed}, \
          \"measured_in\": \"BENCH_codec_timing.json\"}},"
     );
+    let _ = writeln!(
+        json,
+        "  \"batch_gate\": {{\"threshold\": {BATCH_GATE}, \"passed\": {batch_gate_passed}, \
+         \"schemes\": \"Parity/Hamming/BI\", \"measured_in\": \"BENCH_codec_timing.json\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"montecarlo_equivalence\": {{\"scheme\": \"DAP\", \"trials\": {}, \
+         \"batch_failures\": {}, \"scalar_failures\": {}, \"threads_1_vs_8_agree\": {}}},",
+        MC_EQUIV_TRIALS, mc.batch.failures, mc.scalar.failures, mc.agree
+    );
     json.push_str("  \"rows\": [\n");
     render_rows(&mut json, rows, |json, r| {
         let _ = write!(json, "\"checksum\": \"{:016x}\"", r.checksum);
@@ -245,8 +416,9 @@ pub fn render_json(rows: &[Row], builds: u64, gate_passed: bool) -> String {
 }
 
 /// Renders the **wall-clock** JSON (`BENCH_codec_timing.json`): the same
-/// rows with ns-per-word, plus the corrupted-decode speedups. Machine-
-/// dependent by design; never byte-compared.
+/// rows with ns-per-word and words/sec, plus the corrupted-decode
+/// kernel-vs-scan and batch-vs-scalar speedups. Machine-dependent by
+/// design; never byte-compared.
 #[must_use]
 pub fn render_timing_json(rows: &[Row]) -> String {
     let mut json = String::new();
@@ -265,9 +437,29 @@ pub fn render_timing_json(rows: &[Row]) -> String {
         );
     }
     json.push_str("\n  ],\n");
+    json.push_str("  \"batch_decode_speedups\": [\n");
+    let mut first = true;
+    for (label, speedup) in batch_speedups(rows) {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{label}\", \"scalar_over_batch\": {speedup:.2}, \
+             \"gated\": {}}}",
+            batch_gated(&label)
+        );
+    }
+    json.push_str("\n  ],\n");
     json.push_str("  \"rows\": [\n");
     render_rows(&mut json, rows, |json, r| {
-        let _ = write!(json, "\"ns_per_word\": {:.2}", r.ns_per_word);
+        let _ = write!(
+            json,
+            "\"ns_per_word\": {:.2}, \"words_per_sec\": {:.0}",
+            r.ns_per_word,
+            1e9 / r.ns_per_word
+        );
     });
     json.push_str("\n  ]\n}\n");
     json
@@ -283,6 +475,7 @@ fn render_rows(json: &mut String, rows: &[Row], tail: impl Fn(&mut String, &Row)
         let path = match r.path {
             DecodePath::Kernel => "kernel",
             DecodePath::Scan => "scan",
+            DecodePath::Batch => "batch",
         };
         let _ = write!(
             json,
@@ -305,8 +498,10 @@ fn write_out(path: &str, content: &str) {
     std::fs::write(path, content).expect("write results file");
 }
 
-/// Bin entry point: runs the benchmark, asserts the speedup gate, writes
-/// both JSON files. Args: `[BENCH_codec.json [BENCH_codec_timing.json]]`.
+/// Bin entry point: runs the benchmark, asserts the kernel-vs-scan and
+/// batch-vs-scalar speedup gates plus the Monte-Carlo batch/scalar
+/// equivalence, writes both JSON files.
+/// Args: `[BENCH_codec.json [BENCH_codec_timing.json]]`.
 pub fn main_with_args(args: &[String]) -> i32 {
     let out = args
         .first()
@@ -332,7 +527,38 @@ pub fn main_with_args(args: &[String]) -> i32 {
          >= {SPEEDUP_GATE}x faster than its scan baseline ({speedups:?})"
     );
 
-    write_out(out, &render_json(&rows, builds, gate_passed));
+    let batch = batch_speedups(&rows);
+    let mut batch_gate_passed = true;
+    for (label, speedup) in &batch {
+        let gated = batch_gated(label);
+        eprintln!(
+            "{label:<10} corrupted decode: scalar/batch = {speedup:.1}x{}",
+            if gated { " [gated]" } else { "" }
+        );
+        if gated && *speedup < BATCH_GATE {
+            batch_gate_passed = false;
+        }
+    }
+    assert!(
+        batch_gate_passed,
+        "batch gate failed: parity/Hamming/BI corrupted-decode rows must be \
+         >= {BATCH_GATE}x faster on the bit-sliced path ({batch:?})"
+    );
+
+    let mc = montecarlo_equivalence();
+    eprintln!(
+        "montecarlo batch vs scalar over {} trials: {} vs {} failures (threads 1 vs 8 agree: {})",
+        MC_EQUIV_TRIALS, mc.batch.failures, mc.scalar.failures, mc.agree
+    );
+    assert!(
+        mc.agree && mc.batch == mc.scalar,
+        "montecarlo batch/scalar equivalence failed: {mc:?}"
+    );
+
+    write_out(
+        out,
+        &render_json(&rows, builds, gate_passed, batch_gate_passed, &mc),
+    );
     write_out(timing_out, &render_timing_json(&rows));
     eprintln!("codec benchmark written to {out} (timing: {timing_out})");
     0

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use socbus_codes::WordBlock;
 use socbus_model::{bit_error_probability, Word};
 
 /// A noisy bus channel.
@@ -99,6 +100,21 @@ impl BitFlipChannel {
         }
         out
     }
+
+    /// Transmits a whole [`WordBlock`] in place, drawing the flip
+    /// variates **word by word, wire-ascending within each word** — the
+    /// exact RNG stream [`BitFlipChannel::transmit`] consumes for the
+    /// same words in the same order. This is what keeps the batch
+    /// Monte-Carlo path byte-identical to the scalar one.
+    pub fn corrupt_block(&mut self, block: &mut WordBlock) {
+        for j in 0..block.len() {
+            for i in 0..block.width() {
+                if self.rng.gen::<f64>() < self.eps {
+                    block.flip_bit(i, j);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,20 @@ mod tests {
         let hi = GaussianChannel::new(1.2, 0.1, 1).bit_error_probability();
         let lo = GaussianChannel::new(0.8, 0.1, 1).bit_error_probability();
         assert!(lo > hi);
+    }
+
+    #[test]
+    fn corrupt_block_consumes_the_scalar_stream() {
+        // Same seed, same words: the block path must produce exactly the
+        // words the scalar path does, because it draws the same variates
+        // in the same order.
+        let words: Vec<Word> = (0..64u128).map(|j| Word::from_bits(j * 37, 11)).collect();
+        let mut scalar_ch = BitFlipChannel::new(0.2, 99);
+        let scalar: Vec<Word> = words.iter().map(|&w| scalar_ch.transmit(w)).collect();
+        let mut block = WordBlock::from_words(&words);
+        let mut block_ch = BitFlipChannel::new(0.2, 99);
+        block_ch.corrupt_block(&mut block);
+        assert_eq!(block.to_words(), scalar);
     }
 
     #[test]

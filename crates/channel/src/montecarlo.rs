@@ -16,7 +16,7 @@
 use crate::awgn::BitFlipChannel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use socbus_codes::Scheme;
+use socbus_codes::{batch_build, Scheme, WordBlock, BLOCK_WORDS};
 use socbus_exec::{run_shards, shard_seed};
 use socbus_model::Word;
 use socbus_telemetry::Telemetry;
@@ -279,6 +279,12 @@ pub fn mc_shards(trials: u64, root_seed: u64) -> Vec<(u64, u64)> {
 ///
 /// Encoder and decoder advance in lockstep (wire errors never desynchronize
 /// the codecs in this crate: decoder state is data-independent).
+///
+/// Trials run on the bit-sliced batch path ([`socbus_codes::batch`]) in
+/// [`BLOCK_WORDS`]-sized blocks — byte-identical to the scalar reference
+/// [`word_error_rate_scalar`] (the two RNG streams are consumed in the
+/// same per-stream order; see the odd-trials regression tests) but an
+/// order of magnitude cheaper on the linear schemes.
 #[must_use]
 pub fn word_error_rate(
     scheme: Scheme,
@@ -290,13 +296,112 @@ pub fn word_error_rate(
     word_error_rate_traced(scheme, k, eps, trials, seed, &Telemetry::off())
 }
 
+/// The scalar (one-`Word`-at-a-time) reference implementation of
+/// [`word_error_rate`]. Kept as the equivalence witness for the batch
+/// path and as the baseline the codec bench measures speedups against.
+#[must_use]
+pub fn word_error_rate_scalar(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    seed: u64,
+) -> WordErrorEstimate {
+    word_error_rate_scalar_traced(scheme, k, eps, trials, seed, &Telemetry::off())
+}
+
 /// [`word_error_rate`] with batch-progress telemetry: every
 /// [`MC_PROGRESS_CHUNK`] trials (and once at the end) it emits an
 /// `mc.progress` event plus `mc.trials`/`mc.failures` counters and an
-/// `mc.rate` gauge, all labeled with the scheme name. With a disabled
-/// handle the loop body is the uninstrumented one.
+/// `mc.rate` gauge, all labeled with the scheme name. The telemetry
+/// stream is identical to the scalar path's: chunk boundaries fall at the
+/// same trial indices even though they land mid-block.
 #[must_use]
 pub fn word_error_rate_traced(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    seed: u64,
+    tel: &Telemetry,
+) -> WordErrorEstimate {
+    // Two codec objects (endpoint state must stay independent for
+    // stateful codes like BI); native batch codecs share the process-wide
+    // codebook cache with the scalar ones, so construction cost per sweep
+    // stays O(schemes) — see `cache_makes_builds_o_schemes`.
+    let mut enc = batch_build(scheme, k);
+    let mut dec = batch_build(scheme, k);
+    let mut ch = BitFlipChannel::new(eps, seed ^ 0x5EED);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    let mut chunk_failures = 0u64;
+    let mut done = 0u64;
+    let scheme_name = if tel.is_enabled() {
+        scheme.name()
+    } else {
+        String::new()
+    };
+    let mut words: Vec<Word> = Vec::with_capacity(BLOCK_WORDS);
+    while done < trials {
+        let n = usize::try_from((trials - done).min(BLOCK_WORDS as u64)).expect("n <= 64");
+        // Data draws first (one `u128` per trial, in trial order), then
+        // the channel draws (per word, wire-ascending): each stream is
+        // its own RNG, so batching keeps both streams in scalar order.
+        words.clear();
+        words.extend((0..n).map(|_| Word::from_bits(rng.gen::<u128>(), k)));
+        let data = WordBlock::from_words(&words);
+        let sent = enc.encode(&data);
+        let mut received = sent;
+        ch.corrupt_block(&mut received);
+        let out = dec.decode(&received);
+        let fail_plane = (0..k).fold(0u64, |acc, i| acc | (out.lane(i) ^ data.lane(i)));
+        if tel.is_enabled() {
+            // Walk the block in trial order so the progress events land
+            // on exactly the scalar path's chunk boundaries.
+            for j in 0..n {
+                if fail_plane >> j & 1 == 1 {
+                    failures += 1;
+                    chunk_failures += 1;
+                }
+                done += 1;
+                if done.is_multiple_of(MC_PROGRESS_CHUNK) || done == trials {
+                    let labels = [("scheme", scheme_name.as_str())];
+                    tel.event("mc.progress", &labels, done);
+                    tel.counter(
+                        "mc.trials",
+                        &labels,
+                        if done.is_multiple_of(MC_PROGRESS_CHUNK) {
+                            MC_PROGRESS_CHUNK
+                        } else {
+                            done % MC_PROGRESS_CHUNK
+                        },
+                    );
+                    tel.counter("mc.failures", &labels, chunk_failures);
+                    chunk_failures = 0;
+                    tel.gauge("mc.rate", &labels, failures as f64 / done as f64);
+                }
+            }
+        } else {
+            failures += u64::from(fail_plane.count_ones());
+            done += n as u64;
+        }
+    }
+    WordErrorEstimate {
+        // Guard the 0/0 shape explicitly: an empty run has rate 0, not NaN.
+        rate: if trials == 0 {
+            0.0
+        } else {
+            failures as f64 / trials as f64
+        },
+        trials,
+        failures,
+    }
+}
+
+/// [`word_error_rate_scalar`] with the same telemetry contract as
+/// [`word_error_rate_traced`].
+#[must_use]
+pub fn word_error_rate_scalar_traced(
     scheme: Scheme,
     k: usize,
     eps: f64,
@@ -415,12 +520,39 @@ pub fn word_error_rate_parallel_traced(
     let estimates = run_shards(threads, &shards, |_, &(shard_trials, seed)| {
         word_error_rate(scheme, k, eps, shard_trials, seed)
     });
+    merge_traced(scheme, tel, &estimates)
+}
+
+/// [`word_error_rate_parallel`] on the scalar reference path — the
+/// sharded counterpart of [`word_error_rate_scalar`], kept so CI can
+/// `cmp` batch-vs-scalar estimates at any thread count.
+#[must_use]
+pub fn word_error_rate_parallel_scalar(
+    scheme: Scheme,
+    k: usize,
+    eps: f64,
+    trials: u64,
+    root_seed: u64,
+    threads: usize,
+) -> WordErrorEstimate {
+    let shards = mc_shards(trials, root_seed);
+    let estimates = run_shards(threads, &shards, |_, &(shard_trials, seed)| {
+        word_error_rate_scalar(scheme, k, eps, shard_trials, seed)
+    });
+    WordErrorEstimate::merged(estimates)
+}
+
+fn merge_traced(
+    scheme: Scheme,
+    tel: &Telemetry,
+    estimates: &[WordErrorEstimate],
+) -> WordErrorEstimate {
     if tel.is_enabled() {
         let scheme_name = scheme.name();
         let labels = [("scheme", scheme_name.as_str())];
         let mut done = 0u64;
         let mut failures = 0u64;
-        for shard in &estimates {
+        for shard in estimates {
             done += shard.trials;
             failures += shard.failures;
             tel.event("mc.progress", &labels, done);
@@ -431,7 +563,7 @@ pub fn word_error_rate_parallel_traced(
             tel.gauge("mc.rate", &labels, failures as f64 / done as f64);
         }
     }
-    WordErrorEstimate::merged(estimates)
+    WordErrorEstimate::merged(estimates.iter().copied())
 }
 
 #[cfg(test)]
@@ -824,6 +956,94 @@ mod tests {
         let m = word_error_rate(Scheme::Parity, k, eps, 200_000, 37);
         let expect = noise::word_error_uncoded_exact(k, eps);
         assert_close(&m, expect, "parity passthrough");
+    }
+
+    /// ISSUE 10 satellite (remainder handling): the batch path must be
+    /// byte-identical to the scalar reference at trial counts that leave
+    /// partial final blocks — 1, 63 (sub-block), 65 (one full block plus
+    /// one word), 65537 (crosses MC_PROGRESS_CHUNK with a remainder) —
+    /// and at block-aligned counts, across stateless, stateful, and
+    /// LUT-decoded schemes.
+    #[test]
+    fn batch_path_is_byte_identical_to_scalar_at_odd_trials() {
+        let eps = 2e-2;
+        for scheme in [
+            Scheme::Uncoded,
+            Scheme::Dap,
+            Scheme::BusInvert(2),
+            Scheme::Ftc,
+            Scheme::Bsc,
+        ] {
+            for trials in [0u64, 1, 63, 64, 65, 2 * 64 + 7] {
+                let batch = word_error_rate(scheme, 8, eps, trials, 77);
+                let scalar = word_error_rate_scalar(scheme, 8, eps, trials, 77);
+                assert_eq!(batch, scalar, "{} at {trials} trials", scheme.name());
+            }
+        }
+        // The long odd run, on a correcting scheme so failures are rare
+        // but nonzero at this eps.
+        let batch = word_error_rate(Scheme::Dap, 8, eps, 65_537, 77);
+        let scalar = word_error_rate_scalar(Scheme::Dap, 8, eps, 65_537, 77);
+        assert_eq!(batch, scalar, "DAP at 65537 trials");
+        assert!(batch.failures > 0, "test must exercise the failure path");
+    }
+
+    /// ISSUE 10 satellite: batch and scalar telemetry streams agree —
+    /// chunk boundaries fall at the same trial indices even though the
+    /// batch path crosses them mid-block (MC_PROGRESS_CHUNK is not a
+    /// multiple of 64).
+    #[test]
+    fn batch_telemetry_matches_scalar_chunking() {
+        use socbus_telemetry::Recorder;
+        use std::rc::Rc;
+        let (k, eps, seed) = (8, 5e-3, 41);
+        let trials = MC_PROGRESS_CHUNK + 123;
+        let rec_b = Rc::new(Recorder::new());
+        let batch = word_error_rate_traced(
+            Scheme::Dap,
+            k,
+            eps,
+            trials,
+            seed,
+            &Telemetry::from_recorder(&rec_b),
+        );
+        let rec_s = Rc::new(Recorder::new());
+        let scalar = word_error_rate_scalar_traced(
+            Scheme::Dap,
+            k,
+            eps,
+            trials,
+            seed,
+            &Telemetry::from_recorder(&rec_s),
+        );
+        assert_eq!(batch, scalar);
+        let labels = [("scheme", "DAP")];
+        assert_eq!(
+            rec_b.counter_value("mc.trials", &labels),
+            rec_s.counter_value("mc.trials", &labels)
+        );
+        assert_eq!(
+            rec_b.counter_value("mc.failures", &labels),
+            rec_s.counter_value("mc.failures", &labels)
+        );
+        assert_eq!(
+            rec_b.gauge_value("mc.rate", &labels),
+            rec_s.gauge_value("mc.rate", &labels)
+        );
+        assert_eq!(rec_b.ring_stats().recorded, rec_s.ring_stats().recorded);
+    }
+
+    /// ISSUE 10 satellite: the sharded batch estimator equals the sharded
+    /// scalar one at every thread count, including an odd total that
+    /// leaves a remainder shard which itself ends mid-block.
+    #[test]
+    fn parallel_batch_equals_parallel_scalar_across_threads() {
+        let trials = MC_SHARD_TRIALS + 4321;
+        let scalar = word_error_rate_parallel_scalar(Scheme::Dap, 8, 5e-3, trials, 7, 1);
+        for threads in [1, 2, 8] {
+            let batch = word_error_rate_parallel(Scheme::Dap, 8, 5e-3, trials, 7, threads);
+            assert_eq!(batch, scalar, "threads={threads}");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use twist::{
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use socbus_codes::{BusCode, Scheme};
+use socbus_codes::{batch_build, BatchCode, Scheme, WordBlock, BLOCK_WORDS};
 use socbus_model::Word;
 
 /// The noise process a rare-event estimator integrates over.
@@ -152,10 +152,12 @@ pub(crate) const FLIP_SEED_SALT: u64 = 0x5EED;
 /// The per-trial codec stream shared by the IS and splitting estimators:
 /// persistent encoder/decoder pair (endpoint state advances across
 /// trials, exactly like [`crate::montecarlo::word_error_rate`]) plus the
-/// uniform data-word stream.
+/// uniform data-word stream. Runs on the bit-sliced batch codecs; a
+/// single-pattern call is the one-word block special case, so per-trial
+/// and per-block callers stay on one byte-identical code path.
 pub(crate) struct TrialStream {
-    enc: Box<dyn BusCode>,
-    dec: Box<dyn BusCode>,
+    enc: Box<dyn BatchCode>,
+    dec: Box<dyn BatchCode>,
     data_rng: StdRng,
     k: usize,
     wires: usize,
@@ -165,8 +167,8 @@ impl TrialStream {
     /// A stream for `scheme` at width `k`, data seeded by `seed` (the
     /// flip draws live in the caller's separate RNG).
     pub(crate) fn new(scheme: Scheme, k: usize, seed: u64) -> TrialStream {
-        let enc = scheme.build(k);
-        let dec = scheme.build(k);
+        let enc = batch_build(scheme, k);
+        let dec = batch_build(scheme, k);
         let wires = enc.wires();
         TrialStream {
             enc,
@@ -182,15 +184,43 @@ impl TrialStream {
         self.wires
     }
 
-    /// Runs one transfer: draws the next data word, encodes, XORs the
-    /// given error `pattern` onto the codeword, decodes, and reports
-    /// whether the decoded data differs from the sent data. Advances
-    /// both codec states — identical draw counts and codec-state
-    /// trajectory to the plain Monte-Carlo loop.
+    /// Runs one block of transfers: draws the next `patterns.len()` data
+    /// words (one `u128` per trial, in trial order), encodes the block,
+    /// XORs error pattern `j` onto codeword `j`, decodes, and returns the
+    /// failure mask (bit `j` set when decoded word `j` differs from the
+    /// sent data). Advances both codec states across the whole block —
+    /// identical draw counts and codec-state trajectory to running the
+    /// trials one at a time.
+    pub(crate) fn fails_with_patterns(&mut self, patterns: &[u128]) -> u64 {
+        let n = patterns.len();
+        debug_assert!(n <= BLOCK_WORDS, "pattern block too large");
+        if n == 0 {
+            return 0;
+        }
+        let words: Vec<Word> = (0..n)
+            .map(|_| Word::from_bits(self.data_rng.gen::<u128>(), self.k))
+            .collect();
+        let data = WordBlock::from_words(&words);
+        let mut received = self.enc.encode(&data);
+        let wire_mask = if self.wires >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.wires) - 1
+        };
+        for (j, &p) in patterns.iter().enumerate() {
+            let mut rem = p & wire_mask;
+            while rem != 0 {
+                received.flip_bit(rem.trailing_zeros() as usize, j);
+                rem &= rem - 1;
+            }
+        }
+        let out = self.dec.decode(&received);
+        (0..self.k).fold(0u64, |acc, i| acc | (out.lane(i) ^ data.lane(i)))
+    }
+
+    /// One transfer: [`TrialStream::fails_with_patterns`] on a one-word
+    /// block.
     pub(crate) fn fails_with_pattern(&mut self, pattern: u128) -> bool {
-        let d = Word::from_bits(self.data_rng.gen::<u128>(), self.k);
-        let sent = self.enc.encode(d);
-        let received = sent.xor(Word::from_bits(pattern, self.wires));
-        self.dec.decode(received) != d
+        self.fails_with_patterns(&[pattern]) == 1
     }
 }

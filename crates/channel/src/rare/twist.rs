@@ -33,7 +33,7 @@ use super::{RareChannel, TrialStream, FLIP_SEED_SALT};
 use crate::montecarlo::{mc_shards, WeightedTally, MC_PROGRESS_CHUNK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use socbus_codes::Scheme;
+use socbus_codes::{Scheme, BLOCK_WORDS};
 use socbus_exec::run_shards;
 use socbus_telemetry::Telemetry;
 
@@ -144,36 +144,52 @@ fn is_shard(
             Some((params(eps_bad), qb, w_bad, w_good))
         }
     };
-    for t in 0..trials {
-        let ((eps_t, flip_w, keep_w), state_w) = match burst {
-            None => (iid, 1.0),
-            Some((bad, qb, w_bad, w_good)) => {
-                // One occupancy draw per word, mirroring the one
-                // transition draw per word of `GilbertElliott::corrupt`.
-                if flip_rng.gen::<f64>() < qb {
-                    (bad, w_bad)
+    // Trials run in BLOCK_WORDS-sized batches: all of a block's noise
+    // draws happen first (the flip RNG is a separate stream from the data
+    // RNG, so its per-stream order is unchanged), then one batch
+    // encode/decode, then the tally records per trial in original order —
+    // the float sums and telemetry stay byte-identical to the per-trial
+    // loop.
+    let mut patterns: Vec<u128> = Vec::with_capacity(BLOCK_WORDS);
+    let mut weights: Vec<f64> = Vec::with_capacity(BLOCK_WORDS);
+    let mut done = 0u64;
+    while done < trials {
+        let n = usize::try_from((trials - done).min(BLOCK_WORDS as u64)).expect("n <= 64");
+        patterns.clear();
+        weights.clear();
+        for _ in 0..n {
+            let ((eps_t, flip_w, keep_w), state_w) = match burst {
+                None => (iid, 1.0),
+                Some((bad, qb, w_bad, w_good)) => {
+                    // One occupancy draw per word, mirroring the one
+                    // transition draw per word of `GilbertElliott::corrupt`.
+                    if flip_rng.gen::<f64>() < qb {
+                        (bad, w_bad)
+                    } else {
+                        (iid, w_good)
+                    }
+                }
+            };
+            let mut w = state_w;
+            let mut pattern = 0u128;
+            for i in 0..wires {
+                // Same draw shape as `BitFlipChannel::transmit`, so the
+                // zero-twist pattern stream is the plain channel's.
+                if flip_rng.gen::<f64>() < eps_t {
+                    pattern |= 1u128 << i;
+                    w *= flip_w;
                 } else {
-                    (iid, w_good)
+                    w *= keep_w;
                 }
             }
-        };
-        let mut w = state_w;
-        let mut pattern = 0u128;
-        for i in 0..wires {
-            // Same draw shape as `BitFlipChannel::transmit`, so the
-            // zero-twist pattern stream is the plain channel's.
-            if flip_rng.gen::<f64>() < eps_t {
-                pattern |= 1u128 << i;
-                w *= flip_w;
-            } else {
-                w *= keep_w;
-            }
+            patterns.push(pattern);
+            weights.push(w);
         }
-        let failed = stream.fails_with_pattern(pattern);
-        tally.record(w, failed);
-        if tel.is_enabled() {
-            let done = t + 1;
-            if done % MC_PROGRESS_CHUNK == 0 || done == trials {
+        let fail_mask = stream.fails_with_patterns(&patterns);
+        for (j, &w) in weights.iter().enumerate() {
+            tally.record(w, fail_mask >> j & 1 == 1);
+            done += 1;
+            if tel.is_enabled() && (done.is_multiple_of(MC_PROGRESS_CHUNK) || done == trials) {
                 let labels = [("scheme", scheme_name.as_str())];
                 tel.event("mc.rare.progress", &labels, done);
                 tel.gauge("mc.rare.rate", &labels, tally.rate());

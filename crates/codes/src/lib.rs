@@ -21,6 +21,8 @@
 //!   duplication);
 //! * [`kernels`] — the process-wide codebook cache and O(1) inverse
 //!   decode tables behind the FPC/FTC hot path;
+//! * [`batch`] — bit-sliced [`WordBlock`] batch codecs: 64 words per
+//!   bitwise op for the Monte-Carlo and mesh hot loops;
 //! * [`catalog`] — every evaluated scheme constructible by name.
 //!
 //! # Example
@@ -39,6 +41,7 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod cac;
 pub mod catalog;
 pub mod ecc;
@@ -50,6 +53,9 @@ pub mod sabotage;
 pub mod theory;
 pub mod traits;
 
+pub use batch::{
+    batch_build, batch_is_native, BatchCode, BatchScalar, BlockStatus, WordBlock, BLOCK_WORDS,
+};
 pub use cac::{
     Duplication, ForbiddenPatternCode, ForbiddenTransitionCode, HalfShielding, Shielding,
 };

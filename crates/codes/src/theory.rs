@@ -70,15 +70,24 @@ impl Generator {
     /// Whether the map is injective (rows linearly independent).
     #[must_use]
     pub fn is_injective(&self) -> bool {
-        // Gaussian elimination over GF(2).
-        let mut rows: Vec<u128> = self.rows.iter().map(|r| r.bits()).collect();
+        // Gaussian elimination over GF(2), on raw limbs so codes wider than
+        // 128 wires don't trip the `Word::bits` 128-bit ceiling.
+        let mut rows: Vec<[u64; Word::LIMB_COUNT]> = self
+            .rows
+            .iter()
+            .map(|r| [r.limb(0), r.limb(1), r.limb(2), r.limb(3)])
+            .collect();
         let mut rank = 0;
         for col in 0..self.n {
-            if let Some(p) = (rank..rows.len()).find(|&r| rows[r] >> col & 1 == 1) {
+            let (l, b) = (col / 64, col % 64);
+            if let Some(p) = (rank..rows.len()).find(|&r| rows[r][l] >> b & 1 == 1) {
                 rows.swap(rank, p);
-                for r in 0..rows.len() {
-                    if r != rank && rows[r] >> col & 1 == 1 {
-                        rows[r] ^= rows[rank];
+                let pivot = rows[rank];
+                for (r, row) in rows.iter_mut().enumerate() {
+                    if r != rank && row[l] >> b & 1 == 1 {
+                        for (x, p) in row.iter_mut().zip(pivot.iter()) {
+                            *x ^= p;
+                        }
                     }
                 }
                 rank += 1;

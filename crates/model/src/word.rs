@@ -107,14 +107,55 @@ impl Word {
     /// # Panics
     ///
     /// Panics if any wire at index 128 or above is set (the value would not
-    /// fit); words up to width 128 always succeed.
+    /// fit); words up to width 128 always succeed. Callers that may see wider
+    /// buses should use [`try_bits`](Word::try_bits) and degrade to the
+    /// [`limb`](Word::limb) accessors instead.
     #[must_use]
     pub fn bits(self) -> u128 {
-        assert!(
-            self.limbs[2] == 0 && self.limbs[3] == 0,
-            "word has bits above 128; use bit() accessors"
-        );
-        u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)
+        self.try_bits()
+            .expect("word has bits above 128; use try_bits()/limb() accessors")
+    }
+
+    /// The raw bit pattern as `u128`, or `None` if any wire at index 128 or
+    /// above is set (the value would not fit).
+    ///
+    /// Non-panicking counterpart of [`bits`](Word::bits) for code that must
+    /// keep working on 129–256-wire buses.
+    #[must_use]
+    pub fn try_bits(self) -> Option<u128> {
+        if self.limbs[2] != 0 || self.limbs[3] != 0 {
+            return None;
+        }
+        Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64))
+    }
+
+    /// Number of 64-bit limbs backing every word ([`MAX_WIDTH`]` / 64`).
+    pub const LIMB_COUNT: usize = LIMBS;
+
+    /// Raw 64-bit limb `l` (wires `64*l .. 64*l + 64`), zero-padded above
+    /// the word's width. Works at any width; the batch (bit-sliced) paths
+    /// use this instead of [`bits`](Word::bits) so wide buses never panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= Self::LIMB_COUNT`.
+    #[must_use]
+    pub fn limb(self, l: usize) -> u64 {
+        self.limbs[l]
+    }
+
+    /// Builds a word directly from its limbs; bits at or above `width` are
+    /// masked off. Inverse of reading all [`limb`](Word::limb)s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > MAX_WIDTH`.
+    #[must_use]
+    pub fn from_limbs(limbs: [u64; LIMBS], width: usize) -> Self {
+        let mut w = Word::zero(width);
+        w.limbs = limbs;
+        w.mask_off();
+        w
     }
 
     /// Logic value on wire `i`.
@@ -448,6 +489,37 @@ mod tests {
     fn bits_panics_above_128() {
         let w = Word::zero(200).with_bit(150, true);
         let _ = w.bits();
+    }
+
+    #[test]
+    fn try_bits_degrades_instead_of_panicking() {
+        // Width 129 with only low wires set: still representable.
+        let low = Word::from_bits(0xDEAD_BEEF, 129);
+        assert_eq!(low.try_bits(), Some(0xDEAD_BEEF));
+        // Width 129 with wire 128 set: not representable, returns None.
+        let w129 = Word::zero(129).with_bit(128, true);
+        assert_eq!(w129.try_bits(), None);
+        // Width 256 with the top wire set: not representable either.
+        let w256 = Word::zero(256).with_bit(255, true).with_bit(0, true);
+        assert_eq!(w256.try_bits(), None);
+        // The limb view still sees every wire.
+        assert_eq!(w129.limb(2), 1);
+        assert_eq!(w256.limb(0), 1);
+        assert_eq!(w256.limb(3), 1 << 63);
+    }
+
+    #[test]
+    fn limbs_roundtrip_at_full_width() {
+        let mut w = Word::zero(256);
+        for &i in &[0usize, 63, 64, 127, 128, 191, 192, 255] {
+            w.set_bit(i, true);
+        }
+        let limbs = [w.limb(0), w.limb(1), w.limb(2), w.limb(3)];
+        assert_eq!(Word::from_limbs(limbs, 256), w);
+        // from_limbs masks above the requested width.
+        let narrowed = Word::from_limbs(limbs, 129);
+        assert_eq!(narrowed.count_ones(), 5);
+        assert!(narrowed.bit(128) && narrowed.try_bits().is_none());
     }
 
     #[test]
